@@ -1,0 +1,44 @@
+"""Shared benchmark fixtures.
+
+Every ``benchmarks/test_tableNN_*.py`` regenerates one table or figure of
+the paper on the synthetic suite.  The suite scale comes from the
+``REPRO_BENCH_SCALE`` environment variable (``tiny`` / ``small`` /
+``medium``; default ``small``).  Rendered tables are printed to stdout
+(run with ``-s`` to see them live) and written to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can be refreshed from
+a benchmark run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.eval.tables import TableRunner
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner() -> TableRunner:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    return TableRunner(scale=scale, num_bc_sources=3)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a rendered table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print("\n" + text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def run_once(benchmark, fn):
+    """Run an expensive table-regeneration exactly once under timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

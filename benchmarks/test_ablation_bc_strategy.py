@@ -1,0 +1,52 @@
+"""Ablation: inner- vs outer-parallel BC (the §2 parallelization choice).
+
+The paper: "We pursue the inner parallel strategy ... each of the
+computation steps is executed in parallel for a single source, and
+different sources are processed in sequence."  The alternative — batching
+all sources' level-d frontiers into one launch — yields identical scores
+with fuller warps; this bench quantifies what the choice costs under our
+model (the paper's motivation for inner, per-source memory footprint, is
+not modeled, so outer wins here).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.bc import betweenness_centrality, pick_sources
+from repro.eval.reporting import format_table
+
+from conftest import run_once
+
+
+def test_ablation_bc_strategy(benchmark, runner, emit):
+    rows = []
+
+    def sweep():
+        for name in ("rmat", "usa-road"):
+            g = runner.suite[name]
+            srcs = pick_sources(g.num_nodes, 4, seed=2)
+            inner = betweenness_centrality(g, sources=srcs, strategy="inner")
+            outer = betweenness_centrality(g, sources=srcs, strategy="outer")
+            assert np.allclose(inner.values, outer.values)
+            rows.append(
+                {
+                    "graph": name,
+                    "inner_cycles": inner.cycles,
+                    "outer_cycles": outer.cycles,
+                    "outer_speedup": inner.cycles / outer.cycles,
+                }
+            )
+        return rows
+
+    run_once(benchmark, sweep)
+    emit(
+        "ablation_bc_strategy",
+        format_table(
+            rows,
+            ["graph", "inner_cycles", "outer_cycles", "outer_speedup"],
+            title="Ablation: inner vs outer parallel BC (4 sources)",
+            floatfmt="{:,.2f}",
+        ),
+    )
+    assert all(r["outer_speedup"] > 1.0 for r in rows)

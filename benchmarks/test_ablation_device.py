@@ -1,0 +1,77 @@
+"""Ablation: device-parameter sensitivity of the technique speedups.
+
+The paper evaluates on one device (K40C).  The cost model makes the
+device a parameter, so we can ask what the paper could not: how do the
+technique gains move with warp width and transaction size?  Expectations
+encoded below: the coalescing transform's benefit needs multi-word
+transaction segments (line_words=1 kills it), and divergence padding only
+matters when warps are wide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.sssp import sssp
+from repro.core.pipeline import build_plan
+from repro.eval.reporting import format_table
+from repro.gpusim.device import DeviceConfig
+
+from conftest import run_once
+
+
+def test_ablation_device_sensitivity(benchmark, runner, emit):
+    g = runner.suite["rmat"]
+    src = int(np.argmax(g.out_degrees()))
+
+    configs = {
+        "k40c (32-lane, 16-word)": DeviceConfig(),
+        "narrow warps (8-lane)": DeviceConfig(warp_size=8),
+        "single-word lines": DeviceConfig(line_words=1),
+        "wide lines (32-word)": DeviceConfig(line_words=32),
+        "flat memory (no latency gap)": DeviceConfig(
+            global_latency=6, edge_latency=6, shared_latency=6
+        ),
+    }
+
+    def sweep():
+        rows = []
+        for label, device in configs.items():
+            exact = sssp(g, src, device=device)
+            for technique in ("coalescing", "shmem", "divergence"):
+                plan = build_plan(g, technique, device=device)
+                approx = sssp(plan, src, device=device)
+                rows.append(
+                    {
+                        "device": label,
+                        "technique": technique,
+                        "speedup": exact.cycles / approx.cycles,
+                    }
+                )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    emit(
+        "ablation_device_sensitivity",
+        format_table(
+            rows,
+            ["device", "technique", "speedup"],
+            title="Ablation: device-parameter sensitivity (SSSP, rmat)",
+        ),
+    )
+
+    def speedup(device: str, technique: str) -> float:
+        return next(
+            r["speedup"]
+            for r in rows
+            if r["device"] == device and r["technique"] == technique
+        )
+
+    # no transaction segments -> nothing for the coalescing layout to win
+    assert speedup("single-word lines", "coalescing") <= speedup(
+        "k40c (32-lane, 16-word)", "coalescing"
+    ) + 0.05
+    # no global/shared latency gap -> the shmem pinning buys nothing
+    assert speedup("flat memory (no latency gap)", "shmem") <= speedup(
+        "k40c (32-lane, 16-word)", "shmem"
+    ) + 0.05

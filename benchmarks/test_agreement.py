@@ -1,0 +1,42 @@
+"""Capstone bench: computed agreement with the paper across Tables 6-14.
+
+Runs all nine technique tables, scores each against the transcribed paper
+numbers (direction agreement, Spearman rank correlation of speedups,
+geomean ratio), and verifies the cross-table ordering claims.  The
+rendered report is the quantitative heart of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.eval import tables
+from repro.eval.agreement import agreement_report, score_table
+
+from conftest import run_once
+
+TABLE_FNS = {
+    "table6": tables.table6_coalescing,
+    "table7": tables.table7_shmem,
+    "table8": tables.table8_divergence,
+    "table9": tables.table9_coalescing_vs_tigr,
+    "table10": tables.table10_shmem_vs_tigr,
+    "table11": tables.table11_divergence_vs_tigr,
+    "table12": tables.table12_coalescing_vs_gunrock,
+    "table13": tables.table13_shmem_vs_gunrock,
+    "table14": tables.table14_divergence_vs_gunrock,
+}
+
+
+def test_agreement_with_paper(benchmark, runner, emit):
+    def sweep():
+        return {name: fn(runner)[0] for name, fn in TABLE_FNS.items()}
+
+    results = run_once(benchmark, sweep)
+    report = agreement_report(results)
+    emit("agreement_with_paper", report)
+
+    # quantitative floor for the reproduction: most cells land on the
+    # paper's side of 1.0 in the Baseline-I tables
+    for name in ("table6", "table7", "table8"):
+        agreement = score_table(name, results[name])
+        assert agreement.direction_agreement >= 0.5, name
+        assert 0.5 < agreement.geomean_ratio < 2.0, name

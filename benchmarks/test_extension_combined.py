@@ -1,0 +1,26 @@
+"""Extension bench: the combined transform across the full suite.
+
+No paper counterpart — §1 only states that the techniques "can be
+combined for improved benefits".  This bench quantifies it: the combined
+plan (divergence padding -> shared-memory clusters -> coalescing
+transform, composed in slot space) against Baseline-I for all five
+algorithms.
+"""
+
+from repro.eval.reporting import geomean
+from repro.eval.tables import table6_coalescing, table7_shmem, table8_divergence, table_combined
+
+from conftest import run_once
+
+
+def test_extension_combined(benchmark, runner, emit):
+    rows, text = run_once(benchmark, lambda: table_combined(runner))
+    emit("extension_combined", text)
+    combined_gm = geomean([r["speedup"] for r in rows])
+    singles = [
+        geomean([r["speedup"] for r in fn(runner)[0]])
+        for fn in (table6_coalescing, table7_shmem, table8_divergence)
+    ]
+    # composition at least matches the weakest single technique overall
+    assert combined_gm > min(singles) - 0.05
+    assert combined_gm > 1.0

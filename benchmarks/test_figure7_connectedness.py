@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 7 (connectedness-threshold sweep).
+
+Paper shape: inaccuracy falls monotonically as the threshold rises
+(fewer replicas, fewer added edges); speedup rises to a peak around the
+per-graph guideline value and flattens/declines past it.
+"""
+
+from repro.eval.figures import figure7_connectedness
+
+from conftest import run_once
+
+
+def test_figure7(benchmark, runner, emit):
+    # the social graph has the richest replication behaviour in the suite
+    g = runner.suite["livejournal"]
+    points, text = run_once(
+        benchmark, lambda: figure7_connectedness(g)
+    )
+    from repro.eval.plots import ascii_figure
+
+    emit("figure07_connectedness_sweep", text + "\n\n" + ascii_figure(points, title="shape"))
+    assert points[0].inaccuracy_percent >= points[-1].inaccuracy_percent - 1e-9
+    assert points[0].edges_added >= points[-1].edges_added

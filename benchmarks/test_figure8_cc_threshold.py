@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 8 (clustering-coefficient threshold sweep).
+
+Paper shape: speedup grows with the threshold while clusters stay
+populated and dips as the threshold approaches 1 (few qualifying nodes);
+inaccuracy rises into the boost band and falls past ~0.8.
+"""
+
+from repro.eval.figures import figure8_cc_threshold
+
+from conftest import run_once
+
+
+def test_figure8(benchmark, runner, emit):
+    g = runner.suite["rmat"]
+    points, text = run_once(benchmark, lambda: figure8_cc_threshold(g))
+    from repro.eval.plots import ascii_figure
+
+    emit("figure08_cc_threshold_sweep", text + "\n\n" + ascii_figure(points, title="shape"))
+    assert all(p.speedup > 0.5 for p in points)

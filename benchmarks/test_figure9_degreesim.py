@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 9 (degreeSim threshold sweep).
+
+Paper shape: inaccuracy rises monotonically with the threshold (more
+padding edges); speedup peaks near 0.3 and drops as the added edge volume
+begins to dominate.
+"""
+
+from repro.eval.figures import figure9_degree_sim
+
+from conftest import run_once
+
+
+def test_figure9(benchmark, runner, emit):
+    g = runner.suite["rmat"]
+    points, text = run_once(benchmark, lambda: figure9_degree_sim(g))
+    from repro.eval.plots import ascii_figure
+
+    emit("figure09_degreesim_sweep", text + "\n\n" + ascii_figure(points, title="shape"))
+    inaccs = [p.inaccuracy_percent for p in points]
+    assert inaccs == sorted(inaccs) or max(inaccs) - min(inaccs) < 1e-6
+    assert points[0].edges_added <= points[-1].edges_added

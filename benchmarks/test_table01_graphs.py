@@ -1,0 +1,11 @@
+"""Bench: regenerate Table 1 (input-graph statistics)."""
+
+from repro.eval.tables import table1_graphs
+
+from conftest import run_once
+
+
+def test_table1_graphs(benchmark, runner, emit):
+    rows, text = run_once(benchmark, lambda: table1_graphs(runner))
+    emit("table01_graphs", text)
+    assert len(rows) == 5

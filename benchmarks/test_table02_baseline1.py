@@ -1,0 +1,17 @@
+"""Bench: regenerate Table 2 (Baseline-I exact execution, 5 algorithms).
+
+Paper shape to check in the output: BC is by far the most expensive
+algorithm under the topology-driven Baseline-I, and the large/dense
+graphs (twitter stand-in) cost the most.
+"""
+
+from repro.eval.tables import table2_baseline1_exact
+
+from conftest import run_once
+
+
+def test_table2_baseline1(benchmark, runner, emit):
+    rows, text = run_once(benchmark, lambda: table2_baseline1_exact(runner))
+    emit("table02_baseline1_exact", text)
+    for row in rows:
+        assert row["bc_cycles"] > row["sssp_cycles"] * 0.5

@@ -1,0 +1,17 @@
+"""Bench: regenerate Table 3 (Tigr exact execution: SSSP, PR, BC).
+
+Paper shape: Tigr's virtual-split kernels beat Baseline-I on every
+algorithm (compare against table02 output).
+"""
+
+from repro.eval.tables import table2_baseline1_exact, table3_tigr_exact
+
+from conftest import run_once
+
+
+def test_table3_tigr(benchmark, runner, emit):
+    rows, text = run_once(benchmark, lambda: table3_tigr_exact(runner))
+    emit("table03_tigr_exact", text)
+    b1_rows, _ = table2_baseline1_exact(runner)
+    for tg, b1 in zip(rows, b1_rows):
+        assert tg["bc_cycles"] < b1["bc_cycles"]

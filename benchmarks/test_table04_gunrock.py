@@ -1,0 +1,17 @@
+"""Bench: regenerate Table 4 (Gunrock exact execution: SSSP, PR, BC).
+
+Paper shape: frontier-driven kernels sit between Baseline-I and Tigr for
+BC, and win big for SSSP on the sparse-frontier road network.
+"""
+
+from repro.eval.tables import table2_baseline1_exact, table4_gunrock_exact
+
+from conftest import run_once
+
+
+def test_table4_gunrock(benchmark, runner, emit):
+    rows, text = run_once(benchmark, lambda: table4_gunrock_exact(runner))
+    emit("table04_gunrock_exact", text)
+    b1_rows, _ = table2_baseline1_exact(runner)
+    for gr, b1 in zip(rows, b1_rows):
+        assert gr["sssp_cycles"] < b1["sssp_cycles"]

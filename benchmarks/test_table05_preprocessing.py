@@ -1,0 +1,22 @@
+"""Bench: regenerate Table 5 (preprocessing time + extra space).
+
+Paper shape: the divergence transform is the cheapest in time and space;
+the extra space stays in single-digit percentages.
+"""
+
+import numpy as np
+
+from repro.eval.tables import table5_preprocessing
+
+from conftest import run_once
+
+
+def test_table5_preprocessing(benchmark, runner, emit):
+    rows, text = run_once(benchmark, lambda: table5_preprocessing(runner))
+    emit("table05_preprocessing", text)
+    by_tech = {}
+    for row in rows:
+        by_tech.setdefault(row["technique"], []).append(row["extra_space_percent"])
+    assert np.mean(by_tech["Reducing thread divergence"]) <= np.mean(
+        by_tech["Improving coalescing"]
+    ) + 1.0

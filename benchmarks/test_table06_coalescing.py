@@ -1,0 +1,15 @@
+"""Bench: regenerate Table 6 (coalescing vs Baseline-I, 5 algos x 5 graphs).
+
+Paper: geomean speedup 1.16x at ~10% inaccuracy.  Check: geomean > 1.
+"""
+
+from repro.eval.reporting import geomean
+from repro.eval.tables import table6_coalescing
+
+from conftest import run_once
+
+
+def test_table6_coalescing(benchmark, runner, emit):
+    rows, text = run_once(benchmark, lambda: table6_coalescing(runner))
+    emit("table06_coalescing_vs_baseline1", text)
+    assert geomean([r["speedup"] for r in rows]) > 1.0

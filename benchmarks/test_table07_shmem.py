@@ -1,0 +1,16 @@
+"""Bench: regenerate Table 7 (shared memory vs Baseline-I).
+
+Paper: geomean speedup 1.20x at ~13% inaccuracy — the strongest of the
+three techniques.  Check: geomean > 1.
+"""
+
+from repro.eval.reporting import geomean
+from repro.eval.tables import table7_shmem
+
+from conftest import run_once
+
+
+def test_table7_shmem(benchmark, runner, emit):
+    rows, text = run_once(benchmark, lambda: table7_shmem(runner))
+    emit("table07_shmem_vs_baseline1", text)
+    assert geomean([r["speedup"] for r in rows]) > 1.0

@@ -1,0 +1,17 @@
+"""Bench: regenerate Table 8 (thread divergence vs Baseline-I).
+
+Paper: geomean speedup 1.07x at ~8% inaccuracy — the mildest technique,
+because graph kernels are memory-bound.  Check: geomean > 1 and below the
+stronger techniques (see test_table06/07 outputs).
+"""
+
+from repro.eval.reporting import geomean
+from repro.eval.tables import table8_divergence
+
+from conftest import run_once
+
+
+def test_table8_divergence(benchmark, runner, emit):
+    rows, text = run_once(benchmark, lambda: table8_divergence(runner))
+    emit("table08_divergence_vs_baseline1", text)
+    assert geomean([r["speedup"] for r in rows]) > 1.0

@@ -1,0 +1,36 @@
+"""Bench: regenerate Tables 12-14 (the three techniques vs exact Gunrock).
+
+Paper shape: speedups over Gunrock are similar to those over Baseline-I
+(geomeans 1.14x / 1.19x / 1.07x vs 1.16x / 1.20x / 1.07x).
+"""
+
+from repro.eval.reporting import geomean
+from repro.eval.tables import (
+    table12_coalescing_vs_gunrock,
+    table13_shmem_vs_gunrock,
+    table14_divergence_vs_gunrock,
+)
+
+from conftest import run_once
+
+
+def _gm(rows):
+    return geomean([r["speedup"] for r in rows])
+
+
+def test_table12_coalescing_vs_gunrock(benchmark, runner, emit):
+    rows, text = run_once(benchmark, lambda: table12_coalescing_vs_gunrock(runner))
+    emit("table12_coalescing_vs_gunrock", text)
+    assert _gm(rows) > 0.9
+
+
+def test_table13_shmem_vs_gunrock(benchmark, runner, emit):
+    rows, text = run_once(benchmark, lambda: table13_shmem_vs_gunrock(runner))
+    emit("table13_shmem_vs_gunrock", text)
+    assert _gm(rows) > 1.0
+
+
+def test_table14_divergence_vs_gunrock(benchmark, runner, emit):
+    rows, text = run_once(benchmark, lambda: table14_divergence_vs_gunrock(runner))
+    emit("table14_divergence_vs_gunrock", text)
+    assert _gm(rows) > 0.9

@@ -1,0 +1,76 @@
+"""Extending the framework: a new algorithm in two styles.
+
+The paper's pitch is that the transforms are *algorithm-oblivious*; this
+example demonstrates it from the user's side, implementing weakly
+connected components two ways:
+
+1. through the generic :class:`~repro.algorithms.common.Runner` (the
+   `repro.algorithms.wcc` module — ~15 lines of relax logic), which gets
+   confluence, cluster rounds, and every Graffix technique for free; and
+2. through the Gunrock-style operator API
+   (:mod:`repro.baselines.operators`) as an advance/filter loop, the way
+   a Gunrock user would write it.
+
+Both are validated against scipy and run under each Graffix plan.
+
+Run:  python examples/custom_algorithm.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import core, graphs
+from repro.algorithms.wcc import exact_wcc_count, wcc
+from repro.baselines.operators import Frontier, OperatorContext
+
+
+def wcc_with_operators(graph, device=None):
+    """WCC as a Gunrock-style advance/filter loop."""
+    from repro.gpusim.device import K40C
+
+    ctx = OperatorContext(graph, device or K40C)
+    # weak connectivity needs both directions; symmetrize once
+    und = graph.to_undirected()
+    ctx_und = OperatorContext(und, device or K40C)
+    labels = np.arange(graph.num_nodes, dtype=np.float64)
+    frontier = Frontier(np.arange(graph.num_nodes, dtype=np.int64))
+    while frontier:
+        improved = np.zeros(graph.num_nodes, dtype=bool)
+
+        def push(e_src, e_dst, e_w):
+            before = labels[e_dst].copy()
+            np.minimum.at(labels, e_dst, labels[e_src])
+            changed = labels[e_dst] < before
+            improved[e_dst[changed]] = True
+            return changed
+
+        candidates = ctx_und.advance(frontier, push)
+        frontier = ctx_und.filter_(candidates, lambda ids: improved[ids])
+    return labels, ctx_und.metrics
+
+
+def main() -> None:
+    graph = graphs.heavy_tail_social(1200, mean_degree=10, seed=8)
+    print(f"graph: {graph}; exact WCC count: {exact_wcc_count(graph)}\n")
+
+    runner_style = wcc(graph)
+    op_labels, op_metrics = wcc_with_operators(graph)
+    print(f"runner-style WCC:   {runner_style.aux['num_components']} components, "
+          f"{runner_style.cycles:,.0f} cycles")
+    print(f"operator-style WCC: {int(np.unique(op_labels).size)} components, "
+          f"{op_metrics.cycles:,.0f} cycles\n")
+
+    print("the same runner-style WCC under every Graffix plan (no changes")
+    print("to the algorithm — the obliviousness claim, demonstrated):")
+    exact = wcc(graph)
+    for technique in ("coalescing", "shmem", "divergence", "combined"):
+        plan = core.build_plan(graph, technique)
+        approx = wcc(plan)
+        print(f"  {technique:11s} speedup {exact.cycles / approx.cycles:5.2f}x  "
+              f"components {exact.aux['num_components']} -> "
+              f"{approx.aux['num_components']}")
+
+
+if __name__ == "__main__":
+    main()

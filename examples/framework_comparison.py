@@ -1,0 +1,53 @@
+"""Comparing Graffix inside all three baseline framework styles.
+
+Reproduces in miniature the experiment design of Tables 6/9/12: the same
+Graffix coalescing transform, executed by the LonestarGPU-style
+(topology-driven), Tigr-style (virtual split), and Gunrock-style
+(frontier-driven) kernels, versus that framework's own exact run.
+
+The paper's finding to look for in the output: gains over Tigr are the
+smallest, because Tigr's exact kernels already fix divergence and
+edge-array irregularity.
+
+Run:  python examples/framework_comparison.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import core, graphs
+from repro.baselines import BASELINES
+from repro.eval import attribute_inaccuracy
+
+
+def main() -> None:
+    graph = graphs.rmat(10, edge_factor=8, seed=21)
+    source = int(np.argmax(graph.out_degrees()))
+    plan = core.build_plan(graph, "coalescing")
+    print(f"graph: {graph}; transform: +{plan.graffix.num_replicas} replicas, "
+          f"+{plan.edges_added} edges\n")
+
+    header = (f"{'framework':10s} {'algo':5s} {'exact cycles':>14s} "
+              f"{'approx cycles':>14s} {'speedup':>8s} {'inacc':>7s}")
+    print(header)
+    print("-" * len(header))
+    for fw_name, module in BASELINES.items():
+        for algo in ("sssp", "pr", "bc"):
+            exact = module.run(algo, graph, source=source,
+                               bc_sources=np.array([source, 1, 2]))
+            approx = module.run(algo, plan, source=source,
+                                bc_sources=np.array([source, 1, 2]))
+            print(
+                f"{fw_name:10s} {algo:5s} {exact.cycles:14,.0f} "
+                f"{approx.cycles:14,.0f} "
+                f"{exact.cycles / approx.cycles:7.2f}x "
+                f"{attribute_inaccuracy(exact.values, approx.values):6.2f}%"
+            )
+    print("\nInaccuracies repeat across frameworks because the error is a")
+    print("property of the *transformed graph*, not of the kernel style —")
+    print("exactly the paper's observation in §5.2.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Knob tuning walkthrough: reproducing the Figures 7-9 sweeps on one graph.
+
+Each Graffix technique exposes one primary threshold (the paper's "knob"):
+
+* connectedness (node replication, Figure 7),
+* clustering-coefficient cut-off (shared memory, Figure 8),
+* degreeSim (degree normalization, Figure 9).
+
+This example sweeps all three on a scale-free graph and prints the
+(threshold -> speedup, inaccuracy) series so you can see where each
+technique's sweet spot sits, then applies the paper's per-graph guideline
+functions and shows what they pick.
+
+Run:  python examples/knob_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro import graphs
+from repro.core.knobs import recommended_cc_threshold, recommended_connectedness
+from repro.eval.figures import (
+    figure7_connectedness,
+    figure8_cc_threshold,
+    figure9_degree_sim,
+)
+from repro.graphs.properties import clustering_coefficients, gini_of_degrees
+
+
+def main() -> None:
+    graph = graphs.rmat(10, edge_factor=8, seed=9)
+    print(f"graph: {graph}\n")
+
+    for fig in (figure7_connectedness, figure8_cc_threshold, figure9_degree_sim):
+        points, text = fig(graph)
+        print(text)
+        best = max(points, key=lambda p: p.speedup)
+        print(f"-> best speedup {best.speedup:.2f}x at threshold "
+              f"{best.threshold:.2f} ({best.inaccuracy_percent:.2f}% inaccuracy)\n")
+
+    gini = gini_of_degrees(graph)
+    cc = clustering_coefficients(graph)
+    print("paper guidelines applied to this graph:")
+    print(f"  degree gini {gini:.2f} -> connectedness threshold "
+          f"{recommended_connectedness(gini)} (§5.2)")
+    print(f"  mean CC {cc.mean():.2f} -> CC cut-off "
+          f"{recommended_cc_threshold(cc):.2f} (§5.3)")
+    print("  degreeSim threshold 0.3 (Figure 9 sweet spot, §5.4)")
+
+
+if __name__ == "__main__":
+    main()

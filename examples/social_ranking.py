@@ -1,0 +1,73 @@
+"""Influencer ranking on a social network with tolerable approximation.
+
+The paper's motivating scenario for BC: "we may estimate a set of k nodes
+with the largest betweenness centrality in a network faster without
+computing the exact BC values" (§1).  A downstream consumer of a
+top-k influencer list does not care about fourth-decimal centrality —
+only about who makes the list.
+
+This example runs PageRank and sampled betweenness centrality on a
+LiveJournal-style social graph, exact vs. each Graffix technique, and
+reports kernel speedup plus top-k overlap (the metric that matters to the
+ranking consumer) alongside the paper's raw attribute inaccuracy.
+
+Run:  python examples/social_ranking.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import algorithms, core, graphs
+from repro.eval import attribute_inaccuracy
+
+
+def topk_overlap(exact: np.ndarray, approx: np.ndarray, k: int) -> float:
+    te = set(np.argsort(-exact)[:k].tolist())
+    ta = set(np.argsort(-approx)[:k].tolist())
+    return len(te & ta) / k
+
+
+def main() -> None:
+    graph = graphs.preferential_attachment(1500, out_degree=10, seed=3)
+    print(f"graph: {graph}")
+    k = 20
+    bc_sources = algorithms.pick_sources(graph.num_nodes, 6, seed=0)
+
+    exact_pr = algorithms.pagerank(graph)
+    exact_bc = algorithms.betweenness_centrality(graph, sources=bc_sources)
+    print(f"exact PR cycles {exact_pr.cycles:,.0f}; "
+          f"exact BC cycles {exact_bc.cycles:,.0f}\n")
+
+    header = (f"{'technique':12s} {'algo':4s} {'speedup':>8s} "
+              f"{'top-%d overlap' % k:>15s} {'inaccuracy':>11s}")
+    print(header)
+    print("-" * len(header))
+    from repro.core.knobs import SharedMemoryKnobs, recommended_cc_threshold
+    from repro.graphs.properties import clustering_coefficients
+
+    shmem_knobs = SharedMemoryKnobs(
+        cc_threshold=recommended_cc_threshold(clustering_coefficients(graph))
+    )
+    for technique in ("coalescing", "shmem", "divergence"):
+        plan = core.build_plan(graph, technique, shmem=shmem_knobs)
+        approx_pr = algorithms.pagerank(plan)
+        approx_bc = algorithms.betweenness_centrality(plan, sources=bc_sources)
+        for name, exact, approx in (
+            ("pr", exact_pr, approx_pr),
+            ("bc", exact_bc, approx_bc),
+        ):
+            print(
+                f"{technique:12s} {name:4s} "
+                f"{exact.cycles / approx.cycles:7.2f}x "
+                f"{topk_overlap(exact.values, approx.values, k):14.0%} "
+                f"{attribute_inaccuracy(exact.values, approx.values):10.2f}%"
+            )
+
+    print("\nTakeaway: attribute drift of a few percent barely moves the")
+    print("top-k membership, which is the paper's argument for trading")
+    print("exactness for kernel time in ranking workloads.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Steiner-tree approximation: the paper's amortization use case (§1).
+
+"Computing a 2-approximate solution to the Steiner tree problem (routinely
+used in network design and wiring layout) involves running SSSP from
+multiple terminal nodes" — so the one-time Graffix preprocessing is paid
+once and reused across every SSSP launch.
+
+This example implements the classic Kou-Markowsky-Berman 2-approximation:
+
+1. run SSSP from every terminal (on the *same* transformed graph);
+2. build the terminal distance closure;
+3. take its minimum spanning tree — its weight is within 2x of the
+   optimal Steiner tree.
+
+It reports the cumulative simulated kernel time for the exact and the
+Graffix-transformed runs, plus the relative error of the Steiner weight.
+
+Run:  python examples/steiner_tree.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.csgraph as csgraph
+
+from repro import algorithms, core, graphs
+
+
+def steiner_2approx_weight(distances: dict[int, np.ndarray], terminals: list[int]) -> float:
+    """MST weight of the terminal distance closure (KMB step 1+2)."""
+    k = len(terminals)
+    closure = np.zeros((k, k))
+    for i, t in enumerate(terminals):
+        closure[i, :] = [distances[t][u] for u in terminals]
+    closure = np.minimum(closure, closure.T)  # symmetrize directed distances
+    finite = np.isfinite(closure)
+    closure[~finite] = 0.0
+    mst = csgraph.minimum_spanning_tree(sp.csr_matrix(np.triu(closure)))
+    return float(mst.sum())
+
+
+def run(graph, plan_or_graph, terminals, label: str) -> tuple[float, float]:
+    distances: dict[int, np.ndarray] = {}
+    total_cycles = 0.0
+    for t in terminals:
+        res = algorithms.sssp(plan_or_graph, t)
+        distances[t] = res.values
+        total_cycles += res.cycles
+    weight = steiner_2approx_weight(distances, terminals)
+    print(f"{label:20s} steiner weight = {weight:10.1f}   "
+          f"total kernel cycles = {total_cycles:12,.0f}")
+    return weight, total_cycles
+
+
+def main() -> None:
+    # wiring-layout style instance: a perturbed grid ("circuit board")
+    graph = graphs.road_network(40, seed=11)
+    rng = np.random.default_rng(5)
+    terminals = sorted(rng.choice(graph.num_nodes, size=8, replace=False).tolist())
+    print(f"graph: {graph}; terminals: {terminals}\n")
+
+    exact_w, exact_cycles = run(graph, graph, terminals, "exact")
+
+    plan = core.build_plan(
+        graph,
+        "coalescing",
+        coalescing=core.CoalescingKnobs(connectedness_threshold=0.4),  # road guideline
+    )
+    # the amortization story end-to-end: persist the plan so later
+    # processes skip the transform entirely
+    import tempfile
+
+    cache = tempfile.NamedTemporaryFile(suffix=".npz", delete=False)
+    core.save_plan(plan, cache.name)
+    plan = core.load_plan(cache.name)
+    print(f"\npreprocessing: {plan.preprocess_seconds*1e3:.0f} ms once "
+          f"(cached to disk, reloaded), amortized over "
+          f"{len(terminals)} SSSP launches")
+    approx_w, approx_cycles = run(graph, plan, terminals, "graffix coalescing")
+
+    speedup = exact_cycles / approx_cycles
+    err = abs(approx_w - exact_w) / exact_w * 100
+    print(f"\nkernel speedup {speedup:.2f}x, steiner-weight error {err:.2f}%")
+    print("(the 2-approximation guarantee absorbs small distance drift,")
+    print(" which is why this workload tolerates Graffix so well)")
+
+
+if __name__ == "__main__":
+    main()

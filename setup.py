@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept so ``pip install -e . --no-use-pep517 --no-build-isolation`` works in
+offline environments whose setuptools lacks the ``wheel`` package (the
+PEP-517 editable path needs ``bdist_wheel``).  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""Graffix reproduction: approximate graph transforms for GPU-style execution.
+
+Reproduces Singh & Nasre, *"Graffix: Efficient Graph Processing with a
+Tinge of GPU-Specific Approximations"* (ICPP 2020) in pure Python:
+
+* :mod:`repro.graphs`  — CSR graph substrate + synthetic input suite
+* :mod:`repro.gpusim`  — warp-level GPU execution simulator (cost model)
+* :mod:`repro.core`    — the paper's three approximate transforms
+* :mod:`repro.algorithms` — SSSP, MST, SCC, PR, BC on the simulator
+* :mod:`repro.baselines`  — LonestarGPU- / Tigr- / Gunrock-style kernels
+* :mod:`repro.eval`    — inaccuracy metrics, harness, Tables 1-14, Figs 7-9
+
+Quickstart::
+
+    from repro import graphs, core, algorithms, eval as ev
+
+    g = graphs.rmat(10, edge_factor=8, seed=1)
+    plan = core.build_plan(g, "coalescing")
+    approx = algorithms.sssp(plan, source=0)
+    exact = algorithms.sssp(g, source=0)
+    print(exact.cycles / approx.cycles,           # simulated speedup
+          ev.attribute_inaccuracy(exact.values, approx.values))
+"""
+
+from . import algorithms, baselines, core, eval, graphs, gpusim
+from .errors import (
+    AlgorithmError,
+    GraphFormatError,
+    KnobError,
+    ReproError,
+    SimulationError,
+    TransformError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlgorithmError",
+    "GraphFormatError",
+    "KnobError",
+    "ReproError",
+    "SimulationError",
+    "TransformError",
+    "algorithms",
+    "baselines",
+    "core",
+    "eval",
+    "graphs",
+    "gpusim",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro``: regenerate the paper's tables/figures from the CLI."""
+
+import sys
+
+from .eval.suite import main
+
+if __name__ == "__main__":
+    sys.exit(main())

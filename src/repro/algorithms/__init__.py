@@ -1,0 +1,44 @@
+"""The paper's five evaluation algorithms on the simulated GPU."""
+
+from .bc import betweenness_centrality, pick_sources
+from .bfs import bfs
+from .common import AlgorithmResult, EdgeView, Runner, plan_for
+from .exact import (
+    exact_bc,
+    exact_msf_weight,
+    exact_pagerank,
+    exact_scc_count,
+    exact_sssp,
+)
+from .mst import minimum_spanning_forest_weight, mst
+from .pagerank import pagerank
+from .scc import scc
+from .sssp import sssp, sssp_relax
+from .wcc import exact_wcc_count, wcc
+
+#: paper order: SSSP, MST, SCC, PR, BC (bfs is an extension)
+ALGORITHM_NAMES = ("sssp", "mst", "scc", "pr", "bc")
+
+__all__ = [
+    "ALGORITHM_NAMES",
+    "AlgorithmResult",
+    "EdgeView",
+    "Runner",
+    "betweenness_centrality",
+    "bfs",
+    "exact_bc",
+    "exact_msf_weight",
+    "exact_pagerank",
+    "exact_scc_count",
+    "exact_sssp",
+    "minimum_spanning_forest_weight",
+    "mst",
+    "pagerank",
+    "pick_sources",
+    "plan_for",
+    "scc",
+    "sssp",
+    "exact_wcc_count",
+    "wcc",
+    "sssp_relax",
+]

@@ -1,0 +1,71 @@
+"""Single-source shortest paths (Bellman-Ford style, vertex-centric).
+
+The topology-driven variant relaxes every edge each sweep (LonestarGPU's
+``sssp`` and the paper's Baseline-I style); a data-driven variant that only
+expands the changed frontier lives in :mod:`repro.baselines.gunrock`.
+
+On a Graffix-transformed plan the runner transparently applies replica
+confluence and shared-memory cluster rounds; added 2-hop edges carry the
+sum of the two hop weights (§4), so any path through them corresponds to a
+real path in the original graph — distances can only drift through
+mean-confluence, never through the structural edits alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.pipeline import ExecutionPlan
+from ..errors import AlgorithmError
+from ..graphs.csr import CSRGraph
+from ..gpusim.device import DeviceConfig, K40C
+from .common import MAX_ITERATIONS, AlgorithmResult, EdgeView, Runner, plan_for
+
+__all__ = ["sssp", "sssp_relax"]
+
+
+def sssp_relax(edges: EdgeView, dist: np.ndarray) -> bool:
+    """One Bellman-Ford sweep over ``edges``; mutates ``dist`` in place."""
+    src, dst, w = edges.src, edges.dst, edges.weights
+    finite = np.isfinite(dist[src])
+    if not finite.any():
+        return False
+    cand = dist[src[finite]] + w[finite]
+    before = dist.copy()
+    np.minimum.at(dist, dst[finite], cand)
+    return bool(np.any(dist < before))
+
+
+def sssp(
+    graph_or_plan: CSRGraph | ExecutionPlan,
+    source: int,
+    *,
+    device: DeviceConfig = K40C,
+    runner_factory=None,
+) -> AlgorithmResult:
+    """Shortest-path distances from ``source`` (original node id).
+
+    Unreachable nodes get ``inf``.  The distance attribute is what the
+    paper's SSSP inaccuracy metric compares.
+    """
+    plan = plan_for(graph_or_plan)
+    if not 0 <= source < plan.num_original:
+        raise AlgorithmError(
+            f"source {source} out of range for n={plan.num_original}"
+        )
+    runner = (runner_factory or Runner)(plan, device)
+
+    init = np.full(plan.num_original, np.inf)
+    init[source] = 0.0
+    dist = plan.lift(init, fill=np.inf)
+
+    iterations = runner.fixed_point(
+        dist,
+        sssp_relax,
+        max_iterations=min(MAX_ITERATIONS, 4 * plan.graph.num_nodes + 50),
+    )
+    return AlgorithmResult(
+        values=plan.lower(dist),
+        metrics=runner.metrics,
+        iterations=iterations,
+    )

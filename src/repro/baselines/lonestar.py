@@ -1,0 +1,68 @@
+"""Baseline-I: LonestarGPU-family topology-driven exact kernels.
+
+The paper's first baseline bundles LonestarGPU's SSSP and MST, Devshatwar
+et al.'s SCC, and Singh & Nasre's exact PR and Brandes BC — all
+*topology-driven*: every kernel iteration launches a thread per node and
+re-examines the whole graph.  That is exactly the default charging mode of
+our algorithm implementations, so this module is a thin dispatch layer
+that fixes the kernel style (full sweeps, topology-driven BC) and exposes
+the uniform ``run(algorithm, plan)`` interface the harness uses for every
+baseline.
+
+``run`` accepts either a raw graph (exact run) or a Graffix
+:class:`~repro.core.pipeline.ExecutionPlan` (the "approximate Graffix on
+Baseline-I" configuration of Tables 6–8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algorithms.bc import betweenness_centrality
+from ..algorithms.common import AlgorithmResult, plan_for
+from ..algorithms.mst import mst
+from ..algorithms.pagerank import pagerank
+from ..algorithms.scc import scc
+from ..algorithms.sssp import sssp
+from ..core.pipeline import ExecutionPlan
+from ..errors import AlgorithmError
+from ..graphs.csr import CSRGraph
+from ..gpusim.device import DeviceConfig, K40C
+
+__all__ = ["run", "SUPPORTED"]
+
+SUPPORTED = ("sssp", "mst", "scc", "pr", "bc")
+
+
+def run(
+    algorithm: str,
+    graph_or_plan: CSRGraph | ExecutionPlan,
+    *,
+    source: int = 0,
+    bc_sources: np.ndarray | None = None,
+    num_bc_sources: int = 4,
+    seed: int = 0,
+    device: DeviceConfig = K40C,
+) -> AlgorithmResult:
+    """Execute one algorithm in Baseline-I (topology-driven) style."""
+    plan = plan_for(graph_or_plan)
+    if algorithm == "sssp":
+        return sssp(plan, source, device=device)
+    if algorithm == "mst":
+        return mst(plan, device=device)
+    if algorithm == "scc":
+        return scc(plan, device=device)
+    if algorithm == "pr":
+        return pagerank(plan, device=device)
+    if algorithm == "bc":
+        return betweenness_centrality(
+            plan,
+            sources=bc_sources,
+            num_sources=num_bc_sources,
+            seed=seed,
+            topology_driven=True,
+            device=device,
+        )
+    raise AlgorithmError(
+        f"Baseline-I does not implement {algorithm!r}; supported: {SUPPORTED}"
+    )

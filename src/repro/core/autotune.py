@@ -1,0 +1,152 @@
+"""Automatic knob selection: the paper's threshold guidelines, closed-loop.
+
+§5.2-§5.4 give *guidelines* for picking each technique's threshold from
+graph statistics; this module goes one step further (a natural extension
+the paper leaves open) and searches the knob space directly, scoring each
+candidate with a cheap SSSP probe on the simulator:
+
+    score = speedup - accuracy_weight * (inaccuracy / 100)
+
+The search is tiny (a handful of candidates seeded by the guidelines), so
+it stays well under the one-time preprocessing budget the paper already
+assumes, and it is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import TransformError
+from ..graphs.csr import CSRGraph
+from ..graphs.properties import clustering_coefficients, gini_of_degrees
+from ..gpusim.device import DeviceConfig, K40C
+from .knobs import (
+    CoalescingKnobs,
+    DivergenceKnobs,
+    SharedMemoryKnobs,
+    recommended_cc_threshold,
+    recommended_connectedness,
+)
+from .pipeline import ExecutionPlan, build_plan
+
+__all__ = ["TuneResult", "autotune"]
+
+
+@dataclass
+class TuneResult:
+    """Outcome of an autotuning run for one technique."""
+
+    technique: str
+    best_plan: ExecutionPlan
+    best_threshold: float
+    best_score: float
+    trials: list[dict] = field(default_factory=list)
+
+    def summary(self) -> str:
+        lines = [
+            f"autotune[{self.technique}]: best threshold "
+            f"{self.best_threshold:.2f} (score {self.best_score:.3f})"
+        ]
+        for t in self.trials:
+            lines.append(
+                f"  thr={t['threshold']:.2f} speedup={t['speedup']:.3f} "
+                f"inaccuracy={t['inaccuracy_percent']:.2f}% score={t['score']:.3f}"
+            )
+        return "\n".join(lines)
+
+
+def _probe(graph: CSRGraph, plan: ExecutionPlan, device: DeviceConfig,
+           exact_cycles: float, exact_values: np.ndarray, source: int):
+    from ..algorithms.sssp import sssp
+    from ..eval.accuracy import attribute_inaccuracy
+
+    approx = sssp(plan, source, device=device)
+    speedup = exact_cycles / approx.cycles if approx.cycles else float("inf")
+    inacc = attribute_inaccuracy(exact_values, approx.values)
+    return speedup, inacc
+
+
+def _candidates(graph: CSRGraph, technique: str) -> list[float]:
+    """Guideline-seeded candidate thresholds for each technique."""
+    if technique == "coalescing":
+        seed = recommended_connectedness(gini_of_degrees(graph))
+        return sorted({max(0.1, seed - 0.2), seed, min(1.0, seed + 0.2)})
+    if technique == "shmem":
+        seed = recommended_cc_threshold(clustering_coefficients(graph))
+        return sorted({max(0.2, seed - 0.2), seed, min(0.95, seed + 0.1)})
+    if technique == "divergence":
+        return [0.1, 0.3, 0.5]
+    raise TransformError(f"autotune does not handle technique {technique!r}")
+
+
+def _plan_with_threshold(
+    graph: CSRGraph, technique: str, thr: float, device: DeviceConfig
+) -> ExecutionPlan:
+    if technique == "coalescing":
+        return build_plan(
+            graph, technique, device=device,
+            coalescing=CoalescingKnobs(connectedness_threshold=thr),
+        )
+    if technique == "shmem":
+        return build_plan(
+            graph, technique, device=device,
+            shmem=SharedMemoryKnobs(cc_threshold=thr),
+        )
+    return build_plan(
+        graph, technique, device=device,
+        divergence=DivergenceKnobs(degree_sim_threshold=thr),
+    )
+
+
+def autotune(
+    graph: CSRGraph,
+    technique: str,
+    *,
+    accuracy_weight: float = 2.0,
+    device: DeviceConfig = K40C,
+    source: int | None = None,
+) -> TuneResult:
+    """Pick the best threshold for ``technique`` on ``graph``.
+
+    ``accuracy_weight`` sets how many speedup points one full unit of
+    inaccuracy costs in the score; raise it for accuracy-critical
+    deployments.  The probe workload is SSSP from the max-out-degree node
+    (override with ``source``).
+    """
+    if accuracy_weight < 0:
+        raise TransformError("accuracy_weight must be non-negative")
+    from ..algorithms.sssp import sssp
+
+    if source is None:
+        source = int(np.argmax(graph.out_degrees()))
+    exact = sssp(graph, source, device=device)
+
+    trials: list[dict] = []
+    best: tuple[float, float, ExecutionPlan] | None = None
+    for thr in _candidates(graph, technique):
+        plan = _plan_with_threshold(graph, technique, thr, device)
+        speedup, inacc = _probe(
+            graph, plan, device, exact.cycles, exact.values, source
+        )
+        score = speedup - accuracy_weight * inacc / 100.0
+        trials.append(
+            {
+                "threshold": thr,
+                "speedup": speedup,
+                "inaccuracy_percent": inacc,
+                "score": score,
+            }
+        )
+        if best is None or score > best[0]:
+            best = (score, thr, plan)
+
+    assert best is not None
+    return TuneResult(
+        technique=technique,
+        best_plan=best[2],
+        best_threshold=best[1],
+        best_score=best[0],
+        trials=trials,
+    )

@@ -1,0 +1,99 @@
+"""Confluence: merging attribute values across node replicas (§2.4).
+
+Replicas of a node may drift apart within a kernel iteration; since they
+logically represent the same node, Graffix merges them after every
+iteration.  The paper's default operator is the *algorithm-agnostic*
+arithmetic mean; algorithm-aware operators (``min`` for distance-like
+attributes, ``max``, ``sum``) are provided for the D1 ablation.
+
+Non-finite values (``inf`` distance sentinels for not-yet-reached nodes)
+are excluded from the mean — merging an uninitialized sentinel into an
+actual distance would be meaningless on the GPU too, where the sentinel is
+just a large constant.  If every copy is non-finite the group keeps its
+sentinel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import TransformError
+from .coalesce import GraffixGraph
+
+__all__ = ["merge_replicas", "CONFLUENCE_OPERATORS"]
+
+
+def _merge_mean(values: np.ndarray, slots, gids, sizes) -> None:
+    member_vals = values[slots]
+    finite = np.isfinite(member_vals)
+    num_groups = sizes.size
+    finite_counts = np.bincount(gids[finite], minlength=num_groups)
+    sums = np.bincount(
+        gids[finite], weights=member_vals[finite], minlength=num_groups
+    )
+    has_finite = finite_counts > 0
+    means = np.where(has_finite, sums / np.maximum(finite_counts, 1), np.inf)
+    # groups with no finite member keep each member's current value
+    merged = np.where(has_finite[gids], means[gids], member_vals)
+    values[slots] = merged
+
+
+def _reduce_then_broadcast(
+    reducer: Callable[[np.ndarray, np.ndarray, int], np.ndarray]
+) -> Callable[[np.ndarray, np.ndarray, np.ndarray, np.ndarray], None]:
+    def merge(values: np.ndarray, slots, gids, sizes) -> None:
+        member_vals = values[slots]
+        reduced = reducer(member_vals, gids, sizes.size)
+        values[slots] = reduced[gids]
+
+    return merge
+
+
+def _group_min(vals: np.ndarray, gids: np.ndarray, n: int) -> np.ndarray:
+    out = np.full(n, np.inf)
+    np.minimum.at(out, gids, vals)
+    return out
+
+
+def _group_max(vals: np.ndarray, gids: np.ndarray, n: int) -> np.ndarray:
+    out = np.full(n, -np.inf)
+    np.maximum.at(out, gids, vals)
+    return out
+
+
+def _group_sum(vals: np.ndarray, gids: np.ndarray, n: int) -> np.ndarray:
+    finite = np.isfinite(vals)
+    return np.bincount(gids[finite], weights=vals[finite], minlength=n)
+
+
+#: name -> in-place merge function(values, slots, gids, sizes)
+CONFLUENCE_OPERATORS: dict[
+    str, Callable[[np.ndarray, np.ndarray, np.ndarray, np.ndarray], None]
+] = {
+    "mean": _merge_mean,
+    "min": _reduce_then_broadcast(_group_min),
+    "max": _reduce_then_broadcast(_group_max),
+    "sum": _reduce_then_broadcast(_group_sum),
+}
+
+
+def merge_replicas(
+    values: np.ndarray, gg: GraffixGraph, operator: str = "mean"
+) -> np.ndarray:
+    """Merge replica attribute values in place; returns ``values``.
+
+    ``operator`` is a key of :data:`CONFLUENCE_OPERATORS`.  The default
+    ``"mean"`` is the paper's generic confluence.
+    """
+    if operator not in CONFLUENCE_OPERATORS:
+        raise TransformError(
+            f"unknown confluence operator {operator!r}; "
+            f"choose from {sorted(CONFLUENCE_OPERATORS)}"
+        )
+    slots, gids, sizes = gg.replica_groups()
+    if slots.size == 0:
+        return values
+    CONFLUENCE_OPERATORS[operator](values, slots, gids, sizes)
+    return values

@@ -1,0 +1,178 @@
+"""§4: reducing thread divergence by degree bucketing + edge padding.
+
+Full degree-sorting "is often an overkill, since having nearly-uniform
+degrees only within each warp often suffices" — so Graffix bucket-sorts
+nodes by degree, assigns buckets to warps in order, and then *pads* the
+degree of deficient warp-nodes by adding edges to their 2-hop neighbours:
+
+* a node qualifies for padding when its deficit
+  ``degreeSim = 1 − deg / warpMaxDeg`` is positive but at most the
+  threshold knob (it is "deficient but close");
+* padded nodes are raised to ``target_fraction`` (85 %) of the warp max;
+* new edges target 2-hop neighbours ("the information propagated to their
+  2-hop neighbors is useful for the next iterations"), with weight =
+  sum of the two hop weights for weighted graphs.
+
+The result carries both the transformed graph and the bucket-sorted
+*processing order* the simulator must use for warp formation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TransformError
+from ..graphs.csr import CSRGraph
+from ..gpusim.device import DeviceConfig, K40C
+from .knobs import DivergenceKnobs
+
+__all__ = ["DivergencePlan", "bucket_order", "normalize_degrees", "degree_sim"]
+
+
+@dataclass
+class DivergencePlan:
+    """Outcome of the §4 transform.
+
+    Attributes
+    ----------
+    graph:
+        the graph with padding edges added.
+    order:
+        node ids in bucket-sorted processing order (feed this to
+        :class:`~repro.gpusim.kernel.ExecutionContext`).
+    edges_added:
+        total padding edges inserted (the approximation volume).
+    padded_nodes:
+        ids of nodes that received padding edges.
+    """
+
+    graph: CSRGraph
+    order: np.ndarray
+    edges_added: int
+    padded_nodes: np.ndarray
+
+
+def bucket_order(graph: CSRGraph, bucket_count: int) -> np.ndarray:
+    """Bucket-sort node ids by out-degree.
+
+    Buckets are degree quantiles; inside a bucket the original id order is
+    kept (a bucket sort, not a full sort — the paper is explicit that full
+    degree sorting is unnecessary).
+    """
+    if bucket_count < 1:
+        raise TransformError("bucket_count must be >= 1")
+    degs = graph.out_degrees()
+    if degs.size == 0:
+        return np.empty(0, dtype=np.int64)
+    qs = np.quantile(degs, np.linspace(0, 1, bucket_count + 1)[1:-1])
+    bucket = np.searchsorted(qs, degs, side="right")
+    return np.argsort(bucket, kind="stable").astype(np.int64)
+
+
+def degree_sim(degrees: np.ndarray, warp_size: int) -> np.ndarray:
+    """Per-node ``degreeSim`` under a given warp partition of the order.
+
+    ``degrees`` must already be in processing order; returns the paper's
+    ``1 - deg / warpMaxDeg`` for each position.
+    """
+    degrees = np.asarray(degrees, dtype=np.float64)
+    if degrees.size == 0:
+        return degrees.copy()
+    starts = np.arange(0, degrees.size, warp_size)
+    warp_max = np.maximum.reduceat(degrees, starts)
+    per_node_max = np.repeat(
+        warp_max, np.diff(np.append(starts, degrees.size))
+    )
+    out = np.zeros_like(degrees)
+    nz = per_node_max > 0
+    out[nz] = 1.0 - degrees[nz] / per_node_max[nz]
+    return out
+
+
+def normalize_degrees(
+    graph: CSRGraph,
+    knobs: DivergenceKnobs | None = None,
+    device: DeviceConfig = K40C,
+) -> DivergencePlan:
+    """Apply the §4 transform: bucket order + degree padding edges."""
+    knobs = knobs or DivergenceKnobs()
+    n = graph.num_nodes
+    if n == 0:
+        raise TransformError("cannot normalize degrees of an empty graph")
+
+    order = bucket_order(graph, knobs.bucket_count)
+    degs = graph.out_degrees().astype(np.int64)
+    sim = degree_sim(degs[order], device.warp_size)
+
+    starts = np.arange(0, n, device.warp_size)
+    warp_max = np.maximum.reduceat(degs[order].astype(np.float64), starts)
+    per_pos_max = np.repeat(warp_max, np.diff(np.append(starts, n)))
+
+    # deficient-but-close nodes: 0 < degreeSim <= threshold
+    pad_positions = np.nonzero((sim > 0) & (sim <= knobs.degree_sim_threshold))[0]
+
+    new_src: list[np.ndarray] = []
+    new_dst: list[np.ndarray] = []
+    new_w: list[np.ndarray] = []
+    weighted = graph.is_weighted
+    padded: list[int] = []
+    edges_added = 0
+
+    offsets, indices = graph.offsets, graph.indices
+
+    for pos in pad_positions:
+        v = int(order[pos])
+        target = int(np.ceil(knobs.target_fraction * per_pos_max[pos]))
+        need = target - int(degs[v])
+        if need <= 0:
+            continue
+        direct = indices[offsets[v] : offsets[v + 1]].astype(np.int64)
+        if direct.size == 0:
+            continue
+        if weighted:
+            direct_w = graph.weights[offsets[v] : offsets[v + 1]]
+        # gather 2-hop candidates in adjacency order
+        cand: list[int] = []
+        cand_w: list[float] = []
+        seen = set(direct.tolist())
+        seen.add(v)
+        for i, mid in enumerate(direct.tolist()):
+            nbrs2 = indices[offsets[mid] : offsets[mid + 1]].astype(np.int64)
+            if weighted:
+                w2 = graph.weights[offsets[mid] : offsets[mid + 1]]
+            for idx2, q in enumerate(nbrs2.tolist()):
+                if q in seen:
+                    continue
+                seen.add(q)
+                cand.append(q)
+                if weighted:
+                    cand_w.append(float(direct_w[i]) + float(w2[idx2]))
+                if len(cand) >= need:
+                    break
+            if len(cand) >= need:
+                break
+        if not cand:
+            continue
+        new_src.append(np.full(len(cand), v, dtype=np.int64))
+        new_dst.append(np.asarray(cand, dtype=np.int64))
+        if weighted:
+            new_w.append(np.asarray(cand_w, dtype=np.float64))
+        edges_added += len(cand)
+        padded.append(v)
+
+    if new_src:
+        src = np.concatenate([graph.edge_sources().astype(np.int64)] + new_src)
+        dst = np.concatenate([graph.indices.astype(np.int64)] + new_dst)
+        w = np.concatenate([graph.weights] + new_w) if weighted else None
+        out_graph = CSRGraph.from_edges(n, src, dst, w, dedup=True)
+    else:
+        out_graph = graph
+
+    return DivergencePlan(
+        graph=out_graph,
+        order=order,
+        edges_added=edges_added,
+        padded_nodes=np.asarray(padded, dtype=np.int64),
+    )

@@ -1,0 +1,162 @@
+"""Tunable approximation knobs for the three Graffix techniques.
+
+Every technique trades accuracy for speed through one primary threshold
+(paper §2.3, §3, §4).  The dataclasses here validate ranges eagerly so a
+bad sweep configuration fails before an hour-long benchmark run, and they
+carry the paper's recommended defaults:
+
+* coalescing: ``chunk_size k = 16``; ``connectedness`` threshold 0.6 for
+  scale-free graphs, 0.4 for road networks (§2.3, §5.2);
+* shared memory: a high clustering-coefficient cut-off (§3 "we recommend
+  keeping the CC cut-off relatively high"), plus a global added-edge
+  budget;
+* divergence: ``degreeSim`` threshold 0.3 (the Figure 9 sweet spot), with
+  deficient nodes boosted to 85 % of the warp max degree (§5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import KnobError
+
+__all__ = [
+    "CoalescingKnobs",
+    "SharedMemoryKnobs",
+    "DivergenceKnobs",
+    "recommended_connectedness",
+    "recommended_cc_threshold",
+]
+
+
+def _check_unit(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise KnobError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class CoalescingKnobs:
+    """Knobs for the §2 renumber-and-replicate transform.
+
+    Attributes
+    ----------
+    chunk_size:
+        the ``k`` of Algorithm 2: level id-blocks are aligned to multiples
+        of ``k`` and the nodes array is chunked by ``k`` for replication.
+        ``1 <= k <= warp_size`` per §2.2.
+    connectedness_threshold:
+        minimum ``edges(n -> chunk) / non_hole_nodes(chunk)`` for node
+        ``n`` to be replicated toward that chunk.  Lower = more replicas =
+        faster but less accurate (Figure 7's knob).
+    max_replicas_per_node:
+        cap on how many replicas one node may receive across all chunks
+        (the paper replicates greedily; the cap bounds pathological hubs).
+    """
+
+    chunk_size: int = 16
+    connectedness_threshold: float = 0.6
+    max_replicas_per_node: int = 4
+
+    def __post_init__(self) -> None:
+        if self.chunk_size < 1:
+            raise KnobError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        _check_unit("connectedness_threshold", self.connectedness_threshold)
+        if self.max_replicas_per_node < 1:
+            raise KnobError("max_replicas_per_node must be >= 1")
+
+
+@dataclass(frozen=True)
+class SharedMemoryKnobs:
+    """Knobs for the §3 clustering-coefficient / shared-memory transform.
+
+    Attributes
+    ----------
+    cc_threshold:
+        nodes with clustering coefficient at or above this are pinned to
+        shared memory with their 1-hop neighbours (Figure 8's knob).
+    boost_band:
+        nodes with CC in ``[cc_threshold - boost_band, cc_threshold)`` are
+        *candidates for boosting*: edges are added between their 2-hop
+        neighbour pairs to lift them over the threshold (§3 case 1).
+    edge_budget_fraction:
+        global cap on added edges, as a fraction of the original edge
+        count ("we maintain a global limit for the number of edges added
+        to the graph to contain the approximation").
+    iterations_factor:
+        the §3 recommendation ``t ~ iterations_factor x subgraph
+        diameter`` for how long a pinned cluster iterates locally.
+    """
+
+    cc_threshold: float = 0.7
+    boost_band: float = 0.2
+    edge_budget_fraction: float = 0.02
+    iterations_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        _check_unit("cc_threshold", self.cc_threshold)
+        _check_unit("boost_band", self.boost_band)
+        if self.edge_budget_fraction < 0:
+            raise KnobError("edge_budget_fraction must be non-negative")
+        if self.iterations_factor <= 0:
+            raise KnobError("iterations_factor must be positive")
+
+
+@dataclass(frozen=True)
+class DivergenceKnobs:
+    """Knobs for the §4 degree-normalization transform.
+
+    Attributes
+    ----------
+    degree_sim_threshold:
+        nodes with ``degreeSim = 1 - deg/warpMaxDeg`` *at or below* this
+        threshold receive edges (they are "deficient but close"); larger
+        threshold = more nodes padded = more approximation (Figure 9's
+        knob).
+    target_fraction:
+        padded nodes are brought up to this fraction of the warp's max
+        degree (§5.4: "the node degree is made 85% of the warp's
+        max-degree").
+    bucket_count:
+        number of degree buckets for the preprocessing bucket sort.
+    """
+
+    degree_sim_threshold: float = 0.3
+    target_fraction: float = 0.85
+    bucket_count: int = 32
+
+    def __post_init__(self) -> None:
+        _check_unit("degree_sim_threshold", self.degree_sim_threshold)
+        _check_unit("target_fraction", self.target_fraction)
+        if self.bucket_count < 1:
+            raise KnobError("bucket_count must be >= 1")
+
+
+def recommended_connectedness(degree_gini: float) -> float:
+    """§5.2 guideline: high threshold for skewed (power-law) graphs, low
+    for near-uniform (road) degree distributions."""
+    _check_unit("degree_gini", max(0.0, min(1.0, degree_gini)))
+    return 0.6 if degree_gini >= 0.3 else 0.4
+
+
+def recommended_cc_threshold(cc) -> float:
+    """§5.3 guideline, operationalized: keep the CC cut-off high but low
+    enough that the best-clustered nodes qualify.
+
+    Accepts either the per-node clustering-coefficient array or a
+    pre-computed mean.  With the array, the threshold is 1.25x the 90th
+    percentile of the *positive* coefficients — just above the best
+    natural clusters, so §3's edge-boosting has near-threshold candidates
+    to lift over the bar (the paper: "Adding approximation improves the
+    applicability of the technique").  Clamped to [0.3, 0.9]: high enough
+    for reuse to pay off, low enough to be reachable on weakly-clustered
+    graphs.  A scalar falls back to the cruder ``3 x mean`` rule.
+    """
+    import numpy as _np
+
+    arr = _np.asarray(cc, dtype=float)
+    if arr.ndim == 0:
+        return float(min(0.9, max(0.3, float(arr) * 3.0)))
+    pos = arr[arr > 0]
+    if pos.size == 0:
+        return 0.3
+    return float(min(0.9, max(0.3, 1.25 * _np.quantile(pos, 0.9))))

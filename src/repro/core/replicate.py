@@ -1,0 +1,233 @@
+"""Graffix node replication (Algorithm 2, step 2).
+
+After renumbering, the slot array is divided into chunks of ``k``.  A node
+``n`` that is *well-connected* to a chunk ``C`` — i.e. ``connectedness =
+edges(n -> C) / non_hole_nodes(C)`` reaches the threshold — earns a replica
+``n'`` placed in a hole of the chunk at the previous BFS level (``C``'s
+parent chunk region).  The replica takes over ``n``'s edges into ``C`` and
+gains new edges to its 2-hop neighbours inside ``C`` (this is the
+approximation: the new edges speed up propagation at a small accuracy
+cost).  When candidates outnumber holes, higher edge-counts win (§2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TransformError
+from ..graphs.csr import CSRGraph
+from .knobs import CoalescingKnobs
+from .renumber import RenumberResult
+
+__all__ = ["ReplicationResult", "replicate"]
+
+
+@dataclass(frozen=True)
+class ReplicationResult:
+    """Outcome of filling renumbering holes with node replicas.
+
+    Attributes
+    ----------
+    graph:
+        the slot-space CSR graph *after* replication (``num_slots`` nodes;
+        unfilled holes remain as isolated degree-0 slots).
+    rep_of:
+        ``rep_of[slot] -> original node id`` (-1 for an unfilled hole).
+        Replica slots map to the node they duplicate.
+    primary_slot:
+        ``primary_slot[orig] -> slot`` of the node's principal copy.
+    replicas:
+        ``(slot, original)`` pairs for every replica created.
+    edges_moved / edges_added:
+        bookkeeping for the approximation report: moved edges are exact
+        (just re-homed onto the replica); added 2-hop edges are the
+        approximation.
+    """
+
+    graph: CSRGraph
+    rep_of: np.ndarray
+    primary_slot: np.ndarray
+    replicas: np.ndarray
+    edges_moved: int
+    edges_added: int
+
+
+def _slot_edges(
+    graph: CSRGraph, ren: RenumberResult
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """The graph's edges relabelled into slot space."""
+    src = ren.new_id[graph.edge_sources()]
+    dst = ren.new_id[graph.indices]
+    return src.astype(np.int64), dst.astype(np.int64), graph.weights
+
+
+def replicate(
+    graph: CSRGraph, ren: RenumberResult, knobs: CoalescingKnobs
+) -> ReplicationResult:
+    """Run ``ReplicateVertex`` on a renumbered graph."""
+    if ren.chunk_size != knobs.chunk_size:
+        raise TransformError(
+            f"renumbering used k={ren.chunk_size} but knobs say k={knobs.chunk_size}"
+        )
+    k = knobs.chunk_size
+    num_slots = ren.num_slots
+    src, dst, weights = _slot_edges(graph, ren)
+    w = weights.copy() if weights is not None else None
+    src = src.copy()
+
+    chunk_of = np.arange(num_slots, dtype=np.int64) // k
+    num_chunks = num_slots // k
+    slot_levels = ren.slot_levels()
+    rep_of = ren.rep_of.copy()
+    non_hole = rep_of >= 0
+    non_hole_per_chunk = np.bincount(
+        chunk_of[non_hole], minlength=num_chunks
+    ).astype(np.int64)
+
+    # --- group edges by (src slot, destination chunk) once -----------------
+    edge_key = src * num_chunks + chunk_of[dst]
+    edge_order = np.argsort(edge_key, kind="stable")
+    sorted_keys = edge_key[edge_order]
+    uniq_keys, key_starts, key_counts = np.unique(
+        sorted_keys, return_index=True, return_counts=True
+    )
+    cand_src = (uniq_keys // num_chunks).astype(np.int64)
+    cand_chunk = (uniq_keys % num_chunks).astype(np.int64)
+
+    # chunks eligible as replication targets: level >= 1 and their parent
+    # level block contains at least one hole
+    chunk_level = slot_levels[np.arange(num_chunks) * k]
+    holes_by_level: dict[int, list[int]] = {}
+    for slot in ren.holes():
+        holes_by_level.setdefault(int(slot_levels[slot]), []).append(int(slot))
+
+    denom = non_hole_per_chunk[cand_chunk].astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        connectedness = np.where(denom > 0, key_counts / denom, 0.0)
+    eligible = (
+        (connectedness >= knobs.connectedness_threshold)
+        & (chunk_level[cand_chunk] >= 1)
+        & non_hole[np.minimum(cand_src, num_slots - 1)]
+    )
+    # prioritize higher raw edge counts (§2.3), ties by connectedness
+    order = np.lexsort((-connectedness, -key_counts))
+    order = order[eligible[order]]
+
+    # --- slot-space CSR for 2-hop lookup -----------------------------------
+    # adjacency lists are sorted by *new* id: round-robin children of a
+    # parent receive ascending ids in round order, so sorting preserves
+    # the step-j alignment the renumbering creates while also keeping the
+    # low-segment clustering that sorted CSR inputs give the baseline.
+    slot_graph = CSRGraph.from_edges(num_slots, src, dst, w, sort_neighbors=True)
+    # from_edges reorders edges; rebuild flat arrays aligned with it so the
+    # move step below edits the arrays we will finally build from.
+    src = slot_graph.edge_sources().astype(np.int64)
+    dst = slot_graph.indices.astype(np.int64)
+    w = slot_graph.weights
+    edge_key = src * num_chunks + chunk_of[dst]
+    edge_order = np.argsort(edge_key, kind="stable")
+    sorted_keys = edge_key[edge_order]
+
+    replicas_per_node: dict[int, int] = {}
+    replica_rows: list[tuple[int, int]] = []
+    add_src: list[np.ndarray] = []
+    add_dst: list[np.ndarray] = []
+    add_w: list[np.ndarray] = []
+    edges_moved = 0
+    edges_added = 0
+
+    for idx in order:
+        u_slot = int(cand_src[idx])
+        c = int(cand_chunk[idx])
+        lev = int(chunk_level[c])
+        pool = holes_by_level.get(lev - 1)
+        if not pool:
+            continue
+        orig = int(rep_of[u_slot])
+        if orig < 0:
+            continue
+        if replicas_per_node.get(orig, 0) >= knobs.max_replicas_per_node:
+            continue
+        hole = pool.pop(0)
+        rep_of[hole] = orig
+        replicas_per_node[orig] = replicas_per_node.get(orig, 0) + 1
+        replica_rows.append((hole, orig))
+
+        # move u's edges into chunk c onto the replica
+        key = u_slot * num_chunks + c
+        lo = int(np.searchsorted(sorted_keys, key, side="left"))
+        hi = int(np.searchsorted(sorted_keys, key, side="right"))
+        moved_edges = edge_order[lo:hi]
+        src[moved_edges] = hole
+        edges_moved += moved_edges.size
+
+        # add edges replica -> 2-hop neighbours of u inside chunk c
+        direct = slot_graph.neighbors(u_slot).astype(np.int64)
+        if direct.size:
+            two_hop_chunks: list[np.ndarray] = []
+            two_hop_w: list[np.ndarray] = []
+            for pos, mid in enumerate(direct):
+                nbrs2 = slot_graph.neighbors(int(mid)).astype(np.int64)
+                in_chunk = nbrs2[chunk_of[nbrs2] == c]
+                if in_chunk.size == 0:
+                    continue
+                two_hop_chunks.append(in_chunk)
+                if w is not None:
+                    base = float(slot_graph.edge_weights_of(u_slot)[pos])
+                    mid_w = slot_graph.edge_weights_of(int(mid))
+                    two_hop_w.append(
+                        base + mid_w[chunk_of[nbrs2] == c]
+                    )
+            if two_hop_chunks:
+                targets = np.concatenate(two_hop_chunks)
+                t_w = np.concatenate(two_hop_w) if w is not None else None
+                # drop existing direct targets and self references
+                direct_in_c = direct[chunk_of[direct] == c]
+                drop = np.isin(targets, direct_in_c) | (targets == u_slot)
+                targets = targets[~drop]
+                if t_w is not None:
+                    t_w = t_w[~drop]
+                if targets.size:
+                    # keep the minimum-weight path per distinct target
+                    if t_w is not None:
+                        o2 = np.lexsort((t_w, targets))
+                        targets, t_w = targets[o2], t_w[o2]
+                        firsts = np.ones(targets.size, dtype=bool)
+                        firsts[1:] = targets[1:] != targets[:-1]
+                        targets, t_w = targets[firsts], t_w[firsts]
+                    else:
+                        targets = np.unique(targets)
+                    add_src.append(np.full(targets.size, hole, dtype=np.int64))
+                    add_dst.append(targets)
+                    if t_w is not None:
+                        add_w.append(t_w)
+                    edges_added += targets.size
+
+    if add_src:
+        src = np.concatenate([src] + add_src)
+        dst = np.concatenate([dst] + add_dst)
+        if w is not None:
+            w = np.concatenate([w] + add_w)
+
+    # no dedup here: the construction above cannot introduce duplicates
+    # (added targets exclude existing direct edges; one replica per
+    # (node, chunk); distinct replicas have distinct source slots), and a
+    # dedup pass would re-sort adjacencies.
+    final = CSRGraph.from_edges(num_slots, src, dst, w, sort_neighbors=True)
+
+    primary_slot = ren.new_id.copy()
+    replicas = (
+        np.asarray(replica_rows, dtype=np.int64).reshape(-1, 2)
+        if replica_rows
+        else np.empty((0, 2), dtype=np.int64)
+    )
+    return ReplicationResult(
+        graph=final,
+        rep_of=rep_of,
+        primary_slot=primary_slot,
+        replicas=replicas,
+        edges_moved=edges_moved,
+        edges_added=max(0, edges_added),
+    )

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the Graffix reproduction.
+
+All errors raised by ``repro`` derive from :class:`ReproError` so callers can
+catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphFormatError(ReproError):
+    """Raised when a CSR graph violates a structural invariant.
+
+    Examples: non-monotone offsets, out-of-range edge endpoints, a weights
+    array whose length does not match the number of edges.
+    """
+
+
+class TransformError(ReproError):
+    """Raised when a Graffix graph transform cannot be applied.
+
+    Examples: a chunk size that is not a positive divisor-compatible value,
+    a threshold outside ``[0, 1]``, or a transform applied to an empty graph.
+    """
+
+
+class KnobError(TransformError):
+    """Raised when a tunable knob value is outside its valid range."""
+
+
+class SimulationError(ReproError):
+    """Raised when the GPU simulator is configured inconsistently.
+
+    Examples: a warp size that is not a power of two, a shared-memory
+    residency mask whose length does not match the node count.
+    """
+
+
+class AlgorithmError(ReproError):
+    """Raised when an algorithm is invoked with invalid inputs.
+
+    Examples: an SSSP source that is out of range, PageRank with a damping
+    factor outside ``(0, 1)``, BC sampling with zero sources.
+    """

@@ -1,0 +1,82 @@
+"""Evaluation: accuracy metrics, exact-vs-approx harness, tables, figures."""
+
+from .accuracy import (
+    accuracy_percent,
+    attribute_inaccuracy,
+    mst_inaccuracy,
+    scc_inaccuracy,
+)
+from .figures import (
+    SweepPoint,
+    figure7_connectedness,
+    figure8_cc_threshold,
+    figure9_degree_sim,
+)
+from .harness import ExperimentResult, Harness, run_experiment
+from .parallel import parallel_technique_rows
+from .reporting import format_speedup_table, format_table, geomean
+from .agreement import TableAgreement, agreement_report, score_table
+from .export import rows_to_csv, rows_to_json, write_csv, write_json
+from .plots import ascii_figure, ascii_series
+from .suite import TARGETS, run_targets
+from .tables import (
+    TableRunner,
+    table1_graphs,
+    table2_baseline1_exact,
+    table3_tigr_exact,
+    table4_gunrock_exact,
+    table5_preprocessing,
+    table6_coalescing,
+    table7_shmem,
+    table8_divergence,
+    table9_coalescing_vs_tigr,
+    table10_shmem_vs_tigr,
+    table11_divergence_vs_tigr,
+    table12_coalescing_vs_gunrock,
+    table13_shmem_vs_gunrock,
+    table14_divergence_vs_gunrock,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "Harness",
+    "SweepPoint",
+    "TableRunner",
+    "accuracy_percent",
+    "attribute_inaccuracy",
+    "figure7_connectedness",
+    "figure8_cc_threshold",
+    "figure9_degree_sim",
+    "TARGETS",
+    "TableAgreement",
+    "agreement_report",
+    "score_table",
+    "ascii_figure",
+    "ascii_series",
+    "rows_to_csv",
+    "rows_to_json",
+    "write_csv",
+    "write_json",
+    "format_speedup_table",
+    "run_targets",
+    "format_table",
+    "geomean",
+    "mst_inaccuracy",
+    "parallel_technique_rows",
+    "run_experiment",
+    "scc_inaccuracy",
+    "table1_graphs",
+    "table2_baseline1_exact",
+    "table3_tigr_exact",
+    "table4_gunrock_exact",
+    "table5_preprocessing",
+    "table6_coalescing",
+    "table7_shmem",
+    "table8_divergence",
+    "table9_coalescing_vs_tigr",
+    "table10_shmem_vs_tigr",
+    "table11_divergence_vs_tigr",
+    "table12_coalescing_vs_gunrock",
+    "table13_shmem_vs_gunrock",
+    "table14_divergence_vs_gunrock",
+]

@@ -1,0 +1,79 @@
+"""The paper's inaccuracy metrics (§5, "Machine Configuration" paragraph).
+
+"We measure the inaccuracy incurred for each of the techniques by
+averaging the absolute difference between the attribute values of the
+vertices for the exact and the approximate versions" — distance for SSSP,
+rank for PR, centrality for BC; for SCC the difference in component
+counts; for MST the difference in forest weights.
+
+To report the paper's percentages we normalize the mean absolute
+difference by the mean exact magnitude (a normalized MAE).  Reachability
+mismatches (finite in one run, infinite in the other) count as 100 %
+wrong for that vertex — an infinite "absolute difference" would otherwise
+poison the average, and ignoring them would hide real approximation error
+(Graffix's added edges can only *create* reachability, never destroy it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AlgorithmError
+
+__all__ = [
+    "attribute_inaccuracy",
+    "scc_inaccuracy",
+    "mst_inaccuracy",
+    "accuracy_percent",
+]
+
+
+def attribute_inaccuracy(exact: np.ndarray, approx: np.ndarray) -> float:
+    """Normalized mean absolute error of per-vertex attributes, in percent.
+
+    ``100 * mean(|a - e|) / mean(|e|)`` over vertices finite in both runs;
+    vertices finite in exactly one run contribute one mean-exact-magnitude
+    unit of error each (i.e. they are "100 % wrong").
+    """
+    exact = np.asarray(exact, dtype=np.float64)
+    approx = np.asarray(approx, dtype=np.float64)
+    if exact.shape != approx.shape:
+        raise AlgorithmError(
+            f"attribute vectors differ in shape: {exact.shape} vs {approx.shape}"
+        )
+    if exact.size == 0:
+        return 0.0
+    fe = np.isfinite(exact)
+    fa = np.isfinite(approx)
+    both = fe & fa
+    mismatch = fe ^ fa
+    n_scored = int(both.sum() + mismatch.sum())
+    if n_scored == 0:
+        return 0.0
+    base = float(np.abs(exact[both]).mean()) if both.any() else 1.0
+    if base == 0.0:
+        # all-zero exact attribute (e.g. BC on a path-free sample): score
+        # absolute drift directly against 1.0
+        base = 1.0
+    err = float(np.abs(approx[both] - exact[both]).sum()) / base
+    err += float(mismatch.sum())  # each mismatch = one full unit
+    return 100.0 * err / n_scored
+
+
+def scc_inaccuracy(exact_count: int, approx_count: int) -> float:
+    """Relative difference in SCC counts, in percent."""
+    if exact_count <= 0:
+        raise AlgorithmError("exact SCC count must be positive")
+    return 100.0 * abs(approx_count - exact_count) / exact_count
+
+
+def mst_inaccuracy(exact_weight: float, approx_weight: float) -> float:
+    """Relative difference in spanning-forest weights, in percent."""
+    if exact_weight <= 0:
+        raise AlgorithmError("exact MSF weight must be positive")
+    return 100.0 * abs(approx_weight - exact_weight) / exact_weight
+
+
+def accuracy_percent(inaccuracy_percent: float) -> float:
+    """Complement convenience: ``100 - inaccuracy`` floored at 0."""
+    return max(0.0, 100.0 - inaccuracy_percent)

@@ -1,0 +1,72 @@
+"""Machine-readable export of harness/table results (CSV + JSON).
+
+The rendered text tables are for eyes; downstream analysis (plotting the
+Figure 7–9 sweeps, diffing runs across scales) wants structured output.
+Everything the tables/figures return — lists of flat row dicts or
+:class:`~repro.eval.figures.SweepPoint` series — exports through here.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from ..errors import ReproError
+
+__all__ = ["rows_to_csv", "rows_to_json", "write_csv", "write_json", "normalize_rows"]
+
+
+def normalize_rows(rows: Sequence) -> list[dict]:
+    """Coerce row dicts / dataclass instances into plain dicts."""
+    out: list[dict] = []
+    for row in rows:
+        if dataclasses.is_dataclass(row) and not isinstance(row, type):
+            out.append(dataclasses.asdict(row))
+        elif isinstance(row, Mapping):
+            out.append(dict(row))
+        else:
+            raise ReproError(
+                f"cannot export row of type {type(row).__name__}; "
+                "expected a mapping or dataclass"
+            )
+    return out
+
+
+def _columns(rows: list[dict]) -> list[str]:
+    cols: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in cols:
+                cols.append(key)
+    return cols
+
+
+def rows_to_csv(rows: Sequence) -> str:
+    """Render rows as CSV text (union of keys, insertion-ordered)."""
+    normalized = normalize_rows(rows)
+    if not normalized:
+        return ""
+    import io
+
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=_columns(normalized))
+    writer.writeheader()
+    for row in normalized:
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def rows_to_json(rows: Sequence, *, indent: int = 2) -> str:
+    """Render rows as a JSON array."""
+    return json.dumps(normalize_rows(rows), indent=indent, default=float)
+
+
+def write_csv(rows: Sequence, path: str | Path) -> None:
+    Path(path).write_text(rows_to_csv(rows))
+
+
+def write_json(rows: Sequence, path: str | Path) -> None:
+    Path(path).write_text(rows_to_json(rows) + "\n")

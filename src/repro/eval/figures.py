@@ -1,0 +1,168 @@
+"""Regeneration of the paper's knob-sweep figures (Figures 7-9).
+
+Each ``figureN`` function sweeps one technique's primary threshold against
+Baseline-I and returns per-threshold (geomean speedup, geomean inaccuracy)
+series — the two curves each paper figure plots.  Output is numeric (rows
+plus a text rendering); plotting is left to the caller since the paper's
+claims are about the curve *shapes*:
+
+* Figure 7 (connectedness): speedup rises to a peak (~0.6 for scale-free)
+  then declines; inaccuracy falls monotonically as the threshold rises.
+* Figure 8 (clustering coefficient): speedup rises with the threshold and
+  dips as it approaches 1.0; inaccuracy rises then falls past ~0.8.
+* Figure 9 (degreeSim): speedup peaks near 0.3; inaccuracy rises
+  monotonically with the threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.knobs import CoalescingKnobs, DivergenceKnobs, SharedMemoryKnobs
+from ..core.pipeline import build_plan
+from ..graphs.csr import CSRGraph
+from ..gpusim.device import DeviceConfig, K40C
+from .harness import Harness
+from .reporting import format_table, geomean
+
+__all__ = [
+    "SweepPoint",
+    "figure7_connectedness",
+    "figure8_cc_threshold",
+    "figure9_degree_sim",
+]
+
+#: algorithms aggregated in the sweep figures (kept small for runtime; the
+#: trends are technique properties, not algorithm properties)
+SWEEP_ALGOS = ("sssp", "pr")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    threshold: float
+    speedup: float
+    inaccuracy_percent: float
+    edges_added: int
+
+
+def _sweep(
+    graph: CSRGraph,
+    technique: str,
+    thresholds: list[float],
+    make_knobs,
+    device: DeviceConfig,
+    algorithms: tuple[str, ...],
+) -> list[SweepPoint]:
+    harness = Harness(device=device, num_bc_sources=2)
+    points = []
+    for thr in thresholds:
+        kw = make_knobs(thr)
+        speedups: list[float] = []
+        inaccs: list[float] = []
+        edges_added = 0
+        plan = build_plan(graph, technique, device=device, **kw)
+        for algo in algorithms:
+            res = harness.run(
+                graph, algo, technique, baseline="baseline1", plan=plan
+            )
+            speedups.append(res.speedup)
+            inaccs.append(max(res.inaccuracy_percent, 1e-9))
+            edges_added = res.edges_added
+        points.append(
+            SweepPoint(
+                threshold=thr,
+                speedup=geomean(speedups),
+                inaccuracy_percent=geomean(inaccs),
+                edges_added=edges_added,
+            )
+        )
+    return points
+
+
+def _render(points: list[SweepPoint], title: str) -> str:
+    rows = [
+        {
+            "threshold": p.threshold,
+            "speedup": p.speedup,
+            "inaccuracy_percent": p.inaccuracy_percent,
+            "edges_added": p.edges_added,
+        }
+        for p in points
+    ]
+    return format_table(
+        rows,
+        ["threshold", "speedup", "inaccuracy_percent", "edges_added"],
+        title=title,
+        floatfmt="{:.3f}",
+    )
+
+
+def figure7_connectedness(
+    graph: CSRGraph,
+    *,
+    thresholds: list[float] | None = None,
+    chunk_size: int = 16,
+    device: DeviceConfig = K40C,
+    algorithms: tuple[str, ...] = SWEEP_ALGOS,
+) -> tuple[list[SweepPoint], str]:
+    """Figure 7: sweep the node-replication connectedness threshold."""
+    thresholds = thresholds or [0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+    points = _sweep(
+        graph,
+        "coalescing",
+        thresholds,
+        lambda thr: {
+            "coalescing": CoalescingKnobs(
+                chunk_size=chunk_size, connectedness_threshold=thr
+            )
+        },
+        device,
+        algorithms,
+    )
+    return points, _render(
+        points, "Figure 7: varying the threshold for node replication"
+    )
+
+
+def figure8_cc_threshold(
+    graph: CSRGraph,
+    *,
+    thresholds: list[float] | None = None,
+    device: DeviceConfig = K40C,
+    algorithms: tuple[str, ...] = SWEEP_ALGOS,
+) -> tuple[list[SweepPoint], str]:
+    """Figure 8: sweep the clustering-coefficient threshold."""
+    thresholds = thresholds or [0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95]
+    points = _sweep(
+        graph,
+        "shmem",
+        thresholds,
+        lambda thr: {"shmem": SharedMemoryKnobs(cc_threshold=thr)},
+        device,
+        algorithms,
+    )
+    return points, _render(
+        points, "Figure 8: varying the threshold for clustering-coefficient"
+    )
+
+
+def figure9_degree_sim(
+    graph: CSRGraph,
+    *,
+    thresholds: list[float] | None = None,
+    device: DeviceConfig = K40C,
+    algorithms: tuple[str, ...] = SWEEP_ALGOS,
+) -> tuple[list[SweepPoint], str]:
+    """Figure 9: sweep the degreeSim threshold for degree normalization."""
+    thresholds = thresholds or [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7]
+    points = _sweep(
+        graph,
+        "divergence",
+        thresholds,
+        lambda thr: {"divergence": DivergenceKnobs(degree_sim_threshold=thr)},
+        device,
+        algorithms,
+    )
+    return points, _render(
+        points, "Figure 9: varying the threshold for degree normalization"
+    )

@@ -1,0 +1,203 @@
+"""Exact-vs-approximate comparison harness.
+
+One :func:`run_experiment` call reproduces one cell of the paper's Tables
+6–14: run the chosen baseline's exact kernel on the original graph, run
+the same kernel on the Graffix-transformed graph, and report
+
+* **speedup** — exact simulated cycles / approximate simulated cycles
+  (kernel time only, excluding preprocessing — matching the paper's
+  measurement protocol, which amortizes the one-time transform), and
+* **inaccuracy** — the paper's per-algorithm attribute metric.
+
+Exact runs are memoized per (graph, algorithm, baseline, params) so a
+table sweep does not recompute its baseline column for every technique.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..algorithms.bc import pick_sources
+from ..baselines import BASELINES
+from ..core.knobs import CoalescingKnobs, DivergenceKnobs, SharedMemoryKnobs
+from ..core.pipeline import ExecutionPlan, build_plan
+from ..errors import AlgorithmError, ReproError
+from ..graphs.csr import CSRGraph
+from ..gpusim.device import DeviceConfig, K40C
+from .accuracy import attribute_inaccuracy, mst_inaccuracy, scc_inaccuracy
+
+__all__ = ["ExperimentResult", "Harness", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One table cell: technique x algorithm x graph x baseline."""
+
+    algorithm: str
+    technique: str
+    baseline: str
+    speedup: float
+    inaccuracy_percent: float
+    exact_cycles: float
+    approx_cycles: float
+    exact_seconds: float
+    approx_seconds: float
+    preprocess_seconds: float
+    extra_space_percent: float
+    edges_added: int
+    exact_iterations: int
+    approx_iterations: int
+
+
+@dataclass
+class Harness:
+    """Caches exact baseline runs across experiments on the same graph."""
+
+    device: DeviceConfig = K40C
+    source: int | None = None
+    num_bc_sources: int = 4
+    seed: int = 0
+    _exact_cache: dict = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    def _source_for(self, graph: CSRGraph) -> int:
+        """SSSP source: highest out-degree node unless pinned.
+
+        GPU graph papers traverse from a well-connected source so the
+        computation touches most of the graph; a random source in a
+        directed graph can reach almost nothing and measure noise.
+        """
+        if self.source is not None:
+            return self.source
+        return int(np.argmax(graph.out_degrees()))
+
+    def _baseline_params(self, graph: CSRGraph) -> dict:
+        return {
+            "source": self._source_for(graph),
+            "bc_sources": pick_sources(
+                graph.num_nodes, self.num_bc_sources, self.seed
+            ),
+            "seed": self.seed,
+            "device": self.device,
+        }
+
+    def exact_run(self, graph: CSRGraph, algorithm: str, baseline: str):
+        """Memoized exact baseline execution."""
+        key = (id(graph), algorithm, baseline)
+        if key not in self._exact_cache:
+            module = BASELINES[baseline]
+            if algorithm not in module.SUPPORTED:
+                raise AlgorithmError(
+                    f"{baseline} does not support {algorithm!r}"
+                )
+            self._exact_cache[key] = module.run(
+                algorithm, graph, **self._baseline_params(graph)
+            )
+        return self._exact_cache[key]
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        graph: CSRGraph,
+        algorithm: str,
+        technique: str,
+        *,
+        baseline: str = "baseline1",
+        coalescing: CoalescingKnobs | None = None,
+        shmem: SharedMemoryKnobs | None = None,
+        divergence: DivergenceKnobs | None = None,
+        plan: ExecutionPlan | None = None,
+    ) -> ExperimentResult:
+        """One exact-vs-approximate comparison.
+
+        ``plan`` short-circuits transform construction (useful when one
+        transformed graph is reused across the five algorithms, which is
+        the paper's amortization argument in action).
+        """
+        if baseline not in BASELINES:
+            raise ReproError(
+                f"unknown baseline {baseline!r}; choose from {sorted(BASELINES)}"
+            )
+        module = BASELINES[baseline]
+        exact = self.exact_run(graph, algorithm, baseline)
+
+        if plan is None:
+            plan = build_plan(
+                graph,
+                technique,
+                device=self.device,
+                coalescing=coalescing,
+                shmem=shmem,
+                divergence=divergence,
+            )
+        approx = module.run(algorithm, plan, **self._baseline_params(graph))
+
+        inaccuracy = self._inaccuracy(algorithm, exact, approx)
+        extra_space = self._extra_space_percent(graph, plan)
+        exact_cycles = exact.metrics.cycles
+        approx_cycles = approx.metrics.cycles
+        return ExperimentResult(
+            algorithm=algorithm,
+            technique=technique,
+            baseline=baseline,
+            speedup=exact_cycles / approx_cycles if approx_cycles else float("inf"),
+            inaccuracy_percent=inaccuracy,
+            exact_cycles=exact_cycles,
+            approx_cycles=approx_cycles,
+            exact_seconds=exact.metrics.seconds,
+            approx_seconds=approx.metrics.seconds,
+            preprocess_seconds=plan.preprocess_seconds,
+            extra_space_percent=extra_space,
+            edges_added=plan.edges_added,
+            exact_iterations=exact.iterations,
+            approx_iterations=approx.iterations,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _inaccuracy(algorithm: str, exact, approx) -> float:
+        if algorithm == "scc":
+            assert exact.aux is not None and approx.aux is not None
+            return scc_inaccuracy(
+                int(exact.aux["num_components"]), int(approx.aux["num_components"])
+            )
+        if algorithm == "mst":
+            assert exact.aux is not None and approx.aux is not None
+            return mst_inaccuracy(
+                float(exact.aux["weight"]), float(approx.aux["weight"])
+            )
+        return attribute_inaccuracy(exact.values, approx.values)
+
+    @staticmethod
+    def _extra_space_percent(graph: CSRGraph, plan: ExecutionPlan) -> float:
+        if plan.technique == "exact":
+            return 0.0
+        if plan.graffix is not None:
+            return 100.0 * plan.graffix.extra_space_fraction(graph)
+        orig_words = graph.num_nodes + 1 + graph.num_edges * (
+            2 if graph.is_weighted else 1
+        )
+        new_words = plan.graph.num_nodes + 1 + plan.graph.num_edges * (
+            2 if plan.graph.is_weighted else 1
+        )
+        if plan.cluster_graph is not None:
+            # the shared-memory staging copies occupy extra device memory
+            new_words += plan.cluster_graph.num_edges
+        return 100.0 * (new_words - orig_words) / orig_words
+
+
+def run_experiment(
+    graph: CSRGraph,
+    algorithm: str,
+    technique: str,
+    *,
+    baseline: str = "baseline1",
+    device: DeviceConfig = K40C,
+    **kwargs,
+) -> ExperimentResult:
+    """One-shot convenience wrapper around :class:`Harness`."""
+    return Harness(device=device).run(
+        graph, algorithm, technique, baseline=baseline, **kwargs
+    )

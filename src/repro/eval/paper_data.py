@@ -1,0 +1,211 @@
+"""The paper's reported numbers, transcribed as data.
+
+Every table of Singh & Nasre (ICPP 2020) §5, keyed the way our harness
+keys its own rows, so agreement between the reproduction and the paper
+can be *computed* rather than eyeballed (see :mod:`repro.eval.agreement`).
+
+Transcription notes:
+
+* graph keys follow our suite names: ``rmat`` (= rmat26), ``random``
+  (= random26), ``livejournal`` (= LiveJournal), ``usa-road``
+  (= USA-road), ``twitter``;
+* Tables 2–4 are seconds on the authors' K40C; Tables 6–14 are
+  (speedup, inaccuracy-percent) pairs;
+* Table 5 times are seconds, space overheads percentages.
+"""
+
+from __future__ import annotations
+
+GRAPHS = ("rmat", "random", "livejournal", "usa-road", "twitter")
+
+#: Table 1 — |V|, |E| in millions
+TABLE1_INPUTS = {
+    "rmat": (67.1, 1073.7),
+    "random": (67.1, 1073.7),
+    "livejournal": (4.8, 68.9),
+    "usa-road": (23.9, 57.7),
+    "twitter": (41.6, 1468.3),
+}
+
+#: Table 2 — Baseline-I exact times (seconds): sssp, mst, scc, pr, bc
+TABLE2_BASELINE1_SECONDS = {
+    "rmat": {"sssp": 37, "mst": 8996, "scc": 21, "pr": 12, "bc": 15223},
+    "random": {"sssp": 29, "mst": 10087, "scc": 23, "pr": 16, "bc": 13127},
+    "livejournal": {"sssp": 2, "mst": 3424, "scc": 7, "pr": 1, "bc": 1711},
+    "usa-road": {"sssp": 152, "mst": 82, "scc": 12, "pr": 1, "bc": 2043},
+    "twitter": {"sssp": 231, "mst": 10943, "scc": 37, "pr": 18, "bc": 21462},
+}
+
+#: Table 3 — Tigr exact times (seconds)
+TABLE3_TIGR_SECONDS = {
+    "rmat": {"sssp": 6, "pr": 0.914, "bc": 587},
+    "random": {"sssp": 4, "pr": 1.180, "bc": 498},
+    "livejournal": {"sssp": 0.046, "pr": 0.452, "bc": 66},
+    "usa-road": {"sssp": 12, "pr": 0.130, "bc": 38},
+    "twitter": {"sssp": 17, "pr": 3.000, "bc": 827},
+}
+
+#: Table 4 — Gunrock exact times (seconds)
+TABLE4_GUNROCK_SECONDS = {
+    "rmat": {"sssp": 19, "pr": 1.070, "bc": 872},
+    "random": {"sssp": 8, "pr": 1.500, "bc": 740},
+    "livejournal": {"sssp": 0.142, "pr": 0.530, "bc": 98},
+    "usa-road": {"sssp": 25.139, "pr": 0.181, "bc": 56},
+    "twitter": {"sssp": 53, "pr": 4.000, "bc": 1227},
+}
+
+#: Table 5 — preprocessing (seconds, extra-space %) per technique x graph
+TABLE5_PREPROCESSING = {
+    "coalescing": {
+        "rmat": (76, 9.0), "random": (59, 11.0), "livejournal": (8, 6.0),
+        "usa-road": (304, 8.0), "twitter": (463, 7.0),
+    },
+    "shmem": {
+        "rmat": (155, 5.0), "random": (107, 8.0), "livejournal": (21, 5.0),
+        "usa-road": (348, 4.0), "twitter": (532, 7.0),
+    },
+    "divergence": {
+        "rmat": (42, 2.0), "random": (46, 3.0), "livejournal": (5, 2.0),
+        "usa-road": (38, 1.5), "twitter": (157, 4.0),
+    },
+}
+
+# ---------------------------------------------------------------------------
+# Tables 6-8: techniques vs Baseline-I — {algo: {graph: (speedup, inacc%)}}
+# ---------------------------------------------------------------------------
+TABLE6_COALESCING_VS_BASELINE1 = {
+    "sssp": {"rmat": (1.22, 12), "random": (1.13, 10), "livejournal": (1.18, 11),
+             "usa-road": (1.15, 9), "twitter": (1.17, 12)},
+    "mst": {"rmat": (1.18, 13), "random": (1.13, 15), "livejournal": (1.14, 12),
+            "usa-road": (1.23, 11), "twitter": (1.17, 13)},
+    "scc": {"rmat": (1.14, 8), "random": (1.08, 14), "livejournal": (1.13, 7),
+            "usa-road": (1.16, 11), "twitter": (1.15, 12)},
+    "pr": {"rmat": (1.20, 5), "random": (1.15, 7), "livejournal": (1.21, 7),
+           "usa-road": (1.19, 6), "twitter": (1.22, 7)},
+    "bc": {"rmat": (1.17, 9), "random": (1.12, 13), "livejournal": (1.15, 10),
+           "usa-road": (1.19, 12), "twitter": (1.14, 11)},
+}
+TABLE6_GEOMEAN = (1.16, 10)
+
+TABLE7_SHMEM_VS_BASELINE1 = {
+    "sssp": {"rmat": (1.26, 12), "random": (1.08, 17), "livejournal": (1.22, 13),
+             "usa-road": (1.30, 13), "twitter": (1.18, 12)},
+    "mst": {"rmat": (1.22, 16), "random": (1.10, 18), "livejournal": (1.18, 16),
+            "usa-road": (1.20, 19), "twitter": (1.16, 15)},
+    "scc": {"rmat": (1.20, 12), "random": (1.10, 16), "livejournal": (1.22, 13),
+            "usa-road": (1.20, 12), "twitter": (1.18, 13)},
+    "pr": {"rmat": (1.32, 7), "random": (1.16, 11), "livejournal": (1.26, 7),
+           "usa-road": (1.30, 5), "twitter": (1.22, 9)},
+    "bc": {"rmat": (1.24, 14), "random": (1.13, 18), "livejournal": (1.21, 16),
+           "usa-road": (1.26, 15), "twitter": (1.17, 13)},
+}
+TABLE7_GEOMEAN = (1.20, 13)
+
+TABLE8_DIVERGENCE_VS_BASELINE1 = {
+    "sssp": {"rmat": (1.06, 8), "random": (1.03, 9), "livejournal": (1.07, 8),
+             "usa-road": (1.12, 7), "twitter": (1.09, 6)},
+    "mst": {"rmat": (1.05, 10), "random": (1.02, 11), "livejournal": (1.07, 8),
+            "usa-road": (1.09, 10), "twitter": (1.05, 9)},
+    "scc": {"rmat": (1.04, 9), "random": (1.00, 7), "livejournal": (1.04, 6),
+            "usa-road": (1.05, 9), "twitter": (1.06, 8)},
+    "pr": {"rmat": (1.10, 4), "random": (1.04, 9), "livejournal": (1.08, 5),
+           "usa-road": (1.06, 8), "twitter": (1.09, 8)},
+    "bc": {"rmat": (1.11, 11), "random": (1.05, 14), "livejournal": (1.09, 9),
+           "usa-road": (1.12, 7), "twitter": (1.06, 12)},
+}
+TABLE8_GEOMEAN = (1.07, 8)
+
+# ---------------------------------------------------------------------------
+# Tables 9-11: vs Tigr (SSSP/PR/BC only)
+# ---------------------------------------------------------------------------
+TABLE9_COALESCING_VS_TIGR = {
+    "sssp": {"rmat": (1.16, 12), "random": (1.06, 10), "livejournal": (1.13, 11),
+             "usa-road": (1.08, 9), "twitter": (1.12, 12)},
+    "pr": {"rmat": (1.14, 5), "random": (1.08, 7), "livejournal": (1.15, 7),
+           "usa-road": (1.12, 6), "twitter": (1.15, 7)},
+    "bc": {"rmat": (1.09, 9), "random": (1.05, 13), "livejournal": (1.07, 10),
+           "usa-road": (1.11, 12), "twitter": (1.06, 11)},
+}
+TABLE9_GEOMEAN = (1.10, 9)
+
+TABLE10_SHMEM_VS_TIGR = {
+    "sssp": {"rmat": (1.24, 12), "random": (1.07, 17), "livejournal": (1.20, 13),
+             "usa-road": (1.26, 13), "twitter": (1.15, 12)},
+    "pr": {"rmat": (1.30, 7), "random": (1.14, 11), "livejournal": (1.26, 7),
+           "usa-road": (1.28, 5), "twitter": (1.22, 9)},
+    "bc": {"rmat": (1.19, 14), "random": (1.11, 18), "livejournal": (1.17, 16),
+           "usa-road": (1.23, 15), "twitter": (1.16, 13)},
+}
+TABLE10_GEOMEAN = (1.19, 12)
+
+TABLE11_DIVERGENCE_VS_TIGR = {
+    "sssp": {"rmat": (1.02, 8), "random": (1.01, 9), "livejournal": (1.02, 8),
+             "usa-road": (1.04, 7), "twitter": (1.03, 6)},
+    "pr": {"rmat": (1.06, 4), "random": (1.02, 9), "livejournal": (1.04, 5),
+           "usa-road": (1.03, 8), "twitter": (1.05, 8)},
+    "bc": {"rmat": (1.04, 11), "random": (1.01, 14), "livejournal": (1.02, 9),
+           "usa-road": (1.05, 7), "twitter": (1.03, 12)},
+}
+TABLE11_GEOMEAN = (1.03, 8)
+
+# ---------------------------------------------------------------------------
+# Tables 12-14: vs Gunrock (SSSP/PR/BC only)
+# ---------------------------------------------------------------------------
+TABLE12_COALESCING_VS_GUNROCK = {
+    "sssp": {"rmat": (1.20, 12), "random": (1.10, 10), "livejournal": (1.17, 11),
+             "usa-road": (1.12, 9), "twitter": (1.16, 12)},
+    "pr": {"rmat": (1.17, 5), "random": (1.13, 7), "livejournal": (1.19, 7),
+           "usa-road": (1.18, 6), "twitter": (1.20, 7)},
+    "bc": {"rmat": (1.11, 9), "random": (1.07, 13), "livejournal": (1.09, 10),
+           "usa-road": (1.16, 12), "twitter": (1.09, 11)},
+}
+TABLE12_GEOMEAN = (1.14, 9)
+
+TABLE13_SHMEM_VS_GUNROCK = {
+    "sssp": {"rmat": (1.22, 12), "random": (1.06, 17), "livejournal": (1.23, 13),
+             "usa-road": (1.28, 13), "twitter": (1.16, 12)},
+    "pr": {"rmat": (1.27, 7), "random": (1.12, 11), "livejournal": (1.19, 7),
+           "usa-road": (1.25, 5), "twitter": (1.17, 9)},
+    "bc": {"rmat": (1.21, 14), "random": (1.13, 18), "livejournal": (1.19, 16),
+           "usa-road": (1.24, 15), "twitter": (1.14, 13)},
+}
+TABLE13_GEOMEAN = (1.19, 12)
+
+TABLE14_DIVERGENCE_VS_GUNROCK = {
+    "sssp": {"rmat": (1.07, 7), "random": (1.03, 8), "livejournal": (1.06, 7),
+             "usa-road": (1.08, 7), "twitter": (1.05, 6)},
+    "pr": {"rmat": (1.09, 5), "random": (1.03, 6), "livejournal": (1.10, 5),
+           "usa-road": (1.07, 8), "twitter": (1.08, 8)},
+    "bc": {"rmat": (1.06, 11), "random": (1.04, 13), "livejournal": (1.08, 10),
+           "usa-road": (1.10, 6), "twitter": (1.07, 12)},
+}
+TABLE14_GEOMEAN = (1.07, 8)
+
+#: technique-table registry: name -> (cells, geomean, baseline, algorithms)
+TECHNIQUE_TABLES = {
+    "table6": (TABLE6_COALESCING_VS_BASELINE1, TABLE6_GEOMEAN, "baseline1",
+               ("sssp", "mst", "scc", "pr", "bc")),
+    "table7": (TABLE7_SHMEM_VS_BASELINE1, TABLE7_GEOMEAN, "baseline1",
+               ("sssp", "mst", "scc", "pr", "bc")),
+    "table8": (TABLE8_DIVERGENCE_VS_BASELINE1, TABLE8_GEOMEAN, "baseline1",
+               ("sssp", "mst", "scc", "pr", "bc")),
+    "table9": (TABLE9_COALESCING_VS_TIGR, TABLE9_GEOMEAN, "tigr",
+               ("sssp", "pr", "bc")),
+    "table10": (TABLE10_SHMEM_VS_TIGR, TABLE10_GEOMEAN, "tigr",
+                ("sssp", "pr", "bc")),
+    "table11": (TABLE11_DIVERGENCE_VS_TIGR, TABLE11_GEOMEAN, "tigr",
+                ("sssp", "pr", "bc")),
+    "table12": (TABLE12_COALESCING_VS_GUNROCK, TABLE12_GEOMEAN, "gunrock",
+                ("sssp", "pr", "bc")),
+    "table13": (TABLE13_SHMEM_VS_GUNROCK, TABLE13_GEOMEAN, "gunrock",
+                ("sssp", "pr", "bc")),
+    "table14": (TABLE14_DIVERGENCE_VS_GUNROCK, TABLE14_GEOMEAN, "gunrock",
+                ("sssp", "pr", "bc")),
+}
+
+#: table -> technique name used by our harness
+TABLE_TECHNIQUE = {
+    "table6": "coalescing", "table7": "shmem", "table8": "divergence",
+    "table9": "coalescing", "table10": "shmem", "table11": "divergence",
+    "table12": "coalescing", "table13": "shmem", "table14": "divergence",
+}

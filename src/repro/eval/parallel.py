@@ -1,0 +1,103 @@
+"""Process-parallel table generation for the larger suite scales.
+
+Each table cell (graph x algorithm x technique x baseline) is
+independent once the transformed plan exists, so the sweep
+embarrassingly parallelizes across processes.  Work is sharded by
+*graph* (each worker builds its graph and plans locally — graphs are
+regenerated from seeds rather than pickled, keeping task payloads tiny),
+following the scientific-Python guidance to parallelize at the coarsest
+grain that balances load.
+
+This is the scale-out path for ``REPRO_BENCH_SCALE=medium`` and beyond;
+the sequential :class:`~repro.eval.tables.TableRunner` remains the simple
+default.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+from ..errors import ReproError
+from .tables import ALL_ALGOS, TableRunner
+
+__all__ = ["parallel_technique_rows", "worker_rows"]
+
+
+def worker_rows(
+    graph_name: str,
+    technique: str,
+    baseline: str,
+    algorithms: tuple[str, ...],
+    scale: str,
+    seed: int,
+    num_bc_sources: int,
+) -> list[dict]:
+    """One worker's share: every algorithm for one suite graph.
+
+    Module-level (picklable) so ProcessPoolExecutor can ship it; the
+    worker rebuilds its graph from the generator seed, transforms it
+    once, and runs all algorithms against it.
+    """
+    runner = TableRunner(scale=scale, seed=seed, num_bc_sources=num_bc_sources)
+    graph = runner.suite[graph_name]
+    plan = runner.plan_for(graph_name, technique)
+    rows = []
+    for algo in algorithms:
+        res = runner.harness.run(
+            graph, algo, technique, baseline=baseline, plan=plan
+        )
+        rows.append(
+            {
+                "algorithm": algo,
+                "graph": graph_name,
+                "speedup": res.speedup,
+                "inaccuracy_percent": res.inaccuracy_percent,
+                "exact_cycles": res.exact_cycles,
+                "approx_cycles": res.approx_cycles,
+            }
+        )
+    return rows
+
+
+def parallel_technique_rows(
+    technique: str,
+    *,
+    baseline: str = "baseline1",
+    algorithms: tuple[str, ...] = ALL_ALGOS,
+    scale: str = "small",
+    seed: int = 7,
+    num_bc_sources: int = 3,
+    max_workers: int | None = None,
+) -> list[dict]:
+    """The parallel equivalent of ``TableRunner._technique_rows``.
+
+    Returns the same row dicts (sorted by algorithm then graph for
+    deterministic output regardless of completion order).
+    """
+    if technique not in ("coalescing", "shmem", "divergence", "combined"):
+        raise ReproError(f"unknown technique {technique!r}")
+    probe = TableRunner(scale=scale, seed=seed)
+    graph_names = list(probe.suite)
+
+    rows: list[dict] = []
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = [
+            pool.submit(
+                worker_rows,
+                name,
+                technique,
+                baseline,
+                algorithms,
+                scale,
+                seed,
+                num_bc_sources,
+            )
+            for name in graph_names
+        ]
+        for fut in futures:
+            rows.extend(fut.result())
+
+    algo_rank = {a: i for i, a in enumerate(algorithms)}
+    graph_rank = {g: i for i, g in enumerate(graph_names)}
+    rows.sort(key=lambda r: (algo_rank[r["algorithm"]], graph_rank[r["graph"]]))
+    return rows

@@ -1,0 +1,88 @@
+"""Dependency-free ASCII rendering of the knob-sweep figures.
+
+The paper's Figures 7–9 each plot two curves (speedup, inaccuracy)
+against a threshold.  We have no plotting stack offline, so this module
+renders the same series as aligned ASCII charts — enough to *see* the
+shapes the reproduction claims (rising/falling/peaked) directly in a
+terminal or in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ReproError
+from .figures import SweepPoint
+
+__all__ = ["ascii_series", "ascii_figure"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def ascii_series(
+    values: Sequence[float], *, width: int | None = None
+) -> str:
+    """A one-line sparkline of ``values`` using unicode block glyphs."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    if span <= 0:
+        return _BLOCKS[0] * len(vals)
+    out = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[idx])
+    return "".join(out)
+
+
+def ascii_figure(
+    points: Sequence[SweepPoint],
+    *,
+    title: str,
+    height: int = 8,
+    col_width: int = 7,
+) -> str:
+    """A two-panel ASCII chart (speedup above, inaccuracy below).
+
+    Columns are thresholds; each panel scales independently; the numeric
+    extremes are annotated so the chart is quantitative, not just shape.
+    """
+    if not points:
+        raise ReproError("cannot render an empty sweep")
+    if height < 2:
+        raise ReproError("height must be >= 2")
+
+    def panel(vals: list[float], label: str) -> list[str]:
+        lo, hi = min(vals), max(vals)
+        span = hi - lo or 1.0
+        rows = []
+        for level in range(height, 0, -1):
+            cutoff = lo + span * (level - 0.5) / height
+            cells = []
+            for v in vals:
+                cells.append(("█" if v >= cutoff else " ").center(col_width))
+            prefix = f"{hi:8.2f} |" if level == height else (
+                f"{lo:8.2f} |" if level == 1 else " " * 9 + "|"
+            )
+            rows.append(prefix + "".join(cells))
+        rows.append(" " * 9 + "+" + "-" * (col_width * len(vals)))
+        rows.append(" " * 8 + label)
+        return rows
+
+    speedups = [p.speedup for p in points]
+    inaccs = [p.inaccuracy_percent for p in points]
+    thresholds = "".join(f"{p.threshold:^{col_width}.2f}" for p in points)
+
+    lines = [title, "=" * len(title)]
+    lines.extend(panel(speedups, "speedup (x)"))
+    lines.append("")
+    lines.extend(panel(inaccs, "inaccuracy (%)"))
+    lines.append(" " * 10 + thresholds)
+    lines.append(" " * 10 + "threshold".center(col_width * len(points)))
+    lines.append(
+        f"sparklines: speedup {ascii_series(speedups)}  "
+        f"inaccuracy {ascii_series(inaccs)}"
+    )
+    return "\n".join(lines)

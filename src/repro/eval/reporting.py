@@ -1,0 +1,89 @@
+"""Plain-text table rendering and aggregate statistics for the harness.
+
+The benchmark targets print the same row layout as the paper's tables so
+a reader can diff shapes by eye; EXPERIMENTS.md is generated from these
+renderers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["geomean", "format_table", "format_speedup_table"]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's aggregate for speedups/inaccuracies)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return float("nan")
+    if np.any(arr <= 0):
+        # inaccuracies of exactly 0 would zero out the geomean; clamp to a
+        # tiny epsilon so a single perfect cell doesn't hide the rest
+        arr = np.maximum(arr, 1e-9)
+    return float(np.exp(np.log(arr).mean()))
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str],
+    *,
+    title: str | None = None,
+    floatfmt: str = "{:.3f}",
+) -> str:
+    """Render rows of dicts as an aligned plain-text table."""
+    header = [str(c) for c in columns]
+    body: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for c in columns:
+            v = row.get(c, "")
+            if isinstance(v, float):
+                cells.append(floatfmt.format(v))
+            else:
+                cells.append(str(v))
+        body.append(cells)
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_speedup_table(
+    rows: Sequence[Mapping[str, object]], *, title: str | None = None
+) -> str:
+    """Render the paper's speedup/inaccuracy table layout with a summary row.
+
+    Speedups aggregate by geometric mean (the paper's choice); the
+    inaccuracy column aggregates by arithmetic mean — several cells are
+    exactly 0 % (value-preserving transforms), which would collapse a
+    geometric mean to nothing.
+    """
+    out_rows = list(rows)
+    if out_rows:
+        speedups = [float(r["speedup"]) for r in out_rows]
+        inaccs = [float(r["inaccuracy_percent"]) for r in out_rows]
+        out_rows = out_rows + [
+            {
+                "algorithm": "",
+                "graph": "Geomean",
+                "speedup": geomean(speedups),
+                "inaccuracy_percent": float(np.mean(inaccs)),
+            }
+        ]
+    return format_table(
+        out_rows,
+        ["algorithm", "graph", "speedup", "inaccuracy_percent"],
+        title=title,
+        floatfmt="{:.2f}",
+    )

@@ -1,0 +1,142 @@
+"""Command-line evaluation suite: regenerate any paper table or figure.
+
+Usage (also reachable as ``python -m repro``)::
+
+    python -m repro --list
+    python -m repro --scale tiny table6 figure9
+    python -m repro --scale small all --output-dir results/
+
+Each target prints its rendered table/series; ``--output-dir`` also
+persists them as text files (the same format the benchmark harness
+emits).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Callable
+
+from ..gpusim.device import K40C
+from . import figures, tables
+
+__all__ = ["TARGETS", "run_targets", "main"]
+
+
+def _figure(fn, graph_name: str):
+    def runner_fn(runner: tables.TableRunner):
+        return fn(runner.suite[graph_name])
+
+    return runner_fn
+
+
+def _agreement_target(runner: tables.TableRunner):
+    """Run Tables 6-14 and score them against the paper's numbers."""
+    from .agreement import agreement_report
+
+    fns = {
+        "table6": tables.table6_coalescing,
+        "table7": tables.table7_shmem,
+        "table8": tables.table8_divergence,
+        "table9": tables.table9_coalescing_vs_tigr,
+        "table10": tables.table10_shmem_vs_tigr,
+        "table11": tables.table11_divergence_vs_tigr,
+        "table12": tables.table12_coalescing_vs_gunrock,
+        "table13": tables.table13_shmem_vs_gunrock,
+        "table14": tables.table14_divergence_vs_gunrock,
+    }
+    results = {name: fn(runner)[0] for name, fn in fns.items()}
+    return results, agreement_report(results)
+
+
+#: target name -> callable(TableRunner) -> (rows_or_points, rendered text)
+TARGETS: dict[str, Callable] = {
+    "table1": tables.table1_graphs,
+    "table2": tables.table2_baseline1_exact,
+    "table3": tables.table3_tigr_exact,
+    "table4": tables.table4_gunrock_exact,
+    "table5": tables.table5_preprocessing,
+    "table6": tables.table6_coalescing,
+    "table7": tables.table7_shmem,
+    "table8": tables.table8_divergence,
+    "table9": tables.table9_coalescing_vs_tigr,
+    "table10": tables.table10_shmem_vs_tigr,
+    "table11": tables.table11_divergence_vs_tigr,
+    "table12": tables.table12_coalescing_vs_gunrock,
+    "table13": tables.table13_shmem_vs_gunrock,
+    "table14": tables.table14_divergence_vs_gunrock,
+    "combined": tables.table_combined,
+    "figure7": _figure(figures.figure7_connectedness, "livejournal"),
+    "figure8": _figure(figures.figure8_cc_threshold, "rmat"),
+    "figure9": _figure(figures.figure9_degree_sim, "rmat"),
+    "agreement": _agreement_target,
+}
+
+
+def run_targets(
+    names: list[str],
+    *,
+    scale: str = "tiny",
+    seed: int = 7,
+    output_dir: str | Path | None = None,
+) -> dict[str, str]:
+    """Run the named targets; returns ``{name: rendered text}``."""
+    if "all" in names:
+        names = list(TARGETS)
+    unknown = [n for n in names if n not in TARGETS]
+    if unknown:
+        raise KeyError(
+            f"unknown targets {unknown}; available: {sorted(TARGETS)} or 'all'"
+        )
+    runner = tables.TableRunner(scale=scale, seed=seed, device=K40C)
+    out: dict[str, str] = {}
+    for name in names:
+        _rows, text = TARGETS[name](runner)
+        out[name] = text
+        if output_dir is not None:
+            path = Path(output_dir)
+            path.mkdir(parents=True, exist_ok=True)
+            (path / f"{name}.txt").write_text(text + "\n")
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the Graffix paper's tables and figures "
+        "on the synthetic suite (simulated GPU).",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        default=["all"],
+        help="table1..table14, figure7..figure9, or 'all' (default)",
+    )
+    parser.add_argument(
+        "--scale",
+        default="tiny",
+        choices=("tiny", "small", "medium"),
+        help="input-suite scale (default tiny)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--output-dir", default=None)
+    parser.add_argument(
+        "--list", action="store_true", help="list available targets and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in TARGETS:
+            print(name)
+        return 0
+
+    results = run_targets(
+        args.targets or ["all"],
+        scale=args.scale,
+        seed=args.seed,
+        output_dir=args.output_dir,
+    )
+    for name, text in results.items():
+        print(text)
+        print()
+    return 0

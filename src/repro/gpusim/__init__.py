@@ -1,0 +1,58 @@
+"""Warp-level GPU execution simulator (the hardware substrate).
+
+The paper runs CUDA kernels on an Nvidia K40C; this package substitutes a
+cost-model simulator that accounts memory-coalescing transactions,
+global/shared-memory latency, and thread-divergence serialization — the
+three effects Graffix's transforms target.  See DESIGN.md §2 for why this
+substitution preserves the paper's conclusions.
+"""
+
+from .costmodel import SweepCost, charge_sweep, expand_accesses
+from .device import K40C, DeviceConfig
+from .kernel import ExecutionContext
+from .memory import TransactionCount, count_transactions, split_transactions
+from .metrics import SimMetrics
+from .microbench import (
+    MicrobenchResult,
+    hub_pattern,
+    microbench_report,
+    random_pattern,
+    run_microbenches,
+    stream_pattern,
+    strided_pattern,
+)
+from .profile import CycleBreakdown, breakdown, compare_report, profile_report
+from .trace import SweepTrace, hot_segments, trace_sweep, transactions_per_step
+from .warp import DivergenceStats, WarpSchedule, divergence_stats, form_warps
+
+__all__ = [
+    "DeviceConfig",
+    "DivergenceStats",
+    "ExecutionContext",
+    "K40C",
+    "SimMetrics",
+    "CycleBreakdown",
+    "MicrobenchResult",
+    "SweepTrace",
+    "hot_segments",
+    "hub_pattern",
+    "microbench_report",
+    "random_pattern",
+    "run_microbenches",
+    "stream_pattern",
+    "strided_pattern",
+    "trace_sweep",
+    "transactions_per_step",
+    "breakdown",
+    "compare_report",
+    "profile_report",
+    "SweepCost",
+    "TransactionCount",
+    "WarpSchedule",
+    "charge_sweep",
+    "count_transactions",
+    "divergence_stats",
+    "expand_accesses",
+    "form_warps",
+    "split_transactions",
+]

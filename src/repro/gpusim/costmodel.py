@@ -1,0 +1,199 @@
+"""The cycle-accounting heart of the GPU simulator.
+
+:func:`charge_sweep` analyses one vertex-centric kernel sweep over a CSR
+graph and returns a :class:`SweepCost` with the three cost components the
+paper optimizes:
+
+1. **compute / divergence** — each warp serializes ``max`` lane degree
+   neighbor-loop steps (idle lanes don't help);
+2. **memory transactions** — per warp step, distinct ``line_words``
+   segments touched in (a) the edges array (reading neighbor ids), and
+   (b) the node-attribute array (reading/atomically-updating the
+   destination's attribute), plus one coalesced-ish pass over the source
+   attributes;
+3. **latency class** — attribute transactions whose destination is marked
+   *resident* (simulated shared memory) are charged ``shared_latency``
+   instead of ``global_latency``.
+
+The function never computes algorithm values — value updates are done by
+the (vectorized, honest) algorithm implementations; this separation keeps
+the simulator deterministic and testable against brute force.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..graphs.csr import CSRGraph
+from .device import DeviceConfig
+from .memory import count_transactions, split_transactions
+from .warp import DivergenceStats, divergence_stats, form_warps
+
+__all__ = ["SweepCost", "charge_sweep", "expand_accesses"]
+
+
+@dataclass(frozen=True)
+class SweepCost:
+    """Cost breakdown of one kernel sweep (all counts summed over warps)."""
+
+    serial_steps: int = 0
+    busy_lane_steps: int = 0
+    idle_lane_steps: int = 0
+    edge_transactions: int = 0
+    attr_global_transactions: int = 0
+    attr_shared_transactions: int = 0
+    src_transactions: int = 0
+    atomic_ops: int = 0
+    cycles: float = 0.0
+
+    def __add__(self, other: "SweepCost") -> "SweepCost":
+        if not isinstance(other, SweepCost):
+            return NotImplemented
+        return SweepCost(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(SweepCost)
+            }
+        )
+
+    @property
+    def total_transactions(self) -> int:
+        return (
+            self.edge_transactions
+            + self.attr_global_transactions
+            + self.attr_shared_transactions
+            + self.src_transactions
+        )
+
+    @property
+    def divergence_ratio(self) -> float:
+        total = self.busy_lane_steps + self.idle_lane_steps
+        return self.idle_lane_steps / total if total else 0.0
+
+
+def expand_accesses(
+    graph: CSRGraph, active: np.ndarray, warp_size: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten the neighbor loops of ``active`` nodes into access records.
+
+    Returns parallel arrays ``(warp, step, edge_pos, dst)``: for the
+    ``j``-th neighbor of the node at position ``p`` of the active list,
+    ``warp = p // warp_size``, ``step = j``, ``edge_pos`` is the index into
+    the edges array being read, ``dst`` the neighbor id whose attribute is
+    touched.
+    """
+    active = np.asarray(active, dtype=np.int64)
+    degs = (graph.offsets[active + 1] - graph.offsets[active]).astype(np.int64)
+    total = int(degs.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty, empty
+    positions = np.arange(active.size, dtype=np.int64)
+    warp = np.repeat(positions // warp_size, degs)
+    # step j within each adjacency: global arange minus each segment start
+    seg_starts = np.concatenate(([0], np.cumsum(degs)[:-1]))
+    step = np.arange(total, dtype=np.int64) - np.repeat(seg_starts, degs)
+    edge_pos = np.repeat(graph.offsets[active].astype(np.int64), degs) + step
+    dst = graph.indices[edge_pos].astype(np.int64)
+    return warp, step, edge_pos, dst
+
+
+def charge_sweep(
+    graph: CSRGraph,
+    device: DeviceConfig,
+    active: np.ndarray | None = None,
+    *,
+    resident_mask: np.ndarray | None = None,
+    all_shared: bool = False,
+) -> SweepCost:
+    """Account the cycles of one vertex-centric sweep.
+
+    Parameters
+    ----------
+    graph:
+        the CSR graph the kernel runs over (possibly Graffix-transformed).
+    active:
+        node ids in processing order; ``None`` means all nodes in id order
+        (topology-driven kernel).
+    resident_mask:
+        optional boolean per node: attribute accesses to resident nodes are
+        charged at shared-memory latency (§3's pinned clusters).
+    all_shared:
+        charge *every* access (edges array included) at shared latency —
+        used for the intra-cluster iterations of the §3 runner, where the
+        whole subgraph lives in shared memory.
+    """
+    if active is None:
+        active = np.arange(graph.num_nodes, dtype=np.int64)
+    else:
+        active = np.asarray(active, dtype=np.int64)
+        if active.size and (active.min() < 0 or active.max() >= graph.num_nodes):
+            raise SimulationError("active node id out of range")
+    if resident_mask is not None:
+        resident_mask = np.asarray(resident_mask, dtype=bool)
+        if resident_mask.size != graph.num_nodes:
+            raise SimulationError("resident_mask length must equal num_nodes")
+
+    if active.size == 0:
+        return SweepCost()
+
+    schedule = form_warps(active, device.warp_size)
+    degs = (graph.offsets[active + 1] - graph.offsets[active]).astype(np.int64)
+    div: DivergenceStats = divergence_stats(schedule, degs, device.warp_size)
+
+    warp, step, edge_pos, dst = expand_accesses(graph, active, device.warp_size)
+
+    # (1) reading the edges array itself
+    edge_tc = count_transactions(warp, step, edge_pos, device.line_words)
+
+    # (2) destination-attribute accesses, split by residency
+    if all_shared:
+        attr_global_t = 0
+        attr_shared_t = count_transactions(warp, step, dst, device.line_words).transactions
+        edge_latency = device.shared_latency
+    else:
+        if resident_mask is not None and dst.size:
+            g_tc, s_tc = split_transactions(
+                warp, step, dst, device.line_words, resident_mask[dst]
+            )
+            attr_global_t, attr_shared_t = g_tc.transactions, s_tc.transactions
+        else:
+            attr_global_t = count_transactions(
+                warp, step, dst, device.line_words
+            ).transactions
+            attr_shared_t = 0
+        edge_latency = device.edge_latency
+
+    # (3) one source-attribute pass: lane p reads/writes attribute of its own
+    # node; coalesced iff active ids are clustered.
+    src_tc = count_transactions(
+        schedule.warp_of_position,
+        np.zeros(active.size, dtype=np.int64),
+        active,
+        device.line_words,
+    )
+    src_latency = device.shared_latency if all_shared else device.global_latency
+
+    atomic_ops = int(dst.size)
+    cycles = (
+        div.serial_steps * device.issue_cycles
+        + edge_tc.transactions * edge_latency
+        + attr_global_t * device.global_latency
+        + attr_shared_t * device.shared_latency
+        + src_tc.transactions * src_latency
+        + atomic_ops * device.atomic_cycles
+    )
+    return SweepCost(
+        serial_steps=div.serial_steps,
+        busy_lane_steps=div.busy_lane_steps,
+        idle_lane_steps=div.idle_lane_steps,
+        edge_transactions=edge_tc.transactions,
+        attr_global_transactions=attr_global_t,
+        attr_shared_transactions=attr_shared_t,
+        src_transactions=src_tc.transactions,
+        atomic_ops=atomic_ops,
+        cycles=float(cycles),
+    )

@@ -1,0 +1,122 @@
+"""GPU device model configuration.
+
+The paper measures on an Nvidia K40C (Kepler: 15 SMX, 2880 cores, 12 GB,
+warp size 32, 48 KB shared memory per block, 128-byte global-memory
+transactions).  We have no GPU, so ``repro.gpusim`` *simulates* warp
+execution with an explicit cost model; this module holds the knobs of that
+model, with defaults shaped after the K40C.
+
+The three cost-model terms map one-to-one onto the paper's three
+optimization dimensions:
+
+* ``line_words`` drives **memory coalescing** — a warp step that touches
+  ``t`` distinct ``line_words``-sized segments of an attribute array costs
+  ``t`` transactions;
+* ``global_latency`` vs ``shared_latency`` drives **memory latency** — a
+  transaction served from (simulated) shared memory is this much cheaper;
+* serialized per-warp steps (``max`` lane degree) drive **thread
+  divergence** — idle lanes don't shorten the warp's sweep.
+
+Latencies are *effective* (post latency-hiding) cycles per transaction, not
+raw DRAM latencies; with thousands of concurrent warps a K40C hides most of
+the ~400-cycle raw latency, so the defaults are small multiples of the
+shared-memory cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import SimulationError
+
+__all__ = ["DeviceConfig", "K40C"]
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Parameters of the simulated GPU.
+
+    Attributes
+    ----------
+    warp_size:
+        threads per warp (SIMD width).  Must be a power of two.
+    line_words:
+        words per memory transaction segment.  Accesses by one warp step
+        that fall in the same segment coalesce into one transaction.  The
+        paper's chunk size ``k = 16`` corresponds to 128-byte segments of
+        8-byte attribute words.
+    issue_cycles:
+        cycles to issue one warp instruction step (the serialized unit of
+        divergence accounting).
+    global_latency:
+        effective cycles per global-memory transaction on the *attribute*
+        arrays (read-modify-write traffic that cannot use the read-only
+        cache).
+    edge_latency:
+        effective cycles per transaction on the read-only *edges/offsets*
+        arrays — Kepler streams these through the texture/read-only path
+        (LonestarGPU uses ``__ldg``), so they are markedly cheaper than
+        attribute traffic.
+    shared_latency:
+        effective cycles per shared-memory transaction.
+    atomic_cycles:
+        extra cycles per atomic update (one per processed edge; the
+        paper's kernels use ``atomicAdd``/``atomicMin`` on the destination
+        attribute).
+    shared_mem_words:
+        attribute words of shared memory available to one thread block;
+        bounds how many nodes a §3 cluster may pin.
+    num_sms / warps_per_sm:
+        parallel capacity; used only to scale summed warp cycles into
+        wall-clock-like "sim seconds", never affects speedup ratios.
+    clock_ghz:
+        nominal clock for the cycles -> seconds conversion.
+    """
+
+    warp_size: int = 32
+    line_words: int = 16
+    issue_cycles: int = 4
+    global_latency: int = 24
+    edge_latency: int = 6
+    shared_latency: int = 2
+    atomic_cycles: int = 2
+    shared_mem_words: int = 6144
+    num_sms: int = 15
+    warps_per_sm: int = 4
+    clock_ghz: float = 0.745
+
+    def __post_init__(self) -> None:
+        if self.warp_size <= 0 or (self.warp_size & (self.warp_size - 1)) != 0:
+            raise SimulationError(f"warp_size must be a power of two, got {self.warp_size}")
+        if self.line_words <= 0:
+            raise SimulationError("line_words must be positive")
+        if self.global_latency < self.shared_latency:
+            raise SimulationError(
+                "global_latency must be >= shared_latency (otherwise shared "
+                "memory would be pointless and the §3 technique meaningless)"
+            )
+        if self.edge_latency < self.shared_latency:
+            raise SimulationError("edge_latency must be >= shared_latency")
+        for name in ("issue_cycles", "shared_latency", "atomic_cycles",
+                     "shared_mem_words", "num_sms", "warps_per_sm"):
+            if getattr(self, name) <= 0:
+                raise SimulationError(f"{name} must be positive")
+        if self.clock_ghz <= 0:
+            raise SimulationError("clock_ghz must be positive")
+
+    @property
+    def parallel_warps(self) -> int:
+        """Warps the device retires concurrently (cycles scale divisor)."""
+        return self.num_sms * self.warps_per_sm
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Scale summed warp cycles to simulated seconds."""
+        return cycles / self.parallel_warps / (self.clock_ghz * 1e9)
+
+    def with_(self, **kwargs: object) -> "DeviceConfig":
+        """A modified copy (dataclasses.replace with validation rerun)."""
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+#: Default device shaped after the paper's Nvidia K40C.
+K40C = DeviceConfig()

@@ -1,0 +1,112 @@
+"""Execution context: one simulated kernel stream over a graph.
+
+Algorithms compute their values with honest vectorized numpy updates and
+call :meth:`ExecutionContext.charge` once per kernel sweep so the cost
+model accounts what that sweep *would* cost on the modeled GPU.  The
+context owns:
+
+* the **processing order** — how node ids map to threads (Graffix's §4
+  bucket sort changes this; everything else uses id order);
+* the **residency mask** — which nodes' attributes live in simulated
+  shared memory (§3's pinned clusters);
+* the accumulating :class:`~repro.gpusim.metrics.SimMetrics` ledger.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..graphs.csr import CSRGraph
+from .costmodel import SweepCost, charge_sweep
+from .device import DeviceConfig, K40C
+from .metrics import SimMetrics
+
+__all__ = ["ExecutionContext"]
+
+
+class ExecutionContext:
+    """A simulated kernel stream bound to one graph and one device."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        device: DeviceConfig = K40C,
+        *,
+        order: np.ndarray | None = None,
+        resident_mask: np.ndarray | None = None,
+    ) -> None:
+        self.graph = graph
+        self.device = device
+        n = graph.num_nodes
+        if order is None:
+            self._order = np.arange(n, dtype=np.int64)
+        else:
+            order = np.asarray(order, dtype=np.int64)
+            if order.size != n:
+                raise SimulationError("processing order must list every node once")
+            seen = np.zeros(n, dtype=bool)
+            seen[order] = True
+            if not seen.all():
+                raise SimulationError("processing order must be a permutation")
+            self._order = order
+        # rank[v] = position of node v in the processing order
+        self._rank = np.empty(n, dtype=np.int64)
+        self._rank[self._order] = np.arange(n, dtype=np.int64)
+        if resident_mask is not None:
+            resident_mask = np.asarray(resident_mask, dtype=bool)
+            if resident_mask.size != n:
+                raise SimulationError("resident_mask length must equal num_nodes")
+        self.resident_mask = resident_mask
+        self.metrics = SimMetrics(device=device)
+
+    @property
+    def order(self) -> np.ndarray:
+        """The full processing order (a permutation of node ids)."""
+        return self._order
+
+    def ordered(self, active: np.ndarray | None) -> np.ndarray:
+        """Active node ids sorted into processing order.
+
+        ``active`` may be a boolean mask or an id array; ``None`` selects
+        every node.  On a real GPU the frontier compaction preserves the
+        numbering order, which is what this reproduces.
+        """
+        if active is None:
+            return self._order
+        active = np.asarray(active)
+        if active.dtype == bool:
+            if active.size != self.graph.num_nodes:
+                raise SimulationError("active mask length must equal num_nodes")
+            ids = np.nonzero(active)[0].astype(np.int64)
+        else:
+            ids = active.astype(np.int64)
+        return ids[np.argsort(self._rank[ids], kind="stable")]
+
+    def charge(
+        self,
+        active: np.ndarray | None = None,
+        *,
+        all_shared: bool = False,
+        subgraph: CSRGraph | None = None,
+    ) -> SweepCost:
+        """Account one sweep and add it to the ledger.
+
+        ``subgraph`` substitutes a different CSR structure (same node-id
+        space) for this sweep — the §3 runner uses it to charge
+        cluster-only iterations over the cluster edge set.
+        """
+        graph = subgraph if subgraph is not None else self.graph
+        cost = charge_sweep(
+            graph,
+            self.device,
+            self.ordered(active),
+            resident_mask=None if all_shared else self.resident_mask,
+            all_shared=all_shared,
+        )
+        self.metrics.add(cost)
+        return cost
+
+    def charge_cost(self, cost: SweepCost) -> None:
+        """Add an externally computed cost (e.g. a host-side reduction)."""
+        self.metrics.add(cost)

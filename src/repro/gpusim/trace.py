@@ -1,0 +1,124 @@
+"""Access-trace capture: per-step diagnostics behind the cost totals.
+
+``charge_sweep`` returns aggregate counts; when debugging *why* a layout
+coalesces badly you need the per-step picture — how many transactions
+each serialized warp step issued, which warps diverge, which memory
+segments are hot.  :func:`trace_sweep` recomputes one sweep with full
+detail retained; the report helpers summarize it for humans.
+
+This is a diagnostics tool: the algorithms never pay its memory cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..graphs.csr import CSRGraph
+from .costmodel import expand_accesses
+from .device import DeviceConfig, K40C
+
+__all__ = ["SweepTrace", "trace_sweep", "transactions_per_step", "hot_segments"]
+
+
+@dataclass(frozen=True)
+class SweepTrace:
+    """Raw per-access records of one sweep.
+
+    All arrays are parallel, one entry per (lane, step) attribute access:
+    ``warp``, ``step``, ``segment`` (attribute-array segment id), and
+    ``dst`` (the accessed node).  ``warp_max_deg`` and ``warp_sizes`` are
+    per-warp.
+    """
+
+    warp: np.ndarray
+    step: np.ndarray
+    segment: np.ndarray
+    dst: np.ndarray
+    warp_max_deg: np.ndarray
+    warp_sizes: np.ndarray
+    line_words: int
+
+    @property
+    def num_accesses(self) -> int:
+        return int(self.warp.size)
+
+    @property
+    def num_warps(self) -> int:
+        return int(self.warp_max_deg.size)
+
+    def transactions(self) -> int:
+        """Total attribute transactions (must agree with the cost model)."""
+        if self.warp.size == 0:
+            return 0
+        key = (
+            self.warp * (int(self.step.max()) + 1) + self.step
+        ) * (int(self.segment.max()) + 1) + self.segment
+        return int(np.unique(key).size)
+
+
+def trace_sweep(
+    graph: CSRGraph,
+    device: DeviceConfig = K40C,
+    active: np.ndarray | None = None,
+) -> SweepTrace:
+    """Capture the attribute-access trace of one topology/frontier sweep."""
+    if active is None:
+        active = np.arange(graph.num_nodes, dtype=np.int64)
+    else:
+        active = np.asarray(active, dtype=np.int64)
+        if active.size and (active.min() < 0 or active.max() >= graph.num_nodes):
+            raise SimulationError("active node id out of range")
+    warp, step, _epos, dst = expand_accesses(graph, active, device.warp_size)
+    degs = (graph.offsets[active + 1] - graph.offsets[active]).astype(np.int64)
+    starts = np.arange(0, active.size, device.warp_size)
+    if active.size:
+        warp_max = np.maximum.reduceat(degs, starts)
+        sizes = np.full(warp_max.size, device.warp_size, dtype=np.int64)
+        sizes[-1] = active.size - starts[-1]
+    else:
+        warp_max = np.empty(0, dtype=np.int64)
+        sizes = np.empty(0, dtype=np.int64)
+    return SweepTrace(
+        warp=warp,
+        step=step,
+        segment=dst // device.line_words,
+        dst=dst,
+        warp_max_deg=warp_max,
+        warp_sizes=sizes,
+        line_words=device.line_words,
+    )
+
+
+def transactions_per_step(trace: SweepTrace) -> np.ndarray:
+    """``out[j]`` = total transactions issued at serialized step ``j``.
+
+    A well-coalesced layout shows low, flat values; a scattered one shows
+    values near the lane count for every early step.
+    """
+    if trace.num_accesses == 0:
+        return np.empty(0, dtype=np.int64)
+    max_step = int(trace.step.max())
+    seg_span = int(trace.segment.max()) + 1
+    key = trace.warp * seg_span + trace.segment
+    out = np.zeros(max_step + 1, dtype=np.int64)
+    for j in range(max_step + 1):
+        mask = trace.step == j
+        if mask.any():
+            out[j] = np.unique(key[mask]).size
+    return out
+
+
+def hot_segments(trace: SweepTrace, top: int = 10) -> list[tuple[int, int]]:
+    """The ``top`` most-touched attribute segments as (segment, hits).
+
+    Hot segments are the §3 candidates: attribute words every warp keeps
+    returning to (hub clusters).
+    """
+    if trace.num_accesses == 0:
+        return []
+    segs, counts = np.unique(trace.segment, return_counts=True)
+    order = np.argsort(-counts)[:top]
+    return [(int(segs[i]), int(counts[i])) for i in order]

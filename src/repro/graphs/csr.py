@@ -1,0 +1,279 @@
+"""Compressed Sparse Row (CSR) graph storage.
+
+This is the storage format the paper assumes (its Figure 1): an ``offsets``
+array of length ``n + 1``, an ``indices`` (the paper's *edges*) array of
+length ``m`` holding destination node ids, and optional parallel arrays for
+edge weights.  All Graffix transforms, the GPU simulator, and the algorithms
+operate on this structure.
+
+The class is immutable by convention: transforms return new graphs rather
+than mutating in place, which keeps the exact/approximate comparisons in the
+evaluation harness honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..errors import GraphFormatError
+
+__all__ = ["CSRGraph"]
+
+_OFFSET_DTYPE = np.int64
+_INDEX_DTYPE = np.int32
+_WEIGHT_DTYPE = np.float64
+
+
+@dataclass
+class CSRGraph:
+    """A directed graph in CSR form.
+
+    Parameters
+    ----------
+    offsets:
+        ``int64`` array of length ``num_nodes + 1``; ``offsets[v]`` is the
+        start of node ``v``'s adjacency list inside ``indices``.
+    indices:
+        ``int32`` array of length ``num_edges``; destination node ids.
+    weights:
+        optional ``float64`` array parallel to ``indices``.  ``None`` means
+        the graph is unweighted (every edge has implicit weight 1).
+    """
+
+    offsets: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray | None = None
+    validate: bool = field(default=True, repr=False)
+
+    def __post_init__(self) -> None:
+        self.offsets = np.ascontiguousarray(self.offsets, dtype=_OFFSET_DTYPE)
+        self.indices = np.ascontiguousarray(self.indices, dtype=_INDEX_DTYPE)
+        if self.weights is not None:
+            self.weights = np.ascontiguousarray(self.weights, dtype=_WEIGHT_DTYPE)
+        if self.validate:
+            self.check()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        num_nodes: int,
+        src: Iterable[int] | np.ndarray,
+        dst: Iterable[int] | np.ndarray,
+        weights: Iterable[float] | np.ndarray | None = None,
+        *,
+        dedup: bool = False,
+        sort_neighbors: bool = True,
+    ) -> "CSRGraph":
+        """Build a CSR graph from parallel source/destination arrays.
+
+        Parameters
+        ----------
+        dedup:
+            drop duplicate ``(src, dst)`` pairs, keeping the first weight.
+        sort_neighbors:
+            sort each adjacency list by destination id (the common on-disk
+            layout; the coalescing analysis is sensitive to it, so it is on
+            by default and tests cover both settings).
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise GraphFormatError(
+                f"src and dst must have the same length, got {src.shape} vs {dst.shape}"
+            )
+        if weights is not None:
+            weights = np.asarray(weights, dtype=_WEIGHT_DTYPE)
+            if weights.shape != src.shape:
+                raise GraphFormatError(
+                    f"weights length {weights.shape} does not match edges {src.shape}"
+                )
+        if src.size and (src.min() < 0 or dst.min() < 0):
+            raise GraphFormatError("edge endpoints must be non-negative")
+        if src.size and max(int(src.max()), int(dst.max())) >= num_nodes:
+            raise GraphFormatError(
+                "edge endpoint exceeds num_nodes="
+                f"{num_nodes}: max src {src.max()}, max dst {dst.max()}"
+            )
+
+        if sort_neighbors or dedup:
+            order = np.lexsort((dst, src))
+        else:
+            order = np.argsort(src, kind="stable")
+        src = src[order]
+        dst = dst[order]
+        if weights is not None:
+            weights = weights[order]
+
+        if dedup and src.size:
+            keep = np.empty(src.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(src[1:], src[:-1], out=keep[1:])
+            keep[1:] |= dst[1:] != dst[:-1]
+            src, dst = src[keep], dst[keep]
+            if weights is not None:
+                weights = weights[keep]
+
+        counts = np.bincount(src, minlength=num_nodes)
+        offsets = np.zeros(num_nodes + 1, dtype=_OFFSET_DTYPE)
+        np.cumsum(counts, out=offsets[1:])
+        return cls(offsets, dst.astype(_INDEX_DTYPE), weights)
+
+    @classmethod
+    def empty(cls, num_nodes: int) -> "CSRGraph":
+        """An edgeless graph on ``num_nodes`` nodes."""
+        return cls(
+            np.zeros(num_nodes + 1, dtype=_OFFSET_DTYPE),
+            np.empty(0, dtype=_INDEX_DTYPE),
+        )
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    def check(self) -> None:
+        """Raise :class:`GraphFormatError` if any CSR invariant is violated."""
+        if self.offsets.ndim != 1 or self.indices.ndim != 1:
+            raise GraphFormatError("offsets and indices must be 1-D arrays")
+        if self.offsets.size == 0:
+            raise GraphFormatError("offsets must have length num_nodes + 1 >= 1")
+        if self.offsets[0] != 0:
+            raise GraphFormatError(f"offsets[0] must be 0, got {self.offsets[0]}")
+        if np.any(np.diff(self.offsets) < 0):
+            raise GraphFormatError("offsets must be non-decreasing")
+        if self.offsets[-1] != self.indices.size:
+            raise GraphFormatError(
+                f"offsets[-1]={self.offsets[-1]} must equal len(indices)={self.indices.size}"
+            )
+        n = self.num_nodes
+        if self.indices.size and (self.indices.min() < 0 or self.indices.max() >= n):
+            raise GraphFormatError("edge destination out of range")
+        if self.weights is not None and self.weights.shape != self.indices.shape:
+            raise GraphFormatError("weights must be parallel to indices")
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return int(self.offsets.size - 1)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def is_weighted(self) -> bool:
+        return self.weights is not None
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every node as an ``int64`` array."""
+        return np.diff(self.offsets)
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every node as an ``int64`` array."""
+        return np.bincount(self.indices, minlength=self.num_nodes).astype(_OFFSET_DTYPE)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Destination ids of node ``v``'s outgoing edges (a view)."""
+        return self.indices[self.offsets[v] : self.offsets[v + 1]]
+
+    def edge_weights_of(self, v: int) -> np.ndarray:
+        """Weights of node ``v``'s outgoing edges (all-ones if unweighted)."""
+        if self.weights is None:
+            return np.ones(int(self.offsets[v + 1] - self.offsets[v]), dtype=_WEIGHT_DTYPE)
+        return self.weights[self.offsets[v] : self.offsets[v + 1]]
+
+    def edge_sources(self) -> np.ndarray:
+        """Source node id of every edge, parallel to ``indices``."""
+        return np.repeat(
+            np.arange(self.num_nodes, dtype=_INDEX_DTYPE), self.out_degrees()
+        )
+
+    def effective_weights(self) -> np.ndarray:
+        """``weights`` if present, otherwise an all-ones array."""
+        if self.weights is not None:
+            return self.weights
+        return np.ones(self.num_edges, dtype=_WEIGHT_DTYPE)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        nbrs = self.neighbors(u)
+        # adjacency lists built by from_edges are sorted; fall back to a
+        # linear scan for graphs assembled by transforms, which may not be.
+        if nbrs.size > 8 and np.all(nbrs[:-1] <= nbrs[1:]):
+            i = np.searchsorted(nbrs, v)
+            return bool(i < nbrs.size and nbrs[i] == v)
+        return bool(np.any(nbrs == v))
+
+    def iter_edges(self) -> Iterator[tuple[int, int, float]]:
+        """Yield ``(src, dst, weight)`` triples (weight 1.0 if unweighted)."""
+        srcs = self.edge_sources()
+        w = self.effective_weights()
+        for i in range(self.num_edges):
+            yield int(srcs[i]), int(self.indices[i]), float(w[i])
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def reverse(self) -> "CSRGraph":
+        """The transpose graph (every edge reversed)."""
+        return CSRGraph.from_edges(
+            self.num_nodes,
+            self.indices.astype(np.int64),
+            self.edge_sources().astype(np.int64),
+            self.weights,
+        )
+
+    def to_undirected(self) -> "CSRGraph":
+        """Symmetrized, de-duplicated view used for clustering-coefficient
+        analysis (the paper treats the graph as undirected for CC)."""
+        src = self.edge_sources().astype(np.int64)
+        dst = self.indices.astype(np.int64)
+        keep = src != dst  # drop self loops in the undirected view
+        src, dst = src[keep], dst[keep]
+        all_src = np.concatenate([src, dst])
+        all_dst = np.concatenate([dst, src])
+        return CSRGraph.from_edges(self.num_nodes, all_src, all_dst, dedup=True)
+
+    def subgraph_edge_mask(self, node_mask: np.ndarray) -> np.ndarray:
+        """Boolean mask over edges whose both endpoints satisfy ``node_mask``."""
+        node_mask = np.asarray(node_mask, dtype=bool)
+        if node_mask.size != self.num_nodes:
+            raise GraphFormatError("node mask length must equal num_nodes")
+        return node_mask[self.edge_sources()] & node_mask[self.indices]
+
+    def with_weights(self, weights: np.ndarray | None) -> "CSRGraph":
+        """A copy of this graph with the given edge weights."""
+        return CSRGraph(self.offsets.copy(), self.indices.copy(), weights)
+
+    def copy(self) -> "CSRGraph":
+        return CSRGraph(
+            self.offsets.copy(),
+            self.indices.copy(),
+            None if self.weights is None else self.weights.copy(),
+        )
+
+    # ------------------------------------------------------------------
+    # dunder conveniences
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        if not (
+            np.array_equal(self.offsets, other.offsets)
+            and np.array_equal(self.indices, other.indices)
+        ):
+            return False
+        if (self.weights is None) != (other.weights is None):
+            return False
+        if self.weights is not None:
+            return bool(np.allclose(self.weights, other.weights))
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        w = "weighted" if self.is_weighted else "unweighted"
+        return f"CSRGraph(n={self.num_nodes}, m={self.num_edges}, {w})"

@@ -1,0 +1,213 @@
+"""Graph (de)serialization.
+
+Two formats:
+
+* a plain-text edge list (``u v [w]`` per line, ``#`` comments, a
+  ``# nodes: N`` header) — the format SNAP distributes graphs in, so the
+  loaders here would read the paper's real inputs unchanged were they
+  available; and
+* a ``.npz`` binary of the raw CSR arrays, used to cache transformed
+  graphs between benchmark runs (the paper amortizes preprocessing over
+  multiple executions; caching is how a user realizes that).
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from .csr import CSRGraph
+
+__all__ = [
+    "write_edge_list",
+    "read_edge_list",
+    "read_dimacs",
+    "write_dimacs",
+    "save_npz",
+    "load_npz",
+]
+
+
+def write_edge_list(graph: CSRGraph, path: str | Path) -> None:
+    """Write ``graph`` as a SNAP-style text edge list."""
+    path = Path(path)
+    srcs = graph.edge_sources()
+    w = graph.weights
+    with path.open("w") as fh:
+        fh.write(f"# nodes: {graph.num_nodes}\n")
+        fh.write(f"# edges: {graph.num_edges}\n")
+        if w is None:
+            for s, d in zip(srcs.tolist(), graph.indices.tolist()):
+                fh.write(f"{s} {d}\n")
+        else:
+            for s, d, x in zip(srcs.tolist(), graph.indices.tolist(), w.tolist()):
+                fh.write(f"{s} {d} {x:g}\n")
+
+
+def read_edge_list(path: str | Path, *, num_nodes: int | None = None) -> CSRGraph:
+    """Parse a SNAP-style edge list.
+
+    If the file carries no ``# nodes:`` header and ``num_nodes`` is not
+    given, the node count is inferred as ``max endpoint + 1``.
+    """
+    path = Path(path)
+    header_nodes: int | None = None
+    src: list[int] = []
+    dst: list[int] = []
+    wts: list[float] = []
+    weighted = False
+    with path.open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                body = line[1:].strip().lower()
+                if body.startswith("nodes:"):
+                    try:
+                        header_nodes = int(body.split(":", 1)[1])
+                    except ValueError as exc:
+                        raise GraphFormatError(
+                            f"{path}:{lineno}: malformed nodes header"
+                        ) from exc
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise GraphFormatError(
+                    f"{path}:{lineno}: expected 'u v [w]', got {line!r}"
+                )
+            try:
+                src.append(int(parts[0]))
+                dst.append(int(parts[1]))
+            except ValueError as exc:
+                raise GraphFormatError(f"{path}:{lineno}: bad endpoint") from exc
+            if len(parts) == 3:
+                weighted = True
+                wts.append(float(parts[2]))
+            elif weighted:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: mixed weighted/unweighted lines"
+                )
+    n = num_nodes if num_nodes is not None else header_nodes
+    if n is None:
+        n = (max(max(src), max(dst)) + 1) if src else 0
+    return CSRGraph.from_edges(
+        n,
+        np.asarray(src, dtype=np.int64),
+        np.asarray(dst, dtype=np.int64),
+        np.asarray(wts, dtype=np.float64) if weighted else None,
+    )
+
+
+def write_dimacs(graph: CSRGraph, path: str | Path, *, comment: str = "") -> None:
+    """Write the DIMACS shortest-path format (``p sp``, 1-indexed ``a`` arcs).
+
+    This is the native format of the paper's USA-road input (the 9th
+    DIMACS Implementation Challenge), so a real download would round-trip
+    through here unchanged.
+    """
+    path = Path(path)
+    srcs = graph.edge_sources()
+    w = graph.effective_weights()
+    with path.open("w") as fh:
+        if comment:
+            fh.write(f"c {comment}\n")
+        fh.write(f"p sp {graph.num_nodes} {graph.num_edges}\n")
+        for s_, d, x in zip(srcs.tolist(), graph.indices.tolist(), w.tolist()):
+            fh.write(f"a {s_ + 1} {d + 1} {x:g}\n")
+
+
+def read_dimacs(path: str | Path) -> CSRGraph:
+    """Parse a DIMACS shortest-path graph (``c``/``p sp``/``a`` lines)."""
+    path = Path(path)
+    n: int | None = None
+    src: list[int] = []
+    dst: list[int] = []
+    wts: list[float] = []
+    with path.open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("c"):
+                continue
+            parts = line.split()
+            if parts[0] == "p":
+                if len(parts) != 4 or parts[1] != "sp":
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: expected 'p sp <n> <m>'"
+                    )
+                n = int(parts[2])
+            elif parts[0] == "a":
+                if len(parts) != 4:
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: expected 'a <u> <v> <w>'"
+                    )
+                try:
+                    u, v = int(parts[1]) - 1, int(parts[2]) - 1
+                    x = float(parts[3])
+                except ValueError as exc:
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: malformed arc line"
+                    ) from exc
+                if u < 0 or v < 0:
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: DIMACS node ids are 1-indexed"
+                    )
+                src.append(u)
+                dst.append(v)
+                wts.append(x)
+            else:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: unknown DIMACS record {parts[0]!r}"
+                )
+    if n is None:
+        raise GraphFormatError(f"{path}: missing 'p sp' header")
+    return CSRGraph.from_edges(
+        n,
+        np.asarray(src, dtype=np.int64),
+        np.asarray(dst, dtype=np.int64),
+        np.asarray(wts, dtype=np.float64),
+    )
+
+
+def save_npz(graph: CSRGraph, path: str | Path) -> None:
+    """Binary-cache the CSR arrays (compressed)."""
+    arrays = {"offsets": graph.offsets, "indices": graph.indices}
+    if graph.weights is not None:
+        arrays["weights"] = graph.weights
+    with Path(path).open("wb") as fh:
+        np.savez_compressed(fh, **arrays)
+
+
+def load_npz(path: str | Path) -> CSRGraph:
+    """Load a graph cached by :func:`save_npz`."""
+    with np.load(Path(path)) as data:
+        if "offsets" not in data or "indices" not in data:
+            raise GraphFormatError(f"{path}: not a repro graph archive")
+        return CSRGraph(
+            data["offsets"],
+            data["indices"],
+            data["weights"] if "weights" in data else None,
+        )
+
+
+def dumps(graph: CSRGraph) -> bytes:
+    """In-memory variant of :func:`save_npz` (round-trips via :func:`loads`)."""
+    buf = _io.BytesIO()
+    arrays = {"offsets": graph.offsets, "indices": graph.indices}
+    if graph.weights is not None:
+        arrays["weights"] = graph.weights
+    np.savez_compressed(buf, **arrays)
+    return buf.getvalue()
+
+
+def loads(blob: bytes) -> CSRGraph:
+    """Inverse of :func:`dumps`."""
+    with np.load(_io.BytesIO(blob)) as data:
+        return CSRGraph(
+            data["offsets"],
+            data["indices"],
+            data["weights"] if "weights" in data else None,
+        )

@@ -1,0 +1,208 @@
+"""Structural analytics used by the Graffix transforms and the evaluation.
+
+The shared-memory technique (paper §3) keys off per-node *clustering
+coefficient*; the divergence technique (§4) keys off the degree
+distribution; the renumbering (§2) needs BFS levels; Table 1 reports graph
+statistics.  Everything here is vectorized (scipy.sparse matrix products
+for triangle counting, frontier BFS in numpy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AlgorithmError
+from .builder import to_scipy
+from .csr import CSRGraph
+
+__all__ = [
+    "clustering_coefficients",
+    "bfs_levels",
+    "bfs_forest_levels",
+    "estimate_diameter",
+    "degree_histogram",
+    "gini_of_degrees",
+    "GraphStats",
+    "graph_stats",
+]
+
+
+def clustering_coefficients(graph: CSRGraph) -> np.ndarray:
+    """Per-node local clustering coefficient on the undirected view.
+
+    ``cc[v] = triangles(v) / (deg(v) * (deg(v) - 1) / 2)``; nodes of degree
+    < 2 get 0.  Triangle counts come from ``diag(A^3) / 2`` on the
+    binarized symmetric adjacency matrix.
+    """
+    und = graph.to_undirected()
+    a = to_scipy(und)
+    a.data[:] = 1.0
+    deg = np.asarray(a.sum(axis=1)).ravel()
+    # triangles via A @ A, then row-wise dot with A's pattern
+    a2 = (a @ a).tocsr()
+    tri = np.asarray(a2.multiply(a).sum(axis=1)).ravel() / 2.0
+    denom = deg * (deg - 1) / 2.0
+    cc = np.zeros(graph.num_nodes, dtype=np.float64)
+    ok = denom > 0
+    cc[ok] = tri[ok] / denom[ok]
+    return np.clip(cc, 0.0, 1.0)
+
+
+def bfs_levels(graph: CSRGraph, source: int) -> np.ndarray:
+    """BFS level of every node from ``source``; unreachable nodes get -1."""
+    n = graph.num_nodes
+    if not 0 <= source < n:
+        raise AlgorithmError(f"source {source} out of range for n={n}")
+    level = np.full(n, -1, dtype=np.int64)
+    level[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    depth = 0
+    offsets, indices = graph.offsets, graph.indices
+    while frontier.size:
+        depth += 1
+        starts = offsets[frontier]
+        degs = offsets[frontier + 1] - starts
+        total = int(degs.sum())
+        if total == 0:
+            break
+        flat = indices[
+            np.repeat(starts, degs) + _ragged_arange(degs)
+        ]
+        nxt = np.unique(flat)
+        nxt = nxt[level[nxt] < 0]
+        if nxt.size == 0:
+            break
+        level[nxt] = depth
+        frontier = nxt
+    return level
+
+
+def _ragged_arange(counts: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(c)`` for each c in counts: [0..c0-1, 0..c1-1, ...]."""
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    out = np.ones(total, dtype=np.int64)
+    out[0] = 0
+    ends = np.cumsum(counts)[:-1]
+    # wherever a later segment starts, jump back to 0; a marker lands at
+    # position `ends[i]` only when segment i is non-empty (the reset size
+    # is then segment i's length) and some positions remain after it
+    # (trailing empty segments would index one past the end).
+    mark = (counts[:-1] > 0) & (ends < total)
+    out[ends[mark]] = 1 - counts[:-1][mark]
+    return np.cumsum(out)
+
+
+def bfs_forest_levels(graph: CSRGraph) -> tuple[np.ndarray, np.ndarray]:
+    """Multi-source BFS forest levels per the Graffix renumbering (§2.2).
+
+    Sources are chosen in decreasing out-degree order among unvisited
+    nodes; later BFS traversals may *lower* the level of already-visited
+    nodes ("the levels of the visited nodes are updated to a lower value,
+    if possible").  Returns ``(levels, roots)`` where ``roots`` lists the
+    BFS source nodes in the order used.
+    """
+    n = graph.num_nodes
+    level = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+    order = np.argsort(-graph.out_degrees(), kind="stable")
+    roots: list[int] = []
+    maxint = np.iinfo(np.int64).max
+    offsets, indices = graph.offsets, graph.indices
+    for s in order:
+        if level[s] != maxint:
+            continue
+        roots.append(int(s))
+        level[s] = 0
+        frontier = np.array([s], dtype=np.int64)
+        depth = 0
+        while frontier.size:
+            depth += 1
+            starts = offsets[frontier]
+            degs = offsets[frontier + 1] - starts
+            if int(degs.sum()) == 0:
+                break
+            flat = indices[np.repeat(starts, degs) + _ragged_arange(degs)]
+            nxt = np.unique(flat)
+            nxt = nxt[level[nxt] > depth]  # visit fresh or improvable nodes
+            if nxt.size == 0:
+                break
+            level[nxt] = depth
+            frontier = nxt
+    level[level == maxint] = 0  # isolated leftovers become their own roots
+    return level, np.asarray(roots, dtype=np.int64)
+
+
+def estimate_diameter(graph: CSRGraph, *, num_probes: int = 4, seed: int = 0) -> int:
+    """Lower-bound diameter estimate by double-sweep BFS from random probes.
+
+    Used to pick the shared-memory iteration count ``t ~ 2 x diameter`` and
+    to report Table-1 style statistics.  Operates on the undirected view so
+    weakly-connected graphs still get a finite estimate.
+    """
+    und = graph.to_undirected()
+    n = und.num_nodes
+    if n == 0:
+        return 0
+    rng = np.random.default_rng(seed)
+    best = 0
+    for _ in range(num_probes):
+        start = int(rng.integers(0, n))
+        lv = bfs_levels(und, start)
+        reach = lv >= 0
+        if not reach.any():
+            continue
+        far = int(np.argmax(np.where(reach, lv, -1)))
+        lv2 = bfs_levels(und, far)
+        best = max(best, int(lv2.max()))
+    return best
+
+
+def degree_histogram(graph: CSRGraph) -> np.ndarray:
+    """``hist[d]`` = number of nodes with out-degree ``d``."""
+    return np.bincount(graph.out_degrees())
+
+
+def gini_of_degrees(graph: CSRGraph) -> float:
+    """Gini coefficient of the out-degree distribution.
+
+    A scalar skewness summary: ~0 for road networks (uniform degrees),
+    > 0.5 for power-law graphs.  Used in the threshold guidelines.
+    """
+    d = np.sort(graph.out_degrees().astype(np.float64))
+    n = d.size
+    if n == 0 or d.sum() == 0:
+        return 0.0
+    cum = np.cumsum(d)
+    return float((n + 1 - 2 * (cum / cum[-1]).sum()) / n)
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Table-1 style summary of a graph."""
+
+    num_nodes: int
+    num_edges: int
+    mean_degree: float
+    max_degree: int
+    degree_gini: float
+    mean_clustering: float
+    diameter_estimate: int
+
+
+def graph_stats(graph: CSRGraph, *, diameter_probes: int = 2) -> GraphStats:
+    """Compute the summary row reported in the Table 1 reproduction."""
+    degs = graph.out_degrees()
+    cc = clustering_coefficients(graph)
+    return GraphStats(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        mean_degree=float(degs.mean()) if degs.size else 0.0,
+        max_degree=int(degs.max()) if degs.size else 0,
+        degree_gini=gini_of_degrees(graph),
+        mean_clustering=float(cc.mean()) if cc.size else 0.0,
+        diameter_estimate=estimate_diameter(graph, num_probes=diameter_probes),
+    )

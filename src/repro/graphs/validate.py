@@ -1,0 +1,102 @@
+"""Deep structural validation beyond the cheap CSR invariants.
+
+:meth:`CSRGraph.check` guards the raw array invariants on every
+construction.  The checks here are O(m log m) and are used by tests and by
+the transform drivers in debug mode to certify that a transform produced a
+well-formed graph (and, for the exact renumbering, an isomorphic one).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from .csr import CSRGraph
+
+__all__ = [
+    "assert_valid",
+    "has_duplicate_edges",
+    "has_self_loops",
+    "is_symmetric",
+    "assert_isomorphic_relabelling",
+    "edge_set",
+]
+
+
+def edge_set(graph: CSRGraph) -> set[tuple[int, int]]:
+    """The graph's edges as a Python set of ``(src, dst)`` pairs."""
+    srcs = graph.edge_sources()
+    return set(zip(srcs.tolist(), graph.indices.tolist()))
+
+
+def has_duplicate_edges(graph: CSRGraph) -> bool:
+    """True if any ``(src, dst)`` pair appears more than once."""
+    srcs = graph.edge_sources().astype(np.int64)
+    key = srcs * graph.num_nodes + graph.indices
+    return np.unique(key).size != key.size
+
+
+def has_self_loops(graph: CSRGraph) -> bool:
+    """True if any edge has ``src == dst``."""
+    return bool(np.any(graph.edge_sources() == graph.indices))
+
+
+def is_symmetric(graph: CSRGraph) -> bool:
+    """True if for every edge (u, v) the edge (v, u) also exists."""
+    srcs = graph.edge_sources().astype(np.int64)
+    dsts = graph.indices.astype(np.int64)
+    n = graph.num_nodes
+    fwd = np.unique(srcs * n + dsts)
+    bwd = np.unique(dsts * n + srcs)
+    return fwd.size == bwd.size and bool(np.array_equal(fwd, bwd))
+
+
+def assert_valid(
+    graph: CSRGraph,
+    *,
+    allow_duplicates: bool = False,
+    allow_self_loops: bool = True,
+) -> None:
+    """Raise :class:`GraphFormatError` on any structural defect."""
+    graph.check()
+    if not allow_duplicates and has_duplicate_edges(graph):
+        raise GraphFormatError("graph contains duplicate edges")
+    if not allow_self_loops and has_self_loops(graph):
+        raise GraphFormatError("graph contains self loops")
+
+
+def assert_isomorphic_relabelling(
+    original: CSRGraph, relabelled: CSRGraph, new_id: np.ndarray
+) -> None:
+    """Certify that ``relabelled`` is exactly ``original`` under ``new_id``.
+
+    Checks node count, edge count, the full relabelled edge multiset, and —
+    if weighted — that each edge kept its weight.  This is the correctness
+    contract of the *exact* half of the coalescing transform (renumbering
+    with no replication must change nothing semantically).
+    """
+    new_id = np.asarray(new_id, dtype=np.int64)
+    if original.num_nodes != relabelled.num_nodes:
+        raise GraphFormatError(
+            f"node count changed: {original.num_nodes} -> {relabelled.num_nodes}"
+        )
+    if original.num_edges != relabelled.num_edges:
+        raise GraphFormatError(
+            f"edge count changed: {original.num_edges} -> {relabelled.num_edges}"
+        )
+    n = original.num_nodes
+    src_o = new_id[original.edge_sources()]
+    dst_o = new_id[original.indices]
+    w_o = original.effective_weights()
+    key_o = src_o * n + dst_o
+    order_o = np.lexsort((w_o, key_o))
+
+    src_r = relabelled.edge_sources().astype(np.int64)
+    key_r = src_r * n + relabelled.indices
+    w_r = relabelled.effective_weights()
+    order_r = np.lexsort((w_r, key_r))
+
+    if not np.array_equal(key_o[order_o], key_r[order_r]):
+        raise GraphFormatError("relabelled edge multiset differs from original")
+    if not np.allclose(w_o[order_o], w_r[order_r]):
+        raise GraphFormatError("edge weights were not preserved by relabelling")

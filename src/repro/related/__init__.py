@@ -1,0 +1,17 @@
+"""Related-work approximation methods (paper §6), for comparison benches.
+
+Graffix is *not* the only way to trade accuracy for speed on graphs; the
+paper positions itself against algorithm-specific approximations.  This
+package implements the cited representative so the trade-off spaces can
+be compared under one cost model:
+
+* :mod:`.landmarks` — Gubichev et al. (CIKM 2010) landmark-based
+  shortest-path estimation: precompute distances to a few landmarks,
+  answer any query by triangulation.  Algorithm-*specific* (SSSP only)
+  where Graffix is algorithm-oblivious — which is exactly the contrast
+  the paper draws.
+"""
+
+from .landmarks import LandmarkIndex, build_landmark_index
+
+__all__ = ["LandmarkIndex", "build_landmark_index"]

@@ -1,0 +1,105 @@
+"""Shared fixtures: small deterministic graphs at several structure types."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import build_plan
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import (
+    erdos_renyi,
+    heavy_tail_social,
+    paper_suite,
+    preferential_attachment,
+    rmat,
+    road_network,
+)
+from repro.gpusim.device import DeviceConfig
+
+
+@pytest.fixture
+def tiny_graph() -> CSRGraph:
+    """A 20-node digraph modeled on the paper's Figure 1 walkthrough.
+
+    (The exact Figure 1 edge list is not recoverable from the paper; this
+    fixture keeps its shape: node 0 is the max-out-degree BFS root, nodes
+    0-3 are the forest roots, and a couple of nodes sit two levels deep.)
+    """
+    edges = [
+        (0, 4), (0, 5), (0, 16), (0, 17), (0, 18), (0, 19), (0, 6),
+        (1, 0), (1, 10), (1, 12), (1, 15), (1, 17), (1, 18),
+        (2, 11), (2, 13), (2, 19),
+        (3, 9), (3, 13), (3, 14),
+        (4, 5), (4, 7),
+        (5, 8),
+        (6, 7), (6, 14),
+        (9, 8),
+        (10, 11),
+        (16, 15),
+    ]
+    src = np.array([e[0] for e in edges], dtype=np.int64)
+    dst = np.array([e[1] for e in edges], dtype=np.int64)
+    return CSRGraph.from_edges(20, src, dst)
+
+
+@pytest.fixture
+def weighted_graph() -> CSRGraph:
+    """Small weighted strongly-connected-ish digraph."""
+    src = np.array([0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 7], dtype=np.int64)
+    dst = np.array([1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 0, 0], dtype=np.int64)
+    w = np.array([3, 1, 2, 7, 1, 4, 2, 5, 1, 3, 2, 6, 9, 8], dtype=np.float64)
+    return CSRGraph.from_edges(8, src, dst, w)
+
+
+@pytest.fixture(scope="session")
+def rmat_small() -> CSRGraph:
+    return rmat(7, edge_factor=8, seed=3)
+
+
+@pytest.fixture(scope="session")
+def er_small() -> CSRGraph:
+    return erdos_renyi(128, 1024, seed=4)
+
+
+@pytest.fixture(scope="session")
+def road_small() -> CSRGraph:
+    return road_network(12, seed=5)
+
+
+@pytest.fixture(scope="session")
+def social_small() -> CSRGraph:
+    return preferential_attachment(150, out_degree=8, seed=6)
+
+
+@pytest.fixture(scope="session")
+def twitter_small() -> CSRGraph:
+    return heavy_tail_social(150, mean_degree=12, seed=7)
+
+
+@pytest.fixture(scope="session")
+def suite_tiny() -> dict[str, CSRGraph]:
+    return paper_suite("tiny", seed=7)
+
+
+@pytest.fixture(scope="session")
+def all_structures(rmat_small, er_small, road_small, social_small, twitter_small):
+    """Named structural variety for parametrized transform tests."""
+    return {
+        "rmat": rmat_small,
+        "er": er_small,
+        "road": road_small,
+        "social": social_small,
+        "twitter": twitter_small,
+    }
+
+
+@pytest.fixture(scope="session")
+def small_device() -> DeviceConfig:
+    """A small-warp device so warp-level effects are visible on tiny graphs."""
+    return DeviceConfig(warp_size=8, line_words=4, shared_mem_words=512)
+
+
+@pytest.fixture(scope="session")
+def coalesced_plan(rmat_small):
+    return build_plan(rmat_small, "coalescing")

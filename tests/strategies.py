@@ -1,0 +1,40 @@
+"""Shared hypothesis strategies for the property-based tests."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.graphs.csr import CSRGraph
+
+__all__ = ["random_graphs"]
+
+
+@st.composite
+def random_graphs(draw, max_nodes=40, max_edges=200, weighted=None):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    src = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m).map(np.array)
+    )
+    dst = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m).map(np.array)
+    )
+    if weighted is None:
+        weighted = draw(st.booleans())
+    w = None
+    if weighted:
+        w = draw(
+            st.lists(
+                st.floats(0.5, 100.0, allow_nan=False),
+                min_size=m,
+                max_size=m,
+            ).map(np.array)
+        )
+    if m == 0:
+        src = np.empty(0, dtype=np.int64)
+        dst = np.empty(0, dtype=np.int64)
+        w = np.empty(0, dtype=np.float64) if weighted else None
+    # simple graphs only: every library entry point (the generators, the
+    # SNAP loader) dedups, and the transforms document that contract
+    return CSRGraph.from_edges(n, src, dst, w, dedup=True)

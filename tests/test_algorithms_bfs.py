@@ -1,0 +1,80 @@
+"""Unit tests for the BFS algorithm module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import bfs
+from repro.core.pipeline import build_plan
+from repro.errors import AlgorithmError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.properties import bfs_levels
+
+
+class TestExactness:
+    def test_matches_reference_levels(self, all_structures):
+        for name, g in all_structures.items():
+            src = int(np.argmax(g.out_degrees()))
+            res = bfs(g, src)
+            ref = bfs_levels(g, src).astype(np.float64)
+            ref[ref < 0] = np.inf
+            assert np.array_equal(res.values, ref), name
+
+    def test_path_graph(self):
+        g = CSRGraph.from_edges(4, [0, 1, 2], [1, 2, 3])
+        res = bfs(g, 0)
+        assert res.values.tolist() == [0, 1, 2, 3]
+        assert res.iterations == 4  # levels expanded (incl. the last empty)
+
+    def test_unreachable_inf(self):
+        g = CSRGraph.from_edges(3, [0], [1])
+        assert bfs(g, 0).values[2] == np.inf
+
+    def test_bad_source(self, tiny_graph):
+        with pytest.raises(AlgorithmError):
+            bfs(tiny_graph, 50)
+
+
+class TestKernelStyles:
+    def test_topology_driven_same_values_more_cycles(self, rmat_small):
+        src = int(np.argmax(rmat_small.out_degrees()))
+        frontier = bfs(rmat_small, src)
+        topo = bfs(rmat_small, src, topology_driven=True)
+        assert np.array_equal(frontier.values, topo.values)
+        assert topo.cycles > frontier.cycles
+
+
+class TestApproximate:
+    def test_coalescing_levels_close(self, social_small):
+        from repro.core.knobs import CoalescingKnobs
+
+        src = int(np.argmax(social_small.out_degrees()))
+        plan = build_plan(
+            social_small,
+            "coalescing",
+            coalescing=CoalescingKnobs(connectedness_threshold=0.3),
+        )
+        exact = bfs(social_small, src)
+        approx = bfs(plan, src)
+        reached = np.isfinite(exact.values)
+        # replica level-sync guarantees reachability is preserved
+        assert np.isfinite(approx.values[reached]).all()
+        # added edges can only shorten hop counts
+        assert (approx.values[reached] <= exact.values[reached] + 1e-9).all()
+
+    def test_divergence_can_shorten_hops(self, rmat_small):
+        """2-hop padding edges shorten BFS levels — the hop-count analogue
+        of the paper's 'faster propagation' claim."""
+        from repro.core.knobs import DivergenceKnobs
+
+        src = int(np.argmax(rmat_small.out_degrees()))
+        plan = build_plan(
+            rmat_small,
+            "divergence",
+            divergence=DivergenceKnobs(degree_sim_threshold=0.6),
+        )
+        exact = bfs(rmat_small, src)
+        approx = bfs(plan, src)
+        reached = np.isfinite(exact.values)
+        assert (approx.values[reached] <= exact.values[reached]).all()

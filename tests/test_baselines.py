@@ -1,0 +1,163 @@
+"""Unit tests for the three baseline framework styles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.exact import exact_pagerank, exact_sssp
+from repro.baselines import BASELINE_ALGORITHMS, BASELINES, gunrock, lonestar, tigr
+from repro.core.pipeline import build_plan
+from repro.errors import AlgorithmError, SimulationError
+from repro.graphs.csr import CSRGraph
+
+
+class TestRegistry:
+    def test_all_baselines_present(self):
+        assert set(BASELINES) == {"baseline1", "tigr", "gunrock"}
+
+    def test_supported_algorithms(self):
+        assert BASELINE_ALGORITHMS["baseline1"] == ("sssp", "mst", "scc", "pr", "bc")
+        assert BASELINE_ALGORITHMS["tigr"] == ("sssp", "pr", "bc")
+        assert BASELINE_ALGORITHMS["gunrock"] == ("sssp", "pr", "bc")
+
+    def test_unsupported_rejected(self, tiny_graph):
+        with pytest.raises(AlgorithmError):
+            tigr.run("mst", tiny_graph)
+        with pytest.raises(AlgorithmError):
+            gunrock.run("scc", tiny_graph)
+        with pytest.raises(AlgorithmError):
+            lonestar.run("bfs", tiny_graph)
+
+
+class TestValueEquivalence:
+    """All three baselines are exact: same values, different cost."""
+
+    def test_sssp_values_agree(self, rmat_small):
+        src = int(np.argmax(rmat_small.out_degrees()))
+        ref = exact_sssp(rmat_small, src)
+        for name, module in BASELINES.items():
+            res = module.run("sssp", rmat_small, source=src)
+            finite = np.isfinite(ref)
+            assert np.allclose(res.values[finite], ref[finite]), name
+            assert np.array_equal(np.isfinite(res.values), finite), name
+
+    def test_pr_values_agree(self, rmat_small):
+        ref = exact_pagerank(rmat_small)
+        for name, module in BASELINES.items():
+            res = module.run("pr", rmat_small)
+            assert np.allclose(res.values, ref, atol=2e-3), name
+
+    def test_bc_values_agree(self, rmat_small):
+        srcs = np.array([1, 5, 9], dtype=np.int64)
+        results = {
+            name: module.run("bc", rmat_small, bc_sources=srcs)
+            for name, module in BASELINES.items()
+        }
+        base = results["baseline1"].values
+        for name, res in results.items():
+            assert np.allclose(res.values, base, atol=1e-9), name
+
+
+class TestCostOrdering:
+    """The paper's Tables 2-4 ordering: Baseline-I (topology-driven) is
+    the most expensive style; Tigr and Gunrock are faster."""
+
+    def test_bc_baseline1_slowest(self, rmat_small):
+        srcs = np.array([0, 3], dtype=np.int64)
+        b1 = lonestar.run("bc", rmat_small, bc_sources=srcs)
+        tg = tigr.run("bc", rmat_small, bc_sources=srcs)
+        gr = gunrock.run("bc", rmat_small, bc_sources=srcs)
+        assert b1.cycles > tg.cycles
+        assert b1.cycles > gr.cycles
+
+    def test_sssp_frontier_cheaper_on_sparse_frontier(self, road_small):
+        src = int(np.argmax(road_small.out_degrees()))
+        b1 = lonestar.run("sssp", road_small, source=src)
+        gr = gunrock.run("sssp", road_small, source=src)
+        # the road network's frontier is a thin wave: data-driven wins big
+        assert gr.cycles < b1.cycles
+
+    def test_tigr_reduces_divergence_on_skewed(self, twitter_small):
+        src = int(np.argmax(twitter_small.out_degrees()))
+        b1 = lonestar.run("sssp", twitter_small, source=src)
+        tg = tigr.run("sssp", twitter_small, source=src)
+        assert (
+            tg.metrics.total.idle_lane_steps < b1.metrics.total.idle_lane_steps
+        )
+
+
+class TestVirtualSplit:
+    def test_split_structure(self, twitter_small):
+        split = tigr.virtual_split(twitter_small, vmax=4)
+        assert split.graph.out_degrees().max() <= 4
+        assert split.num_virtual >= twitter_small.num_nodes
+        # masters' virtual ranges tile the virtual id space
+        assert split.vstart[-1] == split.num_virtual
+        assert np.array_equal(
+            np.repeat(np.arange(twitter_small.num_nodes),
+                      np.diff(split.vstart)),
+            split.master,
+        )
+
+    def test_split_preserves_edges(self, twitter_small):
+        split = tigr.virtual_split(twitter_small, vmax=4)
+        assert split.graph.num_edges == twitter_small.num_edges
+        # each master's virtual pieces own exactly its adjacency
+        g = twitter_small
+        for m in (0, 7, int(np.argmax(g.out_degrees()))):
+            lo, hi = split.vstart[m], split.vstart[m + 1]
+            pieces = [
+                split.graph.neighbors(int(v)).tolist() for v in range(lo, hi)
+            ]
+            flat = [x for p in pieces for x in p]
+            assert flat == g.neighbors(m).tolist()
+
+    def test_zero_degree_master_keeps_piece(self):
+        g = CSRGraph.from_edges(3, [0], [1])
+        split = tigr.virtual_split(g, vmax=2)
+        assert split.num_virtual == 3
+
+    def test_vmax_validation(self, tiny_graph):
+        with pytest.raises(SimulationError):
+            tigr.virtual_split(tiny_graph, vmax=0)
+
+    def test_vmax_one_fully_regular(self, rmat_small):
+        split = tigr.virtual_split(rmat_small, vmax=1)
+        assert split.graph.out_degrees().max() <= 1
+        assert split.num_virtual >= rmat_small.num_edges
+
+
+class TestGraffixInsideFrameworks:
+    """Tables 9-14 rows: a Graffix plan executed by Tigr/Gunrock kernels."""
+
+    @pytest.mark.parametrize("baseline", ["tigr", "gunrock"])
+    @pytest.mark.parametrize("technique", ["coalescing", "shmem", "divergence"])
+    def test_plan_accepted(self, rmat_small, baseline, technique):
+        plan = build_plan(rmat_small, technique)
+        module = BASELINES[baseline]
+        src = int(np.argmax(rmat_small.out_degrees()))
+        res = module.run("sssp", plan, source=src)
+        assert res.values.size == rmat_small.num_nodes
+        assert np.isfinite(res.values[src])
+
+    def test_gunrock_pr_on_plan(self, rmat_small):
+        plan = build_plan(rmat_small, "coalescing")
+        res = gunrock.run("pr", plan)
+        assert res.values.sum() == pytest.approx(1.0, abs=0.3)
+
+
+class TestPagerankDelta:
+    def test_eps_controls_accuracy(self, rmat_small):
+        ref = exact_pagerank(rmat_small)
+        loose = gunrock.pagerank_delta(rmat_small, eps_fraction=1e-1)
+        tight = gunrock.pagerank_delta(rmat_small, eps_fraction=1e-6)
+        assert np.abs(tight.values - ref).sum() <= np.abs(loose.values - ref).sum()
+
+    def test_validation(self, rmat_small):
+        with pytest.raises(AlgorithmError):
+            gunrock.pagerank_delta(rmat_small, damping=2.0)
+
+    def test_frontier_shrinks(self, rmat_small):
+        res = gunrock.pagerank_delta(rmat_small)
+        assert res.iterations > 1

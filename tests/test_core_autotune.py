@@ -1,0 +1,63 @@
+"""Unit tests for the knob autotuner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.autotune import autotune
+from repro.errors import TransformError
+
+
+class TestAutotune:
+    @pytest.mark.parametrize("technique", ["coalescing", "shmem", "divergence"])
+    def test_returns_best_of_trials(self, rmat_small, technique):
+        result = autotune(rmat_small, technique)
+        assert result.technique == technique
+        assert len(result.trials) >= 2
+        assert result.best_score == max(t["score"] for t in result.trials)
+        best_trial = max(result.trials, key=lambda t: t["score"])
+        assert result.best_threshold == best_trial["threshold"]
+
+    def test_best_plan_usable(self, rmat_small):
+        from repro.algorithms.sssp import sssp
+
+        result = autotune(rmat_small, "coalescing")
+        res = sssp(result.best_plan, 0)
+        assert res.values.size == rmat_small.num_nodes
+
+    def test_accuracy_weight_shifts_choice(self, social_small):
+        """An accuracy-obsessed tuner must never pick a *less* accurate
+        threshold than a speed-obsessed one for the same graph."""
+        fast = autotune(social_small, "coalescing", accuracy_weight=0.0)
+        safe = autotune(social_small, "coalescing", accuracy_weight=100.0)
+        fast_trial = next(
+            t for t in fast.trials if t["threshold"] == fast.best_threshold
+        )
+        safe_trial = next(
+            t for t in safe.trials if t["threshold"] == safe.best_threshold
+        )
+        assert (
+            safe_trial["inaccuracy_percent"]
+            <= fast_trial["inaccuracy_percent"] + 1e-9
+        )
+
+    def test_unknown_technique(self, rmat_small):
+        with pytest.raises(TransformError):
+            autotune(rmat_small, "prefetch")
+
+    def test_negative_weight_rejected(self, rmat_small):
+        with pytest.raises(TransformError):
+            autotune(rmat_small, "coalescing", accuracy_weight=-1.0)
+
+    def test_summary_renders(self, rmat_small):
+        result = autotune(rmat_small, "divergence")
+        text = result.summary()
+        assert "autotune[divergence]" in text
+        assert str(round(result.best_threshold, 2)) in text or "thr=" in text
+
+    def test_seeded_by_guidelines(self, suite_tiny):
+        """Candidate thresholds bracket the paper's guideline values."""
+        road = suite_tiny["usa-road"]
+        result = autotune(road, "coalescing")
+        thrs = [t["threshold"] for t in result.trials]
+        assert 0.4 in thrs  # the road-network guideline (§5.2)

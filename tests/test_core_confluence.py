@@ -1,0 +1,116 @@
+"""Unit tests for the replica confluence operators (§2.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coalesce import transform_graph
+from repro.core.confluence import CONFLUENCE_OPERATORS, merge_replicas
+from repro.core.knobs import CoalescingKnobs
+from repro.errors import TransformError
+
+
+@pytest.fixture(scope="module")
+def gg_with_replicas(social_small):
+    gg = transform_graph(social_small, CoalescingKnobs(connectedness_threshold=0.2))
+    if gg.num_replicas == 0:
+        pytest.skip("structure produced no replicas")
+    return gg
+
+
+class TestMeanConfluence:
+    def test_copies_equal_after_merge(self, gg_with_replicas):
+        gg = gg_with_replicas
+        rng = np.random.default_rng(0)
+        values = rng.random(gg.num_slots)
+        merge_replicas(values, gg, "mean")
+        slots, gids, sizes = gg.replica_groups()
+        for gid in range(sizes.size):
+            members = slots[gids == gid]
+            assert np.allclose(values[members], values[members[0]])
+
+    def test_mean_is_arithmetic(self, gg_with_replicas):
+        gg = gg_with_replicas
+        values = np.zeros(gg.num_slots)
+        slots, gids, sizes = gg.replica_groups()
+        members = slots[gids == 0]
+        values[members] = np.arange(members.size, dtype=np.float64)
+        expected = values[members].mean()
+        merge_replicas(values, gg, "mean")
+        assert np.allclose(values[members], expected)
+
+    def test_mean_ignores_inf(self, gg_with_replicas):
+        """Distance sentinels must not poison the merge (a replica that
+        hasn't been reached yet carries inf)."""
+        gg = gg_with_replicas
+        values = np.full(gg.num_slots, np.inf)
+        slots, gids, _ = gg.replica_groups()
+        members = slots[gids == 0]
+        values[members[0]] = 5.0
+        merge_replicas(values, gg, "mean")
+        assert (values[members] == 5.0).all()
+
+    def test_all_inf_group_stays_inf(self, gg_with_replicas):
+        gg = gg_with_replicas
+        values = np.full(gg.num_slots, np.inf)
+        merge_replicas(values, gg, "mean")
+        assert np.isinf(values).all()
+
+    def test_idempotent(self, gg_with_replicas):
+        gg = gg_with_replicas
+        values = np.random.default_rng(1).random(gg.num_slots)
+        merge_replicas(values, gg, "mean")
+        once = values.copy()
+        merge_replicas(values, gg, "mean")
+        assert np.allclose(values, once)
+
+    def test_non_group_slots_untouched(self, gg_with_replicas):
+        gg = gg_with_replicas
+        values = np.random.default_rng(2).random(gg.num_slots)
+        before = values.copy()
+        merge_replicas(values, gg, "mean")
+        slots, _, _ = gg.replica_groups()
+        untouched = np.ones(gg.num_slots, dtype=bool)
+        untouched[slots] = False
+        assert np.array_equal(values[untouched], before[untouched])
+
+
+class TestOtherOperators:
+    @pytest.mark.parametrize("op,reducer", [("min", min), ("max", max)])
+    def test_min_max(self, gg_with_replicas, op, reducer):
+        gg = gg_with_replicas
+        values = np.random.default_rng(3).random(gg.num_slots) * 10
+        slots, gids, sizes = gg.replica_groups()
+        expected = {
+            gid: reducer(values[slots[gids == gid]].tolist())
+            for gid in range(sizes.size)
+        }
+        merge_replicas(values, gg, op)
+        for gid, exp in expected.items():
+            assert np.allclose(values[slots[gids == gid]], exp)
+
+    def test_sum(self, gg_with_replicas):
+        gg = gg_with_replicas
+        values = np.ones(gg.num_slots)
+        slots, gids, sizes = gg.replica_groups()
+        merge_replicas(values, gg, "sum")
+        for gid in range(sizes.size):
+            members = slots[gids == gid]
+            assert np.allclose(values[members], members.size)
+
+    def test_unknown_operator(self, gg_with_replicas):
+        with pytest.raises(TransformError):
+            merge_replicas(np.zeros(gg_with_replicas.num_slots), gg_with_replicas, "median")
+
+    def test_operator_registry(self):
+        assert set(CONFLUENCE_OPERATORS) == {"mean", "min", "max", "sum"}
+
+    def test_no_replicas_noop(self, rmat_small):
+        # chunk_size=1 creates no holes, hence provably no replicas
+        gg = transform_graph(rmat_small, CoalescingKnobs(chunk_size=1))
+        assert gg.num_replicas == 0
+        values = np.random.default_rng(4).random(gg.num_slots)
+        before = values.copy()
+        merge_replicas(values, gg, "mean")
+        assert np.array_equal(values, before)

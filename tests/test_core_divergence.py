@@ -1,0 +1,184 @@
+"""Unit tests for the §4 degree-normalization transform."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.divergence import bucket_order, degree_sim, normalize_degrees
+from repro.core.knobs import DivergenceKnobs
+from repro.errors import TransformError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.validate import assert_valid
+from repro.gpusim.device import DeviceConfig, K40C
+
+
+class TestBucketOrder:
+    def test_is_permutation(self, rmat_small):
+        order = bucket_order(rmat_small, 16)
+        assert np.array_equal(np.sort(order), np.arange(rmat_small.num_nodes))
+
+    def test_groups_similar_degrees(self, rmat_small):
+        order = bucket_order(rmat_small, 16)
+        degs = rmat_small.out_degrees()[order]
+        # adjacent-position degree gaps must be small on average compared
+        # with the unordered layout
+        gaps_sorted = np.abs(np.diff(degs.astype(np.int64))).mean()
+        gaps_raw = np.abs(
+            np.diff(rmat_small.out_degrees().astype(np.int64))
+        ).mean()
+        assert gaps_sorted <= gaps_raw
+
+    def test_stable_within_bucket(self):
+        g = CSRGraph.from_edges(4, [0, 1, 2, 3], [1, 2, 3, 0])
+        # uniform degrees: one bucket, identity order
+        assert list(bucket_order(g, 8)) == [0, 1, 2, 3]
+
+    def test_empty_graph(self):
+        assert bucket_order(CSRGraph.empty(0), 4).size == 0
+
+    def test_bad_bucket_count(self, tiny_graph):
+        with pytest.raises(TransformError):
+            bucket_order(tiny_graph, 0)
+
+
+class TestDegreeSim:
+    def test_definition(self):
+        degs = np.array([10.0, 5.0, 10.0, 2.0])
+        sim = degree_sim(degs, 4)
+        assert np.allclose(sim, [0.0, 0.5, 0.0, 0.8])
+
+    def test_multiple_warps(self):
+        degs = np.array([4.0, 2.0, 8.0, 8.0])
+        sim = degree_sim(degs, 2)
+        assert np.allclose(sim, [0.0, 0.5, 0.0, 0.0])
+
+    def test_zero_degree_warp(self):
+        sim = degree_sim(np.zeros(4), 4)
+        assert np.allclose(sim, 0.0)
+
+    def test_empty(self):
+        assert degree_sim(np.empty(0), 4).size == 0
+
+
+class TestNormalizeDegrees:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(TransformError):
+            normalize_degrees(CSRGraph.empty(0))
+
+    def test_padding_reduces_divergence(self, rmat_small):
+        from repro.gpusim.warp import divergence_stats, form_warps
+
+        knobs = DivergenceKnobs(degree_sim_threshold=0.5)
+        plan = normalize_degrees(rmat_small, knobs)
+        ws = K40C.warp_size
+        before = divergence_stats(
+            form_warps(plan.order, ws),
+            rmat_small.out_degrees()[plan.order],
+            ws,
+        )
+        after = divergence_stats(
+            form_warps(plan.order, ws),
+            plan.graph.out_degrees()[plan.order],
+            ws,
+        )
+        if plan.edges_added == 0:
+            pytest.skip("nothing padded on this structure")
+        assert after.divergence_ratio < before.divergence_ratio
+
+    def test_padded_degrees_reach_target(self, rmat_small):
+        knobs = DivergenceKnobs(degree_sim_threshold=0.5, target_fraction=0.85)
+        device = K40C
+        plan = normalize_degrees(rmat_small, knobs, device)
+        if plan.padded_nodes.size == 0:
+            pytest.skip("nothing padded")
+        ws = device.warp_size
+        rank = np.empty(rmat_small.num_nodes, dtype=np.int64)
+        rank[plan.order] = np.arange(rmat_small.num_nodes)
+        degs_before = rmat_small.out_degrees()
+        warp_max = np.zeros(rmat_small.num_nodes)
+        ordered = degs_before[plan.order].astype(np.float64)
+        starts = np.arange(0, rmat_small.num_nodes, ws)
+        wmax = np.maximum.reduceat(ordered, starts)
+        degs_after = plan.graph.out_degrees()
+        for v in plan.padded_nodes:
+            target = np.ceil(0.85 * wmax[rank[v] // ws])
+            # padding reaches the target unless 2-hop candidates ran out
+            assert degs_after[v] >= degs_before[v]
+            assert degs_after[v] <= max(target, degs_before[v])
+
+    def test_zero_threshold_adds_nothing(self, rmat_small):
+        knobs = DivergenceKnobs(degree_sim_threshold=0.0)
+        plan = normalize_degrees(rmat_small, knobs)
+        assert plan.edges_added == 0
+        assert plan.graph.num_edges == rmat_small.num_edges
+
+    def test_higher_threshold_more_edges(self, rmat_small):
+        added = [
+            normalize_degrees(
+                rmat_small, DivergenceKnobs(degree_sim_threshold=t)
+            ).edges_added
+            for t in (0.1, 0.3, 0.6)
+        ]
+        assert added[0] <= added[1] <= added[2]
+
+    def test_new_edges_are_two_hop(self, weighted_graph):
+        knobs = DivergenceKnobs(degree_sim_threshold=0.9, target_fraction=1.0)
+        plan = normalize_degrees(weighted_graph, knobs, DeviceConfig(warp_size=4))
+        if plan.edges_added == 0:
+            pytest.skip("nothing padded")
+        two_hop = set()
+        g = weighted_graph
+        for u in range(g.num_nodes):
+            for mid in g.neighbors(u):
+                for q in g.neighbors(int(mid)):
+                    two_hop.add((u, int(q)))
+        old = set(
+            zip(g.edge_sources().tolist(), g.indices.tolist())
+        )
+        new = set(
+            zip(
+                plan.graph.edge_sources().tolist(),
+                plan.graph.indices.tolist(),
+            )
+        )
+        for e in new - old:
+            assert e in two_hop
+
+    def test_weighted_edges_use_path_sum(self, weighted_graph):
+        knobs = DivergenceKnobs(degree_sim_threshold=0.9, target_fraction=1.0)
+        plan = normalize_degrees(weighted_graph, knobs, DeviceConfig(warp_size=4))
+        if plan.edges_added == 0:
+            pytest.skip("nothing padded")
+        # every new edge u->q has weight equal to some w(u,mid)+w(mid,q)
+        sums = {}
+        g = weighted_graph
+        for u in range(g.num_nodes):
+            for i, mid in enumerate(g.neighbors(u)):
+                w1 = float(g.edge_weights_of(u)[i])
+                for j, q in enumerate(g.neighbors(int(mid))):
+                    key = (u, int(q))
+                    w = w1 + float(g.edge_weights_of(int(mid))[j])
+                    sums.setdefault(key, set()).add(round(w, 9))
+        old = set(zip(g.edge_sources().tolist(), g.indices.tolist()))
+        srcs = plan.graph.edge_sources()
+        for e in range(plan.graph.num_edges):
+            key = (int(srcs[e]), int(plan.graph.indices[e]))
+            if key not in old:
+                assert round(float(plan.graph.weights[e]), 9) in sums[key]
+
+    def test_graph_valid(self, all_structures):
+        for g in all_structures.values():
+            plan = normalize_degrees(g, DivergenceKnobs(degree_sim_threshold=0.4))
+            assert_valid(plan.graph, allow_duplicates=True)
+
+    def test_padding_is_value_preserving_for_sssp(self, weighted_graph):
+        """Sum-weighted 2-hop edges cannot shorten any shortest path."""
+        from repro.algorithms.exact import exact_sssp
+
+        plan = normalize_degrees(
+            weighted_graph, DivergenceKnobs(degree_sim_threshold=0.9)
+        )
+        before = exact_sssp(weighted_graph, 0)
+        after = exact_sssp(plan.graph, 0)
+        assert np.allclose(before, after)

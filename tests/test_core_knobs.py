@@ -1,0 +1,93 @@
+"""Unit tests for knob validation and threshold guidelines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.knobs import (
+    CoalescingKnobs,
+    DivergenceKnobs,
+    SharedMemoryKnobs,
+    recommended_cc_threshold,
+    recommended_connectedness,
+)
+from repro.errors import KnobError
+
+
+class TestCoalescingKnobs:
+    def test_defaults_match_paper(self):
+        k = CoalescingKnobs()
+        assert k.chunk_size == 16  # §5: "we use k=16"
+        assert k.connectedness_threshold == 0.6  # scale-free default
+
+    @pytest.mark.parametrize("bad", [{"chunk_size": 0}, {"chunk_size": -3},
+                                     {"connectedness_threshold": 1.5},
+                                     {"connectedness_threshold": -0.1},
+                                     {"max_replicas_per_node": 0}])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(KnobError):
+            CoalescingKnobs(**bad)
+
+    def test_frozen(self):
+        k = CoalescingKnobs()
+        with pytest.raises(Exception):
+            k.chunk_size = 8  # type: ignore[misc]
+
+
+class TestSharedMemoryKnobs:
+    def test_defaults_valid(self):
+        k = SharedMemoryKnobs()
+        assert 0 < k.cc_threshold <= 1
+        assert k.iterations_factor == 2.0  # §3: t ~ 2 x diameter
+
+    @pytest.mark.parametrize("bad", [{"cc_threshold": 2.0},
+                                     {"boost_band": -0.5},
+                                     {"edge_budget_fraction": -1.0},
+                                     {"iterations_factor": 0.0}])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(KnobError):
+            SharedMemoryKnobs(**bad)
+
+
+class TestDivergenceKnobs:
+    def test_defaults_match_paper(self):
+        k = DivergenceKnobs()
+        assert k.degree_sim_threshold == 0.3  # Figure 9 sweet spot
+        assert k.target_fraction == 0.85  # §5.4: 85% of warp max
+
+    @pytest.mark.parametrize("bad", [{"degree_sim_threshold": 1.1},
+                                     {"target_fraction": -0.2},
+                                     {"bucket_count": 0}])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(KnobError):
+            DivergenceKnobs(**bad)
+
+
+class TestGuidelines:
+    def test_connectedness_guideline(self):
+        """§5.2: 0.6 for power-law, 0.4 for near-uniform road networks."""
+        assert recommended_connectedness(0.6) == 0.6
+        assert recommended_connectedness(0.1) == 0.4
+
+    def test_cc_threshold_from_array(self):
+        cc = np.concatenate([np.zeros(90), np.full(10, 0.8)])
+        thr = recommended_cc_threshold(cc)
+        assert 0.3 <= thr <= 0.9
+
+    def test_cc_threshold_clamped_high(self):
+        assert recommended_cc_threshold(np.full(10, 0.99)) == 0.9
+
+    def test_cc_threshold_no_clusters(self):
+        assert recommended_cc_threshold(np.zeros(10)) == 0.3
+
+    def test_cc_threshold_reachable_by_boosting(self):
+        """Weakly-clustered graphs get a threshold the boost band can
+        actually reach (the §3 applicability argument)."""
+        cc = np.concatenate([np.zeros(900), np.full(100, 0.12)])
+        thr = recommended_cc_threshold(cc)
+        assert thr <= 0.12 * 1.25 + 1e-9 or thr == 0.3
+
+    def test_cc_threshold_scalar_fallback(self):
+        assert recommended_cc_threshold(0.05) == pytest.approx(0.3)
+        assert recommended_cc_threshold(0.25) == pytest.approx(0.75)

@@ -1,0 +1,89 @@
+"""Unit tests for technique composition (ExecutionPlan / build_plan)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import TECHNIQUES, ExecutionPlan, build_plan
+from repro.errors import TransformError
+
+
+class TestBuildPlan:
+    def test_unknown_technique_rejected(self, rmat_small):
+        with pytest.raises(TransformError):
+            build_plan(rmat_small, "warp-shuffle")
+
+    def test_exact_plan_is_identity(self, rmat_small):
+        plan = build_plan(rmat_small, "exact")
+        assert plan.graph is rmat_small
+        assert plan.order is None
+        assert plan.graffix is None
+        assert not plan.has_replicas and not plan.has_clusters
+        vals = np.arange(rmat_small.num_nodes, dtype=np.float64)
+        assert np.array_equal(plan.lift(vals), vals)
+        assert np.array_equal(plan.lower(vals), vals)
+
+    def test_exact_lift_is_a_copy(self, rmat_small):
+        plan = build_plan(rmat_small, "exact")
+        vals = np.zeros(rmat_small.num_nodes)
+        lifted = plan.lift(vals)
+        lifted[0] = 99
+        assert vals[0] == 0
+
+    def test_divergence_plan_fields(self, rmat_small):
+        plan = build_plan(rmat_small, "divergence")
+        assert plan.order is not None
+        assert plan.graffix is None
+        assert plan.preprocess_seconds > 0
+
+    def test_shmem_plan_fields(self, rmat_small):
+        plan = build_plan(rmat_small, "shmem")
+        assert plan.resident_mask is not None
+        assert plan.cluster_graph is not None
+        assert plan.local_iterations >= 1
+
+    def test_coalescing_plan_fields(self, rmat_small):
+        plan = build_plan(rmat_small, "coalescing")
+        assert plan.graffix is not None
+        assert plan.graph.num_nodes >= rmat_small.num_nodes
+
+    def test_all_techniques_build(self, rmat_small):
+        for t in TECHNIQUES:
+            plan = build_plan(rmat_small, t)
+            assert plan.technique == t
+
+
+class TestCombinedPlan:
+    @pytest.fixture(scope="class")
+    def combined(self, rmat_small):
+        return build_plan(rmat_small, "combined")
+
+    def test_has_all_artifacts(self, combined):
+        assert combined.graffix is not None
+        assert combined.resident_mask is not None
+        assert combined.cluster_graph is not None
+
+    def test_residency_lifted_to_slot_space(self, combined, rmat_small):
+        assert combined.resident_mask.size == combined.graph.num_nodes
+        # holes are never resident
+        holes = combined.graffix.rep_of < 0
+        assert not combined.resident_mask[holes].any()
+
+    def test_cluster_graph_in_slot_space(self, combined):
+        assert combined.cluster_graph.num_nodes == combined.graph.num_nodes
+
+    def test_edges_added_accumulates(self, rmat_small, combined):
+        parts = [
+            build_plan(rmat_small, "divergence").edges_added,
+        ]
+        # combined counts div + shmem + coalescing additions
+        assert combined.edges_added >= parts[0]
+
+    def test_combined_runs_sssp(self, rmat_small, combined):
+        from repro.algorithms.sssp import sssp
+
+        src = int(np.argmax(rmat_small.out_degrees()))
+        res = sssp(combined, src)
+        assert res.values.size == rmat_small.num_nodes
+        assert np.isfinite(res.values[src])

@@ -1,0 +1,144 @@
+"""Unit tests for the Graffix renumbering (Algorithm 2, step 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.renumber import renumber
+from repro.errors import TransformError
+from repro.graphs.builder import permute
+from repro.graphs.csr import CSRGraph
+from repro.graphs.validate import assert_isomorphic_relabelling
+
+
+class TestRenumberBasics:
+    def test_bijection_over_nodes(self, tiny_graph):
+        ren = renumber(tiny_graph, 8)
+        assert np.unique(ren.new_id).size == tiny_graph.num_nodes
+        assert ren.new_id.min() >= 0
+        assert ren.new_id.max() < ren.num_slots
+
+    def test_rep_of_inverse(self, tiny_graph):
+        ren = renumber(tiny_graph, 8)
+        for old in range(tiny_graph.num_nodes):
+            assert ren.rep_of[ren.new_id[old]] == old
+
+    def test_total_slots_multiple_of_k(self, all_structures):
+        for g in all_structures.values():
+            for k in (4, 16):
+                ren = renumber(g, k)
+                assert ren.num_slots % k == 0
+                assert ren.num_slots >= g.num_nodes
+
+    def test_level_blocks_chunk_aligned(self, rmat_small):
+        ren = renumber(rmat_small, 16)
+        # every level block except the first starts at a multiple of k
+        for start in ren.level_starts[1:-1]:
+            assert start % 16 == 0
+
+    def test_holes_count_consistent(self, er_small):
+        ren = renumber(er_small, 16)
+        assert ren.num_holes == ren.num_slots - er_small.num_nodes
+        assert set(ren.holes().tolist()) == set(
+            np.nonzero(ren.rep_of < 0)[0].tolist()
+        )
+
+    def test_chunk_size_one_no_holes(self, tiny_graph):
+        ren = renumber(tiny_graph, 1)
+        assert ren.num_holes == 0
+        assert ren.num_slots == tiny_graph.num_nodes
+
+    def test_bad_chunk_size(self, tiny_graph):
+        with pytest.raises(TransformError):
+            renumber(tiny_graph, 0)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(TransformError):
+            renumber(CSRGraph.empty(0), 4)
+
+
+class TestPaperSemantics:
+    def test_levels_consistent_with_bfs_forest(self, tiny_graph):
+        """BFS-forest roots (picked in decreasing out-degree) are level 0."""
+        ren = renumber(tiny_graph, 8)
+        level0_old = set(np.nonzero(ren.levels == 0)[0].tolist())
+        assert level0_old == {0, 1, 2, 3}
+        # later BFS traversals lowered reachable nodes into level 1; only
+        # nodes two hops from every root remain at level 2
+        assert int(ren.levels.max()) == 2
+
+    def test_level0_ordered_by_degree(self, tiny_graph):
+        """Level-0 ids follow decreasing out-degree (BFS source order)."""
+        ren = renumber(tiny_graph, 8)
+        assert ren.new_id[0] == 0  # highest degree (7)
+        assert ren.new_id[1] == 1  # next (6)
+
+    def test_slots_grouped_by_level(self, rmat_small):
+        """A slot's position determines its level block."""
+        ren = renumber(rmat_small, 16)
+        slot_lv = ren.slot_levels()
+        for old in range(rmat_small.num_nodes):
+            assert slot_lv[ren.new_id[old]] == ren.levels[old]
+
+    def test_level_of_slot_scalar_matches_vector(self, rmat_small):
+        ren = renumber(rmat_small, 16)
+        vec = ren.slot_levels()
+        for slot in range(0, ren.num_slots, 7):
+            assert ren.level_of_slot(slot) == vec[slot]
+
+    def test_round_robin_alignment(self):
+        """Children of consecutive parents at position j get adjacent ids.
+
+        Two parents at level 0 with disjoint children: the first child of
+        parent A and the first child of parent B must be numbered before
+        any second child.
+        """
+        # parents 0,1 (deg 3 each, so they land at level 0 in degree order)
+        src = [0, 0, 0, 1, 1, 1]
+        dst = [2, 3, 4, 5, 6, 7]
+        g = CSRGraph.from_edges(8, src, dst)
+        ren = renumber(g, 4)
+        # first-round children: 2 (j=0 of parent 0) then 5 (j=0 of parent 1)
+        assert ren.new_id[5] == ren.new_id[2] + 1
+        assert ren.new_id[3] > ren.new_id[5]  # j=1 comes after all j=0
+
+
+class TestRenumberExactness:
+    """Renumbering alone is an exact transform: the relabelled graph is
+    isomorphic to the input (the paper's correctness contract)."""
+
+    @pytest.mark.parametrize("k", [1, 4, 16])
+    def test_isomorphism_certificate(self, all_structures, k):
+        for name, g in all_structures.items():
+            ren = renumber(g, k)
+            # compact the slot mapping into a dense permutation
+            occupied_sorted = np.argsort(ren.new_id)
+            dense = np.empty(g.num_nodes, dtype=np.int64)
+            dense[occupied_sorted] = np.arange(g.num_nodes)
+            relabelled = permute(g, dense)
+            assert_isomorphic_relabelling(g, relabelled, dense)
+
+    def test_algorithm_result_invariant_under_renumbering(self, weighted_graph):
+        """SSSP on the renumbered (hole-free, k=1) graph gives identical
+        distances after mapping back."""
+        from repro.algorithms.sssp import sssp
+        from repro.core.coalesce import transform_graph
+        from repro.core.knobs import CoalescingKnobs
+
+        gg = transform_graph(
+            weighted_graph,
+            CoalescingKnobs(chunk_size=1, connectedness_threshold=1.0),
+        )
+        assert gg.num_replicas == 0
+        exact = sssp(weighted_graph, 0)
+        from repro.core.pipeline import ExecutionPlan
+
+        plan = ExecutionPlan(
+            technique="coalescing",
+            graph=gg.graph,
+            num_original=weighted_graph.num_nodes,
+            graffix=gg,
+        )
+        approx = sssp(plan, 0)
+        assert np.allclose(exact.values, approx.values)

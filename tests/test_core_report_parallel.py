@@ -1,0 +1,97 @@
+"""Unit tests for transform reports and the parallel table harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import build_plan
+from repro.core.report import report_transform
+from repro.errors import ReproError, TransformError
+
+
+class TestTransformReport:
+    @pytest.mark.parametrize("technique", ["coalescing", "shmem", "divergence"])
+    def test_fields_consistent(self, rmat_small, technique):
+        plan = build_plan(rmat_small, technique)
+        rep = report_transform(rmat_small, plan)
+        assert rep.technique == technique
+        assert rep.nodes_before == rmat_small.num_nodes
+        assert rep.nodes_after == plan.graph.num_nodes
+        assert rep.edges_after == rep.edges_before + rep.edges_added
+        assert 0.0 <= rep.hole_occupancy <= 1.0
+        assert rep.probe_cycles_before > 0 and rep.probe_cycles_after > 0
+
+    def test_exact_plan_is_neutral(self, rmat_small):
+        plan = build_plan(rmat_small, "exact")
+        rep = report_transform(rmat_small, plan)
+        assert rep.edges_added == 0
+        assert rep.replicas == 0
+        assert rep.probe_speedup == pytest.approx(1.0)
+
+    def test_divergence_improves_divergence(self, rmat_small):
+        plan = build_plan(rmat_small, "divergence")
+        rep = report_transform(rmat_small, plan)
+        assert rep.divergence_after < rep.divergence_before
+
+    def test_shmem_pins_nodes_and_raises_cc(self, rmat_small):
+        plan = build_plan(rmat_small, "shmem")
+        rep = report_transform(rmat_small, plan)
+        assert rep.resident_nodes > 0
+        assert rep.mean_cc_after >= rep.mean_cc_before - 1e-9
+
+    def test_skip_cc_probe(self, rmat_small):
+        plan = build_plan(rmat_small, "divergence")
+        rep = report_transform(rmat_small, plan, probe_cc=False)
+        assert np.isnan(rep.mean_cc_before)
+
+    def test_wrong_graph_rejected(self, rmat_small, road_small):
+        plan = build_plan(rmat_small, "divergence")
+        with pytest.raises(TransformError):
+            report_transform(road_small, plan)
+
+    def test_render(self, rmat_small):
+        plan = build_plan(rmat_small, "coalescing")
+        text = report_transform(rmat_small, plan).render()
+        assert "transform report: coalescing" in text
+        assert "per sweep" in text
+
+
+class TestParallelHarness:
+    def test_worker_rows_standalone(self):
+        from repro.eval.parallel import worker_rows
+
+        rows = worker_rows("rmat", "divergence", "baseline1", ("sssp",),
+                           "tiny", 7, 2)
+        assert len(rows) == 1
+        assert rows[0]["graph"] == "rmat"
+        assert rows[0]["speedup"] > 0
+
+    def test_parallel_matches_sequential(self):
+        """Process-parallel rows must equal the sequential TableRunner's
+        (same seeds, same deterministic pipeline)."""
+        from repro.eval.parallel import parallel_technique_rows
+        from repro.eval.tables import TableRunner
+
+        par = parallel_technique_rows(
+            "divergence",
+            algorithms=("sssp",),
+            scale="tiny",
+            num_bc_sources=2,
+            max_workers=2,
+        )
+        seq_runner = TableRunner(scale="tiny", num_bc_sources=2)
+        seq = seq_runner._technique_rows("divergence", "baseline1", ("sssp",))
+        assert len(par) == len(seq)
+        for p, s in zip(par, seq):
+            assert p["graph"] == s["graph"]
+            assert p["speedup"] == pytest.approx(s["speedup"])
+            assert p["inaccuracy_percent"] == pytest.approx(
+                s["inaccuracy_percent"]
+            )
+
+    def test_unknown_technique(self):
+        from repro.eval.parallel import parallel_technique_rows
+
+        with pytest.raises(ReproError):
+            parallel_technique_rows("oracle", scale="tiny")

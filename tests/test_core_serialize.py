@@ -1,0 +1,95 @@
+"""Unit tests for execution-plan persistence (the amortization round-trip)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.sssp import sssp
+from repro.core.pipeline import build_plan
+from repro.core.serialize import load_plan, save_plan
+from repro.errors import TransformError
+
+
+@pytest.mark.parametrize(
+    "technique", ["exact", "coalescing", "shmem", "divergence", "combined"]
+)
+def test_roundtrip_structure(rmat_small, technique, tmp_path):
+    plan = build_plan(rmat_small, technique)
+    p = tmp_path / "plan.npz"
+    save_plan(plan, p)
+    loaded = load_plan(p)
+    assert loaded.technique == plan.technique
+    assert loaded.num_original == plan.num_original
+    assert loaded.graph == plan.graph
+    assert loaded.edges_added == plan.edges_added
+    assert loaded.local_iterations == plan.local_iterations
+    if plan.order is not None:
+        assert np.array_equal(loaded.order, plan.order)
+    if plan.resident_mask is not None:
+        assert np.array_equal(loaded.resident_mask, plan.resident_mask)
+    if plan.cluster_graph is not None:
+        assert loaded.cluster_graph == plan.cluster_graph
+    if plan.graffix is not None:
+        assert np.array_equal(loaded.graffix.rep_of, plan.graffix.rep_of)
+        assert np.array_equal(
+            loaded.graffix.primary_slot, plan.graffix.primary_slot
+        )
+
+
+@pytest.mark.parametrize("technique", ["coalescing", "shmem", "divergence"])
+def test_loaded_plan_executes_identically(rmat_small, technique, tmp_path):
+    """The whole point: identical simulated results from a reloaded plan."""
+    plan = build_plan(rmat_small, technique)
+    p = tmp_path / "plan.npz"
+    save_plan(plan, p)
+    loaded = load_plan(p)
+
+    src = int(np.argmax(rmat_small.out_degrees()))
+    a = sssp(plan, src)
+    b = sssp(loaded, src)
+    assert np.array_equal(
+        np.nan_to_num(a.values, posinf=-1), np.nan_to_num(b.values, posinf=-1)
+    )
+    assert a.cycles == b.cycles
+
+    pa = pagerank(plan)
+    pb = pagerank(loaded)
+    assert np.allclose(pa.values, pb.values)
+    assert pa.cycles == pb.cycles
+
+
+def test_replica_groups_survive(social_small, tmp_path):
+    from repro.core.knobs import CoalescingKnobs
+
+    plan = build_plan(
+        social_small,
+        "coalescing",
+        coalescing=CoalescingKnobs(connectedness_threshold=0.3),
+    )
+    if not plan.has_replicas:
+        pytest.skip("no replicas")
+    p = tmp_path / "plan.npz"
+    save_plan(plan, p)
+    loaded = load_plan(p)
+    s1, g1, z1 = plan.graffix.replica_groups()
+    s2, g2, z2 = loaded.graffix.replica_groups()
+    assert np.array_equal(np.sort(s1), np.sort(s2))
+    assert np.array_equal(z1, z2)
+
+
+def test_not_a_plan_rejected(tmp_path):
+    p = tmp_path / "bogus.npz"
+    np.savez(p, foo=np.arange(3))
+    with pytest.raises(TransformError):
+        load_plan(p)
+
+
+def test_lift_lower_after_reload(rmat_small, tmp_path):
+    plan = build_plan(rmat_small, "coalescing")
+    p = tmp_path / "plan.npz"
+    save_plan(plan, p)
+    loaded = load_plan(p)
+    vals = np.arange(rmat_small.num_nodes, dtype=np.float64)
+    assert np.array_equal(loaded.lower(loaded.lift(vals)), vals)

@@ -1,0 +1,124 @@
+"""Unit tests for the §3 shared-memory / clustering-coefficient transform."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.knobs import SharedMemoryKnobs
+from repro.core.shmem import plan_shared_memory
+from repro.errors import TransformError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.properties import clustering_coefficients
+from repro.graphs.validate import assert_valid
+from repro.gpusim.device import DeviceConfig
+
+
+class TestPlanStructure:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(TransformError):
+            plan_shared_memory(CSRGraph.empty(0))
+
+    def test_clusters_are_center_plus_neighbors(self, rmat_small):
+        plan = plan_shared_memory(rmat_small, SharedMemoryKnobs(cc_threshold=0.6))
+        und = plan.graph.to_undirected()
+        for members in plan.clusters:
+            # at least one member's 1-hop ball covers the whole cluster
+            covered = any(
+                set(members.tolist())
+                <= set(und.neighbors(int(v)).tolist()) | {int(v)}
+                for v in members
+            )
+            assert covered
+
+    def test_resident_mask_is_cluster_union(self, rmat_small):
+        plan = plan_shared_memory(rmat_small, SharedMemoryKnobs(cc_threshold=0.6))
+        expected = np.zeros(rmat_small.num_nodes, dtype=bool)
+        for members in plan.clusters:
+            expected[members] = True
+        assert np.array_equal(plan.resident_mask, expected)
+
+    def test_cluster_graph_edges_internal(self, rmat_small):
+        plan = plan_shared_memory(rmat_small, SharedMemoryKnobs(cc_threshold=0.6))
+        srcs = plan.cluster_graph.edge_sources()
+        assert plan.resident_mask[srcs].all()
+        assert plan.resident_mask[plan.cluster_graph.indices].all()
+
+    def test_capacity_respected(self, rmat_small):
+        device = DeviceConfig(shared_mem_words=8)
+        plan = plan_shared_memory(
+            rmat_small, SharedMemoryKnobs(cc_threshold=0.5), device
+        )
+        for members in plan.clusters:
+            assert members.size <= 8
+
+    def test_local_iterations_follow_factor(self, rmat_small):
+        p1 = plan_shared_memory(rmat_small, SharedMemoryKnobs(iterations_factor=1.0))
+        p3 = plan_shared_memory(rmat_small, SharedMemoryKnobs(iterations_factor=3.0))
+        assert p3.local_iterations > p1.local_iterations
+        assert p1.local_iterations >= 1
+
+    def test_output_graph_valid(self, all_structures):
+        for g in all_structures.values():
+            plan = plan_shared_memory(g, SharedMemoryKnobs(cc_threshold=0.5))
+            assert_valid(plan.graph, allow_duplicates=True)
+
+
+class TestEdgeAddition:
+    def test_budget_respected(self, social_small):
+        knobs = SharedMemoryKnobs(cc_threshold=0.5, edge_budget_fraction=0.01)
+        plan = plan_shared_memory(social_small, knobs)
+        assert plan.edges_added <= int(0.01 * social_small.num_edges)
+
+    def test_zero_budget_adds_nothing(self, social_small):
+        knobs = SharedMemoryKnobs(cc_threshold=0.5, edge_budget_fraction=0.0)
+        plan = plan_shared_memory(social_small, knobs)
+        assert plan.edges_added == 0
+        assert plan.graph.num_edges == social_small.num_edges
+
+    def test_added_edges_are_symmetric_pairs(self, rmat_small):
+        knobs = SharedMemoryKnobs(cc_threshold=0.6, edge_budget_fraction=0.05)
+        plan = plan_shared_memory(rmat_small, knobs)
+        if plan.edges_added == 0:
+            pytest.skip("no edges added")
+        # the count tracks logical (undirected) additions; the graph gains
+        # two directed arcs per addition, minus dedup collisions
+        assert plan.graph.num_edges > rmat_small.num_edges
+
+    def test_boosting_raises_cc(self):
+        """A near-threshold node with common-neighbor sibling pairs gets
+        boosted over the bar."""
+        # wheel-ish graph: center 0, ring of 5 partially connected
+        src = [0, 0, 0, 0, 0, 1, 2, 3, 4]
+        dst = [1, 2, 3, 4, 5, 2, 3, 4, 5]
+        g = CSRGraph.from_edges(
+            6,
+            np.array(src + dst),
+            np.array(dst + src),
+        )
+        before = clustering_coefficients(g)[0]
+        knobs = SharedMemoryKnobs(
+            cc_threshold=min(0.9, before + 0.1),
+            boost_band=0.5,
+            edge_budget_fraction=1.0,
+        )
+        plan = plan_shared_memory(g, knobs)
+        assert plan.cc[0] >= before
+
+    def test_high_threshold_fewer_clusters(self, rmat_small):
+        lo = plan_shared_memory(rmat_small, SharedMemoryKnobs(cc_threshold=0.5))
+        hi = plan_shared_memory(rmat_small, SharedMemoryKnobs(cc_threshold=0.95))
+        assert len(hi.clusters) <= len(lo.clusters)
+
+
+class TestWeightedEdges:
+    def test_new_edge_weights_are_hop_means(self, suite_tiny):
+        g = suite_tiny["rmat"]
+        knobs = SharedMemoryKnobs(cc_threshold=0.6, edge_budget_fraction=0.05)
+        plan = plan_shared_memory(g, knobs)
+        if plan.edges_added == 0:
+            pytest.skip("no edges added")
+        assert plan.graph.is_weighted
+        # new weights are means of two original weights: within range
+        assert plan.graph.weights.min() >= g.weights.min()
+        assert plan.graph.weights.max() <= g.weights.max()

@@ -1,0 +1,85 @@
+"""Tests for the exception hierarchy and cross-module error behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    AlgorithmError,
+    GraphFormatError,
+    KnobError,
+    ReproError,
+    SimulationError,
+    TransformError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [GraphFormatError, TransformError, KnobError, SimulationError, AlgorithmError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_knob_error_is_transform_error(self):
+        # a bad knob is a transform-configuration problem
+        assert issubclass(KnobError, TransformError)
+
+    def test_catch_all_library_failures(self):
+        """A caller wrapping the library can catch ReproError alone."""
+        from repro.graphs.csr import CSRGraph
+
+        with pytest.raises(ReproError):
+            CSRGraph.from_edges(2, [0], [5])
+
+
+class TestErrorMessagesCarryContext:
+    def test_graph_errors_name_the_numbers(self):
+        from repro.graphs.csr import CSRGraph
+
+        with pytest.raises(GraphFormatError, match="num_nodes=3"):
+            CSRGraph.from_edges(3, [0], [7])
+
+    def test_knob_errors_name_the_knob(self):
+        from repro.core.knobs import CoalescingKnobs
+
+        with pytest.raises(KnobError, match="connectedness_threshold"):
+            CoalescingKnobs(connectedness_threshold=3.0)
+
+    def test_simulation_errors_name_the_parameter(self):
+        from repro.gpusim.device import DeviceConfig
+
+        with pytest.raises(SimulationError, match="warp_size"):
+            DeviceConfig(warp_size=7)
+
+    def test_algorithm_errors_name_the_argument(self):
+        from repro.algorithms.sssp import sssp
+        from repro.graphs.csr import CSRGraph
+
+        g = CSRGraph.from_edges(3, [0], [1])
+        with pytest.raises(AlgorithmError, match="source"):
+            sssp(g, 99)
+
+
+class TestLayerBoundaries:
+    def test_transform_rejects_before_simulating(self, tiny_graph):
+        """Bad knobs must fail at construction, not mid-benchmark."""
+        from repro.core.knobs import DivergenceKnobs
+
+        with pytest.raises(KnobError):
+            DivergenceKnobs(degree_sim_threshold=-0.5)
+
+    def test_harness_wraps_unknown_baseline(self, tiny_graph):
+        from repro.eval.harness import Harness
+
+        with pytest.raises(ReproError):
+            Harness().run(tiny_graph, "sssp", "coalescing", baseline="nvgraph")
+
+    def test_suite_unknown_target_keyerror(self):
+        # the CLI layer deliberately raises KeyError (argparse context)
+        from repro.eval.suite import run_targets
+
+        with pytest.raises(KeyError):
+            run_targets(["table0"], scale="tiny")

@@ -1,0 +1,84 @@
+"""Unit tests for the paper's inaccuracy metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.eval.accuracy import (
+    accuracy_percent,
+    attribute_inaccuracy,
+    mst_inaccuracy,
+    scc_inaccuracy,
+)
+
+
+class TestAttributeInaccuracy:
+    def test_identical_is_zero(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert attribute_inaccuracy(v, v.copy()) == 0.0
+
+    def test_known_value(self):
+        exact = np.array([10.0, 10.0])
+        approx = np.array([11.0, 9.0])
+        # mean |diff| = 1, mean exact = 10 -> 10%
+        assert attribute_inaccuracy(exact, approx) == pytest.approx(10.0)
+
+    def test_symmetric_in_sign_of_error(self):
+        exact = np.array([5.0, 5.0])
+        up = attribute_inaccuracy(exact, np.array([6.0, 6.0]))
+        down = attribute_inaccuracy(exact, np.array([4.0, 4.0]))
+        assert up == pytest.approx(down)
+
+    def test_reachability_mismatch_counts_full(self):
+        exact = np.array([1.0, np.inf])
+        approx = np.array([1.0, 1.0])
+        # one perfect vertex + one 100%-wrong vertex -> 50%
+        assert attribute_inaccuracy(exact, approx) == pytest.approx(50.0)
+
+    def test_matching_inf_ignored(self):
+        exact = np.array([2.0, np.inf])
+        approx = np.array([2.0, np.inf])
+        assert attribute_inaccuracy(exact, approx) == 0.0
+
+    def test_all_inf(self):
+        v = np.array([np.inf, np.inf])
+        assert attribute_inaccuracy(v, v.copy()) == 0.0
+
+    def test_zero_exact_base(self):
+        exact = np.zeros(4)
+        approx = np.full(4, 0.5)
+        # falls back to absolute scoring against 1.0
+        assert attribute_inaccuracy(exact, approx) == pytest.approx(50.0)
+
+    def test_empty(self):
+        assert attribute_inaccuracy(np.array([]), np.array([])) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(AlgorithmError):
+            attribute_inaccuracy(np.zeros(3), np.zeros(4))
+
+
+class TestSccMstMetrics:
+    def test_scc_exact_match(self):
+        assert scc_inaccuracy(10, 10) == 0.0
+
+    def test_scc_relative(self):
+        assert scc_inaccuracy(10, 9) == pytest.approx(10.0)
+        assert scc_inaccuracy(10, 12) == pytest.approx(20.0)
+
+    def test_scc_zero_exact_rejected(self):
+        with pytest.raises(AlgorithmError):
+            scc_inaccuracy(0, 5)
+
+    def test_mst_relative(self):
+        assert mst_inaccuracy(100.0, 113.0) == pytest.approx(13.0)
+
+    def test_mst_zero_exact_rejected(self):
+        with pytest.raises(AlgorithmError):
+            mst_inaccuracy(0.0, 5.0)
+
+    def test_accuracy_complement(self):
+        assert accuracy_percent(12.5) == 87.5
+        assert accuracy_percent(150.0) == 0.0

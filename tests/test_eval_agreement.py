@@ -1,0 +1,130 @@
+"""Unit tests for the paper-data transcription and the agreement scorer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.eval import paper_data
+from repro.eval.agreement import TableAgreement, agreement_report, score_table
+from repro.eval.reporting import geomean
+
+
+class TestPaperData:
+    def test_graph_keys_consistent(self):
+        for name, (cells, _gm, _b, algos) in paper_data.TECHNIQUE_TABLES.items():
+            assert set(cells) == set(algos), name
+            for algo, per_graph in cells.items():
+                assert set(per_graph) == set(paper_data.GRAPHS), (name, algo)
+
+    def test_all_pairs_well_formed(self):
+        for cells, _gm, _b, _a in paper_data.TECHNIQUE_TABLES.values():
+            for per_graph in cells.values():
+                for speedup, inacc in per_graph.values():
+                    assert 0.9 <= speedup <= 1.5
+                    assert 0 <= inacc <= 25
+
+    def test_reported_geomeans_match_cells(self):
+        """The paper's own geomean rows agree with its cells (sanity of
+        the transcription, within rounding)."""
+        for name, (cells, (gm_speedup, _gm_inacc), _b, _a) in (
+            paper_data.TECHNIQUE_TABLES.items()
+        ):
+            speedups = [
+                pair[0] for per_graph in cells.values()
+                for pair in per_graph.values()
+            ]
+            assert geomean(speedups) == pytest.approx(gm_speedup, abs=0.02), name
+
+    def test_exact_time_tables_cover_graphs(self):
+        for table in (
+            paper_data.TABLE2_BASELINE1_SECONDS,
+            paper_data.TABLE3_TIGR_SECONDS,
+            paper_data.TABLE4_GUNROCK_SECONDS,
+        ):
+            assert set(table) == set(paper_data.GRAPHS)
+
+    def test_table_technique_mapping(self):
+        assert paper_data.TABLE_TECHNIQUE["table6"] == "coalescing"
+        assert paper_data.TABLE_TECHNIQUE["table13"] == "shmem"
+        assert set(paper_data.TABLE_TECHNIQUE) == set(paper_data.TECHNIQUE_TABLES)
+
+
+def _rows_from_paper(table: str, *, perturb: float = 0.0, seed: int = 0):
+    cells, _gm, _b, _algos = paper_data.TECHNIQUE_TABLES[table]
+    rng = np.random.default_rng(seed)
+    rows = []
+    for algo, per_graph in cells.items():
+        for graph, (speedup, inacc) in per_graph.items():
+            rows.append(
+                {
+                    "algorithm": algo,
+                    "graph": graph,
+                    "speedup": speedup + perturb * rng.standard_normal(),
+                    "inaccuracy_percent": inacc,
+                }
+            )
+    return rows
+
+
+class TestScoreTable:
+    def test_perfect_match(self):
+        rows = _rows_from_paper("table6")
+        s = score_table("table6", rows)
+        assert isinstance(s, TableAgreement)
+        assert s.cells == 25
+        assert s.direction_agreement == 1.0
+        assert s.spearman_speedup == pytest.approx(1.0)
+        assert s.geomean_ratio == pytest.approx(1.0, abs=0.02)
+
+    def test_noisy_match_degrades(self):
+        clean = score_table("table6", _rows_from_paper("table6"))
+        noisy = score_table("table6", _rows_from_paper("table6", perturb=0.3))
+        assert noisy.spearman_speedup < clean.spearman_speedup
+
+    def test_inverted_measurement_detected(self):
+        rows = _rows_from_paper("table6")
+        for r in rows:
+            r["speedup"] = 2.0 - r["speedup"]  # mirror around 1.0
+        s = score_table("table6", rows)
+        assert s.spearman_speedup < 0
+
+    def test_partial_rows_scored(self):
+        rows = _rows_from_paper("table9")[:5]
+        s = score_table("table9", rows)
+        assert s.cells == 5
+
+    def test_unknown_table(self):
+        with pytest.raises(ReproError):
+            score_table("table99", _rows_from_paper("table6"))
+
+    def test_disjoint_cells(self):
+        rows = [{"algorithm": "sssp", "graph": "mars", "speedup": 1.0}]
+        with pytest.raises(ReproError):
+            score_table("table6", rows)
+
+
+class TestAgreementReport:
+    def test_report_renders_with_checks(self):
+        results = {
+            name: _rows_from_paper(name)
+            for name in ("table6", "table7", "table8", "table11", "table12")
+        }
+        text = agreement_report(results)
+        assert "direction_agreement" in text
+        assert "[ok]" in text
+        assert "divergence is the mildest" in text
+
+    def test_miss_flagged(self):
+        results = {
+            "table6": _rows_from_paper("table6"),
+            "table7": _rows_from_paper("table7"),
+            # inflate the divergence table so the ordering check fails
+            "table8": [
+                {**r, "speedup": r["speedup"] + 1.0}
+                for r in _rows_from_paper("table8")
+            ],
+        }
+        text = agreement_report(results)
+        assert "[MISS]" in text

@@ -1,0 +1,116 @@
+"""Unit tests for result export (CSV/JSON) and ASCII figure rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.eval.export import (
+    normalize_rows,
+    rows_to_csv,
+    rows_to_json,
+    write_csv,
+    write_json,
+)
+from repro.eval.figures import SweepPoint
+from repro.eval.plots import ascii_figure, ascii_series
+
+
+class TestExport:
+    ROWS = [
+        {"graph": "rmat", "speedup": 1.25, "inaccuracy_percent": 3.5},
+        {"graph": "road", "speedup": 1.9, "inaccuracy_percent": 0.4},
+    ]
+
+    def test_csv_roundtrip(self):
+        text = rows_to_csv(self.ROWS)
+        lines = text.strip().splitlines()
+        assert lines[0] == "graph,speedup,inaccuracy_percent"
+        assert lines[1].startswith("rmat,1.25")
+        assert len(lines) == 3
+
+    def test_csv_union_of_columns(self):
+        rows = [{"a": 1}, {"b": 2}]
+        text = rows_to_csv(rows)
+        assert text.splitlines()[0] == "a,b"
+
+    def test_empty_csv(self):
+        assert rows_to_csv([]) == ""
+
+    def test_json(self):
+        data = json.loads(rows_to_json(self.ROWS))
+        assert data[1]["graph"] == "road"
+        assert data[0]["speedup"] == 1.25
+
+    def test_dataclass_rows(self):
+        points = [
+            SweepPoint(threshold=0.2, speedup=1.1, inaccuracy_percent=2.0,
+                       edges_added=5)
+        ]
+        data = json.loads(rows_to_json(points))
+        assert data[0]["threshold"] == 0.2
+        assert normalize_rows(points)[0]["edges_added"] == 5
+
+    def test_bad_row_type(self):
+        with pytest.raises(ReproError):
+            rows_to_csv([42])
+
+    def test_file_writers(self, tmp_path):
+        write_csv(self.ROWS, tmp_path / "r.csv")
+        write_json(self.ROWS, tmp_path / "r.json")
+        assert (tmp_path / "r.csv").read_text().startswith("graph,")
+        assert json.loads((tmp_path / "r.json").read_text())[0]["graph"] == "rmat"
+
+    def test_table_rows_export_end_to_end(self, suite_tiny):
+        from repro.eval.harness import Harness
+
+        h = Harness(num_bc_sources=2)
+        res = h.run(suite_tiny["rmat"], "sssp", "coalescing")
+        text = rows_to_json([res])
+        assert "speedup" in text
+
+
+class TestAsciiPlots:
+    POINTS = [
+        SweepPoint(threshold=0.2, speedup=1.1, inaccuracy_percent=8.0, edges_added=40),
+        SweepPoint(threshold=0.4, speedup=1.3, inaccuracy_percent=5.0, edges_added=20),
+        SweepPoint(threshold=0.6, speedup=1.5, inaccuracy_percent=2.0, edges_added=5),
+        SweepPoint(threshold=0.8, speedup=1.4, inaccuracy_percent=1.0, edges_added=0),
+    ]
+
+    def test_sparkline_shape(self):
+        line = ascii_series([1.0, 2.0, 3.0])
+        assert len(line) == 3
+        assert line[0] < line[-1]  # block glyphs are ordered
+
+    def test_sparkline_flat(self):
+        assert ascii_series([2.0, 2.0]) == "▁▁"
+
+    def test_sparkline_empty(self):
+        assert ascii_series([]) == ""
+
+    def test_figure_renders(self):
+        text = ascii_figure(self.POINTS, title="Figure 7 shape")
+        assert "Figure 7 shape" in text
+        assert "speedup (x)" in text
+        assert "inaccuracy (%)" in text
+        assert "0.20" in text and "0.80" in text
+        # extremes annotated
+        assert "1.50" in text and "8.00" in text
+
+    def test_figure_validation(self):
+        with pytest.raises(ReproError):
+            ascii_figure([], title="empty")
+        with pytest.raises(ReproError):
+            ascii_figure(self.POINTS, title="t", height=1)
+
+    def test_figure_from_real_sweep(self, suite_tiny):
+        from repro.eval.figures import figure9_degree_sim
+
+        points, _ = figure9_degree_sim(
+            suite_tiny["rmat"], thresholds=[0.1, 0.4]
+        )
+        text = ascii_figure(points, title="figure 9")
+        assert "threshold" in text

@@ -1,0 +1,95 @@
+"""Unit tests for the exact-vs-approx experiment harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AlgorithmError, ReproError
+from repro.eval.harness import Harness, run_experiment
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return Harness(num_bc_sources=2, seed=1)
+
+
+class TestHarnessBasics:
+    def test_result_fields(self, rmat_small, harness):
+        res = harness.run(rmat_small, "sssp", "coalescing")
+        assert res.algorithm == "sssp"
+        assert res.technique == "coalescing"
+        assert res.baseline == "baseline1"
+        assert res.speedup == pytest.approx(res.exact_cycles / res.approx_cycles)
+        assert res.inaccuracy_percent >= 0
+        assert res.extra_space_percent >= 0
+        assert res.preprocess_seconds > 0
+        assert res.exact_iterations > 0 and res.approx_iterations > 0
+
+    def test_exact_technique_speedup_one(self, rmat_small, harness):
+        res = harness.run(rmat_small, "sssp", "exact")
+        assert res.speedup == pytest.approx(1.0)
+        assert res.inaccuracy_percent == pytest.approx(0.0, abs=1e-9)
+        assert res.extra_space_percent == 0.0
+
+    def test_exact_cache_reused(self, rmat_small):
+        h = Harness(num_bc_sources=2)
+        r1 = h.exact_run(rmat_small, "sssp", "baseline1")
+        r2 = h.exact_run(rmat_small, "sssp", "baseline1")
+        assert r1 is r2
+
+    def test_source_defaults_to_max_degree(self, rmat_small):
+        h = Harness()
+        assert h._source_for(rmat_small) == int(
+            np.argmax(rmat_small.out_degrees())
+        )
+        pinned = Harness(source=3)
+        assert pinned._source_for(rmat_small) == 3
+
+    def test_unknown_baseline(self, rmat_small, harness):
+        with pytest.raises(ReproError):
+            harness.run(rmat_small, "sssp", "coalescing", baseline="cusha")
+
+    def test_unsupported_algorithm_for_baseline(self, rmat_small, harness):
+        with pytest.raises(AlgorithmError):
+            harness.run(rmat_small, "mst", "coalescing", baseline="tigr")
+
+    def test_run_experiment_wrapper(self, rmat_small):
+        res = run_experiment(rmat_small, "pr", "divergence")
+        assert res.algorithm == "pr"
+
+
+class TestAllCells:
+    """Every (algorithm, technique, baseline) cell the paper reports must
+    execute and produce a sane result."""
+
+    @pytest.mark.parametrize("algo", ["sssp", "mst", "scc", "pr", "bc"])
+    @pytest.mark.parametrize("technique", ["coalescing", "shmem", "divergence"])
+    def test_baseline1_cells(self, suite_tiny, harness, algo, technique):
+        g = suite_tiny["rmat"]
+        res = harness.run(g, algo, technique)
+        assert 0.1 < res.speedup < 20
+        assert 0 <= res.inaccuracy_percent < 100
+
+    @pytest.mark.parametrize("baseline", ["tigr", "gunrock"])
+    @pytest.mark.parametrize("algo", ["sssp", "pr", "bc"])
+    def test_framework_cells(self, suite_tiny, harness, baseline, algo):
+        g = suite_tiny["rmat"]
+        res = harness.run(g, algo, "coalescing", baseline=baseline)
+        assert 0.1 < res.speedup < 20
+        assert 0 <= res.inaccuracy_percent < 100
+
+
+class TestPlanReuse:
+    def test_shared_plan_across_algorithms(self, rmat_small, harness):
+        """The paper's amortization: one transform serves every algorithm."""
+        from repro.core.pipeline import build_plan
+
+        plan = build_plan(rmat_small, "coalescing")
+        r1 = harness.run(rmat_small, "sssp", "coalescing", plan=plan)
+        r2 = harness.run(rmat_small, "pr", "coalescing", plan=plan)
+        assert r1.preprocess_seconds == r2.preprocess_seconds
+
+    def test_extra_space_reported(self, rmat_small, harness):
+        res = harness.run(rmat_small, "sssp", "coalescing")
+        assert res.extra_space_percent > 0  # holes + replica edges

@@ -1,0 +1,73 @@
+"""Unit tests for reporting utilities (geomean, table rendering)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.eval.reporting import format_speedup_table, format_table, geomean
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(geomean([]))
+
+    def test_zero_clamped(self):
+        # a perfect-accuracy cell (0% inaccuracy) must not zero the geomean
+        val = geomean([0.0, 10.0])
+        assert 0 < val < 10.0
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        vals = rng.random(100) + 0.5
+        assert geomean(vals) == pytest.approx(
+            float(np.exp(np.log(vals).mean()))
+        )
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 30, "b": 0.125}]
+        out = format_table(rows, ["a", "b"], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        out = format_table([{"x": 1.23456}], ["x"], floatfmt="{:.2f}")
+        assert "1.23" in out
+
+    def test_missing_keys_blank(self):
+        out = format_table([{"x": 1}], ["x", "y"])
+        assert "x" in out
+
+    def test_empty_rows(self):
+        out = format_table([], ["col"])
+        assert "col" in out
+
+
+class TestSpeedupTable:
+    def test_geomean_row_appended(self):
+        rows = [
+            {"algorithm": "sssp", "graph": "g", "speedup": 2.0,
+             "inaccuracy_percent": 4.0},
+            {"algorithm": "pr", "graph": "g", "speedup": 8.0,
+             "inaccuracy_percent": 9.0},
+        ]
+        out = format_speedup_table(rows, title="X")
+        assert "Geomean" in out
+        assert "4.00" in out  # geomean of speedups
+        assert "6.50" in out  # arithmetic mean of inaccuracies
+
+    def test_empty_rows_ok(self):
+        out = format_speedup_table([])
+        assert "speedup" in out

@@ -1,0 +1,59 @@
+"""Unit tests for the CLI evaluation suite (python -m repro)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.suite import TARGETS, main, run_targets
+
+
+class TestRunTargets:
+    def test_single_target(self):
+        out = run_targets(["table1"], scale="tiny")
+        assert set(out) == {"table1"}
+        assert "Table 1" in out["table1"]
+
+    def test_multiple_targets(self):
+        out = run_targets(["table1", "table5"], scale="tiny")
+        assert set(out) == {"table1", "table5"}
+
+    def test_unknown_target(self):
+        with pytest.raises(KeyError):
+            run_targets(["table99"], scale="tiny")
+
+    def test_output_dir(self, tmp_path):
+        run_targets(["table1"], scale="tiny", output_dir=tmp_path)
+        assert (tmp_path / "table1.txt").exists()
+        assert "Table 1" in (tmp_path / "table1.txt").read_text()
+
+    def test_all_targets_registered(self):
+        expected = {f"table{i}" for i in range(1, 15)} | {
+            "figure7",
+            "figure8",
+            "figure9",
+            "agreement",
+            "combined",
+        }
+        assert set(TARGETS) == expected
+
+    def test_agreement_target(self):
+        out = run_targets(["agreement"], scale="tiny")
+        assert "direction_agreement" in out["agreement"]
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table6" in out and "figure9" in out
+
+    def test_run_one(self, capsys):
+        assert main(["table1", "--scale", "tiny"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_output_dir_flag(self, tmp_path, capsys):
+        assert (
+            main(["table1", "--scale", "tiny", "--output-dir", str(tmp_path)])
+            == 0
+        )
+        assert (tmp_path / "table1.txt").exists()

@@ -1,0 +1,84 @@
+"""Unit tests for TableRunner's caching and knob-guideline plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.harness import Harness
+from repro.eval.tables import TableRunner, table_combined
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return TableRunner(scale="tiny", num_bc_sources=2)
+
+
+class TestCaching:
+    def test_plans_cached_per_graph_technique(self, runner):
+        a = runner.plan_for("rmat", "divergence")
+        b = runner.plan_for("rmat", "divergence")
+        assert a is b
+        c = runner.plan_for("rmat", "shmem")
+        assert c is not a
+
+    def test_knobs_cached(self, runner):
+        k1 = runner.knobs_for("usa-road")
+        k2 = runner.knobs_for("usa-road")
+        assert k1 is k2
+
+    def test_exact_runs_cached_in_harness(self, runner):
+        g = runner.suite["rmat"]
+        r1 = runner.harness.exact_run(g, "pr", "baseline1")
+        r2 = runner.harness.exact_run(g, "pr", "baseline1")
+        assert r1 is r2
+
+    def test_custom_suite_injection(self):
+        from repro.graphs.generators import rmat
+
+        suite = {"only": rmat(6, edge_factor=4, seed=1)}
+        custom = TableRunner(suite=suite, num_bc_sources=2)
+        assert list(custom.suite) == ["only"]
+        rows = custom._technique_rows("divergence", "baseline1", ("sssp",))
+        assert len(rows) == 1
+
+
+class TestKnobGuidelines:
+    def test_road_gets_low_connectedness(self, runner):
+        assert runner.knobs_for("usa-road")["coalescing"].connectedness_threshold == 0.4
+
+    def test_powerlaw_gets_high_connectedness(self, runner):
+        for name in ("rmat", "twitter"):
+            assert (
+                runner.knobs_for(name)["coalescing"].connectedness_threshold == 0.6
+            )
+
+    def test_cc_threshold_within_band(self, runner):
+        for name in runner.suite:
+            thr = runner.knobs_for(name)["shmem"].cc_threshold
+            assert 0.3 <= thr <= 0.9
+
+
+class TestCombinedTable:
+    def test_rows_and_geomean(self, runner):
+        rows, text = table_combined(runner)
+        assert len(rows) == 25
+        assert "combined" not in text or "Extension" in text
+        speedups = [r["speedup"] for r in rows]
+        assert float(np.exp(np.log(speedups).mean())) > 1.0
+
+
+class TestExtraSpaceAccounting:
+    def test_shmem_extra_space_counts_staging(self, runner):
+        g = runner.suite["rmat"]
+        plan = runner.plan_for("rmat", "shmem")
+        pct = Harness._extra_space_percent(g, plan)
+        assert pct >= 0
+        if plan.cluster_graph is not None and plan.cluster_graph.num_edges:
+            assert pct > 0
+
+    def test_divergence_extra_space_small(self, runner):
+        g = runner.suite["usa-road"]
+        plan = runner.plan_for("usa-road", "divergence")
+        pct = Harness._extra_space_percent(g, plan)
+        assert 0 <= pct < 50

@@ -1,0 +1,120 @@
+"""Unit tests for ExecutionContext and SimMetrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim.costmodel import SweepCost
+from repro.gpusim.device import K40C, DeviceConfig
+from repro.gpusim.kernel import ExecutionContext
+from repro.gpusim.metrics import SimMetrics
+
+
+class TestExecutionContext:
+    def test_default_order_identity(self, tiny_graph):
+        ctx = ExecutionContext(tiny_graph)
+        assert np.array_equal(ctx.order, np.arange(tiny_graph.num_nodes))
+
+    def test_custom_order_respected(self, tiny_graph):
+        order = np.arange(tiny_graph.num_nodes)[::-1].copy()
+        ctx = ExecutionContext(tiny_graph, order=order)
+        assert np.array_equal(ctx.order, order)
+        # ordered() must sort actives by their rank in the order
+        active = np.array([0, 19], dtype=np.int64)
+        assert list(ctx.ordered(active)) == [19, 0]
+
+    def test_order_must_be_permutation(self, tiny_graph):
+        with pytest.raises(SimulationError):
+            ExecutionContext(tiny_graph, order=np.zeros(tiny_graph.num_nodes, dtype=int))
+        with pytest.raises(SimulationError):
+            ExecutionContext(tiny_graph, order=np.arange(3))
+
+    def test_ordered_with_bool_mask(self, tiny_graph):
+        ctx = ExecutionContext(tiny_graph)
+        mask = np.zeros(tiny_graph.num_nodes, dtype=bool)
+        mask[[3, 7]] = True
+        assert list(ctx.ordered(mask)) == [3, 7]
+
+    def test_ordered_mask_wrong_length(self, tiny_graph):
+        ctx = ExecutionContext(tiny_graph)
+        with pytest.raises(SimulationError):
+            ctx.ordered(np.ones(3, dtype=bool))
+
+    def test_charge_accumulates(self, tiny_graph):
+        ctx = ExecutionContext(tiny_graph)
+        c1 = ctx.charge()
+        c2 = ctx.charge(np.array([0, 1]))
+        assert ctx.metrics.num_sweeps == 2
+        assert ctx.metrics.cycles == c1.cycles + c2.cycles
+
+    def test_charge_subgraph(self, tiny_graph, rmat_small):
+        ctx = ExecutionContext(rmat_small)
+        sub_cost = ctx.charge(
+            np.arange(tiny_graph.num_nodes), subgraph=tiny_graph
+        )
+        assert sub_cost.atomic_ops == tiny_graph.num_edges
+
+    def test_resident_mask_checked(self, tiny_graph):
+        with pytest.raises(SimulationError):
+            ExecutionContext(tiny_graph, resident_mask=np.ones(2, dtype=bool))
+
+    def test_processing_order_changes_cost(self, rmat_small):
+        """Warp composition follows the order — a degree-grouped order
+        must yield fewer serialized steps than a random one."""
+        from repro.core.divergence import bucket_order
+
+        rng = np.random.default_rng(1)
+        random_order = rng.permutation(rmat_small.num_nodes)
+        c_random = ExecutionContext(rmat_small, order=random_order)
+        c_random.charge()
+        grouped = ExecutionContext(rmat_small, order=bucket_order(rmat_small, 16))
+        grouped.charge()
+        assert (
+            grouped.metrics.total.serial_steps
+            < c_random.metrics.total.serial_steps
+        )
+
+
+class TestSimMetrics:
+    def test_add_and_merge(self):
+        m1 = SimMetrics(device=K40C)
+        m1.add(SweepCost(cycles=10.0, atomic_ops=1))
+        m2 = SimMetrics(device=K40C)
+        m2.add(SweepCost(cycles=5.0, atomic_ops=2))
+        m1.merge(m2)
+        assert m1.cycles == 15.0
+        assert m1.num_sweeps == 2
+        assert m1.total.atomic_ops == 3
+
+    def test_seconds_scaling(self):
+        d = DeviceConfig(num_sms=1, warps_per_sm=1, clock_ghz=1.0)
+        m = SimMetrics(device=d)
+        m.add(SweepCost(cycles=2e9))
+        assert m.seconds == pytest.approx(2.0)
+
+    def test_shared_fraction(self):
+        m = SimMetrics(device=K40C)
+        m.add(SweepCost(attr_global_transactions=3, attr_shared_transactions=1))
+        assert m.shared_fraction == 0.25
+        empty = SimMetrics(device=K40C)
+        assert empty.shared_fraction == 0.0
+
+    def test_summary_keys(self):
+        m = SimMetrics(device=K40C)
+        m.add(SweepCost(cycles=1.0))
+        s = m.summary()
+        for key in ("cycles", "seconds", "sweeps", "divergence_ratio"):
+            assert key in s
+
+
+class TestChargeCost:
+    def test_external_cost_accumulates(self, tiny_graph):
+        from repro.gpusim.costmodel import SweepCost
+
+        ctx = ExecutionContext(tiny_graph)
+        ctx.charge_cost(SweepCost(cycles=123.0, atomic_ops=4))
+        assert ctx.metrics.cycles == 123.0
+        assert ctx.metrics.total.atomic_ops == 4
+        assert ctx.metrics.num_sweeps == 1

@@ -1,0 +1,137 @@
+"""Unit tests for the coalescing/transaction model (load-bearing for the
+whole reproduction — validated against a brute-force set count)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim.memory import (
+    TransactionCount,
+    count_transactions,
+    split_transactions,
+)
+
+
+def brute_force_transactions(warp, step, address, line_words) -> int:
+    seen = set()
+    for w, s, a in zip(warp, step, address):
+        seen.add((int(w), int(s), int(a) // line_words))
+    return len(seen)
+
+
+class TestCountTransactions:
+    def test_perfectly_coalesced(self):
+        # one warp, one step, 32 consecutive words, 16-word lines -> 2 txns
+        warp = np.zeros(32, dtype=np.int64)
+        step = np.zeros(32, dtype=np.int64)
+        addr = np.arange(32, dtype=np.int64)
+        tc = count_transactions(warp, step, addr, 16)
+        assert tc.transactions == 2
+        assert tc.accesses == 32
+
+    def test_fully_scattered(self):
+        warp = np.zeros(8, dtype=np.int64)
+        step = np.zeros(8, dtype=np.int64)
+        addr = np.arange(8, dtype=np.int64) * 100
+        assert count_transactions(warp, step, addr, 16).transactions == 8
+
+    def test_same_segment_different_steps_not_coalesced(self):
+        # a segment revisited at another serialized step is a new txn
+        warp = np.zeros(2, dtype=np.int64)
+        step = np.array([0, 1], dtype=np.int64)
+        addr = np.array([3, 4], dtype=np.int64)
+        assert count_transactions(warp, step, addr, 16).transactions == 2
+
+    def test_same_segment_different_warps_not_coalesced(self):
+        warp = np.array([0, 1], dtype=np.int64)
+        step = np.zeros(2, dtype=np.int64)
+        addr = np.array([3, 4], dtype=np.int64)
+        assert count_transactions(warp, step, addr, 16).transactions == 2
+
+    def test_empty_batch(self):
+        e = np.empty(0, dtype=np.int64)
+        tc = count_transactions(e, e, e, 16)
+        assert tc == TransactionCount(0, 0)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 500
+        warp = rng.integers(0, 7, size=n)
+        step = rng.integers(0, 40, size=n)
+        addr = rng.integers(0, 3000, size=n)
+        for line in (1, 4, 16, 32):
+            tc = count_transactions(warp, step, addr, line)
+            assert tc.transactions == brute_force_transactions(warp, step, addr, line)
+            assert tc.accesses == n
+
+    def test_line_words_one_counts_unique_triples(self):
+        warp = np.array([0, 0, 0], dtype=np.int64)
+        step = np.array([0, 0, 0], dtype=np.int64)
+        addr = np.array([5, 5, 6], dtype=np.int64)
+        assert count_transactions(warp, step, addr, 1).transactions == 2
+
+    def test_validation(self):
+        e = np.array([0], dtype=np.int64)
+        with pytest.raises(SimulationError):
+            count_transactions(e, e, np.array([0, 1]), 16)
+        with pytest.raises(SimulationError):
+            count_transactions(e, e, e, 0)
+        with pytest.raises(SimulationError):
+            count_transactions(e, e, np.array([-1]), 16)
+
+
+class TestCoalescingEfficiency:
+    def test_coalesced_is_high(self):
+        warp = np.zeros(16, dtype=np.int64)
+        step = np.zeros(16, dtype=np.int64)
+        addr = np.arange(16, dtype=np.int64)
+        tc = count_transactions(warp, step, addr, 16)
+        assert tc.coalescing_efficiency == 1.0
+
+    def test_scattered_is_low(self):
+        warp = np.zeros(16, dtype=np.int64)
+        step = np.zeros(16, dtype=np.int64)
+        addr = np.arange(16, dtype=np.int64) * 64
+        tc = count_transactions(warp, step, addr, 16)
+        assert tc.coalescing_efficiency < 0.1
+
+    def test_empty_is_perfect(self):
+        assert TransactionCount(0, 0).coalescing_efficiency == 1.0
+
+
+class TestSplitTransactions:
+    def test_split_by_mask(self):
+        warp = np.zeros(4, dtype=np.int64)
+        step = np.zeros(4, dtype=np.int64)
+        addr = np.array([0, 1, 100, 101], dtype=np.int64)
+        shared = np.array([False, False, True, True])
+        g, s = split_transactions(warp, step, addr, 16, shared)
+        assert g.transactions == 1 and g.accesses == 2
+        assert s.transactions == 1 and s.accesses == 2
+
+    def test_straddling_segment_counted_in_both(self):
+        warp = np.zeros(2, dtype=np.int64)
+        step = np.zeros(2, dtype=np.int64)
+        addr = np.array([0, 1], dtype=np.int64)
+        shared = np.array([False, True])
+        g, s = split_transactions(warp, step, addr, 16, shared)
+        assert g.transactions == 1 and s.transactions == 1
+
+    def test_mask_length_checked(self):
+        e = np.array([0], dtype=np.int64)
+        with pytest.raises(SimulationError):
+            split_transactions(e, e, e, 16, np.array([True, False]))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_split_sums_to_total_accesses(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 200
+        warp = rng.integers(0, 4, size=n)
+        step = rng.integers(0, 10, size=n)
+        addr = rng.integers(0, 500, size=n)
+        mask = rng.random(n) < 0.4
+        g, s = split_transactions(warp, step, addr, 8, mask)
+        assert g.accesses + s.accesses == n

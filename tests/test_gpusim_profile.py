@@ -1,0 +1,76 @@
+"""Unit tests for the kernel-profile reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.sssp import sssp
+from repro.core.pipeline import build_plan
+from repro.gpusim.costmodel import SweepCost
+from repro.gpusim.device import K40C
+from repro.gpusim.metrics import SimMetrics
+from repro.gpusim.profile import breakdown, compare_report, profile_report
+
+
+class TestBreakdown:
+    def test_components_sum_to_cycles(self, rmat_small):
+        res = sssp(rmat_small, 0)
+        b = breakdown(res.metrics)
+        assert b.total == pytest.approx(res.metrics.cycles)
+
+    def test_component_formula(self):
+        m = SimMetrics(device=K40C)
+        m.add(
+            SweepCost(
+                serial_steps=10,
+                edge_transactions=5,
+                attr_global_transactions=3,
+                attr_shared_transactions=2,
+                src_transactions=1,
+                atomic_ops=7,
+            )
+        )
+        b = breakdown(m)
+        assert b.compute == 10 * K40C.issue_cycles
+        assert b.edge_memory == 5 * K40C.edge_latency
+        assert b.attr_global_memory == 3 * K40C.global_latency
+        assert b.attr_shared_memory == 2 * K40C.shared_latency
+        assert b.src_memory == 1 * K40C.global_latency
+        assert b.atomics == 7 * K40C.atomic_cycles
+
+    def test_memory_fraction(self, rmat_small):
+        res = sssp(rmat_small, 0)
+        b = breakdown(res.metrics)
+        # graph kernels are memory-bound, as the paper asserts
+        assert b.memory_fraction > 0.5
+
+    def test_empty_metrics(self):
+        b = breakdown(SimMetrics(device=K40C))
+        assert b.total == 0
+        assert b.memory_fraction == 0.0
+
+
+class TestReports:
+    def test_profile_report_renders(self, rmat_small):
+        res = sssp(rmat_small, 0)
+        text = profile_report(res.metrics, title="sssp profile")
+        assert "sssp profile" in text
+        assert "attribute reads/writes (global)" in text
+        assert "memory-bound" in text
+
+    def test_compare_report_shows_improvement(self, rmat_small):
+        src = int(np.argmax(rmat_small.out_degrees()))
+        exact = sssp(rmat_small, src)
+        plan = build_plan(rmat_small, "coalescing")
+        approx = sssp(plan, src)
+        text = compare_report(exact.metrics, approx.metrics)
+        assert "ratio" in text
+        assert "total" in text
+
+    def test_compare_report_handles_zero(self):
+        a = SimMetrics(device=K40C)
+        a.add(SweepCost(serial_steps=1, cycles=4.0))
+        b = SimMetrics(device=K40C)
+        text = compare_report(a, b)
+        assert "inf" in text

@@ -1,0 +1,158 @@
+"""Unit tests for GraphBuilder and conversion utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs.builder import (
+    GraphBuilder,
+    from_networkx,
+    from_scipy,
+    permute,
+    to_networkx,
+    to_scipy,
+)
+from repro.graphs.csr import CSRGraph
+from repro.graphs.validate import edge_set
+
+
+class TestGraphBuilder:
+    def test_single_edges(self):
+        b = GraphBuilder(3)
+        b.add_edge(0, 1)
+        b.add_edge(1, 2)
+        g = b.build()
+        assert edge_set(g) == {(0, 1), (1, 2)}
+
+    def test_bulk_edges(self):
+        b = GraphBuilder(4)
+        b.add_edges(np.array([0, 1, 2]), np.array([1, 2, 3]))
+        assert b.num_staged_edges == 3
+        g = b.build()
+        assert g.num_edges == 3
+
+    def test_weighted_builder(self):
+        b = GraphBuilder(2, weighted=True)
+        b.add_edge(0, 1, weight=4.5)
+        g = b.build()
+        assert g.is_weighted
+        assert g.weights[0] == 4.5
+
+    def test_weighted_builder_defaults_missing_weights_to_one(self):
+        b = GraphBuilder(2, weighted=True)
+        b.add_edges(np.array([0]), np.array([1]))
+        g = b.build()
+        assert g.weights[0] == 1.0
+
+    def test_from_graph_roundtrip(self, weighted_graph):
+        g = GraphBuilder.from_graph(weighted_graph).build()
+        assert g == weighted_graph
+
+    def test_grow(self):
+        b = GraphBuilder(2)
+        b.grow(5)
+        b.add_edge(4, 0)
+        assert b.build().num_nodes == 5
+
+    def test_grow_cannot_shrink(self):
+        b = GraphBuilder(5)
+        with pytest.raises(GraphFormatError):
+            b.grow(2)
+
+    def test_out_of_range_rejected(self):
+        b = GraphBuilder(2)
+        with pytest.raises(GraphFormatError):
+            b.add_edge(0, 2)
+
+    def test_negative_num_nodes_rejected(self):
+        with pytest.raises(GraphFormatError):
+            GraphBuilder(-1)
+
+    def test_empty_build(self):
+        g = GraphBuilder(3).build()
+        assert g.num_nodes == 3 and g.num_edges == 0
+
+    def test_empty_weighted_build(self):
+        g = GraphBuilder(3, weighted=True).build()
+        assert g.is_weighted and g.num_edges == 0
+
+    def test_dedup_on_build(self):
+        b = GraphBuilder(2)
+        b.add_edge(0, 1)
+        b.add_edge(0, 1)
+        assert b.build(dedup=True).num_edges == 1
+
+
+class TestScipyConversion:
+    def test_roundtrip(self, weighted_graph):
+        mat = to_scipy(weighted_graph)
+        g = from_scipy(mat)
+        assert edge_set(g) == edge_set(weighted_graph)
+        assert np.allclose(
+            sorted(g.weights.tolist()), sorted(weighted_graph.weights.tolist())
+        )
+
+    def test_unweighted_conversion(self, tiny_graph):
+        g = from_scipy(to_scipy(tiny_graph), weighted=False)
+        assert not g.is_weighted
+        assert edge_set(g) == edge_set(tiny_graph)
+
+    def test_non_square_rejected(self):
+        import scipy.sparse as sp
+
+        with pytest.raises(GraphFormatError):
+            from_scipy(sp.csr_matrix((2, 3)))
+
+
+class TestNetworkxConversion:
+    def test_roundtrip_digraph(self, weighted_graph):
+        nxg = to_networkx(weighted_graph)
+        g = from_networkx(nxg, weighted=True)
+        assert edge_set(g) == edge_set(weighted_graph)
+
+    def test_undirected_symmetrized(self):
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(3))
+        nxg.add_edge(0, 1)
+        g = from_networkx(nxg)
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_bad_labels_rejected(self):
+        import networkx as nx
+
+        nxg = nx.DiGraph()
+        nxg.add_edge("a", "b")
+        with pytest.raises(GraphFormatError):
+            from_networkx(nxg)
+
+
+class TestPermute:
+    def test_identity(self, weighted_graph):
+        g = permute(weighted_graph, np.arange(weighted_graph.num_nodes))
+        assert g == weighted_graph
+
+    def test_relabels_edges(self, tiny_graph):
+        n = tiny_graph.num_nodes
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(n)
+        g = permute(tiny_graph, perm)
+        expected = {(int(perm[u]), int(perm[v])) for u, v in edge_set(tiny_graph)}
+        assert edge_set(g) == expected
+
+    def test_preserves_weights(self, weighted_graph):
+        perm = np.roll(np.arange(weighted_graph.num_nodes), 1)
+        g = permute(weighted_graph, perm)
+        assert sorted(g.weights.tolist()) == sorted(weighted_graph.weights.tolist())
+
+    def test_non_permutation_rejected(self, tiny_graph):
+        bad = np.zeros(tiny_graph.num_nodes, dtype=np.int64)
+        with pytest.raises(GraphFormatError):
+            permute(tiny_graph, bad)
+
+    def test_wrong_length_rejected(self, tiny_graph):
+        with pytest.raises(GraphFormatError):
+            permute(tiny_graph, np.arange(3))

@@ -1,0 +1,190 @@
+"""Unit tests for the CSR graph core."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs.csr import CSRGraph
+
+
+class TestFromEdges:
+    def test_basic_construction(self):
+        g = CSRGraph.from_edges(4, [0, 0, 1, 3], [1, 2, 2, 0])
+        assert g.num_nodes == 4
+        assert g.num_edges == 4
+        assert list(g.neighbors(0)) == [1, 2]
+        assert list(g.neighbors(1)) == [2]
+        assert list(g.neighbors(2)) == []
+        assert list(g.neighbors(3)) == [0]
+
+    def test_neighbors_sorted_by_default(self):
+        g = CSRGraph.from_edges(3, [0, 0, 0], [2, 0, 1])
+        assert list(g.neighbors(0)) == [0, 1, 2]
+
+    def test_sort_neighbors_false_preserves_order(self):
+        g = CSRGraph.from_edges(3, [0, 0, 0], [2, 0, 1], sort_neighbors=False)
+        assert list(g.neighbors(0)) == [2, 0, 1]
+
+    def test_weights_follow_edges(self):
+        g = CSRGraph.from_edges(3, [0, 0], [2, 1], [5.0, 7.0])
+        nbrs = list(g.neighbors(0))
+        w = list(g.edge_weights_of(0))
+        assert nbrs == [1, 2]
+        assert w == [7.0, 5.0]
+
+    def test_dedup_keeps_first_weight(self):
+        g = CSRGraph.from_edges(2, [0, 0, 0], [1, 1, 1], [4.0, 9.0, 2.0], dedup=True)
+        assert g.num_edges == 1
+        assert g.weights[0] == 4.0
+
+    def test_dedup_without_weights(self):
+        g = CSRGraph.from_edges(2, [0, 0, 1], [1, 1, 0], dedup=True)
+        assert g.num_edges == 2
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph.from_edges(2, [0], [5])
+
+    def test_negative_endpoint_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph.from_edges(2, [-1], [0])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph.from_edges(2, [0, 1], [0])
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph.from_edges(2, [0], [1], [1.0, 2.0])
+
+    def test_empty_graph(self):
+        g = CSRGraph.empty(5)
+        assert g.num_nodes == 5
+        assert g.num_edges == 0
+        assert list(g.out_degrees()) == [0] * 5
+
+    def test_zero_node_graph(self):
+        g = CSRGraph.empty(0)
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+
+
+class TestInvariants:
+    def test_offsets_must_start_at_zero(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.array([1, 2]), np.array([0], dtype=np.int32))
+
+    def test_offsets_must_be_monotone(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.array([0, 2, 1]), np.array([0, 1], dtype=np.int32))
+
+    def test_offsets_tail_must_match_edges(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.array([0, 3]), np.array([0], dtype=np.int32))
+
+    def test_destination_in_range(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.array([0, 1]), np.array([7], dtype=np.int32))
+
+    def test_weights_parallel_to_indices(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(
+                np.array([0, 1]),
+                np.array([0], dtype=np.int32),
+                np.array([1.0, 2.0]),
+            )
+
+    def test_validate_false_skips_checks(self):
+        # the Tigr virtual split relies on this escape hatch
+        g = CSRGraph(
+            np.array([0, 1]), np.array([7], dtype=np.int32), validate=False
+        )
+        assert g.num_edges == 1
+
+
+class TestAccessors:
+    def test_degrees(self, tiny_graph):
+        degs = tiny_graph.out_degrees()
+        assert degs[0] == 7
+        assert degs[1] == 6
+        assert int(degs.sum()) == tiny_graph.num_edges
+
+    def test_in_degrees(self):
+        g = CSRGraph.from_edges(3, [0, 1, 2], [2, 2, 2])
+        assert list(g.in_degrees()) == [0, 0, 3]
+
+    def test_edge_sources_parallel_to_indices(self, tiny_graph):
+        srcs = tiny_graph.edge_sources()
+        assert srcs.size == tiny_graph.num_edges
+        for v in range(tiny_graph.num_nodes):
+            lo, hi = tiny_graph.offsets[v], tiny_graph.offsets[v + 1]
+            assert (srcs[lo:hi] == v).all()
+
+    def test_has_edge(self, tiny_graph):
+        assert tiny_graph.has_edge(0, 4)
+        assert not tiny_graph.has_edge(4, 0)
+        assert not tiny_graph.has_edge(2, 2)
+
+    def test_has_edge_unsorted_adjacency(self):
+        g = CSRGraph.from_edges(
+            3, [0] * 12, [2, 1, 0, 2, 1, 0, 2, 1, 0, 2, 1, 0],
+            sort_neighbors=False,
+        )
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_effective_weights_unweighted(self, tiny_graph):
+        w = tiny_graph.effective_weights()
+        assert (w == 1.0).all()
+
+    def test_iter_edges(self, weighted_graph):
+        triples = list(weighted_graph.iter_edges())
+        assert len(triples) == weighted_graph.num_edges
+        assert triples[0] == (0, 1, 3.0)
+
+
+class TestDerivedGraphs:
+    def test_reverse_roundtrip(self, weighted_graph):
+        rev = weighted_graph.reverse()
+        back = rev.reverse()
+        assert back == weighted_graph
+
+    def test_reverse_degrees(self, tiny_graph):
+        rev = tiny_graph.reverse()
+        assert np.array_equal(rev.out_degrees(), tiny_graph.in_degrees())
+
+    def test_to_undirected_is_symmetric(self, tiny_graph):
+        from repro.graphs.validate import is_symmetric
+
+        und = tiny_graph.to_undirected()
+        assert is_symmetric(und)
+
+    def test_to_undirected_drops_self_loops(self):
+        g = CSRGraph.from_edges(2, [0, 0], [0, 1])
+        und = g.to_undirected()
+        assert not und.has_edge(0, 0)
+        assert und.has_edge(0, 1) and und.has_edge(1, 0)
+
+    def test_subgraph_edge_mask(self, tiny_graph):
+        mask = np.zeros(tiny_graph.num_nodes, dtype=bool)
+        mask[[0, 4, 5]] = True
+        em = tiny_graph.subgraph_edge_mask(mask)
+        srcs = tiny_graph.edge_sources()
+        kept = set(zip(srcs[em].tolist(), tiny_graph.indices[em].tolist()))
+        assert kept == {(0, 4), (0, 5), (4, 5)}
+
+    def test_subgraph_edge_mask_wrong_length(self, tiny_graph):
+        with pytest.raises(GraphFormatError):
+            tiny_graph.subgraph_edge_mask(np.ones(3, dtype=bool))
+
+    def test_copy_is_independent(self, weighted_graph):
+        c = weighted_graph.copy()
+        c.indices[0] = 3
+        assert weighted_graph.indices[0] != 3 or c != weighted_graph
+
+    def test_equality(self, weighted_graph):
+        assert weighted_graph == weighted_graph.copy()
+        assert weighted_graph != weighted_graph.reverse()
+        assert weighted_graph != weighted_graph.with_weights(None)

@@ -1,0 +1,187 @@
+"""Unit tests for the synthetic graph suite (Table 1 stand-ins)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs.generators import (
+    PAPER_GRAPH_NAMES,
+    erdos_renyi,
+    heavy_tail_social,
+    paper_suite,
+    preferential_attachment,
+    rmat,
+    road_network,
+)
+from repro.graphs.properties import (
+    clustering_coefficients,
+    estimate_diameter,
+    gini_of_degrees,
+)
+from repro.graphs.validate import assert_valid, is_symmetric
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda s: rmat(6, edge_factor=4, seed=s),
+            lambda s: erdos_renyi(64, 256, seed=s),
+            lambda s: road_network(8, seed=s),
+            lambda s: preferential_attachment(80, out_degree=5, seed=s),
+            lambda s: heavy_tail_social(80, mean_degree=8, seed=s),
+        ],
+        ids=["rmat", "er", "road", "pa", "zipf"],
+    )
+    def test_same_seed_same_graph(self, make):
+        assert make(11) == make(11)
+
+    def test_different_seed_different_graph(self):
+        assert rmat(6, seed=1) != rmat(6, seed=2)
+
+
+class TestRmat:
+    def test_shape(self):
+        g = rmat(7, edge_factor=8, seed=0)
+        assert g.num_nodes == 128
+        assert 0 < g.num_edges <= 8 * 128
+        assert_valid(g)
+
+    def test_power_law_skew(self):
+        g = rmat(9, edge_factor=8, seed=0)
+        assert gini_of_degrees(g) > 0.35
+
+    def test_weighted_range(self):
+        g = rmat(6, edge_factor=4, seed=0, max_weight=10)
+        assert g.weights.min() >= 1 and g.weights.max() <= 10
+        assert np.allclose(g.weights, np.round(g.weights))
+
+    def test_unweighted(self):
+        assert rmat(5, seed=0, weighted=False).weights is None
+
+    def test_bad_probabilities_rejected(self):
+        with pytest.raises(GraphFormatError):
+            rmat(5, a=0.5, b=0.4, c=0.2)
+
+
+class TestErdosRenyi:
+    def test_shape_and_uniformity(self):
+        g = erdos_renyi(256, 4096, seed=0)
+        assert g.num_nodes == 256
+        # a binomial degree distribution is nearly even
+        assert gini_of_degrees(g) < 0.3
+
+    def test_no_self_loops(self):
+        from repro.graphs.validate import has_self_loops
+
+        assert not has_self_loops(erdos_renyi(64, 512, seed=1))
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(GraphFormatError):
+            erdos_renyi(0, 10)
+
+
+class TestRoadNetwork:
+    def test_symmetric(self):
+        assert is_symmetric(road_network(10, seed=0))
+
+    def test_large_diameter(self):
+        g = road_network(16, seed=0)
+        # a 16x16 grid has diameter ~30; perturbations change it a little
+        assert estimate_diameter(g, num_probes=4) >= 16
+
+    def test_near_uniform_degrees(self):
+        g = road_network(14, seed=0)
+        assert gini_of_degrees(g) < 0.25
+        assert g.out_degrees().max() <= 8
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GraphFormatError):
+            road_network(1)
+
+
+class TestPreferentialAttachment:
+    def test_power_law_tail(self):
+        g = preferential_attachment(400, out_degree=6, seed=0)
+        degs = np.sort(g.in_degrees())[::-1]
+        # hubs exist: the top node has far more than the median in-degree
+        assert degs[0] > 5 * max(1, np.median(degs))
+
+    def test_reciprocity_creates_reachability(self):
+        g = preferential_attachment(200, out_degree=6, seed=0)
+        from repro.graphs.properties import bfs_levels
+
+        hub = int(np.argmax(g.out_degrees()))
+        lv = bfs_levels(g, hub)
+        assert (lv >= 0).mean() > 0.9
+
+    def test_zero_reciprocity_limits_reach(self):
+        g = preferential_attachment(200, out_degree=6, seed=0, reciprocity=0.0)
+        from repro.graphs.properties import bfs_levels
+
+        # oldest nodes have only the core-clique out-edges
+        lv = bfs_levels(g, int(np.argsort(g.out_degrees())[0]))
+        assert (lv >= 0).mean() < 0.5
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(GraphFormatError):
+            preferential_attachment(5, out_degree=8)
+
+
+class TestHeavyTailSocial:
+    def test_extreme_tail(self):
+        g = heavy_tail_social(500, mean_degree=12, seed=0)
+        assert gini_of_degrees(g) > 0.3
+        assert g.out_degrees().max() > 5 * g.out_degrees().mean()
+
+    def test_triangle_closure_raises_clustering(self):
+        # sparse configuration: the hub core alone contributes little CC,
+        # so the closed 2-paths dominate the difference
+        flat = heavy_tail_social(1000, mean_degree=6, seed=1, triangle_closure=0.0)
+        closed = heavy_tail_social(1000, mean_degree=6, seed=1, triangle_closure=0.2)
+        assert (
+            clustering_coefficients(closed).mean()
+            > clustering_coefficients(flat).mean()
+        )
+
+    def test_single_node_rejected(self):
+        with pytest.raises(GraphFormatError):
+            heavy_tail_social(1)
+
+
+class TestShuffle:
+    def test_shuffle_changes_labels_not_structure(self):
+        a = road_network(8, seed=3, shuffle=False)
+        b = road_network(8, seed=3, shuffle=True)
+        assert a.num_nodes == b.num_nodes
+        assert a.num_edges == b.num_edges
+        assert sorted(a.out_degrees().tolist()) == sorted(b.out_degrees().tolist())
+        assert a != b  # labels differ
+
+
+class TestPaperSuite:
+    def test_names_and_validity(self, suite_tiny):
+        assert tuple(suite_tiny) == PAPER_GRAPH_NAMES
+        for g in suite_tiny.values():
+            assert_valid(g)
+            assert g.is_weighted
+
+    def test_structural_contrast(self, suite_tiny):
+        """The suite must preserve the paper's structural axes."""
+        gini = {n: gini_of_degrees(g) for n, g in suite_tiny.items()}
+        assert gini["rmat"] > gini["usa-road"]
+        assert gini["twitter"] > gini["random"]
+        diam_road = estimate_diameter(suite_tiny["usa-road"], num_probes=3)
+        diam_lj = estimate_diameter(suite_tiny["livejournal"], num_probes=3)
+        assert diam_road > diam_lj
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(GraphFormatError):
+            paper_suite("huge")
+
+    def test_scales_grow(self):
+        tiny = paper_suite("tiny")["rmat"]
+        small = paper_suite("small")["rmat"]
+        assert small.num_nodes > tiny.num_nodes

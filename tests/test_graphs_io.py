@@ -1,0 +1,115 @@
+"""Unit tests for graph (de)serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs.io import (
+    dumps,
+    load_npz,
+    loads,
+    read_edge_list,
+    save_npz,
+    write_edge_list,
+)
+
+
+class TestEdgeList:
+    def test_roundtrip_unweighted(self, tiny_graph, tmp_path):
+        p = tmp_path / "g.txt"
+        write_edge_list(tiny_graph, p)
+        g = read_edge_list(p)
+        assert g == tiny_graph
+
+    def test_roundtrip_weighted(self, weighted_graph, tmp_path):
+        p = tmp_path / "g.txt"
+        write_edge_list(weighted_graph, p)
+        g = read_edge_list(p)
+        assert g == weighted_graph
+
+    def test_header_nodes_respected(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# nodes: 10\n0 1\n")
+        assert read_edge_list(p).num_nodes == 10
+
+    def test_nodes_inferred_without_header(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 7\n")
+        assert read_edge_list(p).num_nodes == 8
+
+    def test_explicit_num_nodes_wins(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1\n")
+        assert read_edge_list(p, num_nodes=42).num_nodes == 42
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# a comment\n\n0 1\n# another\n1 0\n")
+        assert read_edge_list(p).num_edges == 2
+
+    def test_malformed_line_rejected(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1 2 3\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(p)
+
+    def test_mixed_weighting_rejected(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1 2.5\n1 0\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(p)
+
+    def test_bad_endpoint_rejected(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("zero 1\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(p)
+
+    def test_bad_header_rejected(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# nodes: many\n0 1\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(p)
+
+    def test_empty_file(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("")
+        g = read_edge_list(p)
+        assert g.num_nodes == 0 and g.num_edges == 0
+
+
+class TestNpz:
+    def test_roundtrip(self, weighted_graph, tmp_path):
+        p = tmp_path / "g.npz"
+        save_npz(weighted_graph, p)
+        assert load_npz(p) == weighted_graph
+
+    def test_roundtrip_unweighted(self, tiny_graph, tmp_path):
+        p = tmp_path / "g.npz"
+        save_npz(tiny_graph, p)
+        g = load_npz(p)
+        assert g == tiny_graph
+        assert g.weights is None
+
+    def test_not_a_graph_archive(self, tmp_path):
+        p = tmp_path / "bogus.npz"
+        np.savez(p, foo=np.arange(3))
+        with pytest.raises(GraphFormatError):
+            load_npz(p)
+
+    def test_in_memory_roundtrip(self, weighted_graph):
+        assert loads(dumps(weighted_graph)) == weighted_graph
+
+
+class TestCachingWorkflow:
+    def test_transform_cache_roundtrip(self, rmat_small, tmp_path):
+        """The amortization story: transform once, cache, reload, reuse."""
+        from repro.core.coalesce import transform_graph
+
+        gg = transform_graph(rmat_small)
+        p = tmp_path / "transformed.npz"
+        save_npz(gg.graph, p)
+        reloaded = load_npz(p)
+        assert reloaded == gg.graph

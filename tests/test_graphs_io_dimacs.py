@@ -1,0 +1,76 @@
+"""Unit tests for the DIMACS shortest-path format support."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs.io import read_dimacs, write_dimacs
+
+
+class TestDimacs:
+    def test_roundtrip(self, weighted_graph, tmp_path):
+        p = tmp_path / "g.gr"
+        write_dimacs(weighted_graph, p, comment="roundtrip test")
+        assert read_dimacs(p) == weighted_graph
+
+    def test_roundtrip_road(self, road_small, tmp_path):
+        p = tmp_path / "road.gr"
+        write_dimacs(road_small, p)
+        g = read_dimacs(p)
+        assert g == road_small
+
+    def test_unweighted_writes_ones(self, tiny_graph, tmp_path):
+        p = tmp_path / "g.gr"
+        write_dimacs(tiny_graph, p)
+        g = read_dimacs(p)
+        assert g.is_weighted
+        assert (g.weights == 1.0).all()
+
+    def test_one_indexed(self, tmp_path):
+        p = tmp_path / "g.gr"
+        p.write_text("p sp 3 1\na 1 3 7\n")
+        g = read_dimacs(p)
+        assert g.has_edge(0, 2)
+        assert g.weights[0] == 7.0
+
+    def test_comments_skipped(self, tmp_path):
+        p = tmp_path / "g.gr"
+        p.write_text("c USA-road-d.NY style header\np sp 2 1\nc mid comment\na 1 2 3\n")
+        assert read_dimacs(p).num_edges == 1
+
+    def test_missing_header(self, tmp_path):
+        p = tmp_path / "g.gr"
+        p.write_text("a 1 2 3\n")
+        with pytest.raises(GraphFormatError):
+            read_dimacs(p)
+
+    def test_bad_header(self, tmp_path):
+        p = tmp_path / "g.gr"
+        p.write_text("p max 3 1\na 1 2 3\n")
+        with pytest.raises(GraphFormatError):
+            read_dimacs(p)
+
+    def test_bad_arc(self, tmp_path):
+        p = tmp_path / "g.gr"
+        p.write_text("p sp 3 1\na 1 2\n")
+        with pytest.raises(GraphFormatError):
+            read_dimacs(p)
+
+    def test_zero_index_rejected(self, tmp_path):
+        p = tmp_path / "g.gr"
+        p.write_text("p sp 3 1\na 0 2 5\n")
+        with pytest.raises(GraphFormatError):
+            read_dimacs(p)
+
+    def test_unknown_record(self, tmp_path):
+        p = tmp_path / "g.gr"
+        p.write_text("p sp 2 1\nx 1 2 3\n")
+        with pytest.raises(GraphFormatError):
+            read_dimacs(p)
+
+    def test_malformed_numbers(self, tmp_path):
+        p = tmp_path / "g.gr"
+        p.write_text("p sp 2 1\na one 2 3\n")
+        with pytest.raises(GraphFormatError):
+            read_dimacs(p)

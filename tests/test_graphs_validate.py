@@ -1,0 +1,98 @@
+"""Unit tests for deep graph validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.validate import (
+    assert_isomorphic_relabelling,
+    assert_valid,
+    edge_set,
+    has_duplicate_edges,
+    has_self_loops,
+    is_symmetric,
+)
+
+
+class TestBasicChecks:
+    def test_edge_set(self, tiny_graph):
+        es = edge_set(tiny_graph)
+        assert (0, 4) in es and (4, 0) not in es
+        assert len(es) == tiny_graph.num_edges
+
+    def test_duplicates_detected(self):
+        g = CSRGraph.from_edges(2, [0, 0], [1, 1])
+        assert has_duplicate_edges(g)
+        assert not has_duplicate_edges(CSRGraph.from_edges(2, [0], [1]))
+
+    def test_self_loops_detected(self):
+        assert has_self_loops(CSRGraph.from_edges(2, [1], [1]))
+        assert not has_self_loops(CSRGraph.from_edges(2, [0], [1]))
+
+    def test_symmetry(self):
+        sym = CSRGraph.from_edges(2, [0, 1], [1, 0])
+        asym = CSRGraph.from_edges(2, [0], [1])
+        assert is_symmetric(sym)
+        assert not is_symmetric(asym)
+
+    def test_assert_valid_flags(self):
+        dup = CSRGraph.from_edges(2, [0, 0], [1, 1])
+        with pytest.raises(GraphFormatError):
+            assert_valid(dup)
+        assert_valid(dup, allow_duplicates=True)
+        loop = CSRGraph.from_edges(2, [1], [1])
+        with pytest.raises(GraphFormatError):
+            assert_valid(loop, allow_self_loops=False)
+        assert_valid(loop)
+
+
+class TestIsomorphicRelabelling:
+    def test_accepts_true_relabelling(self, weighted_graph):
+        from repro.graphs.builder import permute
+
+        perm = np.roll(np.arange(weighted_graph.num_nodes), 3)
+        relabelled = permute(weighted_graph, perm)
+        assert_isomorphic_relabelling(weighted_graph, relabelled, perm)
+
+    def test_rejects_changed_edge(self, weighted_graph):
+        from repro.graphs.builder import permute
+
+        perm = np.arange(weighted_graph.num_nodes)
+        other = CSRGraph.from_edges(
+            weighted_graph.num_nodes,
+            weighted_graph.edge_sources(),
+            np.roll(weighted_graph.indices, 1),
+            weighted_graph.weights,
+        )
+        with pytest.raises(GraphFormatError):
+            assert_isomorphic_relabelling(weighted_graph, other, perm)
+
+    def test_rejects_changed_weight(self, weighted_graph):
+        perm = np.arange(weighted_graph.num_nodes)
+        tampered = weighted_graph.with_weights(weighted_graph.weights * 2)
+        with pytest.raises(GraphFormatError):
+            assert_isomorphic_relabelling(weighted_graph, tampered, perm)
+
+    def test_rejects_node_count_change(self, tiny_graph):
+        bigger = CSRGraph.from_edges(
+            tiny_graph.num_nodes + 1,
+            tiny_graph.edge_sources(),
+            tiny_graph.indices,
+        )
+        with pytest.raises(GraphFormatError):
+            assert_isomorphic_relabelling(
+                tiny_graph, bigger, np.arange(tiny_graph.num_nodes)
+            )
+
+    def test_rejects_edge_count_change(self, tiny_graph):
+        srcs = tiny_graph.edge_sources()
+        fewer = CSRGraph.from_edges(
+            tiny_graph.num_nodes, srcs[:-1], tiny_graph.indices[:-1]
+        )
+        with pytest.raises(GraphFormatError):
+            assert_isomorphic_relabelling(
+                tiny_graph, fewer, np.arange(tiny_graph.num_nodes)
+            )

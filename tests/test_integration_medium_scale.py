@@ -1,0 +1,55 @@
+"""Medium-scale integration smoke: the pipeline holds up beyond toy sizes.
+
+These run the heaviest single cells at the ``medium`` suite scale
+(8k-9k nodes, up to ~230k edges) to guard against accidental quadratic
+blowups in the transforms and kernels.  They are time-bounded rather
+than benchmarked — the point is "finishes promptly and stays sane".
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.sssp import sssp
+from repro.core.pipeline import build_plan
+from repro.eval.accuracy import attribute_inaccuracy
+from repro.graphs.generators import paper_suite
+
+
+@pytest.fixture(scope="module")
+def medium_suite():
+    return paper_suite("medium", seed=7)
+
+
+class TestMediumScale:
+    def test_transforms_stay_subquadratic(self, medium_suite):
+        g = medium_suite["rmat"]
+        start = time.perf_counter()
+        for technique in ("coalescing", "divergence"):
+            build_plan(g, technique)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 30.0, f"transforms took {elapsed:.1f}s on {g}"
+
+    def test_sssp_round_trip(self, medium_suite):
+        g = medium_suite["usa-road"]
+        src = int(np.argmax(g.out_degrees()))
+        start = time.perf_counter()
+        exact = sssp(g, src)
+        plan = build_plan(g, "coalescing")
+        approx = sssp(plan, src)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 120.0
+        assert exact.cycles / approx.cycles > 1.0  # road is the best case
+        assert attribute_inaccuracy(exact.values, approx.values) < 20.0
+
+    def test_pagerank_on_largest_graph(self, medium_suite):
+        g = medium_suite["twitter"]
+        start = time.perf_counter()
+        res = pagerank(g)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 60.0
+        assert res.values.sum() == pytest.approx(1.0, abs=1e-6)

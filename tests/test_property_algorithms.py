@@ -1,0 +1,108 @@
+"""Property-based tests for algorithm invariants on random graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.bc import betweenness_centrality
+from repro.algorithms.mst import mst
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.scc import scc
+from repro.algorithms.sssp import sssp
+from repro.algorithms.wcc import wcc
+
+from strategies import random_graphs
+
+
+class TestSsspInvariants:
+    @given(random_graphs(max_nodes=25, max_edges=120, weighted=True))
+    @settings(max_examples=25, deadline=None)
+    def test_triangle_inequality(self, g):
+        """dist[v] <= dist[u] + w(u, v) for every edge at the fixed point."""
+        dist = sssp(g, 0).values
+        srcs = g.edge_sources()
+        w = g.effective_weights()
+        for e in range(g.num_edges):
+            u, v = int(srcs[e]), int(g.indices[e])
+            if np.isfinite(dist[u]):
+                assert dist[v] <= dist[u] + w[e] + 1e-9
+
+    @given(random_graphs(max_nodes=25, max_edges=120, weighted=True))
+    @settings(max_examples=20, deadline=None)
+    def test_source_zero_and_nonnegative(self, g):
+        dist = sssp(g, 0).values
+        assert dist[0] == 0.0
+        assert (dist[np.isfinite(dist)] >= 0).all()
+
+
+class TestPagerankInvariants:
+    @given(random_graphs(max_nodes=25, max_edges=120, weighted=False))
+    @settings(max_examples=20, deadline=None)
+    def test_mass_conserved_and_positive(self, g):
+        pr = pagerank(g, tol=1e-10).values
+        assert pr.sum() == np.float64(1.0).item() or abs(pr.sum() - 1.0) < 1e-6
+        assert (pr > 0).all()
+
+    @given(random_graphs(max_nodes=25, max_edges=120, weighted=False))
+    @settings(max_examples=15, deadline=None)
+    def test_teleport_floor(self, g):
+        """No node ranks below the teleport share."""
+        damping = 0.85
+        pr = pagerank(g, damping=damping, tol=1e-10).values
+        floor = (1 - damping) / g.num_nodes
+        assert (pr >= floor - 1e-9).all()
+
+
+class TestStructuralInvariants:
+    @given(random_graphs(max_nodes=25, max_edges=100, weighted=False))
+    @settings(max_examples=20, deadline=None)
+    def test_bc_nonnegative_and_zero_on_sinks(self, g):
+        res = betweenness_centrality(g, num_sources=3, seed=1)
+        assert (res.values >= -1e-9).all()
+        # a node with no outgoing edges can never be *interior* to a path
+        sinks = np.nonzero(g.out_degrees() == 0)[0]
+        assert np.allclose(res.values[sinks], 0.0)
+
+    @given(random_graphs(max_nodes=25, max_edges=100, weighted=False))
+    @settings(max_examples=20, deadline=None)
+    def test_scc_count_matches_scipy(self, g):
+        from repro.algorithms.exact import exact_scc_count
+
+        assert scc(g).aux["num_components"] == exact_scc_count(g)
+
+    @given(random_graphs(max_nodes=25, max_edges=100, weighted=False))
+    @settings(max_examples=20, deadline=None)
+    def test_wcc_count_matches_scipy(self, g):
+        from repro.algorithms.wcc import exact_wcc_count
+
+        assert wcc(g).aux["num_components"] == exact_wcc_count(g)
+
+    @given(random_graphs(max_nodes=20, max_edges=80, weighted=True))
+    @settings(max_examples=20, deadline=None)
+    def test_mst_weight_matches_scipy(self, g):
+        from repro.algorithms.exact import exact_msf_weight
+
+        ours = mst(g).aux["weight"]
+        assert abs(ours - exact_msf_weight(g)) < 1e-6
+
+
+class TestTransformedInvariantsHold:
+    @given(
+        random_graphs(max_nodes=25, max_edges=120, weighted=True),
+        st.sampled_from(["coalescing", "divergence"]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_sssp_on_plans_never_undershoots(self, g, technique):
+        """Approximate distances are lower-bounded by the true distances:
+        every structural edit corresponds to a real path (path-sum
+        weights), and mean-merges average real distances."""
+        from repro.algorithms.exact import exact_sssp
+        from repro.core.pipeline import build_plan
+
+        plan = build_plan(g, technique)
+        approx = sssp(plan, 0).values
+        ref = exact_sssp(g, 0)
+        both = np.isfinite(ref) & np.isfinite(approx)
+        assert (approx[both] >= ref[both] - 1e-9).all()

@@ -1,0 +1,132 @@
+"""Property-based tests for the Graffix transforms and the simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coalesce import transform_graph
+from repro.core.divergence import normalize_degrees
+from repro.core.knobs import CoalescingKnobs, DivergenceKnobs
+from repro.core.renumber import renumber
+from repro.graphs.csr import CSRGraph
+from repro.gpusim.device import DeviceConfig
+from repro.gpusim.memory import count_transactions
+
+from strategies import random_graphs
+
+
+class TestRenumberProperties:
+    @given(random_graphs(max_nodes=30, max_edges=120), st.integers(1, 16))
+    @settings(max_examples=40, deadline=None)
+    def test_bijection_and_alignment(self, g, k):
+        ren = renumber(g, k)
+        # bijection over original nodes
+        assert np.unique(ren.new_id).size == g.num_nodes
+        # slot space is chunk aligned and covers all nodes
+        assert ren.num_slots % k == 0
+        assert ren.num_slots >= g.num_nodes
+        # every level block start (except level 0) is k-aligned
+        for s in ren.level_starts[1:-1]:
+            assert s % k == 0
+        # rep_of and new_id are mutually inverse
+        occ = ren.rep_of >= 0
+        assert occ.sum() == g.num_nodes
+        assert np.array_equal(ren.new_id[ren.rep_of[occ]], np.nonzero(occ)[0])
+
+    @given(random_graphs(max_nodes=30, max_edges=120))
+    @settings(max_examples=30, deadline=None)
+    def test_levels_respect_bfs_forest(self, g):
+        ren = renumber(g, 4)
+        # any edge can skip at most one level downward
+        srcs = g.edge_sources()
+        lv = ren.levels
+        for e in range(g.num_edges):
+            u, v = int(srcs[e]), int(g.indices[e])
+            assert lv[v] <= lv[u] + 1
+
+
+class TestTransformProperties:
+    @given(
+        random_graphs(max_nodes=30, max_edges=150, weighted=True),
+        st.sampled_from([0.2, 0.5, 0.8]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_coalescing_conserves_logical_graph(self, g, thr):
+        gg = transform_graph(g, CoalescingKnobs(connectedness_threshold=thr))
+        # node bookkeeping adds up
+        assert gg.num_original + gg.num_replicas + gg.num_holes == gg.num_slots
+        # edges: originals conserved, only 2-hop additions are new
+        assert gg.graph.num_edges == g.num_edges + gg.edges_added
+        # lift/lower is the identity on original values
+        vals = np.arange(g.num_nodes, dtype=np.float64)
+        assert np.array_equal(gg.lower(gg.lift(vals)), vals)
+
+    @given(
+        random_graphs(max_nodes=30, max_edges=150, weighted=True),
+        st.sampled_from([0.1, 0.4, 0.8]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_divergence_padding_never_shrinks_degrees(self, g, thr):
+        plan = normalize_degrees(
+            g, DivergenceKnobs(degree_sim_threshold=thr), DeviceConfig(warp_size=8)
+        )
+        assert (plan.graph.out_degrees() >= g.out_degrees()).all()
+        assert np.array_equal(np.sort(plan.order), np.arange(g.num_nodes))
+
+    @given(random_graphs(max_nodes=25, max_edges=100, weighted=True))
+    @settings(max_examples=20, deadline=None)
+    def test_divergence_preserves_sssp_values(self, g):
+        """Sum-weighted 2-hop edges never alter shortest-path distances."""
+        from repro.algorithms.exact import exact_sssp
+
+        plan = normalize_degrees(
+            g, DivergenceKnobs(degree_sim_threshold=0.9), DeviceConfig(warp_size=8)
+        )
+        before = exact_sssp(g, 0)
+        after = exact_sssp(plan.graph, 0)
+        finite = np.isfinite(before)
+        assert np.array_equal(finite, np.isfinite(after))
+        assert np.allclose(before[finite], after[finite])
+
+
+class TestSimulatorProperties:
+    @given(
+        st.integers(1, 6).map(lambda w: 2**w),
+        st.lists(st.integers(0, 4000), min_size=1, max_size=300),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_transactions_bounds(self, line_words, addresses):
+        addr = np.asarray(addresses, dtype=np.int64)
+        warp = np.zeros(addr.size, dtype=np.int64)
+        step = np.zeros(addr.size, dtype=np.int64)
+        tc = count_transactions(warp, step, addr, line_words)
+        unique_words = np.unique(addr).size
+        # between 1 and min(accesses, distinct segments needed)
+        assert 1 <= tc.transactions <= addr.size
+        assert tc.transactions <= unique_words
+        assert tc.transactions >= np.unique(addr // line_words).size
+
+    @given(random_graphs(max_nodes=40, max_edges=200))
+    @settings(max_examples=25, deadline=None)
+    def test_charge_monotone_in_active_set(self, g):
+        """Charging a superset of nodes can never cost less."""
+        from repro.gpusim.costmodel import charge_sweep
+        from repro.gpusim.device import K40C
+
+        half = np.arange(g.num_nodes // 2 + 1, dtype=np.int64)
+        full_cost = charge_sweep(g, K40C)
+        half_cost = charge_sweep(g, K40C, half)
+        assert half_cost.cycles <= full_cost.cycles
+        assert half_cost.atomic_ops <= full_cost.atomic_ops
+
+    @given(random_graphs(max_nodes=40, max_edges=200))
+    @settings(max_examples=25, deadline=None)
+    def test_shared_never_costlier(self, g):
+        from repro.gpusim.costmodel import charge_sweep
+        from repro.gpusim.device import K40C
+
+        all_global = charge_sweep(g, K40C)
+        all_shared = charge_sweep(g, K40C, all_shared=True)
+        assert all_shared.cycles <= all_global.cycles

@@ -1,0 +1,90 @@
+"""Unit tests for the landmark-based SSSP approximation (related work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.exact import exact_sssp
+from repro.errors import AlgorithmError
+from repro.graphs.csr import CSRGraph
+from repro.related.landmarks import (
+    LandmarkIndex,
+    build_landmark_index,
+    pick_landmarks,
+)
+
+
+class TestPickLandmarks:
+    def test_high_degree_first(self, rmat_small):
+        lms = pick_landmarks(rmat_small, 4)
+        degs = rmat_small.out_degrees() + rmat_small.in_degrees()
+        assert degs[lms[0]] == degs.max()
+        assert np.unique(lms).size == 4
+
+    def test_capped_at_n(self, tiny_graph):
+        assert pick_landmarks(tiny_graph, 1000).size == tiny_graph.num_nodes
+
+    def test_validation(self, tiny_graph):
+        with pytest.raises(AlgorithmError):
+            pick_landmarks(tiny_graph, 0)
+
+
+class TestIndex:
+    @pytest.fixture(scope="class")
+    def index(self, rmat_small) -> LandmarkIndex:
+        return build_landmark_index(rmat_small, num_landmarks=6)
+
+    def test_shapes(self, index, rmat_small):
+        assert index.num_landmarks == 6
+        assert index.from_landmark.shape == (6, rmat_small.num_nodes)
+        assert index.to_landmark.shape == (6, rmat_small.num_nodes)
+
+    def test_preprocessing_charged(self, index):
+        assert index.preprocess_metrics.cycles > 0
+        assert index.preprocess_metrics.num_sweeps > 0
+
+    def test_estimates_are_upper_bounds(self, index, rmat_small):
+        """Triangle inequality: the landmark estimate can never be below
+        the true distance."""
+        src = int(np.argmax(rmat_small.out_degrees()))
+        est = index.estimate_from(src)
+        ref = exact_sssp(rmat_small, src)
+        both = np.isfinite(ref) & np.isfinite(est)
+        assert (est[both] >= ref[both] - 1e-9).all()
+        assert est[src] == 0.0
+
+    def test_exact_through_landmarks(self):
+        """A path graph with its middle node as the landmark: every
+        s-to-t distance crossing the middle is estimated exactly."""
+        g = CSRGraph.from_edges(
+            5, [0, 1, 2, 3, 4, 3, 2, 1], [1, 2, 3, 4, 3, 2, 1, 0],
+            [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+        )
+        idx = build_landmark_index(g, num_landmarks=1)
+        # landmark is the max-degree node (an interior one)
+        lm = int(idx.landmarks[0])
+        ref = exact_sssp(g, 0)
+        est = idx.estimate_from(0)
+        assert est[lm] == ref[lm]
+
+    def test_more_landmarks_at_least_as_accurate(self, rmat_small):
+        src = int(np.argmax(rmat_small.out_degrees()))
+        ref = exact_sssp(rmat_small, src)
+        few = build_landmark_index(rmat_small, num_landmarks=2)
+        many = build_landmark_index(rmat_small, num_landmarks=10)
+        est_few = few.estimate_from(src)
+        est_many = many.estimate_from(src)
+        both = np.isfinite(ref) & np.isfinite(est_few) & np.isfinite(est_many)
+        err_few = float(np.mean(est_few[both] - ref[both]))
+        err_many = float(np.mean(est_many[both] - ref[both]))
+        assert err_many <= err_few + 1e-9
+
+    def test_point_query(self, index, rmat_small):
+        src = int(np.argmax(rmat_small.out_degrees()))
+        est = index.estimate(src, 5)
+        assert est == index.estimate_from(src)[5]
+
+    def test_source_validation(self, index):
+        with pytest.raises(AlgorithmError):
+            index.estimate_from(10**6)
