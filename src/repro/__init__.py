@@ -9,6 +9,7 @@ Tinge of GPU-Specific Approximations"* (ICPP 2020) in pure Python:
 * :mod:`repro.algorithms` — SSSP, MST, SCC, PR, BC on the simulator
 * :mod:`repro.baselines`  — LonestarGPU- / Tigr- / Gunrock-style kernels
 * :mod:`repro.eval`    — inaccuracy metrics, harness, Tables 1-14, Figs 7-9
+* :mod:`repro.resilience` — checkpoint journal, worker retry, fault injection
 
 Quickstart::
 
@@ -22,29 +23,38 @@ Quickstart::
           ev.attribute_inaccuracy(exact.values, approx.values))
 """
 
-from . import algorithms, baselines, core, eval, graphs, gpusim
+from . import algorithms, baselines, core, eval, graphs, gpusim, resilience
 from .errors import (
     AlgorithmError,
+    DegradedResult,
+    FaultInjected,
     GraphFormatError,
     KnobError,
     ReproError,
+    ResilienceError,
     SimulationError,
     TransformError,
+    WorkerTimeout,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AlgorithmError",
+    "DegradedResult",
+    "FaultInjected",
     "GraphFormatError",
     "KnobError",
     "ReproError",
+    "ResilienceError",
     "SimulationError",
     "TransformError",
+    "WorkerTimeout",
     "algorithms",
     "baselines",
     "core",
     "eval",
     "graphs",
     "gpusim",
+    "resilience",
 ]

@@ -10,6 +10,7 @@ algorithm-oblivious, and so is this plan).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -17,6 +18,7 @@ import numpy as np
 from ..errors import TransformError
 from ..graphs.csr import CSRGraph
 from ..gpusim.device import DeviceConfig, K40C
+from ..resilience.faults import fault_point
 from .coalesce import GraffixGraph, transform_graph
 from .divergence import DivergencePlan, normalize_degrees
 from .knobs import CoalescingKnobs, DivergenceKnobs, SharedMemoryKnobs
@@ -93,17 +95,21 @@ def build_plan(
     transform — each on the previous one's output graph, mirroring the
     paper's remark that the techniques complement each other.
     """
-    import time
-
     if technique not in TECHNIQUES:
         raise TransformError(
             f"unknown technique {technique!r}; choose from {TECHNIQUES}"
         )
+    fault_point("transform", technique)
     n = graph.num_nodes
     t0 = time.perf_counter()
 
     if technique == "exact":
-        return ExecutionPlan(technique="exact", graph=graph, num_original=n)
+        return ExecutionPlan(
+            technique="exact",
+            graph=graph,
+            num_original=n,
+            preprocess_seconds=time.perf_counter() - t0,
+        )
 
     if technique == "divergence":
         plan = normalize_degrees(graph, divergence, device)

@@ -45,3 +45,36 @@ class AlgorithmError(ReproError):
     Examples: an SSSP source that is out of range, PageRank with a damping
     factor outside ``(0, 1)``, BC sampling with zero sources.
     """
+
+
+class ResilienceError(ReproError):
+    """Raised by the fault-tolerant execution layer (:mod:`repro.resilience`).
+
+    Examples: a resume journal whose recorded scale/seed do not match the
+    requested run, or a cell whose measurement is unusable and degradation
+    was disabled.
+    """
+
+
+class WorkerTimeout(ResilienceError):
+    """Raised when a sweep worker exceeds its per-task deadline.
+
+    The parallel table runner terminates the worker process and either
+    retries the task (with exponential backoff) or marks its cells failed.
+    """
+
+
+class DegradedResult(ResilienceError):
+    """Raised when a cell would have to degrade but degradation is disabled.
+
+    Example: an approximate run reporting zero simulated cycles, which
+    would otherwise emit an infinite speedup into tables and exports.
+    """
+
+
+class FaultInjected(ResilienceError):
+    """Raised by :mod:`repro.resilience.faults` at an armed fault point.
+
+    Only ever seen when fault injection is explicitly enabled (the
+    ``REPRO_FAULTS`` environment variable or :func:`~repro.resilience.faults.install`).
+    """

@@ -23,9 +23,10 @@ from ..algorithms.bc import pick_sources
 from ..baselines import BASELINES
 from ..core.knobs import CoalescingKnobs, DivergenceKnobs, SharedMemoryKnobs
 from ..core.pipeline import ExecutionPlan, build_plan
-from ..errors import AlgorithmError, ReproError
+from ..errors import AlgorithmError, DegradedResult, ReproError, TransformError
 from ..graphs.csr import CSRGraph
 from ..gpusim.device import DeviceConfig, K40C
+from ..resilience.faults import fault_point
 from .accuracy import attribute_inaccuracy, mst_inaccuracy, scc_inaccuracy
 
 __all__ = ["ExperimentResult", "Harness", "run_experiment"]
@@ -33,7 +34,12 @@ __all__ = ["ExperimentResult", "Harness", "run_experiment"]
 
 @dataclass(frozen=True)
 class ExperimentResult:
-    """One table cell: technique x algorithm x graph x baseline."""
+    """One table cell: technique x algorithm x graph x baseline.
+
+    ``degraded`` marks a cell whose approximation step failed and which
+    fell back to the exact baseline (speedup 1.0, inaccuracy 0.0);
+    ``degraded_reason`` records why, so tables can footnote the gap.
+    """
 
     algorithm: str
     technique: str
@@ -49,6 +55,8 @@ class ExperimentResult:
     edges_added: int
     exact_iterations: int
     approx_iterations: int
+    degraded: bool = False
+    degraded_reason: str = ""
 
 
 @dataclass
@@ -84,18 +92,55 @@ class Harness:
         }
 
     def exact_run(self, graph: CSRGraph, algorithm: str, baseline: str):
-        """Memoized exact baseline execution."""
-        key = (id(graph), algorithm, baseline)
+        """Memoized exact baseline execution.
+
+        Keyed on the graph's content fingerprint, not ``id(graph)`` — an
+        id can be reused after GC, which would silently return a stale
+        exact result for a different graph.
+        """
+        key = (graph.fingerprint(), algorithm, baseline)
         if key not in self._exact_cache:
             module = BASELINES[baseline]
             if algorithm not in module.SUPPORTED:
                 raise AlgorithmError(
                     f"{baseline} does not support {algorithm!r}"
                 )
+            fault_point("baseline", f"{baseline}:{algorithm}")
             self._exact_cache[key] = module.run(
                 algorithm, graph, **self._baseline_params(graph)
             )
         return self._exact_cache[key]
+
+    def degraded_result(
+        self, graph: CSRGraph, algorithm: str, baseline: str, *, reason: str
+    ) -> ExperimentResult:
+        """The graceful-degradation fallback for one failed cell.
+
+        Degrading to ``technique="exact"`` means the cell reports the
+        exact baseline against itself: speedup 1.0, inaccuracy 0.0, no
+        preprocessing or extra space — an honest "no benefit here", with
+        the flag and reason preserved for the table footnote.
+        """
+        exact = self.exact_run(graph, algorithm, baseline)
+        cycles = exact.metrics.cycles
+        return ExperimentResult(
+            algorithm=algorithm,
+            technique="exact",
+            baseline=baseline,
+            speedup=1.0,
+            inaccuracy_percent=0.0,
+            exact_cycles=cycles,
+            approx_cycles=cycles,
+            exact_seconds=exact.metrics.seconds,
+            approx_seconds=exact.metrics.seconds,
+            preprocess_seconds=0.0,
+            extra_space_percent=0.0,
+            edges_added=0,
+            exact_iterations=exact.iterations,
+            approx_iterations=exact.iterations,
+            degraded=True,
+            degraded_reason=reason,
+        )
 
     # ------------------------------------------------------------------
     def run(
@@ -109,12 +154,19 @@ class Harness:
         shmem: SharedMemoryKnobs | None = None,
         divergence: DivergenceKnobs | None = None,
         plan: ExecutionPlan | None = None,
+        degrade: bool = False,
     ) -> ExperimentResult:
         """One exact-vs-approximate comparison.
 
         ``plan`` short-circuits transform construction (useful when one
         transformed graph is reused across the five algorithms, which is
         the paper's amortization argument in action).
+
+        With ``degrade=True`` a failed approximation step — the transform
+        raising :class:`TransformError`/:class:`MemoryError`, or the
+        approximate run reporting zero cycles — falls back to
+        :meth:`degraded_result` instead of propagating, so a table sweep
+        renders complete with footnoted gaps.
         """
         if baseline not in BASELINES:
             raise ReproError(
@@ -123,26 +175,42 @@ class Harness:
         module = BASELINES[baseline]
         exact = self.exact_run(graph, algorithm, baseline)
 
-        if plan is None:
-            plan = build_plan(
-                graph,
-                technique,
-                device=self.device,
-                coalescing=coalescing,
-                shmem=shmem,
-                divergence=divergence,
+        try:
+            if plan is None:
+                plan = build_plan(
+                    graph,
+                    technique,
+                    device=self.device,
+                    coalescing=coalescing,
+                    shmem=shmem,
+                    divergence=divergence,
+                )
+            approx = module.run(algorithm, plan, **self._baseline_params(graph))
+        except (TransformError, MemoryError) as exc:
+            if not degrade:
+                raise
+            return self.degraded_result(
+                graph, algorithm, baseline,
+                reason=f"{type(exc).__name__}: {exc}",
             )
-        approx = module.run(algorithm, plan, **self._baseline_params(graph))
 
         inaccuracy = self._inaccuracy(algorithm, exact, approx)
         extra_space = self._extra_space_percent(graph, plan)
         exact_cycles = exact.metrics.cycles
         approx_cycles = approx.metrics.cycles
+        if approx_cycles <= 0:
+            # never emit an infinite speedup into tables/exports
+            reason = "approximate run reported zero simulated cycles"
+            if not degrade:
+                raise DegradedResult(
+                    f"{algorithm}/{technique}/{baseline}: {reason}"
+                )
+            return self.degraded_result(graph, algorithm, baseline, reason=reason)
         return ExperimentResult(
             algorithm=algorithm,
             technique=technique,
             baseline=baseline,
-            speedup=exact_cycles / approx_cycles if approx_cycles else float("inf"),
+            speedup=exact_cycles / approx_cycles,
             inaccuracy_percent=inaccuracy,
             exact_cycles=exact_cycles,
             approx_cycles=approx_cycles,

@@ -1,4 +1,4 @@
-"""Process-parallel table generation for the larger suite scales.
+"""Fault-tolerant process-parallel table generation.
 
 Each table cell (graph x algorithm x technique x baseline) is
 independent once the transformed plan exists, so the sweep
@@ -8,6 +8,20 @@ regenerated from seeds rather than pickled, keeping task payloads tiny),
 following the scientific-Python guidance to parallelize at the coarsest
 grain that balances load.
 
+Unlike a bare ``ProcessPoolExecutor``, this scheduler survives partial
+failure:
+
+* every worker runs in its own process with an optional **deadline**
+  (``worker_timeout``); a worker that stalls is terminated rather than
+  sinking the pool;
+* a worker that times out or raises is **retried** up to ``max_retries``
+  times with exponential backoff;
+* a task that exhausts its retries has its cells **marked failed** (rows
+  carry ``failed=True`` and the error) while every other task completes;
+* with a :class:`~repro.resilience.journal.RunJournal`, each completed
+  cell is checkpointed the moment its worker reports it, so a killed
+  sweep resumes from the journal instead of starting over.
+
 This is the scale-out path for ``REPRO_BENCH_SCALE=medium`` and beyond;
 the sequential :class:`~repro.eval.tables.TableRunner` remains the simple
 default.
@@ -15,12 +29,19 @@ default.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import multiprocessing as mp
+import os
+import time
 
-from ..errors import ReproError
+from ..errors import ReproError, WorkerTimeout
+from ..resilience.faults import fault_point
+from ..resilience.journal import RunJournal, cell_key
+from ..resilience.retry import RetryPolicy
 from .tables import ALL_ALGOS, TableRunner
 
 __all__ = ["parallel_technique_rows", "worker_rows"]
+
+_POLL_SECONDS = 0.02
 
 
 def worker_rows(
@@ -31,32 +52,66 @@ def worker_rows(
     scale: str,
     seed: int,
     num_bc_sources: int,
+    attempt: int = 0,
+    degrade: bool = True,
 ) -> list[dict]:
-    """One worker's share: every algorithm for one suite graph.
+    """One worker's share: every requested algorithm for one suite graph.
 
-    Module-level (picklable) so ProcessPoolExecutor can ship it; the
-    worker rebuilds its graph from the generator seed, transforms it
-    once, and runs all algorithms against it.
+    Module-level (picklable) so worker processes can ship it; the worker
+    rebuilds its graph from the generator seed, transforms it once, and
+    runs all algorithms against it.  ``attempt`` is embedded in the fault
+    key so injection rules can target "first attempt only" deterministically
+    across process boundaries.
     """
-    runner = TableRunner(scale=scale, seed=seed, num_bc_sources=num_bc_sources)
-    graph = runner.suite[graph_name]
-    plan = runner.plan_for(graph_name, technique)
-    rows = []
-    for algo in algorithms:
-        res = runner.harness.run(
-            graph, algo, technique, baseline=baseline, plan=plan
-        )
-        rows.append(
-            {
-                "algorithm": algo,
-                "graph": graph_name,
-                "speedup": res.speedup,
-                "inaccuracy_percent": res.inaccuracy_percent,
-                "exact_cycles": res.exact_cycles,
-                "approx_cycles": res.approx_cycles,
-            }
-        )
-    return rows
+    fault_point("worker", f"{graph_name}:attempt{attempt}")
+    runner = TableRunner(
+        scale=scale, seed=seed, num_bc_sources=num_bc_sources, degrade=degrade
+    )
+    return [
+        runner.cell_row(graph_name, algo, technique, baseline)
+        for algo in algorithms
+    ]
+
+
+def _worker_entry(conn, kwargs: dict) -> None:
+    """Child-process entry: run the share, report ("ok"|"error", payload)."""
+    try:
+        rows = worker_rows(**kwargs)
+        message = ("ok", rows)
+    except BaseException as exc:  # must not die silently — report and exit
+        message = ("error", f"{type(exc).__name__}: {exc}")
+    try:
+        conn.send(message)
+    except (BrokenPipeError, OSError):
+        pass  # parent already gave up on us (timeout); nothing to tell
+    finally:
+        conn.close()
+
+
+class _Task:
+    """One unit of schedulable work: a graph's remaining algorithms."""
+
+    __slots__ = ("graph", "algorithms", "attempt", "not_before", "last_error")
+
+    def __init__(self, graph: str, algorithms: tuple[str, ...]):
+        self.graph = graph
+        self.algorithms = algorithms
+        self.attempt = 0
+        self.not_before = 0.0
+        self.last_error = ""
+
+
+def _failed_row(algo: str, graph: str, error: str) -> dict:
+    return {
+        "algorithm": algo,
+        "graph": graph,
+        "speedup": 0.0,
+        "inaccuracy_percent": 0.0,
+        "exact_cycles": 0.0,
+        "approx_cycles": 0.0,
+        "failed": True,
+        "error": error,
+    }
 
 
 def parallel_technique_rows(
@@ -68,34 +123,163 @@ def parallel_technique_rows(
     seed: int = 7,
     num_bc_sources: int = 3,
     max_workers: int | None = None,
+    max_retries: int = 2,
+    worker_timeout: float | None = None,
+    backoff_base: float = 0.25,
+    journal: RunJournal | None = None,
+    failures: list[dict] | None = None,
+    degrade: bool = True,
 ) -> list[dict]:
-    """The parallel equivalent of ``TableRunner._technique_rows``.
+    """The fault-tolerant parallel equivalent of ``TableRunner._technique_rows``.
 
     Returns the same row dicts (sorted by algorithm then graph for
-    deterministic output regardless of completion order).
+    deterministic output regardless of completion order).  Cells already
+    present in ``journal`` are replayed without re-running; cells whose
+    task exhausts its retries come back with ``failed=True`` and are
+    appended to ``failures`` (as are degraded cells).
     """
     if technique not in ("coalescing", "shmem", "divergence", "combined"):
         raise ReproError(f"unknown technique {technique!r}")
+    policy = RetryPolicy(max_retries=max_retries, backoff_base=backoff_base)
     probe = TableRunner(scale=scale, seed=seed)
     graph_names = list(probe.suite)
+    if failures is None:
+        failures = []
+
+    def key_of(algo: str, graph: str) -> dict:
+        return cell_key(
+            technique, baseline, algo, graph, scale, seed, num_bc_sources
+        )
 
     rows: list[dict] = []
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        futures = [
-            pool.submit(
-                worker_rows,
-                name,
-                technique,
-                baseline,
-                algorithms,
-                scale,
-                seed,
-                num_bc_sources,
-            )
-            for name in graph_names
-        ]
-        for fut in futures:
-            rows.extend(fut.result())
+    pending: list[_Task] = []
+    for name in graph_names:
+        remaining = []
+        for algo in algorithms:
+            cached = journal.get("cell", key_of(algo, name)) if journal else None
+            if cached is not None:
+                rows.append(cached)
+            else:
+                remaining.append(algo)
+        if remaining:
+            pending.append(_Task(name, tuple(remaining)))
+
+    def note_failure(kind: str, row: dict) -> None:
+        failures.append(
+            {
+                "kind": kind,
+                "technique": technique,
+                "baseline": baseline,
+                "algorithm": row["algorithm"],
+                "graph": row["graph"],
+                "reason": row.get("degraded_reason") or row.get("error", ""),
+            }
+        )
+
+    def finish_ok(task: _Task, payload: list[dict]) -> None:
+        for row in payload:
+            if journal is not None:
+                journal.record("cell", key_of(row["algorithm"], row["graph"]), row)
+            if row.get("degraded"):
+                note_failure("degraded", row)
+            rows.append(row)
+
+    def finish_failed(task: _Task, error: str) -> None:
+        # deliberately NOT journaled: a resumed run should retry these
+        for algo in task.algorithms:
+            row = _failed_row(algo, task.graph, error)
+            note_failure("failed", row)
+            rows.append(row)
+
+    ctx = mp.get_context()
+    max_workers = max_workers or os.cpu_count() or 1
+    running: list[list] = []  # [process, parent_conn, task, deadline]
+    try:
+        while pending or running:
+            now = time.monotonic()
+            while pending and len(running) < max_workers:
+                task = next((t for t in pending if t.not_before <= now), None)
+                if task is None:
+                    break
+                pending.remove(task)
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_worker_entry,
+                    args=(
+                        child_conn,
+                        dict(
+                            graph_name=task.graph,
+                            technique=technique,
+                            baseline=baseline,
+                            algorithms=task.algorithms,
+                            scale=scale,
+                            seed=seed,
+                            num_bc_sources=num_bc_sources,
+                            attempt=task.attempt,
+                            degrade=degrade,
+                        ),
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                deadline = (
+                    now + worker_timeout if worker_timeout is not None else None
+                )
+                running.append([proc, parent_conn, task, deadline])
+
+            progressed = False
+            for entry in list(running):
+                proc, conn, task, deadline = entry
+                outcome = None
+                if conn.poll(0):
+                    try:
+                        outcome = conn.recv()
+                    except (EOFError, OSError):
+                        outcome = ("error", "worker died without reporting")
+                elif not proc.is_alive():
+                    outcome = (
+                        "error",
+                        f"worker exited with code {proc.exitcode} "
+                        "without reporting",
+                    )
+                elif deadline is not None and time.monotonic() > deadline:
+                    proc.terminate()
+                    outcome = (
+                        "error",
+                        str(
+                            WorkerTimeout(
+                                f"graph {task.graph!r} attempt {task.attempt} "
+                                f"exceeded {worker_timeout:g}s deadline"
+                            )
+                        ),
+                    )
+                if outcome is None:
+                    continue
+                progressed = True
+                running.remove(entry)
+                conn.close()
+                proc.join(timeout=5)
+                if proc.is_alive():  # terminate() raced with real work
+                    proc.kill()
+                    proc.join(timeout=5)
+                status, payload = outcome
+                if status == "ok":
+                    finish_ok(task, payload)
+                elif task.attempt < policy.max_retries:
+                    task.last_error = payload
+                    task.not_before = time.monotonic() + policy.delay(task.attempt)
+                    task.attempt += 1
+                    pending.append(task)
+                else:
+                    finish_failed(task, payload)
+            if not progressed:
+                time.sleep(_POLL_SECONDS)
+    finally:
+        for proc, conn, _task, _deadline in running:
+            proc.terminate()
+            conn.close()
+            proc.join(timeout=5)
 
     algo_rank = {a: i for i, a in enumerate(algorithms)}
     graph_rank = {g: i for i, g in enumerate(graph_names)}

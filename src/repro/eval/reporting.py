@@ -11,7 +11,12 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["geomean", "format_table", "format_speedup_table"]
+__all__ = [
+    "geomean",
+    "format_table",
+    "format_speedup_table",
+    "format_failure_summary",
+]
 
 
 def geomean(values: Iterable[float]) -> float:
@@ -68,22 +73,77 @@ def format_speedup_table(
     inaccuracy column aggregates by arithmetic mean — several cells are
     exactly 0 % (value-preserving transforms), which would collapse a
     geometric mean to nothing.
+
+    Degraded cells (approximation fell back to exact) render with a ``*``
+    and a footnote; failed cells (worker exhausted its retries) render as
+    ``FAILED`` and are excluded from the aggregates.
     """
-    out_rows = list(rows)
-    if out_rows:
-        speedups = [float(r["speedup"]) for r in out_rows]
-        inaccs = [float(r["inaccuracy_percent"]) for r in out_rows]
-        out_rows = out_rows + [
+    ok_rows = [r for r in rows if not r.get("failed")]
+    display: list[dict] = []
+    degraded_n = failed_n = 0
+    for r in rows:
+        d = dict(r)
+        if r.get("failed"):
+            failed_n += 1
+            d["speedup"] = "FAILED"
+            d["inaccuracy_percent"] = "-"
+        elif r.get("degraded"):
+            degraded_n += 1
+            d["speedup"] = "{:.2f}*".format(float(r["speedup"]))
+        display.append(d)
+    if ok_rows:
+        speedups = [float(r["speedup"]) for r in ok_rows]
+        inaccs = [float(r["inaccuracy_percent"]) for r in ok_rows]
+        display.append(
             {
                 "algorithm": "",
                 "graph": "Geomean",
                 "speedup": geomean(speedups),
                 "inaccuracy_percent": float(np.mean(inaccs)),
             }
-        ]
-    return format_table(
-        out_rows,
+        )
+    text = format_table(
+        display,
         ["algorithm", "graph", "speedup", "inaccuracy_percent"],
         title=title,
         floatfmt="{:.2f}",
     )
+    notes = []
+    if degraded_n:
+        notes.append(
+            f"* {degraded_n} cell(s) degraded to the exact baseline "
+            "(approximation failed; speedup 1.00, inaccuracy 0.00)"
+        )
+    if failed_n:
+        notes.append(
+            f"! {failed_n} cell(s) FAILED after exhausting retries "
+            "(excluded from the Geomean; re-run with --resume to retry)"
+        )
+    if notes:
+        text = text + "\n" + "\n".join(notes)
+    return text
+
+
+def format_failure_summary(failures: Sequence[Mapping[str, object]]) -> str:
+    """The end-of-run report of every degraded or failed cell."""
+    if not failures:
+        return "failure summary: all cells completed cleanly"
+    degraded = [f for f in failures if f.get("kind") == "degraded"]
+    failed = [f for f in failures if f.get("kind") == "failed"]
+    lines = [
+        "failure summary: "
+        f"{len(degraded)} degraded cell(s), {len(failed)} failed cell(s)"
+    ]
+    for f in failures:
+        lines.append(
+            "  [{kind}] {technique}/{baseline} {algorithm} on {graph}: "
+            "{reason}".format(
+                kind=f.get("kind", "?"),
+                technique=f.get("technique", "?"),
+                baseline=f.get("baseline", "?"),
+                algorithm=f.get("algorithm", "?"),
+                graph=f.get("graph", "?"),
+                reason=f.get("reason", "") or "unspecified",
+            )
+        )
+    return "\n".join(lines)

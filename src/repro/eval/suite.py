@@ -5,10 +5,16 @@ Usage (also reachable as ``python -m repro``)::
     python -m repro --list
     python -m repro --scale tiny table6 figure9
     python -m repro --scale small all --output-dir results/
+    python -m repro --scale small all --output-dir results/ --resume
 
 Each target prints its rendered table/series; ``--output-dir`` also
 persists them as text files (the same format the benchmark harness
-emits).
+emits) plus a ``journal.jsonl`` checkpoint of every completed cell.
+``--resume`` replays the journal, skipping finished cells byte-for-byte
+and re-running only the gaps; ``--parallel`` routes technique sweeps
+through the fault-tolerant worker pool (``--max-retries``,
+``--worker-timeout``).  A failure summary of every degraded or failed
+cell prints at the end and lands in ``failures.txt``.
 """
 
 from __future__ import annotations
@@ -18,7 +24,9 @@ from pathlib import Path
 from typing import Callable
 
 from ..gpusim.device import K40C
+from ..resilience.journal import RunJournal
 from . import figures, tables
+from .reporting import format_failure_summary
 
 __all__ = ["TARGETS", "run_targets", "main"]
 
@@ -79,8 +87,20 @@ def run_targets(
     scale: str = "tiny",
     seed: int = 7,
     output_dir: str | Path | None = None,
+    resume: bool = False,
+    parallel: bool = False,
+    max_workers: int | None = None,
+    max_retries: int = 2,
+    worker_timeout: float | None = None,
+    failures: list[dict] | None = None,
 ) -> dict[str, str]:
-    """Run the named targets; returns ``{name: rendered text}``."""
+    """Run the named targets; returns ``{name: rendered text}``.
+
+    With ``output_dir`` set, every completed table cell is checkpointed to
+    ``<output_dir>/journal.jsonl``; ``resume=True`` replays that journal
+    (skipping finished cells) instead of starting fresh.  Pass a list as
+    ``failures`` to receive one entry per degraded/failed cell.
+    """
     if "all" in names:
         names = list(TARGETS)
     unknown = [n for n in names if n not in TARGETS]
@@ -88,15 +108,37 @@ def run_targets(
         raise KeyError(
             f"unknown targets {unknown}; available: {sorted(TARGETS)} or 'all'"
         )
-    runner = tables.TableRunner(scale=scale, seed=seed, device=K40C)
+    journal = None
+    if output_dir is not None:
+        path = Path(output_dir)
+        path.mkdir(parents=True, exist_ok=True)
+        journal = RunJournal(
+            path / "journal.jsonl",
+            resume=resume,
+            meta={"scale": scale, "seed": seed},
+        )
+    runner = tables.TableRunner(
+        scale=scale,
+        seed=seed,
+        device=K40C,
+        journal=journal,
+        parallel=parallel,
+        max_workers=max_workers,
+        max_retries=max_retries,
+        worker_timeout=worker_timeout,
+    )
+    if failures is not None:
+        runner.failures = failures
     out: dict[str, str] = {}
     for name in names:
         _rows, text = TARGETS[name](runner)
         out[name] = text
         if output_dir is not None:
-            path = Path(output_dir)
-            path.mkdir(parents=True, exist_ok=True)
-            (path / f"{name}.txt").write_text(text + "\n")
+            (Path(output_dir) / f"{name}.txt").write_text(text + "\n")
+    if output_dir is not None and runner.failures:
+        (Path(output_dir) / "failures.txt").write_text(
+            format_failure_summary(runner.failures) + "\n"
+        )
     return out
 
 
@@ -121,6 +163,34 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--output-dir", default=None)
     parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay <output-dir>/journal.jsonl, re-running only missing cells",
+    )
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="run technique sweeps on the fault-tolerant worker pool",
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="worker processes for --parallel (default: cpu count)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retries per failed/timed-out worker before marking cells failed",
+    )
+    parser.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=None,
+        help="per-worker deadline in seconds (--parallel; default: none)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list available targets and exit"
     )
     args = parser.parse_args(argv)
@@ -129,14 +199,24 @@ def main(argv: list[str] | None = None) -> int:
         for name in TARGETS:
             print(name)
         return 0
+    if args.resume and args.output_dir is None:
+        parser.error("--resume requires --output-dir (the journal lives there)")
 
+    failures: list[dict] = []
     results = run_targets(
         args.targets or ["all"],
         scale=args.scale,
         seed=args.seed,
         output_dir=args.output_dir,
+        resume=args.resume,
+        parallel=args.parallel,
+        max_workers=args.max_workers,
+        max_retries=args.max_retries,
+        worker_timeout=args.worker_timeout,
+        failures=failures,
     )
     for name, text in results.items():
         print(text)
         print()
+    print(format_failure_summary(failures))
     return 0

@@ -24,11 +24,13 @@ from ..core.knobs import (
     recommended_cc_threshold,
     recommended_connectedness,
 )
-from ..core.pipeline import ExecutionPlan, build_plan
+from ..core.pipeline import TECHNIQUES, ExecutionPlan, build_plan
+from ..errors import TransformError
 from ..graphs.csr import CSRGraph
 from ..graphs.generators import paper_suite
 from ..graphs.properties import clustering_coefficients, gini_of_degrees, graph_stats
 from ..gpusim.device import DeviceConfig, K40C
+from ..resilience.journal import RunJournal, cell_key, exact_row_key
 from .harness import Harness
 from .reporting import format_speedup_table, format_table
 
@@ -59,7 +61,17 @@ TIGR_GUNROCK_ALGOS = ("sssp", "pr", "bc")
 
 @dataclass
 class TableRunner:
-    """Shared state for regenerating the paper's tables on one suite."""
+    """Shared state for regenerating the paper's tables on one suite.
+
+    The resilience fields make a sweep survivable: ``journal`` checkpoints
+    each completed cell (so ``--resume`` skips finished work), ``degrade``
+    lets a failed transform fall back to the exact baseline with a
+    footnoted ``degraded`` flag instead of aborting the run, and the
+    ``parallel``/``max_retries``/``worker_timeout`` knobs route technique
+    sweeps through the fault-tolerant process pool in
+    :mod:`repro.eval.parallel`.  Every degraded or failed cell is appended
+    to ``failures`` for the end-of-run summary.
+    """
 
     scale: str = "tiny"
     seed: int = 7
@@ -67,6 +79,13 @@ class TableRunner:
     num_bc_sources: int = 3
     suite: dict[str, CSRGraph] = field(default_factory=dict)
     harness: Harness = field(default=None)  # type: ignore[assignment]
+    degrade: bool = True
+    journal: RunJournal | None = None
+    failures: list[dict] = field(default_factory=list)
+    parallel: bool = False
+    max_workers: int | None = None
+    max_retries: int = 2
+    worker_timeout: float | None = None
     _plans: dict[tuple[str, str], ExecutionPlan] = field(default_factory=dict)
     _knob_cache: dict[str, dict] = field(default_factory=dict)
 
@@ -100,40 +119,117 @@ class TableRunner:
         return self._knob_cache[name]
 
     def plan_for(self, name: str, technique: str) -> ExecutionPlan:
+        """Build (and cache) one graph's transformed plan.
+
+        A transform failure is cached too — as the exception, re-raised on
+        every lookup — so a degrading sweep does not rebuild a doomed plan
+        once per algorithm.
+        """
         key = (name, technique)
         if key not in self._plans:
             knobs = self.knobs_for(name)
-            self._plans[key] = build_plan(
-                self.suite[name],
-                technique,
-                device=self.device,
-                coalescing=knobs["coalescing"],
-                shmem=knobs["shmem"],
-                divergence=knobs["divergence"],
-            )
-        return self._plans[key]
+            try:
+                self._plans[key] = build_plan(
+                    self.suite[name],
+                    technique,
+                    device=self.device,
+                    coalescing=knobs["coalescing"],
+                    shmem=knobs["shmem"],
+                    divergence=knobs["divergence"],
+                )
+            except (TransformError, MemoryError) as exc:
+                self._plans[key] = exc
+        cached = self._plans[key]
+        if isinstance(cached, BaseException):
+            raise cached
+        return cached
 
     # ------------------------------------------------------------------
+    def cell_row(
+        self, name: str, algo: str, technique: str, baseline: str
+    ) -> dict:
+        """One table cell as a flat row dict, degrading on transform failure."""
+        graph = self.suite[name]
+        try:
+            plan = self.plan_for(name, technique)
+            res = self.harness.run(
+                graph, algo, technique, baseline=baseline, plan=plan,
+                degrade=self.degrade,
+            )
+        except (TransformError, MemoryError) as exc:
+            if not self.degrade:
+                raise
+            res = self.harness.degraded_result(
+                graph, algo, baseline, reason=f"{type(exc).__name__}: {exc}"
+            )
+        row = {
+            "algorithm": algo,
+            "graph": name,
+            "speedup": res.speedup,
+            "inaccuracy_percent": res.inaccuracy_percent,
+            "exact_cycles": res.exact_cycles,
+            "approx_cycles": res.approx_cycles,
+        }
+        if res.degraded:
+            row["degraded"] = True
+            row["degraded_reason"] = res.degraded_reason
+        return row
+
+    def _note_failure(self, technique: str, baseline: str, row: dict) -> None:
+        if row.get("degraded") or row.get("failed"):
+            self.failures.append(
+                {
+                    "kind": "failed" if row.get("failed") else "degraded",
+                    "technique": technique,
+                    "baseline": baseline,
+                    "algorithm": row["algorithm"],
+                    "graph": row["graph"],
+                    "reason": row.get("degraded_reason") or row.get("error", ""),
+                }
+            )
+
     def _technique_rows(
         self, technique: str, baseline: str, algorithms: tuple[str, ...]
     ) -> list[dict]:
+        # validate upfront: degradation must never paper over a typo'd
+        # technique name by silently rendering an all-exact table
+        if technique not in TECHNIQUES:
+            raise TransformError(
+                f"unknown technique {technique!r}; choose from {TECHNIQUES}"
+            )
+        if self.parallel:
+            from .parallel import parallel_technique_rows
+
+            return parallel_technique_rows(
+                technique,
+                baseline=baseline,
+                algorithms=algorithms,
+                scale=self.scale,
+                seed=self.seed,
+                num_bc_sources=self.num_bc_sources,
+                max_workers=self.max_workers,
+                max_retries=self.max_retries,
+                worker_timeout=self.worker_timeout,
+                journal=self.journal,
+                failures=self.failures,
+                degrade=self.degrade,
+            )
         rows = []
         for algo in algorithms:
-            for name, graph in self.suite.items():
-                plan = self.plan_for(name, technique)
-                res = self.harness.run(
-                    graph, algo, technique, baseline=baseline, plan=plan
+            for name in self.suite:
+                key = cell_key(
+                    technique, baseline, algo, name,
+                    self.scale, self.seed, self.num_bc_sources,
                 )
-                rows.append(
-                    {
-                        "algorithm": algo,
-                        "graph": name,
-                        "speedup": res.speedup,
-                        "inaccuracy_percent": res.inaccuracy_percent,
-                        "exact_cycles": res.exact_cycles,
-                        "approx_cycles": res.approx_cycles,
-                    }
-                )
+                cached = self.journal.get("cell", key) if self.journal else None
+                if cached is not None:
+                    rows.append(cached)
+                    continue
+                row = self.cell_row(name, algo, technique, baseline)
+                if self.journal is not None:
+                    self.journal.record("cell", key, row)
+                self._note_failure(technique, baseline, row)
+                rows.append(row)
         return rows
 
 
@@ -181,11 +277,21 @@ def _exact_table(
 ) -> tuple[list[dict], str]:
     rows = []
     for name, graph in runner.suite.items():
+        key = exact_row_key(
+            baseline, name, algorithms,
+            runner.scale, runner.seed, runner.num_bc_sources,
+        )
+        cached = runner.journal.get("exact_row", key) if runner.journal else None
+        if cached is not None:
+            rows.append(cached)
+            continue
         row: dict = {"graph": name}
         for algo in algorithms:
             res = runner.harness.exact_run(graph, algo, baseline)
             row[f"{algo}_cycles"] = res.metrics.cycles
             row[f"{algo}_sim_seconds"] = res.metrics.seconds
+        if runner.journal is not None:
+            runner.journal.record("exact_row", key, row)
         rows.append(row)
     cols = ["graph"] + [f"{a}_sim_seconds" for a in algorithms]
     text = format_table(rows, cols, title=title, floatfmt="{:.6f}")
@@ -230,7 +336,22 @@ def table5_preprocessing(runner: TableRunner) -> tuple[list[dict], str]:
         ("divergence", "Reducing thread divergence"),
     ):
         for name, graph in runner.suite.items():
-            plan = runner.plan_for(name, technique)
+            try:
+                plan = runner.plan_for(name, technique)
+            except (TransformError, MemoryError) as exc:
+                if not runner.degrade:
+                    raise
+                rows.append(
+                    {
+                        "technique": label,
+                        "graph": name,
+                        "time_seconds": 0.0,
+                        "extra_space_percent": 0.0,
+                        "degraded": True,
+                        "degraded_reason": f"{type(exc).__name__}: {exc}",
+                    }
+                )
+                continue
             rows.append(
                 {
                     "technique": label,

@@ -14,11 +14,13 @@ Two formats:
 from __future__ import annotations
 
 import io as _io
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
 from ..errors import GraphFormatError
+from ..resilience.faults import fault_point
 from .csr import CSRGraph
 
 __all__ = [
@@ -47,13 +49,22 @@ def write_edge_list(graph: CSRGraph, path: str | Path) -> None:
                 fh.write(f"{s} {d} {x:g}\n")
 
 
-def read_edge_list(path: str | Path, *, num_nodes: int | None = None) -> CSRGraph:
+def read_edge_list(
+    path: str | Path,
+    *,
+    num_nodes: int | None = None,
+    require_nodes_header: bool = False,
+) -> CSRGraph:
     """Parse a SNAP-style edge list.
 
     If the file carries no ``# nodes:`` header and ``num_nodes`` is not
-    given, the node count is inferred as ``max endpoint + 1``.
+    given, the node count is inferred as ``max endpoint + 1`` — unless
+    ``require_nodes_header`` is set, in which case a headerless file is a
+    :class:`GraphFormatError` (batch pipelines want the explicit count so
+    isolated high-id typos cannot silently inflate the graph).
     """
     path = Path(path)
+    fault_point("io", str(path))
     header_nodes: int | None = None
     src: list[int] = []
     dst: list[int] = []
@@ -86,11 +97,23 @@ def read_edge_list(path: str | Path, *, num_nodes: int | None = None) -> CSRGrap
                 raise GraphFormatError(f"{path}:{lineno}: bad endpoint") from exc
             if len(parts) == 3:
                 weighted = True
-                wts.append(float(parts[2]))
+                try:
+                    w = float(parts[2])
+                except ValueError as exc:
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: bad weight {parts[2]!r}"
+                    ) from exc
+                if w < 0:
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: negative weight {w:g}"
+                    )
+                wts.append(w)
             elif weighted:
                 raise GraphFormatError(
                     f"{path}:{lineno}: mixed weighted/unweighted lines"
                 )
+    if require_nodes_header and header_nodes is None:
+        raise GraphFormatError(f"{path}: missing '# nodes:' header")
     n = num_nodes if num_nodes is not None else header_nodes
     if n is None:
         n = (max(max(src), max(dst)) + 1) if src else 0
@@ -123,6 +146,7 @@ def write_dimacs(graph: CSRGraph, path: str | Path, *, comment: str = "") -> Non
 def read_dimacs(path: str | Path) -> CSRGraph:
     """Parse a DIMACS shortest-path graph (``c``/``p sp``/``a`` lines)."""
     path = Path(path)
+    fault_point("io", str(path))
     n: int | None = None
     src: list[int] = []
     dst: list[int] = []
@@ -155,6 +179,10 @@ def read_dimacs(path: str | Path) -> CSRGraph:
                     raise GraphFormatError(
                         f"{path}:{lineno}: DIMACS node ids are 1-indexed"
                     )
+                if x < 0:
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: negative arc weight {x:g}"
+                    )
                 src.append(u)
                 dst.append(v)
                 wts.append(x)
@@ -182,15 +210,33 @@ def save_npz(graph: CSRGraph, path: str | Path) -> None:
 
 
 def load_npz(path: str | Path) -> CSRGraph:
-    """Load a graph cached by :func:`save_npz`."""
-    with np.load(Path(path)) as data:
+    """Load a graph cached by :func:`save_npz`.
+
+    A truncated or otherwise unreadable archive (the telltale of a crash
+    mid-:func:`save_npz`) raises :class:`GraphFormatError`, not the
+    underlying zip/pickle exception.
+    """
+    path = Path(path)
+    fault_point("io", str(path))
+    try:
+        ctx = np.load(path)
+    except (ValueError, OSError, EOFError, zipfile.BadZipFile) as exc:
+        raise GraphFormatError(
+            f"{path}: not a readable graph archive ({exc})"
+        ) from exc
+    with ctx as data:
         if "offsets" not in data or "indices" not in data:
             raise GraphFormatError(f"{path}: not a repro graph archive")
-        return CSRGraph(
-            data["offsets"],
-            data["indices"],
-            data["weights"] if "weights" in data else None,
-        )
+        try:
+            return CSRGraph(
+                data["offsets"],
+                data["indices"],
+                data["weights"] if "weights" in data else None,
+            )
+        except zipfile.BadZipFile as exc:  # truncated member payload
+            raise GraphFormatError(
+                f"{path}: corrupt graph archive ({exc})"
+            ) from exc
 
 
 def dumps(graph: CSRGraph) -> bytes:
@@ -205,7 +251,11 @@ def dumps(graph: CSRGraph) -> bytes:
 
 def loads(blob: bytes) -> CSRGraph:
     """Inverse of :func:`dumps`."""
-    with np.load(_io.BytesIO(blob)) as data:
+    try:
+        ctx = np.load(_io.BytesIO(blob))
+    except (ValueError, OSError, EOFError, zipfile.BadZipFile) as exc:
+        raise GraphFormatError(f"not a readable graph blob ({exc})") from exc
+    with ctx as data:
         return CSRGraph(
             data["offsets"],
             data["indices"],

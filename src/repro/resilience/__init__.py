@@ -1,0 +1,42 @@
+"""Fault-tolerant experiment execution.
+
+The paper's evaluation is hundreds of independent (graph x algorithm x
+technique x baseline) cells; this package keeps a sweep alive through
+partial failure instead of losing completed work:
+
+* :mod:`.journal` — append-only JSONL checkpoint store; ``--resume``
+  replays finished cells byte-for-byte and re-runs only the gaps.
+* :mod:`.retry`   — exponential-backoff retry policies for workers that
+  time out or crash.
+* :mod:`.faults`  — deterministic fault injection (env/knob driven) so
+  every recovery path is provable in tests.
+
+The degradation ladder itself (approximate cell falls back to the exact
+baseline with an explicit ``degraded`` flag) lives in
+:mod:`repro.eval.harness` / :mod:`repro.eval.tables`, following the
+GraphGuess pattern: when an approximation step fails, step toward the
+exact path and record the correction rather than dying.
+"""
+
+from ..errors import DegradedResult, FaultInjected, ResilienceError, WorkerTimeout
+from .faults import FaultInjector, FaultRule, fault_point, install, parse_spec, reset
+from .journal import RunJournal, cell_key, exact_row_key
+from .retry import RetryPolicy, call_with_retries
+
+__all__ = [
+    "DegradedResult",
+    "FaultInjected",
+    "FaultInjector",
+    "FaultRule",
+    "ResilienceError",
+    "RetryPolicy",
+    "RunJournal",
+    "WorkerTimeout",
+    "call_with_retries",
+    "cell_key",
+    "exact_row_key",
+    "fault_point",
+    "install",
+    "parse_spec",
+    "reset",
+]

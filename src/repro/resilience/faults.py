@@ -1,0 +1,196 @@
+"""Deterministic fault injection for exercising the recovery paths.
+
+The eval stack calls :func:`fault_point` at a handful of instrumented
+sites (graph transforms, baseline kernel runs, graph I/O, sweep workers).
+Normally these calls are no-ops; when a fault plan is armed — via the
+``REPRO_FAULTS`` environment variable or :func:`install` — matching sites
+raise or stall deterministically, letting the resilience test suite prove
+every retry/degradation/resume path without flaky sleeps or monkeypatching
+deep internals.
+
+Spec grammar (``;``-separated rules of ``,``-separated ``key=value`` pairs)::
+
+    REPRO_FAULTS="site=transform,mode=transform-error,match=coalescing,times=1"
+    REPRO_FAULTS="site=worker,mode=stall,match=rmat:attempt0,delay=30;site=io,mode=error"
+
+Rule fields:
+
+``site``
+    required; one of :data:`SITES` (``transform``, ``baseline``, ``io``,
+    ``worker``).
+``mode``
+    ``error`` (raise :class:`~repro.errors.FaultInjected`, the default),
+    ``transform-error`` (raise :class:`~repro.errors.TransformError`),
+    ``oom`` (raise :class:`MemoryError`), or ``stall`` (sleep ``delay``
+    seconds, triggering worker deadlines).
+``match``
+    substring the site's key must contain (empty = match every call).
+``times``
+    trigger at most this many matching calls (``-1`` = unlimited).
+``after``
+    let this many matching calls through before triggering.
+``delay``
+    seconds to sleep for ``mode=stall``.
+
+Matching is counted per rule per process; because sweep workers embed the
+attempt number in their key (``"<graph>:attempt<N>"``), a rule such as
+``match=attempt0`` fails every *first* attempt deterministically while
+letting retries succeed — independent of process boundaries.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from ..errors import FaultInjected, ResilienceError, TransformError
+
+__all__ = [
+    "ENV_VAR",
+    "SITES",
+    "FaultRule",
+    "FaultInjector",
+    "parse_spec",
+    "install",
+    "reset",
+    "current",
+    "fault_point",
+]
+
+ENV_VAR = "REPRO_FAULTS"
+SITES = ("transform", "baseline", "io", "worker")
+_MODES = ("error", "transform-error", "oom", "stall")
+
+
+@dataclass
+class FaultRule:
+    """One armed fault: where it hits, how it fails, and how often."""
+
+    site: str
+    mode: str = "error"
+    match: str = ""
+    times: int = -1
+    after: int = 0
+    delay: float = 1.0
+    _seen: int = field(default=0, repr=False)
+    _fired: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ResilienceError(
+                f"unknown fault site {self.site!r}; choose from {SITES}"
+            )
+        if self.mode not in _MODES:
+            raise ResilienceError(
+                f"unknown fault mode {self.mode!r}; choose from {_MODES}"
+            )
+
+    def check(self, site: str, key: str) -> None:
+        """Trigger this rule's effect if ``(site, key)`` matches and it is armed."""
+        if site != self.site or self.match not in key:
+            return
+        self._seen += 1
+        if self._seen <= self.after:
+            return
+        if self.times >= 0 and self._fired >= self.times:
+            return
+        self._fired += 1
+        detail = f"injected fault at {site}:{key!r} (rule {self.mode})"
+        if self.mode == "stall":
+            time.sleep(self.delay)
+        elif self.mode == "transform-error":
+            raise TransformError(detail)
+        elif self.mode == "oom":
+            raise MemoryError(detail)
+        else:
+            raise FaultInjected(detail)
+
+
+class FaultInjector:
+    """Holds a parsed fault plan and dispatches :func:`fault_point` calls."""
+
+    def __init__(self, rules: list[FaultRule]):
+        self.rules = rules
+
+    def check(self, site: str, key: str = "") -> None:
+        for rule in self.rules:
+            rule.check(site, key)
+
+
+def parse_spec(spec: str) -> list[FaultRule]:
+    """Parse the ``REPRO_FAULTS`` grammar into :class:`FaultRule` objects."""
+    rules: list[FaultRule] = []
+    for clause in spec.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        fields: dict[str, str] = {}
+        for pair in clause.split(","):
+            if "=" not in pair:
+                raise ResilienceError(
+                    f"malformed fault clause {clause!r}: expected key=value pairs"
+                )
+            k, v = pair.split("=", 1)
+            fields[k.strip()] = v.strip()
+        if "site" not in fields:
+            raise ResilienceError(f"fault clause {clause!r} is missing site=")
+        try:
+            rules.append(
+                FaultRule(
+                    site=fields["site"],
+                    mode=fields.get("mode", "error"),
+                    match=fields.get("match", ""),
+                    times=int(fields.get("times", -1)),
+                    after=int(fields.get("after", 0)),
+                    delay=float(fields.get("delay", 1.0)),
+                )
+            )
+        except ValueError as exc:
+            raise ResilienceError(
+                f"malformed fault clause {clause!r}: {exc}"
+            ) from exc
+    return rules
+
+
+_installed: FaultInjector | None = None
+_env_cache: tuple[str, FaultInjector] | None = None
+
+
+def install(spec_or_rules: str | list[FaultRule]) -> FaultInjector:
+    """Programmatically arm a fault plan for this process (tests)."""
+    global _installed
+    rules = (
+        parse_spec(spec_or_rules)
+        if isinstance(spec_or_rules, str)
+        else list(spec_or_rules)
+    )
+    _installed = FaultInjector(rules)
+    return _installed
+
+
+def reset() -> None:
+    """Disarm any installed plan and forget cached env parses."""
+    global _installed, _env_cache
+    _installed = None
+    _env_cache = None
+
+
+def current() -> FaultInjector | None:
+    """The active injector: installed plan first, else ``REPRO_FAULTS``."""
+    global _env_cache
+    if _installed is not None:
+        return _installed
+    spec = os.environ.get(ENV_VAR, "")
+    if not spec:
+        return None
+    if _env_cache is None or _env_cache[0] != spec:
+        _env_cache = (spec, FaultInjector(parse_spec(spec)))
+    return _env_cache[1]
+
+
+def fault_point(site: str, key: str = "") -> None:
+    """Instrumentation hook: no-op unless a matching fault is armed."""
+    injector = current()
+    if injector is not None:
+        injector.check(site, key)

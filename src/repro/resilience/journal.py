@@ -1,0 +1,151 @@
+"""Append-only JSONL checkpoint store for table sweeps.
+
+Every completed table cell is recorded as one JSON line the moment it
+finishes, flushed and fsynced so a crash loses at most the cell in
+flight.  ``python -m repro --resume`` reloads the journal and skips
+finished work, replaying the recorded rows byte-for-byte (the journal is
+never rewritten on resume — new cells append after the old ones).
+
+Line format::
+
+    {"kind": "meta", "key": {"scale": ..., "seed": ...}, "payload": {...}}
+    {"kind": "cell", "key": {...cell identity...}, "payload": {...row dict...}}
+
+A trailing partial line (the telltale of a crash mid-write) is ignored on
+load; any earlier malformed line is as well, costing only a re-run of
+that cell.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..errors import ResilienceError
+
+__all__ = ["RunJournal", "cell_key", "exact_row_key"]
+
+
+def cell_key(
+    technique: str,
+    baseline: str,
+    algorithm: str,
+    graph: str,
+    scale: str,
+    seed: int,
+    num_bc_sources: int,
+) -> dict:
+    """Identity of one technique-table cell, for journal lookups."""
+    return {
+        "technique": technique,
+        "baseline": baseline,
+        "algorithm": algorithm,
+        "graph": graph,
+        "scale": scale,
+        "seed": seed,
+        "num_bc_sources": num_bc_sources,
+    }
+
+
+def exact_row_key(
+    baseline: str,
+    graph: str,
+    algorithms: tuple[str, ...],
+    scale: str,
+    seed: int,
+    num_bc_sources: int,
+) -> dict:
+    """Identity of one exact-baseline table row (Tables 2-4)."""
+    return {
+        "baseline": baseline,
+        "graph": graph,
+        "algorithms": list(algorithms),
+        "scale": scale,
+        "seed": seed,
+        "num_bc_sources": num_bc_sources,
+    }
+
+
+class RunJournal:
+    """One run's checkpoint file (``journal.jsonl`` under ``--output-dir``)."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        resume: bool = False,
+        meta: Mapping[str, Any] | None = None,
+    ):
+        self.path = Path(path)
+        self.meta = dict(meta or {})
+        self._index: dict[str, Any] = {}
+        self.replayed = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if resume and self.path.exists():
+            self._load()
+        else:
+            # fresh run: truncate and stamp the run identity
+            self.path.write_text("")
+            if self.meta:
+                self._append("meta", self.meta, {})
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _index_key(kind: str, key: Mapping[str, Any]) -> str:
+        return kind + "\x00" + json.dumps(key, sort_keys=True, default=str)
+
+    def _load(self) -> None:
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                kind = entry["kind"]
+                key = entry["key"]
+                payload = entry["payload"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                # partial trailing write from a crash, or corruption: the
+                # cell simply re-runs
+                continue
+            if kind == "meta":
+                for field, want in self.meta.items():
+                    if field in key and key[field] != want:
+                        raise ResilienceError(
+                            f"{self.path}: journal was written for "
+                            f"{field}={key[field]!r} but this run uses "
+                            f"{field}={want!r}; refusing to resume"
+                        )
+                continue
+            self._index[self._index_key(kind, key)] = payload
+            self.replayed += 1
+
+    def _append(self, kind: str, key: Mapping[str, Any], payload: Any) -> None:
+        line = json.dumps(
+            {"kind": kind, "key": dict(key), "payload": payload}, default=float
+        )
+        with self.path.open("a") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    # ------------------------------------------------------------------
+    def record(self, kind: str, key: Mapping[str, Any], payload: Any) -> None:
+        """Persist one completed unit of work (idempotent per key)."""
+        ik = self._index_key(kind, key)
+        if ik in self._index:
+            return
+        self._index[ik] = payload
+        self._append(kind, key, payload)
+
+    def get(self, kind: str, key: Mapping[str, Any]) -> Any | None:
+        """The recorded payload for ``key``, or ``None`` if not completed."""
+        return self._index.get(self._index_key(kind, key))
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RunJournal({str(self.path)!r}, entries={len(self._index)})"

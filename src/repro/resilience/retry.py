@@ -1,0 +1,71 @@
+"""Retry policies with exponential backoff for sweep workers.
+
+The parallel table runner retries a worker that times out or raises,
+spacing attempts by ``backoff_base * 2**attempt`` (capped) so a transient
+resource squeeze — the common cause of worker OOMs in a wide sweep — has
+time to clear before the task re-runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from ..errors import ResilienceError
+
+__all__ = ["RetryPolicy", "call_with_retries"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a failed task and how long to wait."""
+
+    max_retries: int = 2
+    backoff_base: float = 0.25
+    backoff_cap: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ResilienceError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ResilienceError("backoff durations must be non-negative")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before re-running after failed attempt ``attempt``."""
+        return min(self.backoff_cap, self.backoff_base * (2.0**attempt))
+
+    def attempts(self) -> int:
+        """Total attempts allowed (first try plus retries)."""
+        return self.max_retries + 1
+
+
+def call_with_retries(
+    fn: Callable[[], T],
+    *,
+    policy: RetryPolicy = RetryPolicy(),
+    retry_on: tuple[type[BaseException], ...] = (Exception,),
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> T:
+    """Run ``fn`` under ``policy``, sleeping the backoff between attempts.
+
+    The in-process counterpart of the worker scheduler's retry loop, for
+    flaky single operations (e.g. loading an input over a glitchy mount).
+    """
+    last: BaseException | None = None
+    for attempt in range(policy.attempts()):
+        try:
+            return fn()
+        except retry_on as exc:
+            last = exc
+            if attempt >= policy.max_retries:
+                break
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            time.sleep(policy.delay(attempt))
+    assert last is not None
+    raise last

@@ -1,9 +1,62 @@
-"""Shared fixtures: small deterministic graphs at several structure types."""
+"""Shared fixtures: small deterministic graphs at several structure types.
+
+Also enforces a per-test wall-clock ceiling so a hung worker or an
+accidentally-armed stall fault can never wedge the tier-1 run: if the
+``pytest-timeout`` plugin is installed it is configured with the ceiling;
+otherwise a SIGALRM-based fallback fails the offending test with
+:class:`repro.errors.WorkerTimeout`.  Tune with ``REPRO_TEST_TIMEOUT``
+(seconds; ``0`` disables).
+"""
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
+
 import numpy as np
 import pytest
+
+from repro.errors import WorkerTimeout
+
+TEST_TIMEOUT_SECONDS = float(os.environ.get("REPRO_TEST_TIMEOUT", "120"))
+
+try:
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+
+def pytest_configure(config):
+    if _HAVE_PYTEST_TIMEOUT and TEST_TIMEOUT_SECONDS > 0:
+        if not config.getoption("--timeout", None):
+            config.option.timeout = TEST_TIMEOUT_SECONDS
+
+
+if not _HAVE_PYTEST_TIMEOUT:
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_call(item):
+        main_thread = threading.current_thread() is threading.main_thread()
+        if TEST_TIMEOUT_SECONDS <= 0 or not main_thread:
+            yield
+            return
+
+        def _expired(signum, frame):
+            raise WorkerTimeout(
+                f"test exceeded the {TEST_TIMEOUT_SECONDS:g}s ceiling "
+                "(REPRO_TEST_TIMEOUT)"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _expired)
+        signal.setitimer(signal.ITIMER_REAL, TEST_TIMEOUT_SECONDS)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
 
 from repro.core.pipeline import build_plan
 from repro.graphs.csr import CSRGraph

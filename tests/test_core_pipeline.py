@@ -53,6 +53,12 @@ class TestBuildPlan:
             plan = build_plan(rmat_small, t)
             assert plan.technique == t
 
+    def test_exact_preprocess_time_recorded(self, rmat_small):
+        """The exact branch must report its (near-zero but real) wall-clock
+        too, so preprocessing reports aren't skewed by hardcoded zeros."""
+        plan = build_plan(rmat_small, "exact")
+        assert plan.preprocess_seconds > 0.0
+
 
 class TestCombinedPlan:
     @pytest.fixture(scope="class")

@@ -80,6 +80,59 @@ class TestEdgeList:
         assert g.num_nodes == 0 and g.num_edges == 0
 
 
+class TestEdgeListErrorPaths:
+    """Malformed inputs must raise GraphFormatError, never IndexError/KeyError."""
+
+    def test_out_of_range_endpoint_rejected(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# nodes: 3\n0 1\n2 7\n")
+        with pytest.raises(GraphFormatError, match="num_nodes"):
+            read_edge_list(p)
+
+    def test_out_of_range_vs_explicit_num_nodes(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 5\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(p, num_nodes=3)
+
+    def test_negative_endpoint_rejected(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("-1 2\n")
+        with pytest.raises(GraphFormatError, match="non-negative"):
+            read_edge_list(p)
+
+    def test_negative_weight_rejected(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1 -2.5\n")
+        with pytest.raises(GraphFormatError, match="negative weight"):
+            read_edge_list(p)
+
+    def test_non_numeric_weight_rejected(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1 heavy\n")
+        with pytest.raises(GraphFormatError, match="bad weight"):
+            read_edge_list(p)
+
+    def test_missing_nodes_header_rejected_when_required(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1\n1 0\n")
+        with pytest.raises(GraphFormatError, match="nodes"):
+            read_edge_list(p, require_nodes_header=True)
+
+    def test_header_satisfies_requirement(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# nodes: 4\n0 1\n")
+        assert read_edge_list(p, require_nodes_header=True).num_nodes == 4
+
+    def test_negative_dimacs_weight_rejected(self, tmp_path):
+        from repro.graphs.io import read_dimacs
+
+        p = tmp_path / "g.gr"
+        p.write_text("p sp 2 1\na 1 2 -3\n")
+        with pytest.raises(GraphFormatError, match="negative"):
+            read_dimacs(p)
+
+
 class TestNpz:
     def test_roundtrip(self, weighted_graph, tmp_path):
         p = tmp_path / "g.npz"
@@ -101,6 +154,29 @@ class TestNpz:
 
     def test_in_memory_roundtrip(self, weighted_graph):
         assert loads(dumps(weighted_graph)) == weighted_graph
+
+    def test_truncated_archive_rejected(self, weighted_graph, tmp_path):
+        """A crash mid-save leaves a torn file; loading it must be a
+        GraphFormatError, not a zipfile traceback."""
+        p = tmp_path / "g.npz"
+        save_npz(weighted_graph, p)
+        blob = p.read_bytes()
+        for cut in (1, len(blob) // 2, len(blob) - 4):
+            torn = tmp_path / f"torn{cut}.npz"
+            torn.write_bytes(blob[:cut])
+            with pytest.raises(GraphFormatError):
+                load_npz(torn)
+
+    def test_non_archive_bytes_rejected(self, tmp_path):
+        p = tmp_path / "noise.npz"
+        p.write_bytes(b"this is not a zip archive")
+        with pytest.raises(GraphFormatError):
+            load_npz(p)
+
+    def test_truncated_blob_rejected(self, weighted_graph):
+        blob = dumps(weighted_graph)
+        with pytest.raises(GraphFormatError):
+            loads(blob[: len(blob) // 2])
 
 
 class TestCachingWorkflow:

@@ -1,0 +1,198 @@
+"""Graceful degradation: failed approximations fall back to exact, footnoted."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DegradedResult, TransformError
+from repro.eval.harness import Harness
+from repro.eval.reporting import format_failure_summary, format_speedup_table
+from repro.eval.tables import TableRunner, table5_preprocessing, table6_coalescing
+from repro.resilience import faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+class TestHarnessDegradation:
+    def test_transform_failure_degrades(self, rmat_small):
+        faults.install("site=transform,mode=transform-error,match=coalescing")
+        h = Harness(num_bc_sources=2)
+        res = h.run(rmat_small, "sssp", "coalescing", degrade=True)
+        assert res.degraded
+        assert res.technique == "exact"
+        assert res.speedup == 1.0
+        assert res.inaccuracy_percent == 0.0
+        assert res.approx_cycles == res.exact_cycles
+        assert "TransformError" in res.degraded_reason
+
+    def test_oom_degrades(self, rmat_small):
+        faults.install("site=transform,mode=oom,match=shmem")
+        res = Harness(num_bc_sources=2).run(
+            rmat_small, "pr", "shmem", degrade=True
+        )
+        assert res.degraded and "MemoryError" in res.degraded_reason
+
+    def test_degrade_off_propagates(self, rmat_small):
+        faults.install("site=transform,mode=transform-error,match=coalescing")
+        with pytest.raises(TransformError):
+            Harness(num_bc_sources=2).run(rmat_small, "sssp", "coalescing")
+
+    def test_zero_approx_cycles_flagged_not_inf(self, rmat_small, monkeypatch):
+        import repro.baselines.lonestar as lonestar
+
+        h = Harness(num_bc_sources=2)
+        exact = h.exact_run(rmat_small, "sssp", "baseline1")
+
+        class _ZeroMetrics:
+            cycles = 0.0
+            seconds = 0.0
+
+        class _ZeroRun:
+            metrics = _ZeroMetrics()
+            iterations = 1
+            values = exact.values
+            aux = exact.aux
+
+        monkeypatch.setattr(
+            lonestar, "run", lambda algo, target, **kw: _ZeroRun()
+        )
+        fresh = Harness(num_bc_sources=2)
+        fresh._exact_cache[
+            (rmat_small.fingerprint(), "sssp", "baseline1")
+        ] = exact
+        res = fresh.run(rmat_small, "sssp", "divergence", degrade=True)
+        assert res.degraded
+        assert res.speedup == 1.0  # never inf
+        with pytest.raises(DegradedResult):
+            fresh.run(rmat_small, "sssp", "divergence", degrade=False)
+
+
+class TestExactRunCacheKey:
+    def test_same_content_shares_cache_across_objects(self, rmat_small):
+        """Regression: the cache must key on content, not id(graph) —
+        a GC'd graph's id can be reused, silently returning stale results."""
+        h = Harness(num_bc_sources=2)
+        r1 = h.exact_run(rmat_small, "sssp", "baseline1")
+        r2 = h.exact_run(rmat_small.copy(), "sssp", "baseline1")
+        assert r1 is r2
+
+    def test_different_graphs_do_not_collide(self, rmat_small, er_small):
+        h = Harness(num_bc_sources=2)
+        r1 = h.exact_run(rmat_small, "sssp", "baseline1")
+        r2 = h.exact_run(er_small, "sssp", "baseline1")
+        assert r1 is not r2
+        assert rmat_small.fingerprint() != er_small.fingerprint()
+
+    def test_fingerprint_distinguishes_weights(self, weighted_graph):
+        unweighted = weighted_graph.with_weights(None)
+        assert weighted_graph.fingerprint() != unweighted.fingerprint()
+
+
+class TestTableDegradation:
+    def test_table_renders_complete_with_degraded_cells(self):
+        faults.install(
+            "site=transform,mode=transform-error,match=coalescing,times=1"
+        )
+        runner = TableRunner(scale="tiny", num_bc_sources=2)
+        rows, text = table6_coalescing(runner)
+        degraded = [r for r in rows if r.get("degraded")]
+        clean = [r for r in rows if not r.get("degraded")]
+        # the first graph's plan failed once -> its 5 algo cells degrade;
+        # every other cell still ran the real transform
+        assert len(rows) == 25
+        assert len(degraded) == 5
+        assert all(r["speedup"] == 1.0 for r in degraded)
+        assert clean
+        assert "degraded to the exact baseline" in text
+        assert "*" in text
+        assert len(runner.failures) == 5
+        assert all(f["kind"] == "degraded" for f in runner.failures)
+
+    def test_degrade_disabled_aborts(self):
+        faults.install("site=transform,mode=transform-error,match=coalescing")
+        runner = TableRunner(scale="tiny", num_bc_sources=2, degrade=False)
+        with pytest.raises(TransformError):
+            table6_coalescing(runner)
+
+    def test_failed_plan_not_rebuilt_per_algorithm(self, monkeypatch):
+        """The cached transform failure must not re-run the transform for
+        each of the five algorithms."""
+        import repro.eval.tables as tables_mod
+
+        calls = []
+        real = tables_mod.build_plan
+
+        def counting(graph, technique, **kw):
+            calls.append(technique)
+            return real(graph, technique, **kw)
+
+        monkeypatch.setattr(tables_mod, "build_plan", counting)
+        faults.install("site=transform,mode=transform-error,match=coalescing")
+        runner = TableRunner(scale="tiny", num_bc_sources=2)
+        runner._technique_rows("coalescing", "baseline1", ("sssp", "pr", "bc"))
+        assert calls.count("coalescing") == len(runner.suite)
+
+    def test_table5_degrades_instead_of_crashing(self):
+        faults.install("site=transform,mode=oom,match=divergence")
+        runner = TableRunner(scale="tiny", num_bc_sources=2)
+        rows, text = table5_preprocessing(runner)
+        assert len(rows) == 3 * len(runner.suite)
+        assert any(r.get("degraded") for r in rows)
+
+    def test_unknown_technique_still_rejected(self):
+        runner = TableRunner(scale="tiny", num_bc_sources=2)
+        with pytest.raises(TransformError):
+            runner._technique_rows("oracle", "baseline1", ("sssp",))
+
+
+class TestReportingFootnotes:
+    ROWS = [
+        {"algorithm": "sssp", "graph": "rmat", "speedup": 2.0,
+         "inaccuracy_percent": 1.0},
+        {"algorithm": "sssp", "graph": "random", "speedup": 1.0,
+         "inaccuracy_percent": 0.0, "degraded": True,
+         "degraded_reason": "TransformError: injected"},
+        {"algorithm": "pr", "graph": "rmat", "speedup": 0.0,
+         "inaccuracy_percent": 0.0, "failed": True,
+         "error": "worker exceeded deadline"},
+    ]
+
+    def test_degraded_cell_footnoted(self):
+        text = format_speedup_table(self.ROWS, title="T")
+        assert "1.00*" in text
+        assert "1 cell(s) degraded" in text
+
+    def test_failed_cell_excluded_from_geomean(self):
+        text = format_speedup_table(self.ROWS, title="T")
+        assert "FAILED" in text
+        assert "1 cell(s) FAILED" in text
+        # geomean over {2.0, 1.0} only
+        assert "1.41" in text
+
+    def test_clean_rows_render_without_footnotes(self):
+        text = format_speedup_table([self.ROWS[0]], title="T")
+        assert "*" not in text and "FAILED" not in text
+
+    def test_failure_summary_lists_cells(self):
+        summary = format_failure_summary(
+            [
+                {"kind": "degraded", "technique": "coalescing",
+                 "baseline": "baseline1", "algorithm": "sssp",
+                 "graph": "rmat", "reason": "TransformError: injected"},
+                {"kind": "failed", "technique": "shmem",
+                 "baseline": "tigr", "algorithm": "pr",
+                 "graph": "random", "reason": "timeout"},
+            ]
+        )
+        assert "1 degraded cell(s), 1 failed cell(s)" in summary
+        assert "[degraded] coalescing/baseline1 sssp on rmat" in summary
+        assert "[failed] shmem/tigr pr on random" in summary
+
+    def test_empty_summary(self):
+        assert "cleanly" in format_failure_summary([])

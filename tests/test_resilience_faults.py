@@ -1,0 +1,197 @@
+"""Unit tests for deterministic fault injection and retry policies."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import FaultInjected, ResilienceError, TransformError
+from repro.resilience import faults
+from repro.resilience.retry import RetryPolicy, call_with_retries
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+class TestSpecParsing:
+    def test_full_clause(self):
+        (rule,) = faults.parse_spec(
+            "site=worker,mode=stall,match=rmat,times=2,after=1,delay=0.5"
+        )
+        assert rule.site == "worker"
+        assert rule.mode == "stall"
+        assert rule.match == "rmat"
+        assert rule.times == 2
+        assert rule.after == 1
+        assert rule.delay == 0.5
+
+    def test_defaults(self):
+        (rule,) = faults.parse_spec("site=io")
+        assert rule.mode == "error" and rule.match == "" and rule.times == -1
+
+    def test_multiple_clauses(self):
+        rules = faults.parse_spec("site=io;site=transform,mode=oom")
+        assert [r.site for r in rules] == ["io", "transform"]
+
+    def test_empty_spec(self):
+        assert faults.parse_spec("") == []
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "mode=error",              # missing site
+            "site=warp",               # unknown site
+            "site=io,mode=explode",    # unknown mode
+            "site=io,times=lots",      # non-integer
+            "site=io bad",             # not key=value
+        ],
+    )
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(ResilienceError):
+            faults.parse_spec(spec)
+
+
+class TestTriggering:
+    def test_unarmed_is_noop(self):
+        faults.fault_point("transform", "coalescing")  # no env, no install
+
+    def test_raise_mode(self):
+        faults.install("site=transform,mode=transform-error")
+        with pytest.raises(TransformError, match="injected fault"):
+            faults.fault_point("transform", "coalescing")
+
+    def test_oom_mode(self):
+        faults.install("site=transform,mode=oom")
+        with pytest.raises(MemoryError):
+            faults.fault_point("transform", "shmem")
+
+    def test_error_mode_default(self):
+        faults.install("site=baseline")
+        with pytest.raises(FaultInjected):
+            faults.fault_point("baseline", "baseline1:sssp")
+
+    def test_match_filters_by_key(self):
+        faults.install("site=io,match=broken.npz")
+        faults.fault_point("io", "/tmp/fine.npz")  # no match, no raise
+        with pytest.raises(FaultInjected):
+            faults.fault_point("io", "/tmp/broken.npz")
+
+    def test_site_filters(self):
+        faults.install("site=io")
+        faults.fault_point("transform", "coalescing")
+
+    def test_times_budget(self):
+        faults.install("site=io,times=2")
+        for _ in range(2):
+            with pytest.raises(FaultInjected):
+                faults.fault_point("io", "x")
+        faults.fault_point("io", "x")  # budget spent
+
+    def test_after_skips_first_matches(self):
+        faults.install("site=io,after=2,times=1")
+        faults.fault_point("io", "x")
+        faults.fault_point("io", "x")
+        with pytest.raises(FaultInjected):
+            faults.fault_point("io", "x")
+        faults.fault_point("io", "x")
+
+    def test_stall_mode_sleeps(self):
+        faults.install("site=worker,mode=stall,delay=0.05,times=1")
+        t0 = time.perf_counter()
+        faults.fault_point("worker", "rmat:attempt0")
+        assert time.perf_counter() - t0 >= 0.05
+
+    def test_env_spec_armed(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "site=io,mode=error")
+        with pytest.raises(FaultInjected):
+            faults.fault_point("io", "anything")
+
+    def test_install_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "site=io,mode=error")
+        faults.install("site=transform")
+        faults.fault_point("io", "anything")  # env plan shadowed
+
+
+class TestInstrumentedSites:
+    def test_transform_site_in_build_plan(self, rmat_small):
+        from repro.core.pipeline import build_plan
+
+        faults.install("site=transform,mode=transform-error,match=coalescing")
+        with pytest.raises(TransformError):
+            build_plan(rmat_small, "coalescing")
+        build_plan(rmat_small, "divergence")  # other techniques untouched
+
+    def test_io_site_in_loaders(self, tmp_path, tiny_graph):
+        from repro.graphs.io import load_npz, read_edge_list, save_npz, write_edge_list
+
+        txt, npz = tmp_path / "g.txt", tmp_path / "g.npz"
+        write_edge_list(tiny_graph, txt)
+        save_npz(tiny_graph, npz)
+        faults.install("site=io")
+        with pytest.raises(FaultInjected):
+            read_edge_list(txt)
+        with pytest.raises(FaultInjected):
+            load_npz(npz)
+
+    def test_baseline_site_in_exact_run(self, rmat_small):
+        from repro.eval.harness import Harness
+
+        faults.install("site=baseline,match=sssp")
+        h = Harness(num_bc_sources=2)
+        with pytest.raises(FaultInjected):
+            h.exact_run(rmat_small, "sssp", "baseline1")
+
+
+class TestRetryPolicy:
+    def test_backoff_doubles_and_caps(self):
+        p = RetryPolicy(max_retries=5, backoff_base=1.0, backoff_cap=3.0)
+        assert p.delay(0) == 1.0
+        assert p.delay(1) == 2.0
+        assert p.delay(2) == 3.0  # capped
+
+    def test_attempts_counts_first_try(self):
+        assert RetryPolicy(max_retries=2).attempts() == 3
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ResilienceError):
+            RetryPolicy(max_retries=-1)
+
+    def test_call_with_retries_recovers(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise ValueError("transient")
+            return "ok"
+
+        result = call_with_retries(
+            flaky, policy=RetryPolicy(max_retries=3, backoff_base=0.0)
+        )
+        assert result == "ok" and len(calls) == 3
+
+    def test_call_with_retries_exhausts(self):
+        def hopeless():
+            raise ValueError("permanent")
+
+        with pytest.raises(ValueError, match="permanent"):
+            call_with_retries(
+                hopeless, policy=RetryPolicy(max_retries=1, backoff_base=0.0)
+            )
+
+    def test_retry_on_filters(self):
+        def wrong_kind():
+            raise KeyError("not retried")
+
+        with pytest.raises(KeyError):
+            call_with_retries(
+                wrong_kind,
+                policy=RetryPolicy(max_retries=5, backoff_base=0.0),
+                retry_on=(ValueError,),
+            )

@@ -1,0 +1,110 @@
+"""Unit tests for the JSONL checkpoint journal."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ResilienceError
+from repro.resilience.journal import RunJournal, cell_key, exact_row_key
+
+
+KEY = cell_key("coalescing", "baseline1", "sssp", "rmat", "tiny", 7, 3)
+ROW = {"algorithm": "sssp", "graph": "rmat", "speedup": 1.2345678901234567}
+
+
+class TestRecordAndGet:
+    def test_roundtrip_in_memory(self, tmp_path):
+        j = RunJournal(tmp_path / "j.jsonl")
+        assert j.get("cell", KEY) is None
+        j.record("cell", KEY, ROW)
+        assert j.get("cell", KEY) == ROW
+        assert len(j) == 1
+
+    def test_roundtrip_across_instances(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        RunJournal(path).record("cell", KEY, ROW)
+        j2 = RunJournal(path, resume=True)
+        assert j2.get("cell", KEY) == ROW
+        assert j2.replayed == 1
+
+    def test_float_payload_roundtrips_exactly(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        RunJournal(path).record("cell", KEY, ROW)
+        replayed = RunJournal(path, resume=True).get("cell", KEY)
+        assert replayed["speedup"] == ROW["speedup"]  # bit-exact via repr
+
+    def test_record_is_idempotent(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = RunJournal(path)
+        j.record("cell", KEY, ROW)
+        j.record("cell", KEY, {"speedup": 999.0})  # ignored: already done
+        assert j.get("cell", KEY) == ROW
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_kinds_are_separate_namespaces(self, tmp_path):
+        j = RunJournal(tmp_path / "j.jsonl")
+        ek = exact_row_key("baseline1", "rmat", ("sssp",), "tiny", 7, 3)
+        j.record("exact_row", ek, {"graph": "rmat"})
+        assert j.get("cell", ek) is None
+
+
+class TestFreshVsResume:
+    def test_fresh_run_truncates(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        RunJournal(path).record("cell", KEY, ROW)
+        j = RunJournal(path)  # resume not requested
+        assert len(j) == 0
+        assert j.get("cell", KEY) is None
+
+    def test_resume_of_missing_file_starts_fresh(self, tmp_path):
+        j = RunJournal(tmp_path / "missing.jsonl", resume=True)
+        assert len(j) == 0
+
+    def test_resume_appends_without_rewriting(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        RunJournal(path).record("cell", KEY, ROW)
+        before = path.read_bytes()
+        j = RunJournal(path, resume=True)
+        other = cell_key("shmem", "baseline1", "pr", "random", "tiny", 7, 3)
+        j.record("cell", other, {"speedup": 2.0})
+        after = path.read_bytes()
+        # already-completed lines are byte-identical; new work appends
+        assert after.startswith(before)
+
+
+class TestMetaGuard:
+    def test_matching_meta_resumes(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        RunJournal(path, meta={"scale": "tiny", "seed": 7}).record(
+            "cell", KEY, ROW
+        )
+        j = RunJournal(path, resume=True, meta={"scale": "tiny", "seed": 7})
+        assert j.get("cell", KEY) == ROW
+
+    def test_mismatched_meta_refuses(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        RunJournal(path, meta={"scale": "tiny", "seed": 7})
+        with pytest.raises(ResilienceError, match="refusing to resume"):
+            RunJournal(path, resume=True, meta={"scale": "small", "seed": 7})
+
+
+class TestCrashTolerance:
+    def test_partial_trailing_line_ignored(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        RunJournal(path).record("cell", KEY, ROW)
+        with path.open("a") as fh:
+            fh.write('{"kind": "cell", "key": {"trunc')  # crash mid-write
+        j = RunJournal(path, resume=True)
+        assert len(j) == 1
+        assert j.get("cell", KEY) == ROW
+
+    def test_garbage_line_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = RunJournal(path)
+        j.record("cell", KEY, ROW)
+        with path.open("a") as fh:
+            fh.write("not json at all\n")
+            fh.write(json.dumps({"kind": "cell"}) + "\n")  # missing fields
+        assert RunJournal(path, resume=True).get("cell", KEY) == ROW

@@ -1,0 +1,140 @@
+"""Fault-tolerant parallel sweeps: retry, deadline, failed-cell marking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.parallel import parallel_technique_rows
+from repro.resilience import faults
+from repro.resilience.journal import RunJournal, cell_key
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def _sweep(**kw):
+    defaults = dict(
+        baseline="baseline1",
+        algorithms=("sssp",),
+        scale="tiny",
+        num_bc_sources=2,
+        max_workers=2,
+        backoff_base=0.01,
+    )
+    defaults.update(kw)
+    return parallel_technique_rows("divergence", **defaults)
+
+
+class TestRetry:
+    def test_transient_worker_failure_retried(self, monkeypatch):
+        """Every worker's first attempt dies; the retry completes the sweep."""
+        monkeypatch.setenv(faults.ENV_VAR, "site=worker,mode=error,match=attempt0")
+        failures: list = []
+        rows = _sweep(max_retries=2, failures=failures)
+        assert len(rows) == 5  # one sssp row per suite graph
+        assert not any(r.get("failed") for r in rows)
+        assert failures == []
+
+    def test_exhausted_retries_mark_cells_failed(self, monkeypatch):
+        """One graph fails every attempt; its cells are marked failed while
+        the rest of the pool completes."""
+        monkeypatch.setenv(faults.ENV_VAR, "site=worker,mode=error,match=rmat")
+        failures: list = []
+        rows = _sweep(max_retries=1, failures=failures)
+        assert len(rows) == 5
+        failed = [r for r in rows if r.get("failed")]
+        assert [r["graph"] for r in failed] == ["rmat"]
+        assert "FaultInjected" in failed[0]["error"]
+        ok = [r for r in rows if not r.get("failed")]
+        assert len(ok) == 4 and all(r["speedup"] > 0 for r in ok)
+        assert len(failures) == 1 and failures[0]["kind"] == "failed"
+
+    def test_worker_crash_does_not_sink_pool(self, monkeypatch):
+        """A hard crash (os._exit, no report) is retried like an exception."""
+        monkeypatch.setenv(
+            faults.ENV_VAR, "site=worker,mode=error,match=random:attempt0"
+        )
+        rows = _sweep(max_retries=1)
+        assert len(rows) == 5 and not any(r.get("failed") for r in rows)
+
+
+class TestDeadline:
+    def test_stalled_worker_terminated_and_retried(self, monkeypatch):
+        """First attempt on one graph stalls past the deadline; the worker is
+        killed and the retry (no stall) succeeds."""
+        monkeypatch.setenv(
+            faults.ENV_VAR,
+            "site=worker,mode=stall,match=rmat:attempt0,delay=120",
+        )
+        failures: list = []
+        rows = _sweep(max_retries=1, worker_timeout=15.0, failures=failures)
+        assert len(rows) == 5
+        assert not any(r.get("failed") for r in rows)
+
+    def test_permanent_stall_marks_failed_with_timeout(self, monkeypatch):
+        monkeypatch.setenv(
+            faults.ENV_VAR, "site=worker,mode=stall,match=rmat,delay=120"
+        )
+        failures: list = []
+        rows = _sweep(max_retries=0, worker_timeout=3.0, failures=failures)
+        failed = [r for r in rows if r.get("failed")]
+        assert [r["graph"] for r in failed] == ["rmat"]
+        assert "deadline" in failed[0]["error"]
+        assert len(rows) == 5
+
+
+class TestJournalIntegration:
+    def test_cells_checkpointed_and_replayed(self, tmp_path, monkeypatch):
+        path = tmp_path / "journal.jsonl"
+        j = RunJournal(path, meta={"scale": "tiny", "seed": 7})
+        first = _sweep(journal=j, seed=7)
+        assert len(j) == 5
+
+        # resumed sweep: arm a fault that would fail every worker — if any
+        # cell actually re-ran, the sweep would come back failed
+        monkeypatch.setenv(faults.ENV_VAR, "site=worker,mode=error")
+        j2 = RunJournal(path, resume=True, meta={"scale": "tiny", "seed": 7})
+        replayed = _sweep(journal=j2, seed=7, max_retries=0)
+        assert replayed == first
+        assert not any(r.get("failed") for r in replayed)
+
+    def test_partial_journal_reruns_only_gaps(self, tmp_path, monkeypatch):
+        path = tmp_path / "journal.jsonl"
+        j = RunJournal(path, meta={"scale": "tiny", "seed": 7})
+        complete = _sweep(journal=j, seed=7)
+
+        # drop one graph's cell from a copy of the journal
+        kept = [
+            line
+            for line in path.read_text().splitlines()
+            if '"graph": "rmat"' not in line or '"kind": "meta"' in line
+        ]
+        partial = tmp_path / "partial.jsonl"
+        partial.write_text("\n".join(kept) + "\n")
+
+        # only rmat may re-run: fail any worker touching another graph
+        monkeypatch.setenv(
+            faults.ENV_VAR,
+            ";".join(
+                f"site=worker,match={g}"
+                for g in ("random", "livejournal", "usa-road", "twitter")
+            ),
+        )
+        j2 = RunJournal(partial, resume=True, meta={"scale": "tiny", "seed": 7})
+        rows = _sweep(journal=j2, seed=7, max_retries=0)
+        assert not any(r.get("failed") for r in rows)
+        # replayed cells byte-identical (same dict contents), gap re-ran
+        assert rows == complete
+
+    def test_failed_cells_not_journaled(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "site=worker,mode=error,match=rmat")
+        j = RunJournal(tmp_path / "j.jsonl", meta={"scale": "tiny", "seed": 7})
+        _sweep(journal=j, seed=7, max_retries=0)
+        key = cell_key("divergence", "baseline1", "sssp", "rmat", "tiny", 7, 2)
+        assert j.get("cell", key) is None  # resume must retry it
+        assert len(j) == 4

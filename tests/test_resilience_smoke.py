@@ -1,0 +1,153 @@
+"""End-to-end smoke of the fault-tolerant CLI path.
+
+This is the PR gate for the resilience machinery: a tiny ``python -m
+repro table6`` run with an injected failure must (a) survive via
+degradation, and (b) resume from its journal after a mid-run crash,
+replaying completed cells byte-for-byte and re-running only the gaps.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import FaultInjected
+from repro.eval.suite import main, run_targets
+from repro.resilience import faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def _journal_cells(path):
+    cells = {}
+    for line in path.read_text().splitlines():
+        entry = json.loads(line)
+        if entry["kind"] == "cell":
+            cells[json.dumps(entry["key"], sort_keys=True)] = entry["payload"]
+    return cells
+
+
+class TestSmokeWithInjectedFailure:
+    def test_cli_survives_transform_failure(self, tmp_path, capsys, monkeypatch):
+        """The satellite smoke target: table6 at tiny scale with an injected
+        worker/transform failure still exits 0 with a complete table."""
+        monkeypatch.setenv(
+            faults.ENV_VAR,
+            "site=transform,mode=transform-error,match=coalescing,times=1",
+        )
+        assert (
+            main(["table6", "--scale", "tiny", "--output-dir", str(tmp_path)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Table 6" in out
+        assert "degraded" in out
+        assert "failure summary" in out
+        assert (tmp_path / "table6.txt").exists()
+        assert (tmp_path / "journal.jsonl").exists()
+        assert (tmp_path / "failures.txt").exists()
+        assert "degraded" in (tmp_path / "failures.txt").read_text()
+
+    def test_clean_run_reports_clean_summary(self, capsys):
+        assert main(["table1", "--scale", "tiny"]) == 0
+        assert "cleanly" in capsys.readouterr().out
+
+    def test_resume_requires_output_dir(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table6", "--resume"])
+
+    def test_parallel_flag_smoke(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "table6",
+                    "--scale",
+                    "tiny",
+                    "--output-dir",
+                    str(tmp_path),
+                    "--parallel",
+                    "--max-workers",
+                    "2",
+                    "--max-retries",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        assert "Table 6" in capsys.readouterr().out
+
+
+class TestResumeAfterCrash:
+    def test_killed_sweep_resumes_byte_identical(self, tmp_path, monkeypatch):
+        """The acceptance criterion: kill a table sweep mid-run via an
+        injected fault, resume with --resume, and get byte-identical rows
+        for already-completed cells with only the missing ones re-run."""
+        ref_dir, crash_dir = tmp_path / "ref", tmp_path / "crashed"
+
+        # reference: clean full run
+        run_targets(["table6"], scale="tiny", output_dir=ref_dir)
+        ref_cells = _journal_cells(ref_dir / "journal.jsonl")
+        assert len(ref_cells) == 25
+
+        # crashing run: the exact baseline for scc dies -> FaultInjected is
+        # not degradable, so the process aborts mid-sweep (sssp and mst
+        # cells are already journaled by then)
+        monkeypatch.setenv(faults.ENV_VAR, "site=baseline,match=scc")
+        with pytest.raises(FaultInjected):
+            run_targets(["table6"], scale="tiny", output_dir=crash_dir)
+        crashed_bytes = (crash_dir / "journal.jsonl").read_bytes()
+        crashed_cells = _journal_cells(crash_dir / "journal.jsonl")
+        assert 0 < len(crashed_cells) < 25
+
+        # resume without the fault: only the gaps re-run
+        monkeypatch.delenv(faults.ENV_VAR)
+        faults.reset()
+        out = run_targets(
+            ["table6"], scale="tiny", output_dir=crash_dir, resume=True
+        )
+        assert "Table 6" in out["table6"]
+
+        resumed_bytes = (crash_dir / "journal.jsonl").read_bytes()
+        # completed cells were never rewritten: the crashed journal is a
+        # byte-for-byte prefix of the resumed one
+        assert resumed_bytes.startswith(crashed_bytes)
+        resumed_cells = _journal_cells(crash_dir / "journal.jsonl")
+        assert len(resumed_cells) == 25
+        # and every cell (replayed or re-run) matches the clean reference
+        assert resumed_cells == ref_cells
+
+    def test_resume_skips_without_recompute(self, tmp_path, monkeypatch):
+        """After a complete run, --resume must do no table work at all: arm
+        a fault that would kill any transform or baseline run."""
+        run_targets(["table6"], scale="tiny", output_dir=tmp_path)
+        first = (tmp_path / "journal.jsonl").read_bytes()
+        monkeypatch.setenv(faults.ENV_VAR, "site=transform;site=baseline")
+        out = run_targets(
+            ["table6"], scale="tiny", output_dir=tmp_path, resume=True
+        )
+        assert "Table 6" in out["table6"]
+        assert (tmp_path / "journal.jsonl").read_bytes() == first
+
+    def test_resume_refuses_mismatched_scale(self, tmp_path):
+        from repro.errors import ResilienceError
+
+        run_targets(["table1"], scale="tiny", output_dir=tmp_path)
+        with pytest.raises(ResilienceError):
+            run_targets(
+                ["table1"], scale="small", output_dir=tmp_path, resume=True
+            )
+
+    def test_exact_tables_journaled_too(self, tmp_path, monkeypatch):
+        run_targets(["table2"], scale="tiny", output_dir=tmp_path)
+        monkeypatch.setenv(faults.ENV_VAR, "site=baseline")
+        out = run_targets(
+            ["table2"], scale="tiny", output_dir=tmp_path, resume=True
+        )
+        assert "Table 2" in out["table2"]
