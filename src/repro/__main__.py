@@ -1,8 +1,25 @@
-"""``python -m repro``: regenerate the paper's tables/figures from the CLI."""
+"""``python -m repro``: regenerate the paper's tables/figures from the CLI.
+
+Subcommands:
+
+* (default) — the evaluation suite (``python -m repro table6 ...``);
+* ``stats <trace>`` — profile-style breakdown of a ``--trace-out`` trace
+  (see :mod:`repro.obs.stats`).
+"""
 
 import sys
 
-from .eval.suite import main
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "stats":
+        from .obs.stats import main as stats_main
+
+        return stats_main(argv[1:])
+    from .eval.suite import main as suite_main
+
+    return suite_main(argv)
+
 
 if __name__ == "__main__":
     sys.exit(main())

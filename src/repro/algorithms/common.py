@@ -24,6 +24,8 @@ import numpy as np
 from ..core.confluence import merge_replicas
 from ..core.pipeline import ExecutionPlan
 from ..errors import AlgorithmError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..graphs.csr import CSRGraph
 from ..gpusim.device import DeviceConfig, K40C
 from ..gpusim.kernel import ExecutionContext
@@ -108,11 +110,14 @@ class Runner:
     def confluence(self, values: np.ndarray, operator: str | None = None) -> None:
         """Merge replica values (no-op for plans without replicas)."""
         if self.plan.graffix is not None:
-            merge_replicas(
-                values,
-                self.plan.graffix,
-                operator or self.plan.confluence_operator,
-            )
+            op = operator or self.plan.confluence_operator
+            with obs_trace.span(
+                "solve.confluence",
+                operator=op,
+                replicas=self.plan.graffix.num_replicas,
+            ):
+                merge_replicas(values, self.plan.graffix, op)
+            obs_metrics.counter("solve.confluence_merges").inc()
 
     def sweep(
         self,
@@ -143,6 +148,16 @@ class Runner:
         """The §3 local iterations over pinned clusters (if any)."""
         if not self.plan.has_clusters or self.cluster_edges is None:
             return False
+        with obs_trace.span(
+            "solve.cluster_rounds", local_iterations=self.plan.local_iterations
+        ):
+            return self._cluster_rounds(values, relax)
+
+    def _cluster_rounds(
+        self,
+        values: np.ndarray,
+        relax: Callable[[EdgeView, np.ndarray], bool],
+    ) -> bool:
         changed_any = False
         for _ in range(self.plan.local_iterations):
             self.ctx.charge(
@@ -196,6 +211,35 @@ class Runner:
         """
         if max_iterations < 1:
             raise AlgorithmError("max_iterations must be >= 1")
+        with obs_trace.span(
+            "solve.fixed_point",
+            technique=self.plan.technique,
+            approximate=self.plan.has_replicas,
+        ) as sp:
+            iterations = self._fixed_point(
+                values,
+                relax,
+                max_iterations=max_iterations,
+                improvement_atol=improvement_atol,
+                improvement_rtol=improvement_rtol,
+            )
+        if sp is not None:
+            sp.set(
+                iterations=iterations,
+                sim_cycles=self.metrics.cycles,
+                num_sweeps=self.metrics.num_sweeps,
+            )
+        return iterations
+
+    def _fixed_point(
+        self,
+        values: np.ndarray,
+        relax: Callable[[EdgeView, np.ndarray], bool],
+        *,
+        max_iterations: int,
+        improvement_atol: float,
+        improvement_rtol: float,
+    ) -> int:
         approximate = self.plan.has_replicas
         envelope = values.copy() if approximate else None
         iterations = 0

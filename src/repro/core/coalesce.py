@@ -19,6 +19,7 @@ import numpy as np
 
 from ..errors import TransformError
 from ..graphs.csr import CSRGraph
+from ..obs import trace as obs_trace
 from .knobs import CoalescingKnobs
 from .renumber import RenumberResult, renumber
 from .replicate import ReplicationResult, replicate
@@ -156,8 +157,12 @@ def transform_graph(
     renumbering (no replicas, no added edges) — a property the tests use.
     """
     knobs = knobs or CoalescingKnobs()
-    ren = renumber(graph, knobs.chunk_size)
-    rep = replicate(graph, ren, knobs)
+    with obs_trace.span("transform.renumber", chunk_size=knobs.chunk_size):
+        ren = renumber(graph, knobs.chunk_size)
+    with obs_trace.span("transform.replicate") as sp:
+        rep = replicate(graph, ren, knobs)
+        if sp is not None:
+            sp.set(num_slots=rep.graph.num_nodes, edges_added=rep.edges_added)
     return GraffixGraph(
         graph=rep.graph,
         rep_of=rep.rep_of,

@@ -18,6 +18,8 @@ import numpy as np
 from ..errors import TransformError
 from ..graphs.csr import CSRGraph
 from ..gpusim.device import DeviceConfig, K40C
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..resilience.faults import fault_point
 from .coalesce import GraffixGraph, transform_graph
 from .divergence import DivergencePlan, normalize_degrees
@@ -100,6 +102,42 @@ def build_plan(
             f"unknown technique {technique!r}; choose from {TECHNIQUES}"
         )
     fault_point("transform", technique)
+    obs_metrics.counter(f"transform.plans.{technique}").inc()
+    with obs_trace.span(
+        "transform.build_plan",
+        technique=technique,
+        nodes=graph.num_nodes,
+        edges=graph.num_edges,
+    ) as sp:
+        plan = _build_plan_stages(
+            graph,
+            technique,
+            device=device,
+            coalescing=coalescing,
+            shmem=shmem,
+            divergence=divergence,
+            confluence_operator=confluence_operator,
+        )
+    if sp is not None:
+        sp.set(
+            edges_added=plan.edges_added,
+            preprocess_seconds=plan.preprocess_seconds,
+            plan_nodes=plan.graph.num_nodes,
+            plan_edges=plan.graph.num_edges,
+        )
+    return plan
+
+
+def _build_plan_stages(
+    graph: CSRGraph,
+    technique: str,
+    *,
+    device: DeviceConfig,
+    coalescing: CoalescingKnobs | None,
+    shmem: SharedMemoryKnobs | None,
+    divergence: DivergenceKnobs | None,
+    confluence_operator: str,
+) -> ExecutionPlan:
     n = graph.num_nodes
     t0 = time.perf_counter()
 
@@ -112,7 +150,8 @@ def build_plan(
         )
 
     if technique == "divergence":
-        plan = normalize_degrees(graph, divergence, device)
+        with obs_trace.span("transform.divergence"):
+            plan = normalize_degrees(graph, divergence, device)
         return ExecutionPlan(
             technique=technique,
             graph=plan.graph,
@@ -124,7 +163,8 @@ def build_plan(
         )
 
     if technique == "shmem":
-        plan = plan_shared_memory(graph, shmem, device)
+        with obs_trace.span("transform.shmem"):
+            plan = plan_shared_memory(graph, shmem, device)
         return ExecutionPlan(
             technique=technique,
             graph=plan.graph,
@@ -138,7 +178,8 @@ def build_plan(
         )
 
     if technique == "coalescing":
-        gg = transform_graph(graph, coalescing)
+        with obs_trace.span("transform.coalesce"):
+            gg = transform_graph(graph, coalescing)
         return ExecutionPlan(
             technique=technique,
             graph=gg.graph,
@@ -150,9 +191,12 @@ def build_plan(
         )
 
     # combined: divergence -> shmem -> coalescing
-    div_plan = normalize_degrees(graph, divergence, device)
-    shm_plan = plan_shared_memory(div_plan.graph, shmem, device)
-    gg = transform_graph(shm_plan.graph, coalescing)
+    with obs_trace.span("transform.divergence"):
+        div_plan = normalize_degrees(graph, divergence, device)
+    with obs_trace.span("transform.shmem"):
+        shm_plan = plan_shared_memory(div_plan.graph, shmem, device)
+    with obs_trace.span("transform.coalesce"):
+        gg = transform_graph(shm_plan.graph, coalescing)
     # residency and cluster edges must be lifted into slot space
     slot_resident = np.zeros(gg.num_slots, dtype=bool)
     occupied = gg.rep_of >= 0

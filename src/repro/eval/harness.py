@@ -15,6 +15,7 @@ table sweep does not recompute its baseline column for every technique.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -26,8 +27,13 @@ from ..core.pipeline import ExecutionPlan, build_plan
 from ..errors import AlgorithmError, DegradedResult, ReproError, TransformError
 from ..graphs.csr import CSRGraph
 from ..gpusim.device import DeviceConfig, K40C
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..obs.log import get_logger
 from ..resilience.faults import fault_point
 from .accuracy import attribute_inaccuracy, mst_inaccuracy, scc_inaccuracy
+
+logger = get_logger("eval.harness")
 
 __all__ = ["ExperimentResult", "Harness", "run_experiment"]
 
@@ -61,13 +67,21 @@ class ExperimentResult:
 
 @dataclass
 class Harness:
-    """Caches exact baseline runs across experiments on the same graph."""
+    """Caches exact baseline runs across experiments on the same graph.
+
+    The cache is a small LRU (``exact_cache_size`` entries): a long sweep
+    over many graphs would otherwise pin every exact result — values,
+    aux arrays, metrics — in memory for the whole run.  Hits and misses
+    are counted on the ``harness.exact_cache.{hit,miss}`` metrics (and
+    ``...evict`` when the bound trims the oldest entry).
+    """
 
     device: DeviceConfig = K40C
     source: int | None = None
     num_bc_sources: int = 4
     seed: int = 0
-    _exact_cache: dict = field(default_factory=dict, repr=False)
+    exact_cache_size: int = 64
+    _exact_cache: OrderedDict = field(default_factory=OrderedDict, repr=False)
 
     # ------------------------------------------------------------------
     def _source_for(self, graph: CSRGraph) -> int:
@@ -99,17 +113,33 @@ class Harness:
         exact result for a different graph.
         """
         key = (graph.fingerprint(), algorithm, baseline)
-        if key not in self._exact_cache:
-            module = BASELINES[baseline]
-            if algorithm not in module.SUPPORTED:
-                raise AlgorithmError(
-                    f"{baseline} does not support {algorithm!r}"
-                )
-            fault_point("baseline", f"{baseline}:{algorithm}")
-            self._exact_cache[key] = module.run(
+        cached = self._exact_cache.get(key)
+        if cached is not None:
+            obs_metrics.counter("harness.exact_cache.hit").inc()
+            self._exact_cache.move_to_end(key)
+            return cached
+        obs_metrics.counter("harness.exact_cache.miss").inc()
+        module = BASELINES[baseline]
+        if algorithm not in module.SUPPORTED:
+            raise AlgorithmError(
+                f"{baseline} does not support {algorithm!r}"
+            )
+        fault_point("baseline", f"{baseline}:{algorithm}")
+        with obs_trace.span(
+            "solve.exact_run", algorithm=algorithm, baseline=baseline
+        ) as sp:
+            result = module.run(
                 algorithm, graph, **self._baseline_params(graph)
             )
-        return self._exact_cache[key]
+        if sp is not None:
+            sp.set(
+                sim_cycles=result.metrics.cycles, iterations=result.iterations
+            )
+        self._exact_cache[key] = result
+        while len(self._exact_cache) > max(1, self.exact_cache_size):
+            self._exact_cache.popitem(last=False)
+            obs_metrics.counter("harness.exact_cache.evict").inc()
+        return result
 
     def degraded_result(
         self, graph: CSRGraph, algorithm: str, baseline: str, *, reason: str
@@ -121,6 +151,12 @@ class Harness:
         preprocessing or extra space — an honest "no benefit here", with
         the flag and reason preserved for the table footnote.
         """
+        obs_metrics.counter("harness.degraded").inc()
+        logger.warning(
+            "degrading %s/%s cell to exact: %s", algorithm, baseline, reason,
+            extra={"algorithm": algorithm, "baseline": baseline},
+        )
+        obs_trace.add_attributes(degraded=True, degraded_reason=reason)
         exact = self.exact_run(graph, algorithm, baseline)
         cycles = exact.metrics.cycles
         return ExperimentResult(
@@ -172,6 +208,47 @@ class Harness:
             raise ReproError(
                 f"unknown baseline {baseline!r}; choose from {sorted(BASELINES)}"
             )
+        with obs_trace.span(
+            "harness.run",
+            algorithm=algorithm,
+            technique=technique,
+            baseline=baseline,
+        ) as sp:
+            result = self._run_cell(
+                graph,
+                algorithm,
+                technique,
+                baseline=baseline,
+                coalescing=coalescing,
+                shmem=shmem,
+                divergence=divergence,
+                plan=plan,
+                degrade=degrade,
+            )
+        if sp is not None:
+            sp.set(
+                speedup=result.speedup,
+                inaccuracy_percent=result.inaccuracy_percent,
+                exact_cycles=result.exact_cycles,
+                approx_cycles=result.approx_cycles,
+                degraded=result.degraded,
+            )
+        obs_metrics.counter("harness.cells").inc()
+        return result
+
+    def _run_cell(
+        self,
+        graph: CSRGraph,
+        algorithm: str,
+        technique: str,
+        *,
+        baseline: str,
+        coalescing: CoalescingKnobs | None,
+        shmem: SharedMemoryKnobs | None,
+        divergence: DivergenceKnobs | None,
+        plan: ExecutionPlan | None,
+        degrade: bool,
+    ) -> ExperimentResult:
         module = BASELINES[baseline]
         exact = self.exact_run(graph, algorithm, baseline)
 
@@ -185,7 +262,20 @@ class Harness:
                     shmem=shmem,
                     divergence=divergence,
                 )
-            approx = module.run(algorithm, plan, **self._baseline_params(graph))
+            with obs_trace.span(
+                "solve.approx_run",
+                algorithm=algorithm,
+                technique=technique,
+                baseline=baseline,
+            ) as sp:
+                approx = module.run(
+                    algorithm, plan, **self._baseline_params(graph)
+                )
+            if sp is not None:
+                sp.set(
+                    sim_cycles=approx.metrics.cycles,
+                    iterations=approx.iterations,
+                )
         except (TransformError, MemoryError) as exc:
             if not degrade:
                 raise

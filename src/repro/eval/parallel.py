@@ -34,6 +34,9 @@ import os
 import time
 
 from ..errors import ReproError, WorkerTimeout
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..obs.log import get_logger
 from ..resilience.faults import fault_point
 from ..resilience.journal import RunJournal, cell_key
 from ..resilience.retry import RetryPolicy
@@ -42,6 +45,8 @@ from .tables import ALL_ALGOS, TableRunner
 __all__ = ["parallel_technique_rows", "worker_rows"]
 
 _POLL_SECONDS = 0.02
+
+logger = get_logger("eval.parallel")
 
 
 def worker_rows(
@@ -74,12 +79,19 @@ def worker_rows(
 
 
 def _worker_entry(conn, kwargs: dict) -> None:
-    """Child-process entry: run the share, report ("ok"|"error", payload)."""
+    """Child-process entry: run the share, report ("ok"|"error", payload, metrics).
+
+    The third element is the worker's :func:`repro.obs.metrics.snapshot`
+    — its private counter registry (exact-cache hits, sweeps, degrades)
+    shipped back through the pipe so the parent can aggregate one
+    cross-worker view.
+    """
+    obs_metrics.reset()  # count only this task, not inherited parent state
     try:
         rows = worker_rows(**kwargs)
-        message = ("ok", rows)
+        message = ("ok", rows, obs_metrics.snapshot())
     except BaseException as exc:  # must not die silently — report and exit
-        message = ("error", f"{type(exc).__name__}: {exc}")
+        message = ("error", f"{type(exc).__name__}: {exc}", obs_metrics.snapshot())
     try:
         conn.send(message)
     except (BrokenPipeError, OSError):
@@ -176,24 +188,37 @@ def parallel_technique_rows(
             }
         )
 
-    def finish_ok(task: _Task, payload: list[dict]) -> None:
+    def finish_ok(task: _Task, payload: list[dict], worker_metrics: dict | None) -> None:
+        if worker_metrics:
+            # fold the worker's counters into the parent registry so the
+            # end-of-run snapshot covers every process
+            obs_metrics.merge_snapshot(worker_metrics)
         for row in payload:
             if journal is not None:
-                journal.record("cell", key_of(row["algorithm"], row["graph"]), row)
+                key = key_of(row["algorithm"], row["graph"])
+                journal.record("cell", key, row)
+                if worker_metrics:
+                    journal.record("metrics", key, worker_metrics)
             if row.get("degraded"):
                 note_failure("degraded", row)
+            obs_metrics.counter("parallel.cells_completed").inc()
             rows.append(row)
 
     def finish_failed(task: _Task, error: str) -> None:
         # deliberately NOT journaled: a resumed run should retry these
+        logger.error(
+            "task %s gave up after %d attempts: %s",
+            task.graph, task.attempt + 1, error,
+        )
         for algo in task.algorithms:
             row = _failed_row(algo, task.graph, error)
             note_failure("failed", row)
+            obs_metrics.counter("parallel.cells_failed").inc()
             rows.append(row)
 
     ctx = mp.get_context()
     max_workers = max_workers or os.cpu_count() or 1
-    running: list[list] = []  # [process, parent_conn, task, deadline]
+    running: list[list] = []  # [process, parent_conn, task, deadline, started]
     try:
         while pending or running:
             now = time.monotonic()
@@ -223,28 +248,36 @@ def parallel_technique_rows(
                 )
                 proc.start()
                 child_conn.close()
+                logger.debug(
+                    "spawned worker for graph %s attempt %d (pid %s)",
+                    task.graph, task.attempt, proc.pid,
+                )
                 deadline = (
                     now + worker_timeout if worker_timeout is not None else None
                 )
-                running.append([proc, parent_conn, task, deadline])
+                running.append(
+                    [proc, parent_conn, task, deadline, time.perf_counter()]
+                )
 
             progressed = False
             for entry in list(running):
-                proc, conn, task, deadline = entry
+                proc, conn, task, deadline, started = entry
                 outcome = None
                 if conn.poll(0):
                     try:
                         outcome = conn.recv()
                     except (EOFError, OSError):
-                        outcome = ("error", "worker died without reporting")
+                        outcome = ("error", "worker died without reporting", None)
                 elif not proc.is_alive():
                     outcome = (
                         "error",
                         f"worker exited with code {proc.exitcode} "
                         "without reporting",
+                        None,
                     )
                 elif deadline is not None and time.monotonic() > deadline:
                     proc.terminate()
+                    obs_metrics.counter("parallel.timeouts").inc()
                     outcome = (
                         "error",
                         str(
@@ -253,6 +286,7 @@ def parallel_technique_rows(
                                 f"exceeded {worker_timeout:g}s deadline"
                             )
                         ),
+                        None,
                     )
                 if outcome is None:
                     continue
@@ -263,10 +297,24 @@ def parallel_technique_rows(
                 if proc.is_alive():  # terminate() raced with real work
                     proc.kill()
                     proc.join(timeout=5)
-                status, payload = outcome
+                status, payload, worker_metrics = outcome
+                obs_trace.record_span(
+                    "parallel.task",
+                    started,
+                    graph=task.graph,
+                    technique=technique,
+                    attempt=task.attempt,
+                    status=status,
+                    algorithms=",".join(task.algorithms),
+                )
                 if status == "ok":
-                    finish_ok(task, payload)
+                    finish_ok(task, payload, worker_metrics)
                 elif task.attempt < policy.max_retries:
+                    logger.warning(
+                        "retrying graph %s (attempt %d failed: %s)",
+                        task.graph, task.attempt, payload,
+                    )
+                    obs_metrics.counter("parallel.retries").inc()
                     task.last_error = payload
                     task.not_before = time.monotonic() + policy.delay(task.attempt)
                     task.attempt += 1
@@ -276,7 +324,7 @@ def parallel_technique_rows(
             if not progressed:
                 time.sleep(_POLL_SECONDS)
     finally:
-        for proc, conn, _task, _deadline in running:
+        for proc, conn, _task, _deadline, _started in running:
             proc.terminate()
             conn.close()
             proc.join(timeout=5)

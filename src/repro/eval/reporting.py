@@ -11,6 +11,8 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
+from ..obs.trace import traced
+
 __all__ = [
     "geomean",
     "format_table",
@@ -31,6 +33,7 @@ def geomean(values: Iterable[float]) -> float:
     return float(np.exp(np.log(arr).mean()))
 
 
+@traced("report.format_table")
 def format_table(
     rows: Sequence[Mapping[str, object]],
     columns: Sequence[str],
@@ -64,6 +67,7 @@ def format_table(
     return "\n".join(lines)
 
 
+@traced("report.format_speedup_table")
 def format_speedup_table(
     rows: Sequence[Mapping[str, object]], *, title: str | None = None
 ) -> str:
@@ -124,6 +128,7 @@ def format_speedup_table(
     return text
 
 
+@traced("report.format_failure_summary")
 def format_failure_summary(failures: Sequence[Mapping[str, object]]) -> str:
     """The end-of-run report of every degraded or failed cell."""
     if not failures:

@@ -14,21 +14,39 @@ emits) plus a ``journal.jsonl`` checkpoint of every completed cell.
 and re-running only the gaps; ``--parallel`` routes technique sweeps
 through the fault-tolerant worker pool (``--max-retries``,
 ``--worker-timeout``).  A failure summary of every degraded or failed
-cell prints at the end and lands in ``failures.txt``.
+cell is logged at the end and lands in ``failures.txt``.
+
+Telemetry (see ``docs/observability.md``):
+
+* ``--trace-out trace.json`` records spans for the whole run — Chrome
+  ``trace_event`` JSON for a ``.json`` suffix (load in
+  ``chrome://tracing`` / Perfetto), JSONL otherwise (feed to
+  ``python -m repro stats``);
+* ``--metrics-out metrics.json`` writes the aggregated counter/gauge/
+  histogram snapshot, including metrics merged back from ``--parallel``
+  workers;
+* ``--log-level debug`` (or ``REPRO_LOG=debug``) surfaces status,
+  retry, and degradation chatter on stderr; tables stay on stdout.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from pathlib import Path
 from typing import Callable
 
 from ..gpusim.device import K40C
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..obs.log import get_logger, setup_logging
 from ..resilience.journal import RunJournal
 from . import figures, tables
 from .reporting import format_failure_summary
 
 __all__ = ["TARGETS", "run_targets", "main"]
+
+logger = get_logger("eval.suite")
 
 
 def _figure(fn, graph_name: str):
@@ -131,10 +149,13 @@ def run_targets(
         runner.failures = failures
     out: dict[str, str] = {}
     for name in names:
-        _rows, text = TARGETS[name](runner)
+        logger.info("running target %s (scale=%s)", name, scale)
+        with obs_trace.span("harness.target", target=name, scale=scale):
+            _rows, text = TARGETS[name](runner)
         out[name] = text
         if output_dir is not None:
-            (Path(output_dir) / f"{name}.txt").write_text(text + "\n")
+            with obs_trace.span("report.write", target=name):
+                (Path(output_dir) / f"{name}.txt").write_text(text + "\n")
     if output_dir is not None and runner.failures:
         (Path(output_dir) / "failures.txt").write_text(
             format_failure_summary(runner.failures) + "\n"
@@ -191,6 +212,25 @@ def main(argv: list[str] | None = None) -> int:
         help="per-worker deadline in seconds (--parallel; default: none)",
     )
     parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="record spans for the run: Chrome trace_event JSON for a "
+        ".json path (chrome://tracing / Perfetto), JSONL otherwise "
+        "(python -m repro stats)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the aggregated metrics snapshot (counters/gauges/"
+        "histograms, workers included) as JSON",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        help="logging level for status/failure chatter on stderr "
+        "(overrides REPRO_LOG; default warning)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list available targets and exit"
     )
     args = parser.parse_args(argv)
@@ -202,21 +242,46 @@ def main(argv: list[str] | None = None) -> int:
     if args.resume and args.output_dir is None:
         parser.error("--resume requires --output-dir (the journal lives there)")
 
+    setup_logging(args.log_level)
+    tracer = obs_trace.install_tracer() if args.trace_out else None
+
     failures: list[dict] = []
-    results = run_targets(
-        args.targets or ["all"],
-        scale=args.scale,
-        seed=args.seed,
-        output_dir=args.output_dir,
-        resume=args.resume,
-        parallel=args.parallel,
-        max_workers=args.max_workers,
-        max_retries=args.max_retries,
-        worker_timeout=args.worker_timeout,
-        failures=failures,
-    )
+    try:
+        results = run_targets(
+            args.targets or ["all"],
+            scale=args.scale,
+            seed=args.seed,
+            output_dir=args.output_dir,
+            resume=args.resume,
+            parallel=args.parallel,
+            max_workers=args.max_workers,
+            max_retries=args.max_retries,
+            worker_timeout=args.worker_timeout,
+            failures=failures,
+        )
+    finally:
+        if tracer is not None:
+            obs_trace.uninstall_tracer()
+            path = Path(args.trace_out)
+            if path.suffix == ".json":
+                tracer.export_chrome(path)
+            else:
+                tracer.export_jsonl(path)
+            logger.info(
+                "wrote %d spans to %s (%d dropped)",
+                len(tracer.spans), path, tracer.dropped,
+            )
+        if args.metrics_out:
+            snap = obs_metrics.snapshot()
+            Path(args.metrics_out).write_text(json.dumps(snap, indent=2) + "\n")
+            logger.info("wrote metrics snapshot to %s", args.metrics_out)
+
     for name, text in results.items():
         print(text)
         print()
-    print(format_failure_summary(failures))
+    summary = format_failure_summary(failures)
+    if failures:
+        logger.warning("%s", summary)
+    else:
+        logger.info("%s", summary)
     return 0

@@ -18,6 +18,8 @@ import numpy as np
 
 from ..errors import SimulationError
 from ..graphs.csr import CSRGraph
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .costmodel import SweepCost, charge_sweep
 from .device import DeviceConfig, K40C
 from .metrics import SimMetrics
@@ -59,6 +61,10 @@ class ExecutionContext:
                 raise SimulationError("resident_mask length must equal num_nodes")
         self.resident_mask = resident_mask
         self.metrics = SimMetrics(device=device)
+        # cached instruments: charge() runs once per sweep, so skip the
+        # registry lookup on the hot path
+        self._sweep_counter = obs_metrics.counter("solve.sweeps")
+        self._cycle_counter = obs_metrics.counter("solve.sim_cycles")
 
     @property
     def order(self) -> np.ndarray:
@@ -97,14 +103,29 @@ class ExecutionContext:
         cluster-only iterations over the cluster edge set.
         """
         graph = subgraph if subgraph is not None else self.graph
-        cost = charge_sweep(
-            graph,
-            self.device,
-            self.ordered(active),
-            resident_mask=None if all_shared else self.resident_mask,
-            all_shared=all_shared,
-        )
+        with obs_trace.span("solve.sweep") as sp:
+            active_ids = self.ordered(active)
+            cost = charge_sweep(
+                graph,
+                self.device,
+                active_ids,
+                resident_mask=None if all_shared else self.resident_mask,
+                all_shared=all_shared,
+            )
+            if sp is not None:
+                sp.set(
+                    active=int(active_ids.size),
+                    cycles=cost.cycles,
+                    serial_steps=cost.serial_steps,
+                    edge_transactions=cost.edge_transactions,
+                    attr_global_transactions=cost.attr_global_transactions,
+                    attr_shared_transactions=cost.attr_shared_transactions,
+                    atomic_ops=cost.atomic_ops,
+                    shared=bool(all_shared),
+                )
         self.metrics.add(cost)
+        self._sweep_counter.inc()
+        self._cycle_counter.inc(cost.cycles)
         return cost
 
     def charge_cost(self, cost: SweepCost) -> None:

@@ -24,6 +24,7 @@ from collections.abc import Callable
 import numpy as np
 
 from ..errors import GraphFormatError
+from ..obs import trace as obs_trace
 from .csr import CSRGraph
 
 __all__ = [
@@ -326,4 +327,14 @@ def paper_suite(
         "usa-road": lambda: road_network(s["road_side"], seed=seed + 3, weighted=weighted),
         "twitter": lambda: heavy_tail_social(s["tw_n"], seed=seed + 4, weighted=weighted),
     }
-    return {name: builders[name]() for name in PAPER_GRAPH_NAMES}
+    suite: dict[str, CSRGraph] = {}
+    with obs_trace.span("io.suite", scale=scale, seed=seed):
+        for name in PAPER_GRAPH_NAMES:
+            with obs_trace.span("io.generate", graph=name, scale=scale) as sp:
+                suite[name] = builders[name]()
+                if sp is not None:
+                    sp.set(
+                        nodes=suite[name].num_nodes,
+                        edges=suite[name].num_edges,
+                    )
+    return suite

@@ -20,6 +20,7 @@ from pathlib import Path
 import numpy as np
 
 from ..errors import GraphFormatError
+from ..obs.trace import traced
 from ..resilience.faults import fault_point
 from .csr import CSRGraph
 
@@ -33,6 +34,7 @@ __all__ = [
 ]
 
 
+@traced("io.write_edge_list")
 def write_edge_list(graph: CSRGraph, path: str | Path) -> None:
     """Write ``graph`` as a SNAP-style text edge list."""
     path = Path(path)
@@ -49,6 +51,7 @@ def write_edge_list(graph: CSRGraph, path: str | Path) -> None:
                 fh.write(f"{s} {d} {x:g}\n")
 
 
+@traced("io.read_edge_list")
 def read_edge_list(
     path: str | Path,
     *,
@@ -125,6 +128,7 @@ def read_edge_list(
     )
 
 
+@traced("io.write_dimacs")
 def write_dimacs(graph: CSRGraph, path: str | Path, *, comment: str = "") -> None:
     """Write the DIMACS shortest-path format (``p sp``, 1-indexed ``a`` arcs).
 
@@ -143,6 +147,7 @@ def write_dimacs(graph: CSRGraph, path: str | Path, *, comment: str = "") -> Non
             fh.write(f"a {s_ + 1} {d + 1} {x:g}\n")
 
 
+@traced("io.read_dimacs")
 def read_dimacs(path: str | Path) -> CSRGraph:
     """Parse a DIMACS shortest-path graph (``c``/``p sp``/``a`` lines)."""
     path = Path(path)
@@ -200,6 +205,7 @@ def read_dimacs(path: str | Path) -> CSRGraph:
     )
 
 
+@traced("io.save_npz")
 def save_npz(graph: CSRGraph, path: str | Path) -> None:
     """Binary-cache the CSR arrays (compressed)."""
     arrays = {"offsets": graph.offsets, "indices": graph.indices}
@@ -209,6 +215,7 @@ def save_npz(graph: CSRGraph, path: str | Path) -> None:
         np.savez_compressed(fh, **arrays)
 
 
+@traced("io.load_npz")
 def load_npz(path: str | Path) -> CSRGraph:
     """Load a graph cached by :func:`save_npz`.
 

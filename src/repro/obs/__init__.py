@@ -1,0 +1,65 @@
+"""Structured run telemetry: spans, metrics, and logs.
+
+The paper's claims are mechanistic — coalescing cuts global-memory
+traffic, shared-memory pinning cuts latency, divergence smoothing raises
+warp efficiency — so the reproduction needs to show *where* a table
+cell's wall-clock and simulated cycles went, not just the final number.
+This package is the zero-dependency telemetry layer every hot path is
+instrumented with:
+
+* :mod:`repro.obs.trace` — nested wall-clock spans with attributes,
+  exported as JSONL or Chrome ``trace_event`` JSON (loadable in
+  ``chrome://tracing`` / Perfetto).  Disabled (near-zero cost) unless a
+  tracer is installed.
+* :mod:`repro.obs.metrics` — process-local counters, gauges, and
+  fixed-bucket histograms with a snapshot/merge API so per-worker
+  metrics can be shipped through the scheduler's result queue and
+  aggregated in the parent.
+* :mod:`repro.obs.log` — structured logging setup (``REPRO_LOG`` /
+  ``--log-level``) with an optional JSON-lines mode.
+* :mod:`repro.obs.stats` — the ``python -m repro stats <trace>`` report:
+  top spans by cumulative time and the transform/solve/io split.
+
+See ``docs/observability.md`` for naming conventions and a worked
+example.
+"""
+
+from __future__ import annotations
+
+from . import log, metrics, stats, trace
+from .log import get_logger, setup_logging
+from .metrics import (
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+    merge_snapshot,
+    registry,
+    snapshot,
+)
+from .trace import Span, Tracer, add_attributes, get_tracer, install_tracer, record_span, span, traced, uninstall_tracer
+
+__all__ = [
+    "log",
+    "metrics",
+    "stats",
+    "trace",
+    "get_logger",
+    "setup_logging",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "histogram",
+    "merge_snapshot",
+    "registry",
+    "snapshot",
+    "Span",
+    "Tracer",
+    "add_attributes",
+    "get_tracer",
+    "install_tracer",
+    "record_span",
+    "span",
+    "traced",
+    "uninstall_tracer",
+]

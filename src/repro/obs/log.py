@@ -1,0 +1,125 @@
+"""Structured logging setup for the reproduction.
+
+All of the repo's chatter (status, retries, degradations, failures)
+routes through stdlib :mod:`logging` under the ``repro`` namespace;
+this module owns the single handler so output is controllable from one
+place:
+
+* ``REPRO_LOG=debug`` (or ``info``/``warning``/…) sets the level;
+* ``REPRO_LOG=debug:json`` (or ``setup_logging(json_mode=True)``)
+  switches to one-JSON-object-per-line output for machine ingestion;
+* the suite CLI's ``--log-level`` flag overrides the environment.
+
+By default the level is ``warning`` (quiet — tables stay the only
+stdout output) and records go to stderr, so logging never corrupts the
+rendered tables on stdout.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import time
+from typing import Any, IO
+
+__all__ = ["get_logger", "setup_logging", "JsonFormatter"]
+
+ROOT_NAME = "repro"
+
+#: LogRecord fields that are not user-supplied ``extra`` keys
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record, ``extra`` keys inlined."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "time": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.localtime(record.created)
+            ),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                doc[key] = value
+        if record.exc_info:
+            doc["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(doc, default=str)
+
+
+def _parse_env(value: str) -> tuple[str | None, bool]:
+    """``REPRO_LOG`` grammar: ``level``, ``level:json``, or ``json``."""
+    level: str | None = None
+    json_mode = False
+    for part in value.split(":"):
+        part = part.strip().lower()
+        if not part:
+            continue
+        if part == "json":
+            json_mode = True
+        else:
+            level = part
+    return level, json_mode
+
+
+def setup_logging(
+    level: str | int | None = None,
+    *,
+    json_mode: bool | None = None,
+    stream: IO[str] | None = None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger; idempotent (reconfigures in place).
+
+    Explicit arguments win over ``REPRO_LOG``; with neither, the level
+    defaults to ``warning`` and plain-text formatting.
+    """
+    env_level, env_json = _parse_env(os.environ.get("REPRO_LOG", ""))
+    if level is None:
+        level = env_level or "warning"
+    if json_mode is None:
+        json_mode = env_json
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+
+    logger = logging.getLogger(ROOT_NAME)
+    logger.setLevel(level)
+    logger.propagate = False
+    # replace only handlers we installed, so a host app's handlers survive
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler._repro_obs = True  # type: ignore[attr-defined]
+    if json_mode:
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+        )
+    logger.addHandler(handler)
+    return logger
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``repro.<name>``).
+
+    Safe to call at import time; emits nothing above the configured
+    level and, before :func:`setup_logging`, inherits the root logger's
+    ``lastResort`` handling (warnings still reach stderr).
+    """
+    if not name:
+        return logging.getLogger(ROOT_NAME)
+    if name.startswith(ROOT_NAME + ".") or name == ROOT_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_NAME}.{name}")

@@ -1,0 +1,168 @@
+"""``python -m repro stats <trace>``: a profile-style trace breakdown.
+
+Reads a trace exported by :mod:`repro.obs.trace` — either the native
+JSONL (one span per line) or the Chrome ``trace_event`` JSON — and
+prints where the wall-clock went:
+
+* **top spans by cumulative time** — per span name: call count, total
+  time, *self* time (total minus time spent in child spans, so nested
+  categories don't double-count), and share of the traced run;
+* **category split** — self time rolled up by the naming convention's
+  leading category (``io`` / ``transform`` / ``solve`` / ``report`` /
+  ``harness`` / ``parallel`` / other), the "transform vs solve vs io"
+  number the tables' speedup claims should be read against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Sequence
+
+from .trace import Span
+
+__all__ = ["load_trace", "span_stats", "category_split", "format_stats", "main"]
+
+#: span-name prefixes rolled up in the category split (order = display order)
+CATEGORIES = ("io", "transform", "solve", "harness", "parallel", "report")
+
+
+def load_trace(path: str | Path) -> list[Span]:
+    """Load spans from a JSONL or Chrome ``trace_event`` trace file."""
+    path = Path(path)
+    text = path.read_text()
+    stripped = text.lstrip()
+    if stripped.startswith("{") and '"traceEvents"' in stripped[:200]:
+        return _from_chrome(json.loads(text).get("traceEvents", []))
+    if stripped.startswith("["):
+        return _from_chrome(json.loads(text))
+    spans = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+def _from_chrome(events: Sequence[dict]) -> list[Span]:
+    spans = []
+    for i, ev in enumerate(events):
+        if ev.get("ph") != "X":
+            continue  # only complete duration events carry a self-time story
+        spans.append(
+            Span(
+                name=str(ev.get("name", "?")),
+                span_id=i + 1,
+                parent_id=None,  # chrome events carry no explicit nesting
+                start=float(ev.get("ts", 0.0)) / 1e6,
+                duration=float(ev.get("dur", 0.0)) / 1e6,
+                attributes=dict(ev.get("args") or {}),
+                thread=str(ev.get("tid", "0")),
+            )
+        )
+    # reconstruct nesting per thread from interval containment so self
+    # times stay meaningful for chrome-format input too
+    by_thread: dict[str, list[Span]] = {}
+    for sp in spans:
+        by_thread.setdefault(sp.thread, []).append(sp)
+    for group in by_thread.values():
+        group.sort(key=lambda s: (s.start, -s.duration))
+        stack: list[Span] = []
+        for sp in group:
+            while stack and sp.start >= stack[-1].start + stack[-1].duration:
+                stack.pop()
+            if stack:
+                sp.parent_id = stack[-1].span_id
+            stack.append(sp)
+    return spans
+
+
+# ---------------------------------------------------------------------------
+def _self_times(spans: Sequence[Span]) -> dict[int, float]:
+    """Per-span self time: duration minus direct children's durations."""
+    child_time: dict[int, float] = {}
+    for sp in spans:
+        if sp.parent_id is not None:
+            child_time[sp.parent_id] = child_time.get(sp.parent_id, 0.0) + sp.duration
+    return {
+        sp.span_id: max(0.0, sp.duration - child_time.get(sp.span_id, 0.0))
+        for sp in spans
+    }
+
+
+def span_stats(spans: Sequence[Span]) -> list[dict]:
+    """Aggregate by span name: count, cumulative, self; sorted by cumulative."""
+    selfs = _self_times(spans)
+    agg: dict[str, dict] = {}
+    for sp in spans:
+        row = agg.setdefault(
+            sp.name, {"name": sp.name, "count": 0, "total": 0.0, "self": 0.0}
+        )
+        row["count"] += 1
+        row["total"] += sp.duration
+        row["self"] += selfs[sp.span_id]
+    return sorted(agg.values(), key=lambda r: (-r["total"], r["name"]))
+
+
+def category_split(spans: Sequence[Span]) -> dict[str, float]:
+    """Self time per leading-name category (sums to total traced time)."""
+    selfs = _self_times(spans)
+    split = {c: 0.0 for c in CATEGORIES}
+    split["other"] = 0.0
+    for sp in spans:
+        cat = sp.name.split(".", 1)[0]
+        split[cat if cat in split else "other"] += selfs[sp.span_id]
+    return split
+
+
+def format_stats(spans: Sequence[Span], *, top: int = 20, title: str = "trace stats") -> str:
+    """Render the profile-style report the CLI prints."""
+    lines = [title, "-" * len(title)]
+    if not spans:
+        lines.append("(empty trace)")
+        return "\n".join(lines)
+    rows = span_stats(spans)
+    traced_total = sum(r["self"] for r in rows) or 1.0
+    lines.append(f"{len(spans)} spans, {len(rows)} distinct names, "
+                 f"{traced_total:.4f}s traced")
+    lines.append("")
+    lines.append(f"{'span':40s} {'count':>7s} {'total s':>10s} {'self s':>10s} {'self %':>7s}")
+    for row in rows[:top]:
+        lines.append(
+            f"{row['name'][:40]:40s} {row['count']:7d} "
+            f"{row['total']:10.4f} {row['self']:10.4f} "
+            f"{row['self'] / traced_total:6.1%}"
+        )
+    if len(rows) > top:
+        lines.append(f"... {len(rows) - top} more span names")
+    lines.append("")
+    split = category_split(spans)
+    shown = {k: v for k, v in split.items() if v > 0.0}
+    lines.append("time split (self time by category):")
+    for cat, secs in sorted(shown.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {cat:10s} {secs:10.4f}s  {secs / traced_total:6.1%}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro stats",
+        description="Profile-style breakdown of a trace produced by "
+        "--trace-out (JSONL or Chrome trace_event JSON).",
+    )
+    parser.add_argument("trace", help="path to trace.jsonl / trace.json")
+    parser.add_argument(
+        "--top", type=int, default=20, help="span names to list (default 20)"
+    )
+    args = parser.parse_args(argv)
+    spans = load_trace(args.trace)
+    try:
+        print(format_stats(spans, top=args.top, title=f"trace stats: {args.trace}"))
+    except BrokenPipeError:  # e.g. `repro stats trace | head`
+        import os
+        import sys
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0

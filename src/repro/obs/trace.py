@@ -1,0 +1,293 @@
+"""A zero-dependency span tracer with JSONL and Chrome trace export.
+
+A *span* is one timed region of the run — a transform stage, a kernel
+sweep, a table cell — with a name, monotonic start/duration, nesting
+(parent span), and free-form attributes (the instrumentation attaches
+the existing :class:`~repro.gpusim.metrics.SimMetrics` /
+:class:`~repro.gpusim.costmodel.SweepCost` numbers here, so a trace
+carries the simulated-cycle story alongside the wall-clock one).
+
+Tracing is off by default: the module-level :func:`span` context manager
+is a near-no-op until :func:`install_tracer` installs a
+:class:`Tracer`.  Hot paths therefore stay instrumented permanently
+without taxing untraced runs.
+
+Export formats:
+
+* :meth:`Tracer.export_jsonl` — one JSON object per line (our native
+  format, read back by :mod:`repro.obs.stats`);
+* :meth:`Tracer.export_chrome` — the Chrome ``trace_event`` JSON array
+  (complete ``"X"`` duration events), loadable in ``chrome://tracing``
+  or https://ui.perfetto.dev.
+
+Span naming convention (see ``docs/observability.md``): dotted
+lowercase, category first — ``io.*``, ``transform.*``, ``solve.*``,
+``harness.*``, ``parallel.*``, ``report.*``.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "add_attributes",
+    "get_tracer",
+    "install_tracer",
+    "record_span",
+    "span",
+    "traced",
+    "uninstall_tracer",
+]
+
+#: spans kept per tracer before further spans are counted but dropped —
+#: a backstop so a very long sweep cannot exhaust memory through tracing
+DEFAULT_MAX_SPANS = 200_000
+
+
+@dataclass
+class Span:
+    """One completed (or in-flight) timed region."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float  # perf_counter seconds, comparable within one process
+    duration: float = 0.0
+    attributes: dict[str, Any] = field(default_factory=dict)
+    thread: str = "main"
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes to the span (last write per key wins)."""
+        self.attributes.update(attrs)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "duration": self.duration,
+            "thread": self.thread,
+            "attributes": self.attributes,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "Span":
+        return cls(
+            name=str(d["name"]),
+            span_id=int(d["span_id"]),
+            parent_id=None if d.get("parent_id") is None else int(d["parent_id"]),
+            start=float(d["start"]),
+            duration=float(d.get("duration", 0.0)),
+            attributes=dict(d.get("attributes") or {}),
+            thread=str(d.get("thread", "main")),
+        )
+
+
+class Tracer:
+    """Collects spans for one run.  Thread-safe; nesting is per-thread."""
+
+    def __init__(self, *, max_spans: int = DEFAULT_MAX_SPANS) -> None:
+        self.max_spans = max_spans
+        self.spans: list[Span] = []
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._stacks = threading.local()
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = []
+            self._stacks.stack = stack
+        return stack
+
+    def current_span(self) -> Span | None:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _new_span(self, name: str, attrs: dict[str, Any]) -> Span:
+        parent = self.current_span()
+        with self._lock:
+            self._next_id += 1
+            sid = self._next_id
+        return Span(
+            name=name,
+            span_id=sid,
+            parent_id=parent.span_id if parent else None,
+            start=time.perf_counter(),
+            attributes=dict(attrs),
+            thread=threading.current_thread().name,
+        )
+
+    def _commit(self, sp: Span) -> None:
+        with self._lock:
+            if len(self.spans) >= self.max_spans:
+                self.dropped += 1
+            else:
+                self.spans.append(sp)
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a nested span; committed (with duration) on exit."""
+        sp = self._new_span(name, attrs)
+        stack = self._stack()
+        stack.append(sp)
+        try:
+            yield sp
+        finally:
+            sp.duration = time.perf_counter() - sp.start
+            stack.pop()
+            self._commit(sp)
+
+    def record(self, name: str, start: float, duration: float, **attrs: Any) -> Span:
+        """Record an externally timed region (no nesting bookkeeping).
+
+        ``start`` is a ``time.perf_counter()`` reading; the scheduler uses
+        this for worker tasks whose lifetime is not a ``with`` block.
+        """
+        sp = self._new_span(name, attrs)
+        sp.start = start
+        sp.duration = duration
+        self._commit(sp)
+        return sp
+
+    def clear(self) -> None:
+        with self._lock:
+            self.spans.clear()
+            self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def export_jsonl(self, path: str | Path) -> Path:
+        """Write one JSON object per span (the ``repro stats`` format)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as fh:
+            for sp in sorted(self.spans, key=lambda s: s.start):
+                fh.write(json.dumps(sp.to_dict(), default=str) + "\n")
+        return path
+
+    def export_chrome(self, path: str | Path) -> Path:
+        """Write Chrome ``trace_event`` JSON (open in ``chrome://tracing``).
+
+        Every span becomes a complete ("X") duration event; timestamps
+        are microseconds relative to the earliest span so the viewer
+        timeline starts at zero.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        origin = min((sp.start for sp in self.spans), default=0.0)
+        tids = {}
+        events = []
+        for sp in sorted(self.spans, key=lambda s: s.start):
+            tid = tids.setdefault(sp.thread, len(tids))
+            events.append(
+                {
+                    "name": sp.name,
+                    "cat": sp.name.split(".", 1)[0],
+                    "ph": "X",
+                    "ts": (sp.start - origin) * 1e6,
+                    "dur": sp.duration * 1e6,
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {k: _jsonable(v) for k, v in sp.attributes.items()},
+                }
+            )
+        doc = {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"dropped_spans": self.dropped},
+        }
+        path.write_text(json.dumps(doc))
+        return path
+
+
+def _jsonable(v: Any) -> Any:
+    if isinstance(v, (str, int, float, bool)) or v is None:
+        return v
+    return str(v)
+
+
+# ---------------------------------------------------------------------------
+# module-level API: one process-wide active tracer (None = tracing off)
+# ---------------------------------------------------------------------------
+_active: Tracer | None = None
+
+
+def install_tracer(tracer: Tracer | None = None) -> Tracer:
+    """Install (and return) the process-wide tracer; spans start recording."""
+    global _active
+    _active = tracer if tracer is not None else Tracer()
+    return _active
+
+
+def uninstall_tracer() -> Tracer | None:
+    """Stop recording; returns the tracer that was active (if any)."""
+    global _active
+    tracer, _active = _active, None
+    return tracer
+
+
+def get_tracer() -> Tracer | None:
+    """The active tracer, or ``None`` when tracing is off."""
+    return _active
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[Span | None]:
+    """Open a span on the active tracer; near-no-op when tracing is off.
+
+    Yields the :class:`Span` (so callers can ``sp.set(...)`` computed
+    attributes) or ``None`` when no tracer is installed.
+    """
+    tracer = _active
+    if tracer is None:
+        yield None
+        return
+    with tracer.span(name, **attrs) as sp:
+        yield sp
+
+
+def add_attributes(**attrs: Any) -> None:
+    """Attach attributes to the innermost open span, if tracing is on."""
+    tracer = _active
+    if tracer is None:
+        return
+    sp = tracer.current_span()
+    if sp is not None:
+        sp.set(**attrs)
+
+
+def record_span(name: str, start: float, **attrs: Any) -> None:
+    """Record a region timed externally: duration = now - ``start``."""
+    tracer = _active
+    if tracer is None:
+        return
+    tracer.record(name, start, time.perf_counter() - start, **attrs)
+
+
+def traced(name: str | None = None, **attrs: Any) -> Callable:
+    """Decorator form of :func:`span` (span name defaults to the function's)."""
+
+    def decorate(fn: Callable) -> Callable:
+        span_name = name or f"{fn.__module__.split('.')[-1]}.{fn.__qualname__}"
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            with span(span_name, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -74,3 +74,79 @@ class TestReports:
         b = SimMetrics(device=K40C)
         text = compare_report(a, b)
         assert "inf" in text
+
+
+class TestBreakdownEdgeCases:
+    """The report path with degenerate component mixes."""
+
+    def test_zero_cycle_components_render_zero_fraction(self):
+        # only atomics: every other component must be exactly 0 cycles
+        m = SimMetrics(device=K40C)
+        m.add(SweepCost(atomic_ops=3))
+        b = breakdown(m)
+        assert b.compute == 0 and b.edge_memory == 0
+        assert b.attr_global_memory == 0 and b.attr_shared_memory == 0
+        assert b.src_memory == 0
+        assert b.total == 3 * K40C.atomic_cycles
+        assert b.memory_fraction == 0.0
+        rows = b.as_rows()
+        fracs = {name: frac for name, _, frac in rows}
+        assert fracs["atomic updates"] == pytest.approx(1.0)
+        assert fracs["compute (serialized warp steps)"] == 0.0
+
+    def test_as_rows_all_zero_does_not_divide_by_zero(self):
+        rows = breakdown(SimMetrics(device=K40C)).as_rows()
+        assert all(frac == 0.0 for _, _, frac in rows)
+        assert all(cyc == 0.0 for _, cyc, _ in rows)
+
+    def test_profile_report_empty_metrics(self):
+        text = profile_report(SimMetrics(device=K40C), title="empty")
+        assert "empty" in text
+        assert "memory-bound: 0%" in text
+        assert "0 sweeps" in text
+
+
+class TestCompareReportEdgeCases:
+    def test_identical_pair_ratios_are_one(self):
+        m = SimMetrics(device=K40C)
+        m.add(
+            SweepCost(
+                serial_steps=4,
+                edge_transactions=2,
+                attr_global_transactions=3,
+                attr_shared_transactions=1,
+                src_transactions=2,
+                atomic_ops=5,
+            )
+        )
+        text = compare_report(m, m, title="same vs same")
+        assert "same vs same" in text
+        # every per-component line and the total must report 1.00x
+        ratio_lines = [ln for ln in text.splitlines() if ln.endswith("x")]
+        assert len(ratio_lines) == 7  # 6 components + total
+        assert all("1.00x" in ln for ln in ratio_lines)
+
+    def test_exact_equals_approx_from_real_run(self, rmat_small):
+        res = sssp(rmat_small, 0)
+        text = compare_report(res.metrics, res.metrics)
+        assert "  1.00x" in text
+        assert "total" in text
+
+    def test_zero_component_in_approx_only(self):
+        # approx lost its atomics entirely: that row divides by zero and
+        # must render inf, not crash; rows with 0/0 stay inf too
+        exact = SimMetrics(device=K40C)
+        exact.add(SweepCost(serial_steps=2, atomic_ops=4))
+        approx = SimMetrics(device=K40C)
+        approx.add(SweepCost(serial_steps=2))
+        text = compare_report(exact, approx)
+        atomic_line = next(
+            ln for ln in text.splitlines() if ln.startswith("atomic updates")
+        )
+        assert "inf" in atomic_line
+
+    def test_both_empty_pair(self):
+        text = compare_report(
+            SimMetrics(device=K40C), SimMetrics(device=K40C)
+        )
+        assert "total" in text and "inf" in text

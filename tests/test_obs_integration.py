@@ -1,0 +1,185 @@
+"""End-to-end telemetry acceptance: CLI flags, stage coverage, aggregation.
+
+Proves the observability contract on real suite runs:
+
+* a single-table run with ``--trace-out foo.json`` produces a
+  Chrome-loadable ``trace_event`` file whose spans cover at least five
+  distinct stages (io, transform sub-stages, solve sweeps, confluence,
+  harness, reporting);
+* ``python -m repro stats`` on that trace reports the
+  transform/solve/io time split;
+* a ``--parallel`` run merges per-worker metrics (retry / cache / sweep
+  counters) into the single ``--metrics-out`` snapshot and journals one
+  metrics record per cell.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.eval.suite import main as suite_main
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.stats import category_split, load_trace
+from repro.resilience import faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    monkeypatch.delenv("REPRO_LOG", raising=False)
+    faults.reset()
+    obs_metrics.reset()
+    obs_trace.uninstall_tracer()
+    yield
+    faults.reset()
+    obs_metrics.reset()
+    obs_trace.uninstall_tracer()
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    """One sequential table6 run with both telemetry sinks enabled."""
+    out = tmp_path_factory.mktemp("traced_run")
+    trace_path = out / "trace.json"
+    metrics_path = out / "metrics.json"
+    obs_metrics.reset()
+    rc = suite_main(
+        [
+            "table6",
+            "--scale",
+            "tiny",
+            "--trace-out",
+            str(trace_path),
+            "--metrics-out",
+            str(metrics_path),
+        ]
+    )
+    assert rc == 0
+    return trace_path, metrics_path
+
+
+class TestTraceOut:
+    def test_chrome_trace_is_loadable_and_well_formed(self, traced_run):
+        trace_path, _ = traced_run
+        doc = json.loads(trace_path.read_text())
+        events = doc["traceEvents"]
+        assert len(events) > 100
+        for ev in events:
+            assert ev["ph"] == "X"
+            assert ev["ts"] >= 0 and ev["dur"] >= 0
+
+    def test_spans_cover_at_least_five_stages(self, traced_run):
+        trace_path, _ = traced_run
+        names = {ev["name"] for ev in
+                 json.loads(trace_path.read_text())["traceEvents"]}
+        # every layer of the run shows up under its convention prefix
+        for expected in (
+            "io.generate",            # suite generation
+            "transform.build_plan",   # pipeline wrapper
+            "transform.renumber",     # §2 sub-stage
+            "transform.coalesce",
+            "solve.sweep",            # per-kernel-sweep
+            "solve.confluence",       # replica merges
+            "harness.run",            # exact-vs-approx cell
+            "report.format_table",    # rendering
+        ):
+            assert expected in names, f"missing span {expected!r}"
+        categories = {n.split(".", 1)[0] for n in names}
+        assert len(categories & {"io", "transform", "solve",
+                                 "harness", "report"}) >= 5
+
+    def test_sweep_spans_carry_cost_model_attributes(self, traced_run):
+        trace_path, _ = traced_run
+        events = json.loads(trace_path.read_text())["traceEvents"]
+        sweep = next(ev for ev in events if ev["name"] == "solve.sweep")
+        assert sweep["args"]["cycles"] > 0
+        assert "edge_transactions" in sweep["args"]
+
+    def test_stats_cli_reports_time_split(self, traced_run, capsys):
+        trace_path, _ = traced_run
+        assert repro_main(["stats", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "time split" in out
+        for cat in ("transform", "solve", "io"):
+            assert cat in out
+
+    def test_split_is_dominated_by_known_categories(self, traced_run):
+        trace_path, _ = traced_run
+        split = category_split(load_trace(trace_path))
+        assert split["solve"] > 0 and split["transform"] > 0 and split["io"] > 0
+        total = sum(split.values())
+        assert split["other"] < 0.05 * total
+
+
+class TestMetricsOut:
+    def test_snapshot_counts_cells_and_sweeps(self, traced_run):
+        _, metrics_path = traced_run
+        counters = json.loads(metrics_path.read_text())["counters"]
+        assert counters["harness.cells"] == 25  # 5 graphs x 5 algorithms
+        assert counters["harness.exact_cache.miss"] == 25
+        assert counters["solve.sweeps"] > 0
+        assert counters["solve.confluence_merges"] > 0
+        assert counters["transform.plans.coalescing"] == 5
+
+
+class TestParallelAggregation:
+    def test_worker_metrics_merge_into_one_snapshot(self, tmp_path, monkeypatch):
+        """Every worker's first attempt dies; retries finish the sweep, and
+        the worker-side counters (cache misses, sweeps) still land in the
+        parent's --metrics-out snapshot alongside the retry count."""
+        monkeypatch.setenv(
+            faults.ENV_VAR, "site=worker,mode=error,match=attempt0"
+        )
+        metrics_path = tmp_path / "metrics.json"
+        out_dir = tmp_path / "run"
+        rc = suite_main(
+            [
+                "table6",
+                "--scale",
+                "tiny",
+                "--parallel",
+                "--max-workers",
+                "2",
+                "--metrics-out",
+                str(metrics_path),
+                "--output-dir",
+                str(out_dir),
+            ]
+        )
+        assert rc == 0
+        counters = json.loads(metrics_path.read_text())["counters"]
+        assert counters["parallel.retries"] == 5   # one per graph task
+        assert counters["parallel.cells_completed"] == 25
+        # worker-process counters, visible only through snapshot merging
+        assert counters["harness.cells"] == 25
+        assert counters["harness.exact_cache.miss"] == 25
+        assert counters["solve.sweeps"] > 0
+
+    def test_journal_records_metrics_per_cell(self, tmp_path):
+        out_dir = tmp_path / "run"
+        rc = suite_main(
+            [
+                "table6",
+                "--scale",
+                "tiny",
+                "--parallel",
+                "--max-workers",
+                "2",
+                "--output-dir",
+                str(out_dir),
+            ]
+        )
+        assert rc == 0
+        records = [
+            json.loads(line)
+            for line in (out_dir / "journal.jsonl").read_text().splitlines()
+        ]
+        metrics_records = [r for r in records if r["kind"] == "metrics"]
+        assert len(metrics_records) == 25
+        sample = metrics_records[0]["payload"]
+        assert "counters" in sample
+        assert sample["counters"].get("harness.cells", 0) >= 1

@@ -1,0 +1,94 @@
+"""Unit tests for structured logging setup (repro.obs.log)."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.log import JsonFormatter, get_logger, setup_logging
+
+
+@pytest.fixture(autouse=True)
+def _clean_handlers():
+    yield
+    logger = logging.getLogger("repro")
+    for h in list(logger.handlers):
+        if getattr(h, "_repro_obs", False):
+            logger.removeHandler(h)
+
+
+class TestGetLogger:
+    def test_namespacing(self):
+        assert get_logger("eval.suite").name == "repro.eval.suite"
+        assert get_logger("repro.eval.suite").name == "repro.eval.suite"
+        assert get_logger().name == "repro"
+
+
+class TestSetupLogging:
+    def test_default_level_is_warning(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG", raising=False)
+        stream = io.StringIO()
+        setup_logging(stream=stream)
+        log = get_logger("t")
+        log.info("quiet")
+        log.warning("loud")
+        out = stream.getvalue()
+        assert "quiet" not in out and "loud" in out
+
+    def test_env_level(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "debug")
+        stream = io.StringIO()
+        setup_logging(stream=stream)
+        get_logger("t").debug("verbose")
+        assert "verbose" in stream.getvalue()
+
+    def test_explicit_level_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "debug")
+        stream = io.StringIO()
+        setup_logging("error", stream=stream)
+        get_logger("t").warning("suppressed")
+        assert stream.getvalue() == ""
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError):
+            setup_logging("loudest")
+
+    def test_idempotent_reconfigure_keeps_one_handler(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG", raising=False)
+        setup_logging("info", stream=io.StringIO())
+        setup_logging("info", stream=io.StringIO())
+        ours = [
+            h
+            for h in logging.getLogger("repro").handlers
+            if getattr(h, "_repro_obs", False)
+        ]
+        assert len(ours) == 1
+
+    def test_json_mode_via_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "info:json")
+        stream = io.StringIO()
+        setup_logging(stream=stream)
+        get_logger("t").info("hello %s", "world", extra={"graph": "rmat"})
+        doc = json.loads(stream.getvalue())
+        assert doc["message"] == "hello world"
+        assert doc["level"] == "info"
+        assert doc["logger"] == "repro.t"
+        assert doc["graph"] == "rmat"
+
+
+class TestJsonFormatter:
+    def test_exception_is_included(self):
+        fmt = JsonFormatter()
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            import sys
+
+            record = logging.LogRecord(
+                "repro.t", logging.ERROR, __file__, 1, "failed", (), sys.exc_info()
+            )
+        doc = json.loads(fmt.format(record))
+        assert "RuntimeError: boom" in doc["exc_info"]

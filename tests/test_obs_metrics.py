@@ -1,0 +1,114 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_inc(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_histogram_binning(self):
+        h = Histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 100.0):
+            h.observe(v)
+        # counts: <=0.1, <=1.0, <=10.0, overflow
+        assert h.counts == [1, 2, 1, 1]
+        assert h.count == 5
+        assert h.total == pytest.approx(106.05)  # sum of observations
+        assert h.mean == pytest.approx(h.total / 5)
+
+    def test_histogram_requires_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("empty", buckets=())
+
+
+class TestRegistry:
+    def test_instruments_are_memoized(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.gauge("g") is r.gauge("g")
+        assert r.histogram("h") is r.histogram("h")
+
+    def test_snapshot_is_json_serializable(self):
+        r = MetricsRegistry()
+        r.counter("c").inc(3)
+        r.gauge("g").set(1.5)
+        r.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = r.snapshot()
+        parsed = json.loads(json.dumps(snap))
+        assert parsed["counters"]["c"] == 3
+        assert parsed["gauges"]["g"] == 1.5
+        assert parsed["histograms"]["h"]["counts"] == [1, 0]
+
+    def test_snapshot_is_a_copy(self):
+        r = MetricsRegistry()
+        r.counter("c").inc()
+        snap = r.snapshot()
+        r.counter("c").inc()
+        assert snap["counters"]["c"] == 1
+
+    def test_reset(self):
+        r = MetricsRegistry()
+        r.counter("c").inc()
+        r.reset()
+        assert r.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestMerge:
+    """The worker -> parent aggregation path."""
+
+    def test_counters_add_gauges_take_latest(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.counter("parallel.retries").inc(1)
+        worker.counter("parallel.retries").inc(2)
+        worker.counter("harness.exact_cache.miss").inc(5)
+        worker.gauge("depth").set(7)
+        parent.merge_snapshot(worker.snapshot())
+        snap = parent.snapshot()
+        assert snap["counters"]["parallel.retries"] == 3
+        assert snap["counters"]["harness.exact_cache.miss"] == 5
+        assert snap["gauges"]["depth"] == 7
+
+    def test_histograms_add_per_bucket(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        worker.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        worker.histogram("h", buckets=(1.0, 2.0)).observe(99.0)
+        parent.merge_snapshot(worker.snapshot())
+        h = parent.snapshot()["histograms"]["h"]
+        assert h["counts"] == [1, 1, 1]
+        assert h["count"] == 3
+
+    def test_mismatched_histogram_buckets_refuse(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.histogram("h", buckets=(1.0,)).observe(0.5)
+        worker.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        with pytest.raises(ValueError):
+            parent.merge_snapshot(worker.snapshot())
+
+    def test_merge_survives_json_round_trip(self):
+        # exactly what the scheduler pipe does to the snapshot
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        worker.counter("solve.sweeps").inc(11)
+        worker.histogram("h").observe(0.2)
+        parent.merge_snapshot(json.loads(json.dumps(worker.snapshot())))
+        assert parent.snapshot()["counters"]["solve.sweeps"] == 11
+
+    def test_merge_empty_snapshot_is_noop(self):
+        r = MetricsRegistry()
+        r.counter("c").inc()
+        r.merge_snapshot({})
+        assert r.snapshot()["counters"] == {"c": 1}

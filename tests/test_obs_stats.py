@@ -1,0 +1,143 @@
+"""Unit tests for the trace report (repro.obs.stats)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.stats import category_split, format_stats, load_trace, main, span_stats
+from repro.obs.trace import Span, Tracer
+
+
+def _spans():
+    """A tiny hand-built trace with known numbers.
+
+    outer (transform, 1.0s)
+      └─ inner (solve, 0.6s)           -> outer self = 0.4
+    loner (io, 0.2s)
+    """
+    return [
+        Span(name="transform.build_plan", span_id=1, parent_id=None,
+             start=0.0, duration=1.0),
+        Span(name="solve.sweep", span_id=2, parent_id=1,
+             start=0.1, duration=0.6, attributes={"cycles": 9}),
+        Span(name="io.generate", span_id=3, parent_id=None,
+             start=2.0, duration=0.2),
+    ]
+
+
+class TestSpanStats:
+    def test_self_time_excludes_children(self):
+        rows = {r["name"]: r for r in span_stats(_spans())}
+        assert rows["transform.build_plan"]["total"] == pytest.approx(1.0)
+        assert rows["transform.build_plan"]["self"] == pytest.approx(0.4)
+        assert rows["solve.sweep"]["self"] == pytest.approx(0.6)
+        assert rows["io.generate"]["self"] == pytest.approx(0.2)
+
+    def test_sorted_by_cumulative_time(self):
+        names = [r["name"] for r in span_stats(_spans())]
+        assert names == ["transform.build_plan", "solve.sweep", "io.generate"]
+
+    def test_counts_aggregate_by_name(self):
+        spans = _spans() + [
+            Span(name="solve.sweep", span_id=4, parent_id=None,
+                 start=3.0, duration=0.1)
+        ]
+        rows = {r["name"]: r for r in span_stats(spans)}
+        assert rows["solve.sweep"]["count"] == 2
+        assert rows["solve.sweep"]["total"] == pytest.approx(0.7)
+
+
+class TestCategorySplit:
+    def test_split_uses_self_time(self):
+        split = category_split(_spans())
+        assert split["transform"] == pytest.approx(0.4)
+        assert split["solve"] == pytest.approx(0.6)
+        assert split["io"] == pytest.approx(0.2)
+        assert split["other"] == 0.0
+
+    def test_split_sums_to_total_traced_time(self):
+        split = category_split(_spans())
+        # 0.4 + 0.6 + 0.2 == wall time actually traced, no double count
+        assert sum(split.values()) == pytest.approx(1.2)
+
+    def test_unknown_prefix_lands_in_other(self):
+        spans = [Span(name="mystery.thing", span_id=1, parent_id=None,
+                      start=0.0, duration=0.5)]
+        assert category_split(spans)["other"] == pytest.approx(0.5)
+
+
+class TestLoadTrace:
+    def _tracer(self):
+        t = Tracer()
+        with t.span("harness.run"):
+            with t.span("solve.sweep", cycles=3):
+                pass
+        return t
+
+    def test_jsonl_round_trip_preserves_nesting(self, tmp_path):
+        t = self._tracer()
+        spans = load_trace(t.export_jsonl(tmp_path / "t.jsonl"))
+        by_name = {sp.name: sp for sp in spans}
+        assert by_name["solve.sweep"].parent_id == by_name["harness.run"].span_id
+        assert by_name["solve.sweep"].attributes == {"cycles": 3}
+
+    def test_chrome_nesting_reconstructed_from_containment(self, tmp_path):
+        t = self._tracer()
+        spans = load_trace(t.export_chrome(tmp_path / "t.json"))
+        by_name = {sp.name: sp for sp in spans}
+        assert by_name["solve.sweep"].parent_id == by_name["harness.run"].span_id
+
+    def test_both_formats_agree_on_the_split(self, tmp_path):
+        t = self._tracer()
+        a = category_split(load_trace(t.export_jsonl(tmp_path / "t.jsonl")))
+        b = category_split(load_trace(t.export_chrome(tmp_path / "t.json")))
+        for cat in a:
+            assert a[cat] == pytest.approx(b[cat], abs=1e-5)
+
+    def test_bare_event_array_is_accepted(self, tmp_path):
+        events = [{"name": "io.load", "ph": "X", "ts": 0, "dur": 1000,
+                   "pid": 1, "tid": "0", "args": {}}]
+        path = tmp_path / "array.json"
+        path.write_text(json.dumps(events))
+        spans = load_trace(path)
+        assert [sp.name for sp in spans] == ["io.load"]
+        assert spans[0].duration == pytest.approx(0.001)
+
+    def test_non_complete_events_skipped(self, tmp_path):
+        events = [
+            {"name": "meta", "ph": "M", "ts": 0},
+            {"name": "io.load", "ph": "X", "ts": 0, "dur": 5, "tid": "0"},
+        ]
+        path = tmp_path / "mixed.json"
+        path.write_text(json.dumps({"traceEvents": events}))
+        assert [sp.name for sp in load_trace(path)] == ["io.load"]
+
+
+class TestFormatStats:
+    def test_report_contains_spans_and_split(self):
+        text = format_stats(_spans(), title="unit trace")
+        assert "unit trace" in text
+        assert "transform.build_plan" in text
+        assert "time split" in text
+        for cat in ("transform", "solve", "io"):
+            assert cat in text
+
+    def test_top_truncation_is_announced(self):
+        text = format_stats(_spans(), top=1)
+        assert "2 more span names" in text
+
+    def test_empty_trace(self):
+        assert "(empty trace)" in format_stats([])
+
+
+class TestCli:
+    def test_main_prints_report(self, tmp_path, capsys):
+        t = Tracer()
+        with t.span("io.load"):
+            pass
+        path = t.export_jsonl(tmp_path / "t.jsonl")
+        assert main([str(path), "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "io.load" in out and "time split" in out

@@ -1,0 +1,158 @@
+"""Unit tests for the span tracer (repro.obs.trace)."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import trace as obs_trace
+from repro.obs.trace import Span, Tracer
+
+
+@pytest.fixture(autouse=True)
+def _no_global_tracer():
+    """Tests install/uninstall explicitly; never leak an active tracer."""
+    obs_trace.uninstall_tracer()
+    yield
+    obs_trace.uninstall_tracer()
+
+
+class TestTracer:
+    def test_span_records_duration_and_attributes(self):
+        t = Tracer()
+        with t.span("solve.sweep", cycles=42) as sp:
+            time.sleep(0.002)
+            sp.set(extra="yes")
+        assert len(t.spans) == 1
+        rec = t.spans[0]
+        assert rec.name == "solve.sweep"
+        assert rec.duration >= 0.002
+        assert rec.attributes == {"cycles": 42, "extra": "yes"}
+        assert rec.parent_id is None
+
+    def test_nesting_sets_parent(self):
+        t = Tracer()
+        with t.span("outer") as outer:
+            with t.span("inner") as inner:
+                assert t.current_span() is inner
+            assert t.current_span() is outer
+        by_name = {sp.name: sp for sp in t.spans}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["outer"].parent_id is None
+
+    def test_span_committed_even_when_body_raises(self):
+        t = Tracer()
+        with pytest.raises(ValueError):
+            with t.span("doomed"):
+                raise ValueError("boom")
+        assert [sp.name for sp in t.spans] == ["doomed"]
+        assert t.current_span() is None  # stack unwound
+
+    def test_max_spans_cap_counts_drops(self):
+        t = Tracer(max_spans=2)
+        for i in range(5):
+            with t.span(f"s{i}"):
+                pass
+        assert len(t.spans) == 2
+        assert t.dropped == 3
+
+    def test_record_external_region(self):
+        t = Tracer()
+        start = time.perf_counter()
+        t.record("parallel.task", start, 1.5, graph="rmat")
+        assert t.spans[0].duration == 1.5
+        assert t.spans[0].attributes["graph"] == "rmat"
+
+    def test_threads_nest_independently(self):
+        t = Tracer()
+        errors = []
+
+        def worker():
+            try:
+                with t.span("thread.outer"):
+                    with t.span("thread.inner"):
+                        time.sleep(0.001)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        with t.span("main.outer"):
+            th = threading.Thread(target=worker)
+            th.start()
+            th.join()
+        assert not errors
+        by_name = {sp.name: sp for sp in t.spans}
+        # the thread's outer span must NOT be parented under main.outer
+        assert by_name["thread.outer"].parent_id is None
+        assert by_name["thread.inner"].parent_id == by_name["thread.outer"].span_id
+
+
+class TestModuleApi:
+    def test_span_noop_without_tracer(self):
+        with obs_trace.span("anything", a=1) as sp:
+            assert sp is None
+        obs_trace.add_attributes(b=2)  # must not raise
+        obs_trace.record_span("x", time.perf_counter())  # must not raise
+
+    def test_install_routes_spans(self):
+        t = obs_trace.install_tracer()
+        assert obs_trace.get_tracer() is t
+        with obs_trace.span("harness.run") as sp:
+            assert sp is not None
+            obs_trace.add_attributes(speedup=2.0)
+        assert t.spans[0].attributes["speedup"] == 2.0
+        assert obs_trace.uninstall_tracer() is t
+        assert obs_trace.get_tracer() is None
+
+    def test_traced_decorator(self):
+        t = obs_trace.install_tracer()
+
+        @obs_trace.traced("io.custom", tag="x")
+        def loader(v):
+            return v * 2
+
+        assert loader(21) == 42
+        assert t.spans[0].name == "io.custom"
+        assert t.spans[0].attributes == {"tag": "x"}
+
+
+class TestExport:
+    def _sample(self):
+        t = Tracer()
+        with t.span("io.load", path="g.txt"):
+            with t.span("transform.renumber"):
+                time.sleep(0.001)
+        return t
+
+    def test_jsonl_round_trip(self, tmp_path):
+        t = self._sample()
+        path = t.export_jsonl(tmp_path / "trace.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        loaded = [Span.from_dict(json.loads(ln)) for ln in lines]
+        assert {sp.name for sp in loaded} == {"io.load", "transform.renumber"}
+        parents = {sp.name: sp.parent_id for sp in loaded}
+        ids = {sp.name: sp.span_id for sp in loaded}
+        assert parents["transform.renumber"] == ids["io.load"]
+
+    def test_chrome_export_is_loadable_trace_event_json(self, tmp_path):
+        t = self._sample()
+        path = t.export_chrome(tmp_path / "trace.json")
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert len(events) == 2
+        for ev in events:
+            assert ev["ph"] == "X"
+            assert set(ev) >= {"name", "cat", "ts", "dur", "pid", "tid", "args"}
+            assert ev["ts"] >= 0 and ev["dur"] >= 0
+        cats = {ev["cat"] for ev in events}
+        assert cats == {"io", "transform"}
+        # args carry the span attributes
+        by_name = {ev["name"]: ev for ev in events}
+        assert by_name["io.load"]["args"] == {"path": "g.txt"}
+
+    def test_chrome_export_empty_tracer(self, tmp_path):
+        doc = json.loads(Tracer().export_chrome(tmp_path / "t.json").read_text())
+        assert doc["traceEvents"] == []

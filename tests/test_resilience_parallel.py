@@ -93,7 +93,7 @@ class TestJournalIntegration:
         path = tmp_path / "journal.jsonl"
         j = RunJournal(path, meta={"scale": "tiny", "seed": 7})
         first = _sweep(journal=j, seed=7)
-        assert len(j) == 5
+        assert len(j) == 10  # 5 cell records + 5 per-cell metrics snapshots
 
         # resumed sweep: arm a fault that would fail every worker — if any
         # cell actually re-ran, the sweep would come back failed
@@ -137,4 +137,4 @@ class TestJournalIntegration:
         _sweep(journal=j, seed=7, max_retries=0)
         key = cell_key("divergence", "baseline1", "sssp", "rmat", "tiny", 7, 2)
         assert j.get("cell", key) is None  # resume must retry it
-        assert len(j) == 4
+        assert len(j) == 8  # 4 surviving cells, each with a metrics record

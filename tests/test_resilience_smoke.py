@@ -46,18 +46,20 @@ class TestSmokeWithInjectedFailure:
             main(["table6", "--scale", "tiny", "--output-dir", str(tmp_path)])
             == 0
         )
-        out = capsys.readouterr().out
-        assert "Table 6" in out
-        assert "degraded" in out
-        assert "failure summary" in out
+        captured = capsys.readouterr()
+        assert "Table 6" in captured.out
+        assert "degraded" in captured.out
+        # the failure summary is logged (stderr), keeping stdout table-clean
+        assert "failure summary" in captured.err
         assert (tmp_path / "table6.txt").exists()
         assert (tmp_path / "journal.jsonl").exists()
         assert (tmp_path / "failures.txt").exists()
         assert "degraded" in (tmp_path / "failures.txt").read_text()
 
-    def test_clean_run_reports_clean_summary(self, capsys):
+    def test_clean_run_reports_clean_summary(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "info")
         assert main(["table1", "--scale", "tiny"]) == 0
-        assert "cleanly" in capsys.readouterr().out
+        assert "cleanly" in capsys.readouterr().err
 
     def test_resume_requires_output_dir(self, capsys):
         with pytest.raises(SystemExit):
