@@ -10,6 +10,7 @@ Tinge of GPU-Specific Approximations"* (ICPP 2020) in pure Python:
 * :mod:`repro.baselines`  — LonestarGPU- / Tigr- / Gunrock-style kernels
 * :mod:`repro.eval`    — inaccuracy metrics, harness, Tables 1-14, Figs 7-9
 * :mod:`repro.resilience` — checkpoint journal, worker retry, fault injection
+* :mod:`repro.cache`   — content-addressed transform/analytics artifact cache
 
 Quickstart::
 
@@ -23,9 +24,10 @@ Quickstart::
           ev.attribute_inaccuracy(exact.values, approx.values))
 """
 
-from . import algorithms, baselines, core, eval, graphs, gpusim, resilience
+from . import algorithms, baselines, cache, core, eval, graphs, gpusim, resilience
 from .errors import (
     AlgorithmError,
+    CacheError,
     DegradedResult,
     FaultInjected,
     GraphFormatError,
@@ -41,6 +43,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AlgorithmError",
+    "CacheError",
     "DegradedResult",
     "FaultInjected",
     "GraphFormatError",
@@ -52,6 +55,7 @@ __all__ = [
     "WorkerTimeout",
     "algorithms",
     "baselines",
+    "cache",
     "core",
     "eval",
     "graphs",

@@ -4,7 +4,9 @@ Subcommands:
 
 * (default) — the evaluation suite (``python -m repro table6 ...``);
 * ``stats <trace>`` — profile-style breakdown of a ``--trace-out`` trace
-  (see :mod:`repro.obs.stats`).
+  (see :mod:`repro.obs.stats`);
+* ``cache {stats,ls,clear}`` — inspect or clear the on-disk artifact
+  cache (see :mod:`repro.cache.cli` and ``docs/caching.md``).
 """
 
 import sys
@@ -16,6 +18,10 @@ def main(argv=None):
         from .obs.stats import main as stats_main
 
         return stats_main(argv[1:])
+    if argv and argv[0] == "cache":
+        from .cache.cli import main as cache_main
+
+        return cache_main(argv[1:])
     from .eval.suite import main as suite_main
 
     return suite_main(argv)

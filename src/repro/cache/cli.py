@@ -1,0 +1,99 @@
+"""``python -m repro cache``: inspect and maintain the on-disk artifact cache.
+
+Subcommands::
+
+    python -m repro cache stats [--cache-dir DIR]
+    python -m repro cache ls    [--cache-dir DIR] [--stage STAGE]
+    python -m repro cache clear [--cache-dir DIR] [--stage STAGE]
+
+``--cache-dir`` defaults to the ``REPRO_CACHE_DIR`` environment
+variable — the same resolution the suite CLI uses — so ``stats`` after a
+sweep needs no arguments.  ``ls`` prints one line per entry (stage, key
+prefix, payload size, graph fingerprint prefix); ``clear`` deletes
+entries and reports how many.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+from ..errors import CacheError
+from .memo import ENV_VAR
+from .store import DiskStore
+
+__all__ = ["main"]
+
+
+def _store_for(args: argparse.Namespace) -> DiskStore:
+    cache_dir = args.cache_dir or os.environ.get(ENV_VAR)
+    if not cache_dir:
+        raise CacheError(
+            "no cache directory: pass --cache-dir or set " + ENV_VAR
+        )
+    return DiskStore(cache_dir)
+
+
+def _human_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f}{unit}" if unit != "B" else f"{int(n)}B"
+        n /= 1024
+    return f"{n:.1f}GiB"  # pragma: no cover - unreachable
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro cache",
+        description="Inspect/maintain the content-addressed artifact cache "
+        "(see docs/caching.md).",
+    )
+    parser.add_argument(
+        "command", choices=("stats", "ls", "clear"), help="what to do"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"cache directory (default: ${ENV_VAR})",
+    )
+    parser.add_argument(
+        "--stage",
+        default=None,
+        help="restrict ls/clear to one stage (e.g. transform.build_plan)",
+    )
+    args = parser.parse_args(argv)
+    store = _store_for(args)
+
+    if args.command == "stats":
+        st = store.stats()
+        print(f"cache {st['root']}")
+        print(
+            f"  {st['entries']} entries, {_human_bytes(st['payload_bytes'])} payload"
+        )
+        for stage, s in sorted(st["stages"].items()):
+            print(
+                f"  {stage:40s} {s['entries']:6d} entries  "
+                f"{_human_bytes(s['payload_bytes'])}"
+            )
+        return 0
+
+    if args.command == "ls":
+        try:
+            for meta in store.entries(args.stage):
+                created = time.strftime(
+                    "%Y-%m-%d %H:%M:%S", time.localtime(meta.get("created", 0))
+                )
+                print(
+                    f"{created}  {meta.get('stage', '?'):40s} "
+                    f"{str(meta.get('key', '?'))[:12]}  "
+                    f"{_human_bytes(int(meta.get('payload_bytes', 0))):>10s}  "
+                    f"graph:{str(meta.get('graph_fingerprint', '?'))[:12]}"
+                )
+        except BrokenPipeError:  # e.g. `... cache ls | head`
+            return 0
+        return 0
+
+    removed = store.clear(args.stage)
+    print(f"removed {removed} entries from {store.root}")
+    return 0

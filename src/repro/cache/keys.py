@@ -1,0 +1,93 @@
+"""Content-addressed cache keys for transform and analytics artifacts.
+
+An artifact is identified by three coordinates:
+
+* the **graph fingerprint** — :meth:`repro.graphs.csr.CSRGraph.fingerprint`,
+  a SHA-1 over the CSR arrays, so any change to the input graph changes
+  the key;
+* the **stage** — a dotted name for what was computed
+  (``transform.build_plan``, ``analytics.clustering_coefficients``, …);
+* the **params fingerprint** — :func:`params_fingerprint` over every
+  input that can change the output: knob dataclasses, the device model,
+  seeds, thresholds.
+
+:func:`params_fingerprint` canonicalizes its argument to a deterministic
+JSON-like form first (dataclasses become ``{"__type__": name, fields…}``,
+numpy arrays become dtype/shape/content-digest triples, dict keys are
+sorted), so two structurally equal parameter sets always hash the same
+and any field change — including nested knob fields — changes the key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+import numpy as np
+
+__all__ = ["artifact_key", "canonical_params", "params_fingerprint"]
+
+
+def canonical_params(obj: Any) -> Any:
+    """A JSON-serializable canonical form of ``obj`` (deterministic)."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr round-trips doubles exactly; avoids JSON float formatting drift
+        return {"__float__": repr(obj)}
+    if isinstance(obj, np.generic):
+        return canonical_params(obj.item())
+    if isinstance(obj, np.ndarray):
+        return {
+            "__ndarray__": hashlib.sha1(
+                np.ascontiguousarray(obj).tobytes()
+            ).hexdigest(),
+            "dtype": str(obj.dtype),
+            "shape": list(obj.shape),
+        }
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__type__": type(obj).__name__,
+            **{
+                f.name: canonical_params(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        }
+    if isinstance(obj, dict):
+        return {
+            "__dict__": sorted(
+                (str(k), canonical_params(v)) for k, v in obj.items()
+            )
+        }
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        items = [canonical_params(v) for v in obj]
+        if isinstance(obj, (set, frozenset)):
+            items = sorted(items, key=lambda v: json.dumps(v, sort_keys=True))
+        return {"__seq__": items}
+    raise TypeError(
+        f"cannot fingerprint a {type(obj).__name__} cache parameter; "
+        "pass primitives, dataclasses, numpy arrays, or containers of them"
+    )
+
+
+def params_fingerprint(params: Any) -> str:
+    """Stable hex digest of an arbitrary parameter structure."""
+    blob = json.dumps(canonical_params(params), sort_keys=True)
+    return hashlib.sha1(blob.encode()).hexdigest()
+
+
+def artifact_key(graph_fingerprint: str, stage: str, params: Any = None) -> str:
+    """The content address of one cached artifact (hex digest).
+
+    Used both as the in-process LRU key and as the on-disk file stem, so
+    the two tiers always agree on identity.
+    """
+    h = hashlib.sha1()
+    h.update(graph_fingerprint.encode())
+    h.update(b"\x00")
+    h.update(stage.encode())
+    h.update(b"\x00")
+    h.update(params_fingerprint(params).encode())
+    return h.hexdigest()

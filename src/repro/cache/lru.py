@@ -1,0 +1,92 @@
+"""A small bounded LRU mapping with optional hit/miss/evict metrics.
+
+This generalizes the ad-hoc exact-run cache that used to live inline in
+:mod:`repro.eval.harness`: a plain :class:`collections.OrderedDict` with
+move-to-end on hit and popitem on overflow, but reusable — the harness
+keeps it for exact baseline results, and the in-process tier of
+:mod:`repro.cache.memo` uses it for transform and analytics artifacts.
+
+With ``metric_prefix`` set, every lookup increments
+``<prefix>.hit`` / ``<prefix>.miss`` and every bound-enforced drop
+increments ``<prefix>.evict`` on the process metrics registry, so cache
+behaviour is visible in ``--metrics-out`` snapshots without the caller
+counting by hand.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Iterator
+
+from ..obs import metrics as obs_metrics
+
+__all__ = ["LRUCache"]
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Bounded least-recently-used key/value cache.
+
+    ``max_entries`` is clamped to at least 1; a lookup refreshes the
+    entry's recency, an insert beyond the bound evicts the stalest entry.
+    Not thread-safe — one instance belongs to one harness/process tier.
+    """
+
+    __slots__ = ("max_entries", "metric_prefix", "_data")
+
+    def __init__(
+        self, max_entries: int = 128, metric_prefix: str | None = None
+    ) -> None:
+        self.max_entries = max(1, int(max_entries))
+        self.metric_prefix = metric_prefix
+        self._data: OrderedDict = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def _count(self, event: str) -> None:
+        if self.metric_prefix is not None:
+            obs_metrics.counter(f"{self.metric_prefix}.{event}").inc()
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """The cached value (refreshing recency), counting hit or miss."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self._count("miss")
+            return default
+        self._count("hit")
+        self._data.move_to_end(key)
+        return value
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Like :meth:`get` but without counters or recency refresh."""
+        return self._data.get(key, default)
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) an entry, evicting beyond the bound."""
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.max_entries:
+            self._data.popitem(last=False)
+            self._count("evict")
+
+    # dict-ish conveniences -------------------------------------------
+    def __setitem__(self, key: Hashable, value: Any) -> None:
+        self.put(key, value)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LRUCache(entries={len(self._data)}, max={self.max_entries}, "
+            f"prefix={self.metric_prefix!r})"
+        )

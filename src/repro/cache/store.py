@@ -1,0 +1,208 @@
+"""On-disk tier of the artifact cache: npz payloads + JSON metadata.
+
+One cached artifact is two files under ``<root>/<stage>/``:
+
+* ``<key>.npz`` — the payload (numpy arrays; for execution plans the
+  :mod:`repro.core.serialize` format), written via a same-directory
+  temporary file and :func:`os.replace`, so readers never observe a
+  half-written payload;
+* ``<key>.json`` — the metadata sidecar: stage, graph/params
+  fingerprints, a human-readable params description, creation time, and
+  the SHA-1 checksum + byte size of the payload.  The sidecar is written
+  *after* the payload and doubles as the commit marker: an entry without
+  a readable sidecar, or whose payload fails the checksum, is treated as
+  a miss (counted on ``cache.disk.corrupt``), deleted best-effort, and
+  recomputed — a truncated or bit-rotted entry can never be trusted into
+  a sweep.
+
+Because keys are content addresses, concurrent writers of the same key
+are writing the same artifact; last-``os.replace`` wins and every reader
+sees either a complete old entry, a complete new entry, or a detectable
+mismatch (which degrades to recompute).  No locks are needed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from ..errors import CacheError
+from ..obs import metrics as obs_metrics
+from ..obs.log import get_logger
+
+__all__ = ["DiskStore", "MISS"]
+
+logger = get_logger("cache.store")
+
+#: sentinel returned by :meth:`DiskStore.get` when the entry is absent or bad
+MISS = object()
+
+_META_SUFFIX = ".json"
+_PAYLOAD_SUFFIX = ".npz"
+
+
+def _sha1_file(path: Path) -> str:
+    h = hashlib.sha1()
+    with path.open("rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def _atomic_replace(tmp: Path, final: Path) -> None:
+    with tmp.open("rb+") as fh:
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, final)
+
+
+class DiskStore:
+    """Content-addressed artifact store rooted at one directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        if self.root.exists() and not self.root.is_dir():
+            raise CacheError(f"cache dir {self.root} exists and is not a directory")
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def _paths(self, stage: str, key: str) -> tuple[Path, Path]:
+        d = self.root / stage
+        return d / f"{key}{_PAYLOAD_SUFFIX}", d / f"{key}{_META_SUFFIX}"
+
+    def _discard(self, stage: str, key: str) -> None:
+        for path in self._paths(stage, key):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    def get(
+        self, stage: str, key: str, loader: Callable[[Path, dict], Any]
+    ) -> Any:
+        """Load one artifact, or :data:`MISS`.
+
+        ``loader(payload_path, meta)`` decodes the verified payload; a
+        loader exception is treated like corruption (count, discard,
+        miss) — a cache can make a sweep faster, never make it fail.
+        """
+        payload, meta_path = self._paths(stage, key)
+        if not meta_path.exists() or not payload.exists():
+            return MISS
+        try:
+            meta = json.loads(meta_path.read_text())
+            checksum = meta["checksum"]
+            if _sha1_file(payload) != checksum:
+                raise CacheError("payload checksum mismatch")
+            return loader(payload, meta)
+        except Exception as exc:
+            obs_metrics.counter("cache.disk.corrupt").inc()
+            logger.warning(
+                "discarding corrupt cache entry %s/%s: %s", stage, key, exc
+            )
+            self._discard(stage, key)
+            return MISS
+
+    def put(
+        self,
+        stage: str,
+        key: str,
+        meta: Mapping[str, Any],
+        saver: Callable[[Path], None],
+    ) -> None:
+        """Persist one artifact atomically.
+
+        ``saver(path)`` must write the complete payload to ``path``.
+        A failed store is logged and swallowed — same rationale as
+        corrupt reads.
+        """
+        payload, meta_path = self._paths(stage, key)
+        payload.parent.mkdir(parents=True, exist_ok=True)
+        tmp_payload = payload.with_name(f"{payload.name}.tmp{os.getpid()}")
+        tmp_meta = meta_path.with_name(f"{meta_path.name}.tmp{os.getpid()}")
+        try:
+            saver(tmp_payload)
+            full_meta = dict(meta)
+            full_meta.update(
+                stage=stage,
+                key=key,
+                checksum=_sha1_file(tmp_payload),
+                payload_bytes=tmp_payload.stat().st_size,
+                created=time.time(),
+            )
+            tmp_meta.write_text(json.dumps(full_meta, sort_keys=True) + "\n")
+            _atomic_replace(tmp_payload, payload)
+            _atomic_replace(tmp_meta, meta_path)
+            obs_metrics.counter("cache.disk.store").inc()
+        except Exception as exc:
+            logger.warning("failed to store cache entry %s/%s: %s", stage, key, exc)
+            for tmp in (tmp_payload, tmp_meta):
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+
+    # ------------------------------------------------------------------
+    # inspection / maintenance (the `python -m repro cache` surface)
+    # ------------------------------------------------------------------
+    def entries(self, stage: str | None = None) -> list[dict]:
+        """Metadata of every (readable) entry, newest first."""
+        out: list[dict] = []
+        stages = [self.root / stage] if stage else sorted(self.root.iterdir())
+        for stage_dir in stages:
+            if not stage_dir.is_dir():
+                continue
+            for meta_path in sorted(stage_dir.glob(f"*{_META_SUFFIX}")):
+                try:
+                    meta = json.loads(meta_path.read_text())
+                except (OSError, json.JSONDecodeError):
+                    continue
+                meta.setdefault("stage", stage_dir.name)
+                out.append(meta)
+        out.sort(key=lambda m: m.get("created", 0.0), reverse=True)
+        return out
+
+    def stats(self) -> dict:
+        """Aggregate entry counts and payload bytes, per stage and total."""
+        per_stage: dict[str, dict] = {}
+        for meta in self.entries():
+            st = per_stage.setdefault(
+                meta.get("stage", "?"), {"entries": 0, "payload_bytes": 0}
+            )
+            st["entries"] += 1
+            st["payload_bytes"] += int(meta.get("payload_bytes", 0))
+        return {
+            "root": str(self.root),
+            "entries": sum(s["entries"] for s in per_stage.values()),
+            "payload_bytes": sum(s["payload_bytes"] for s in per_stage.values()),
+            "stages": per_stage,
+        }
+
+    def clear(self, stage: str | None = None) -> int:
+        """Delete entries (optionally only one stage); returns count removed."""
+        removed = 0
+        stages = [self.root / stage] if stage else list(self.root.iterdir())
+        for stage_dir in stages:
+            if not stage_dir.is_dir():
+                continue
+            for path in list(stage_dir.iterdir()):
+                if path.suffix in (_PAYLOAD_SUFFIX, _META_SUFFIX) or ".tmp" in path.name:
+                    if path.suffix == _META_SUFFIX:
+                        removed += 1
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+            try:
+                stage_dir.rmdir()
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DiskStore({str(self.root)!r})"

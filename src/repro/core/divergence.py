@@ -25,6 +25,7 @@ import numpy as np
 
 from ..errors import TransformError
 from ..graphs.csr import CSRGraph
+from ..graphs.properties import ragged_arange
 from ..gpusim.device import DeviceConfig, K40C
 from .knobs import DivergenceKnobs
 
@@ -131,42 +132,46 @@ def normalize_degrees(
         direct = indices[offsets[v] : offsets[v + 1]].astype(np.int64)
         if direct.size == 0:
             continue
-        if weighted:
-            direct_w = graph.weights[offsets[v] : offsets[v + 1]]
-        # gather 2-hop candidates in adjacency order
-        cand: list[int] = []
-        cand_w: list[float] = []
-        seen = set(direct.tolist())
-        seen.add(v)
-        for i, mid in enumerate(direct.tolist()):
-            nbrs2 = indices[offsets[mid] : offsets[mid + 1]].astype(np.int64)
-            if weighted:
-                w2 = graph.weights[offsets[mid] : offsets[mid + 1]]
-            for idx2, q in enumerate(nbrs2.tolist()):
-                if q in seen:
-                    continue
-                seen.add(q)
-                cand.append(q)
-                if weighted:
-                    cand_w.append(float(direct_w[i]) + float(w2[idx2]))
-                if len(cand) >= need:
-                    break
-            if len(cand) >= need:
-                break
-        if not cand:
+        # gather 2-hop candidates in adjacency order: expand every direct
+        # neighbour's adjacency list, vectorized (the per-element Python
+        # scan here used to be quadratic in the warp-max degree)
+        mid_degs = (offsets[direct + 1] - offsets[direct]).astype(np.int64)
+        if int(mid_degs.sum()) == 0:
             continue
-        new_src.append(np.full(len(cand), v, dtype=np.int64))
-        new_dst.append(np.asarray(cand, dtype=np.int64))
+        flat_pos = np.repeat(offsets[direct], mid_degs) + ragged_arange(mid_degs)
+        flat = indices[flat_pos].astype(np.int64)
+        # padding may only *add* information: never duplicate an existing
+        # edge of v, never target v itself
+        ok = (flat != v) & ~np.isin(flat, direct)
+        flat_pos, flat = flat_pos[ok], flat[ok]
+        if flat.size == 0:
+            continue
+        # first occurrence of each candidate, in appearance order —
+        # identical to the old sequential scan's dedup semantics
+        _, first = np.unique(flat, return_index=True)
+        take = np.sort(first)[:need]
+        cand = flat[take]
+        new_src.append(np.full(cand.size, v, dtype=np.int64))
+        new_dst.append(cand)
         if weighted:
-            new_w.append(np.asarray(cand_w, dtype=np.float64))
-        edges_added += len(cand)
+            hop_w = (
+                np.repeat(graph.weights[offsets[v] : offsets[v + 1]], mid_degs)[ok]
+                + graph.weights[flat_pos]
+            )
+            new_w.append(hop_w[take].astype(np.float64))
+        edges_added += int(cand.size)
         padded.append(v)
 
     if new_src:
         src = np.concatenate([graph.edge_sources().astype(np.int64)] + new_src)
         dst = np.concatenate([graph.indices.astype(np.int64)] + new_dst)
         w = np.concatenate([graph.weights] + new_w) if weighted else None
-        out_graph = CSRGraph.from_edges(n, src, dst, w, dedup=True)
+        # NOT dedup=True: the padding edges are already unique and disjoint
+        # from v's existing edges, while a global dedup would silently drop
+        # pre-existing parallel edges of the *original* graph — making the
+        # approximate graph differ from the exact one by more than the
+        # padding and falsifying edges_added
+        out_graph = CSRGraph.from_edges(n, src, dst, w)
     else:
         out_graph = graph
 

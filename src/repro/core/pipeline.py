@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..cache import memoize
 from ..errors import TransformError
 from ..graphs.csr import CSRGraph
 from ..gpusim.device import DeviceConfig, K40C
@@ -96,11 +97,69 @@ def build_plan(
     divergence padding, then the shared-memory plan, then the coalescing
     transform — each on the previous one's output graph, mirroring the
     paper's remark that the techniques complement each other.
+
+    With :mod:`repro.cache` enabled, the finished plan is memoized on
+    ``(graph fingerprint, technique, knobs, device, confluence
+    operator)``: a transformed plan is identical across all five
+    algorithms and across repeated sweeps, so only the first request per
+    knob setting pays the transform.  The on-disk tier round-trips
+    through :mod:`repro.core.serialize` (whose tests certify loaded
+    plans execute identically).
     """
     if technique not in TECHNIQUES:
         raise TransformError(
             f"unknown technique {technique!r}; choose from {TECHNIQUES}"
         )
+    params = {
+        "technique": technique,
+        "device": device,
+        # normalize None to the defaults the stages would apply, so an
+        # explicit default knob object and "no knobs" share one key
+        "coalescing": coalescing or CoalescingKnobs(),
+        "shmem": shmem or SharedMemoryKnobs(),
+        "divergence": divergence or DivergenceKnobs(),
+        "confluence_operator": confluence_operator,
+    }
+    return memoize(
+        "transform.build_plan",
+        graph,
+        params,
+        lambda: _build_plan_traced(
+            graph,
+            technique,
+            device=device,
+            coalescing=coalescing,
+            shmem=shmem,
+            divergence=divergence,
+            confluence_operator=confluence_operator,
+        ),
+        save=_save_plan_payload,
+        load=_load_plan_payload,
+    )
+
+
+def _save_plan_payload(plan: ExecutionPlan, path) -> None:
+    from .serialize import save_plan  # local import: serialize imports us
+
+    save_plan(plan, path)
+
+
+def _load_plan_payload(path, _meta: dict) -> ExecutionPlan:
+    from .serialize import load_plan  # local import: serialize imports us
+
+    return load_plan(path)
+
+
+def _build_plan_traced(
+    graph: CSRGraph,
+    technique: str,
+    *,
+    device: DeviceConfig,
+    coalescing: CoalescingKnobs | None,
+    shmem: SharedMemoryKnobs | None,
+    divergence: DivergenceKnobs | None,
+    confluence_operator: str,
+) -> ExecutionPlan:
     fault_point("transform", technique)
     obs_metrics.counter(f"transform.plans.{technique}").inc()
     with obs_trace.span(

@@ -72,6 +72,16 @@ class DegradedResult(ResilienceError):
     """
 
 
+class CacheError(ReproError):
+    """Raised when the artifact cache (:mod:`repro.cache`) is misused.
+
+    Examples: configuring a disk tier on a path that exists but is not a
+    directory, or a CLI invocation with no cache directory configured.
+    Corrupted cache *entries* never raise — they are detected, counted on
+    ``cache.disk.corrupt``, discarded, and recomputed.
+    """
+
+
 class FaultInjected(ResilienceError):
     """Raised by :mod:`repro.resilience.faults` at an armed fault point.
 

@@ -15,13 +15,14 @@ table sweep does not recompute its baseline column for every technique.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..algorithms.bc import pick_sources
 from ..baselines import BASELINES
+from ..cache.keys import params_fingerprint
+from ..cache.lru import LRUCache
 from ..core.knobs import CoalescingKnobs, DivergenceKnobs, SharedMemoryKnobs
 from ..core.pipeline import ExecutionPlan, build_plan
 from ..errors import AlgorithmError, DegradedResult, ReproError, TransformError
@@ -81,7 +82,13 @@ class Harness:
     num_bc_sources: int = 4
     seed: int = 0
     exact_cache_size: int = 64
-    _exact_cache: OrderedDict = field(default_factory=OrderedDict, repr=False)
+    _exact_cache: LRUCache = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self._exact_cache is None:
+            self._exact_cache = LRUCache(
+                self.exact_cache_size, metric_prefix="harness.exact_cache"
+            )
 
     # ------------------------------------------------------------------
     def _source_for(self, graph: CSRGraph) -> int:
@@ -105,20 +112,35 @@ class Harness:
             "device": self.device,
         }
 
+    def _exact_key(
+        self, graph: CSRGraph, algorithm: str, baseline: str
+    ) -> tuple:
+        """Cache identity of one exact baseline run.
+
+        Includes every :meth:`_baseline_params` input — resolved source,
+        BC sources, seed, and the device model — so mutating a harness
+        field between runs can never silently return a stale exact
+        result computed under the old parameters.
+        """
+        return (
+            graph.fingerprint(),
+            algorithm,
+            baseline,
+            params_fingerprint(self._baseline_params(graph)),
+        )
+
     def exact_run(self, graph: CSRGraph, algorithm: str, baseline: str):
         """Memoized exact baseline execution.
 
         Keyed on the graph's content fingerprint, not ``id(graph)`` — an
         id can be reused after GC, which would silently return a stale
-        exact result for a different graph.
+        exact result for a different graph — plus the baseline params
+        (see :meth:`_exact_key`).
         """
-        key = (graph.fingerprint(), algorithm, baseline)
+        key = self._exact_key(graph, algorithm, baseline)
         cached = self._exact_cache.get(key)
         if cached is not None:
-            obs_metrics.counter("harness.exact_cache.hit").inc()
-            self._exact_cache.move_to_end(key)
             return cached
-        obs_metrics.counter("harness.exact_cache.miss").inc()
         module = BASELINES[baseline]
         if algorithm not in module.SUPPORTED:
             raise AlgorithmError(
@@ -135,10 +157,7 @@ class Harness:
             sp.set(
                 sim_cycles=result.metrics.cycles, iterations=result.iterations
             )
-        self._exact_cache[key] = result
-        while len(self._exact_cache) > max(1, self.exact_cache_size):
-            self._exact_cache.popitem(last=False)
-            obs_metrics.counter("harness.exact_cache.evict").inc()
+        self._exact_cache.put(key, result)
         return result
 
     def degraded_result(

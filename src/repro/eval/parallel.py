@@ -59,6 +59,7 @@ def worker_rows(
     num_bc_sources: int,
     attempt: int = 0,
     degrade: bool = True,
+    cache_dir: str | None = None,
 ) -> list[dict]:
     """One worker's share: every requested algorithm for one suite graph.
 
@@ -66,11 +67,18 @@ def worker_rows(
     rebuilds its graph from the generator seed, transforms it once, and
     runs all algorithms against it.  ``attempt`` is embedded in the fault
     key so injection rules can target "first attempt only" deterministically
-    across process boundaries.
+    across process boundaries.  With ``cache_dir``, every worker attaches
+    to the same on-disk artifact store (writes are atomic, so concurrent
+    workers can share it) and skips transforms other workers already paid
+    for.
     """
     fault_point("worker", f"{graph_name}:attempt{attempt}")
     runner = TableRunner(
-        scale=scale, seed=seed, num_bc_sources=num_bc_sources, degrade=degrade
+        scale=scale,
+        seed=seed,
+        num_bc_sources=num_bc_sources,
+        degrade=degrade,
+        cache_dir=cache_dir,
     )
     return [
         runner.cell_row(graph_name, algo, technique, baseline)
@@ -113,6 +121,20 @@ class _Task:
         self.last_error = ""
 
 
+def _cache_provenance(worker_metrics: dict | None) -> dict | None:
+    """The ``cache.*`` counter slice of a worker's metrics snapshot.
+
+    Journaled per cell (kind ``"cache"``) so a resumed run can tell which
+    cells were served from the artifact cache versus computed fresh.
+    Returns ``None`` when the worker ran without any cache activity.
+    """
+    if not worker_metrics:
+        return None
+    counters = worker_metrics.get("counters") or {}
+    prov = {n: v for n, v in counters.items() if n.startswith("cache.")}
+    return prov or None
+
+
 def _failed_row(algo: str, graph: str, error: str) -> dict:
     return {
         "algorithm": algo,
@@ -141,6 +163,7 @@ def parallel_technique_rows(
     journal: RunJournal | None = None,
     failures: list[dict] | None = None,
     degrade: bool = True,
+    cache_dir: str | None = None,
 ) -> list[dict]:
     """The fault-tolerant parallel equivalent of ``TableRunner._technique_rows``.
 
@@ -193,12 +216,15 @@ def parallel_technique_rows(
             # fold the worker's counters into the parent registry so the
             # end-of-run snapshot covers every process
             obs_metrics.merge_snapshot(worker_metrics)
+        cache_prov = _cache_provenance(worker_metrics)
         for row in payload:
             if journal is not None:
                 key = key_of(row["algorithm"], row["graph"])
                 journal.record("cell", key, row)
                 if worker_metrics:
                     journal.record("metrics", key, worker_metrics)
+                if cache_prov is not None:
+                    journal.record("cache", key, cache_prov)
             if row.get("degraded"):
                 note_failure("degraded", row)
             obs_metrics.counter("parallel.cells_completed").inc()
@@ -242,6 +268,7 @@ def parallel_technique_rows(
                             num_bc_sources=num_bc_sources,
                             attempt=task.attempt,
                             degrade=degrade,
+                            cache_dir=cache_dir,
                         ),
                     ),
                     daemon=True,

@@ -33,9 +33,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 from pathlib import Path
 from typing import Callable
 
+from .. import cache as repro_cache
 from ..gpusim.device import K40C
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
@@ -111,6 +113,7 @@ def run_targets(
     max_retries: int = 2,
     worker_timeout: float | None = None,
     failures: list[dict] | None = None,
+    cache_dir: str | None = None,
 ) -> dict[str, str]:
     """Run the named targets; returns ``{name: rendered text}``.
 
@@ -118,6 +121,11 @@ def run_targets(
     ``<output_dir>/journal.jsonl``; ``resume=True`` replays that journal
     (skipping finished cells) instead of starting fresh.  Pass a list as
     ``failures`` to receive one entry per degraded/failed cell.
+
+    ``cache_dir`` enables the content-addressed artifact cache
+    (``docs/caching.md``): transforms and analytics memoize to that
+    directory, so a repeated or resumed sweep skips them entirely, and
+    parallel workers share the store.
     """
     if "all" in names:
         names = list(TARGETS)
@@ -144,6 +152,7 @@ def run_targets(
         max_workers=max_workers,
         max_retries=max_retries,
         worker_timeout=worker_timeout,
+        cache_dir=cache_dir,
     )
     if failures is not None:
         runner.failures = failures
@@ -212,6 +221,14 @@ def main(argv: list[str] | None = None) -> int:
         help="per-worker deadline in seconds (--parallel; default: none)",
     )
     parser.add_argument(
+        "--cache-dir",
+        default=os.environ.get(repro_cache.ENV_VAR),
+        help="enable the content-addressed artifact cache at this "
+        "directory: transforms/analytics are memoized across runs and "
+        "shared by parallel workers (default: $REPRO_CACHE_DIR; "
+        "see docs/caching.md and `python -m repro cache`)",
+    )
+    parser.add_argument(
         "--trace-out",
         default=None,
         help="record spans for the run: Chrome trace_event JSON for a "
@@ -258,6 +275,7 @@ def main(argv: list[str] | None = None) -> int:
             max_retries=args.max_retries,
             worker_timeout=args.worker_timeout,
             failures=failures,
+            cache_dir=args.cache_dir,
         )
     finally:
         if tracer is not None:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import cache as repro_cache
 from ..core.knobs import (
     CoalescingKnobs,
     DivergenceKnobs,
@@ -86,10 +87,15 @@ class TableRunner:
     max_workers: int | None = None
     max_retries: int = 2
     worker_timeout: float | None = None
+    cache_dir: str | None = None
     _plans: dict[tuple[str, str], ExecutionPlan] = field(default_factory=dict)
     _knob_cache: dict[str, dict] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        if self.cache_dir is not None:
+            # share transform/analytics artifacts across runs and workers
+            # (see docs/caching.md); idempotent for a repeated directory
+            repro_cache.configure(cache_dir=self.cache_dir)
         if not self.suite:
             self.suite = paper_suite(self.scale, seed=self.seed)
         if self.harness is None:
@@ -213,6 +219,7 @@ class TableRunner:
                 journal=self.journal,
                 failures=self.failures,
                 degrade=self.degrade,
+                cache_dir=self.cache_dir,
             )
         rows = []
         for algo in algorithms:

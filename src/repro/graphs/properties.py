@@ -9,10 +9,11 @@ for triangle counting, frontier BFS in numpy).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
+from ..cache import memoize_arrays, memoize_json
 from ..errors import AlgorithmError
 from .builder import to_scipy
 from .csr import CSRGraph
@@ -24,6 +25,7 @@ __all__ = [
     "estimate_diameter",
     "degree_histogram",
     "gini_of_degrees",
+    "ragged_arange",
     "GraphStats",
     "graph_stats",
 ]
@@ -35,7 +37,22 @@ def clustering_coefficients(graph: CSRGraph) -> np.ndarray:
     ``cc[v] = triangles(v) / (deg(v) * (deg(v) - 1) / 2)``; nodes of degree
     < 2 get 0.  Triangle counts come from ``diag(A^3) / 2`` on the
     binarized symmetric adjacency matrix.
+
+    Memoized on the graph fingerprint when :mod:`repro.cache` is enabled
+    (§3 keys the shared-memory transform off these coefficients, the knob
+    guidelines reuse them, and they are identical across techniques).
     """
+    return memoize_arrays(
+        "analytics.clustering_coefficients",
+        graph,
+        None,
+        lambda: _clustering_coefficients(graph),
+        pack=lambda cc: {"cc": cc},
+        unpack=lambda data: data["cc"],
+    )
+
+
+def _clustering_coefficients(graph: CSRGraph) -> np.ndarray:
     und = graph.to_undirected()
     a = to_scipy(und)
     a.data[:] = 1.0
@@ -79,7 +96,7 @@ def bfs_levels(graph: CSRGraph, source: int) -> np.ndarray:
     return level
 
 
-def _ragged_arange(counts: np.ndarray) -> np.ndarray:
+def ragged_arange(counts: np.ndarray) -> np.ndarray:
     """Concatenated ``arange(c)`` for each c in counts: [0..c0-1, 0..c1-1, ...]."""
     counts = np.asarray(counts, dtype=np.int64)
     total = int(counts.sum())
@@ -97,6 +114,11 @@ def _ragged_arange(counts: np.ndarray) -> np.ndarray:
     return np.cumsum(out)
 
 
+#: backwards-compatible alias (the helper predates its public use by
+#: :mod:`repro.core.divergence`)
+_ragged_arange = ragged_arange
+
+
 def bfs_forest_levels(graph: CSRGraph) -> tuple[np.ndarray, np.ndarray]:
     """Multi-source BFS forest levels per the Graffix renumbering (§2.2).
 
@@ -105,7 +127,29 @@ def bfs_forest_levels(graph: CSRGraph) -> tuple[np.ndarray, np.ndarray]:
     nodes ("the levels of the visited nodes are updated to a lower value,
     if possible").  Returns ``(levels, roots)`` where ``roots`` lists the
     BFS source nodes in the order used.
+
+    Invariant (relied on by :func:`repro.core.renumber.renumber`, which
+    numbers the level-0 block in decreasing-degree order): ``roots`` is
+    exactly the set of level-0 nodes — every node that starts its own
+    tree, including isolated nodes, appears in ``roots``, and BFS never
+    assigns level 0 to a non-root (frontier expansion writes depths
+    >= 1, and an existing root cannot be lowered below 0).
+
+    Memoized on the graph fingerprint when :mod:`repro.cache` is enabled
+    (the renumbering recomputes the same forest for every technique that
+    includes coalescing).
     """
+    return memoize_arrays(
+        "analytics.bfs_forest_levels",
+        graph,
+        None,
+        lambda: _bfs_forest_levels(graph),
+        pack=lambda lr: {"levels": lr[0], "roots": lr[1]},
+        unpack=lambda data: (data["levels"], data["roots"]),
+    )
+
+
+def _bfs_forest_levels(graph: CSRGraph) -> tuple[np.ndarray, np.ndarray]:
     n = graph.num_nodes
     level = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
     order = np.argsort(-graph.out_degrees(), kind="stable")
@@ -132,7 +176,15 @@ def bfs_forest_levels(graph: CSRGraph) -> tuple[np.ndarray, np.ndarray]:
                 break
             level[nxt] = depth
             frontier = nxt
-    level[level == maxint] = 0  # isolated leftovers become their own roots
+    # Isolated leftovers become their own roots.  The scan above visits
+    # every node, so nothing should be left unassigned — but if a node
+    # ever were, silently giving it level 0 *without* listing it as a
+    # root would break the documented roots == level-0-nodes invariant,
+    # so the leftover handling appends to roots too.
+    leftover = np.nonzero(level == maxint)[0]
+    if leftover.size:  # pragma: no cover - defensive; order covers all nodes
+        level[leftover] = 0
+        roots.extend(int(s) for s in leftover)
     return level, np.asarray(roots, dtype=np.int64)
 
 
@@ -142,7 +194,21 @@ def estimate_diameter(graph: CSRGraph, *, num_probes: int = 4, seed: int = 0) ->
     Used to pick the shared-memory iteration count ``t ~ 2 x diameter`` and
     to report Table-1 style statistics.  Operates on the undirected view so
     weakly-connected graphs still get a finite estimate.
+
+    Memoized on ``(graph, num_probes, seed)`` when :mod:`repro.cache` is
+    enabled — the double-sweep BFS probes dominate ``graph_stats`` time.
     """
+    return memoize_json(
+        "analytics.estimate_diameter",
+        graph,
+        {"num_probes": num_probes, "seed": seed},
+        lambda: _estimate_diameter(graph, num_probes=num_probes, seed=seed),
+        to_jsonable=int,
+        from_jsonable=int,
+    )
+
+
+def _estimate_diameter(graph: CSRGraph, *, num_probes: int, seed: int) -> int:
     und = graph.to_undirected()
     n = und.num_nodes
     if n == 0:
@@ -194,7 +260,22 @@ class GraphStats:
 
 
 def graph_stats(graph: CSRGraph, *, diameter_probes: int = 2) -> GraphStats:
-    """Compute the summary row reported in the Table 1 reproduction."""
+    """Compute the summary row reported in the Table 1 reproduction.
+
+    Memoized on ``(graph, diameter_probes)`` when :mod:`repro.cache` is
+    enabled; the record rides in the metadata sidecar, no array payload.
+    """
+    return memoize_json(
+        "analytics.graph_stats",
+        graph,
+        {"diameter_probes": diameter_probes},
+        lambda: _graph_stats(graph, diameter_probes=diameter_probes),
+        to_jsonable=asdict,
+        from_jsonable=lambda d: GraphStats(**d),
+    )
+
+
+def _graph_stats(graph: CSRGraph, *, diameter_probes: int) -> GraphStats:
     degs = graph.out_degrees()
     cc = clustering_coefficients(graph)
     return GraphStats(

@@ -1,0 +1,426 @@
+"""Unit tests for the content-addressed artifact cache (repro.cache)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.cache as repro_cache
+from repro.cache import (
+    MISS,
+    CacheConfig,
+    DiskStore,
+    LRUCache,
+    artifact_key,
+    canonical_params,
+    enabled,
+    memoize,
+    memoize_arrays,
+    memoize_json,
+    params_fingerprint,
+)
+from repro.cache.cli import main as cache_cli
+from repro.core.knobs import CoalescingKnobs, DivergenceKnobs
+from repro.errors import CacheError
+from repro.obs import metrics as obs_metrics
+
+
+@pytest.fixture(autouse=True)
+def _cache_off(monkeypatch):
+    """Each test starts from the default (disabled) cache state."""
+    monkeypatch.delenv(repro_cache.ENV_VAR, raising=False)
+    repro_cache.disable()
+    obs_metrics.reset()
+    yield
+    repro_cache.disable()
+    obs_metrics.reset()
+
+
+class TestLRUCache:
+    def test_get_put_roundtrip(self):
+        c = LRUCache(4)
+        c.put("a", 1)
+        assert c.get("a") == 1
+        assert c.get("missing", "default") == "default"
+
+    def test_eviction_order_is_lru(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.get("a")  # refresh: "b" is now the stalest
+        c.put("c", 3)
+        assert "a" in c and "c" in c and "b" not in c
+
+    def test_put_refreshes_recency(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.put("a", 10)  # re-insert refreshes
+        c.put("c", 3)
+        assert c.get("a") == 10 and "b" not in c
+
+    def test_bound_clamped_to_one(self):
+        c = LRUCache(0)
+        c.put("a", 1)
+        c.put("b", 2)
+        assert len(c) == 1
+
+    def test_counters(self):
+        c = LRUCache(1, metric_prefix="t.lru")
+        c.get("x")
+        c.put("x", 1)
+        c.get("x")
+        c.put("y", 2)  # evicts x
+        snap = obs_metrics.snapshot()["counters"]
+        assert snap["t.lru.miss"] == 1
+        assert snap["t.lru.hit"] == 1
+        assert snap["t.lru.evict"] == 1
+
+    def test_peek_no_counting_no_refresh(self):
+        c = LRUCache(2, metric_prefix="t.peek")
+        c.put("a", 1)
+        c.put("b", 2)
+        assert c.peek("a") == 1
+        c.put("c", 3)  # "a" was NOT refreshed by peek -> evicted
+        assert "a" not in c
+        assert "t.peek.hit" not in obs_metrics.snapshot()["counters"]
+
+    def test_dict_conveniences(self):
+        c = LRUCache(4)
+        c["k"] = "v"
+        assert list(iter(c)) == ["k"]
+        c.clear()
+        assert len(c) == 0
+
+
+class TestKeys:
+    def test_fingerprint_deterministic_across_dict_order(self):
+        a = {"x": 1, "y": 2.5, "z": [1, 2]}
+        b = {"z": [1, 2], "y": 2.5, "x": 1}
+        assert params_fingerprint(a) == params_fingerprint(b)
+
+    def test_dataclass_field_change_changes_key(self):
+        k1 = DivergenceKnobs()
+        k2 = DivergenceKnobs(degree_sim_threshold=0.123)
+        assert params_fingerprint(k1) != params_fingerprint(k2)
+
+    def test_dataclass_type_disambiguates(self):
+        """Two knob dataclasses with equal field dicts must not collide."""
+        assert params_fingerprint(CoalescingKnobs()) != params_fingerprint(
+            DivergenceKnobs()
+        )
+
+    def test_ndarray_content_hashed(self):
+        a = np.arange(5)
+        assert params_fingerprint(a) == params_fingerprint(np.arange(5))
+        assert params_fingerprint(a) != params_fingerprint(np.arange(6))
+
+    def test_float_repr_roundtrip(self):
+        assert canonical_params(0.1)["__float__"] == repr(0.1)
+
+    def test_sets_are_order_free(self):
+        assert params_fingerprint({3, 1, 2}) == params_fingerprint({2, 3, 1})
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_params(object())
+
+    def test_artifact_key_separates_coordinates(self):
+        base = artifact_key("fp", "stage", {"a": 1})
+        assert artifact_key("fp2", "stage", {"a": 1}) != base
+        assert artifact_key("fp", "stage2", {"a": 1}) != base
+        assert artifact_key("fp", "stage", {"a": 2}) != base
+        assert artifact_key("fp", "stage", {"a": 1}) == base
+
+
+def _arrays_codec():
+    return dict(
+        pack=lambda v: {"v": v},
+        unpack=lambda data: data["v"],
+    )
+
+
+def _save_arr(value, path):
+    with path.open("wb") as fh:
+        np.savez_compressed(fh, v=value)
+
+
+def _load_arr(path, _meta):
+    with np.load(path) as data:
+        return data["v"]
+
+
+class TestDiskStore:
+    def test_roundtrip(self, tmp_path):
+        store = DiskStore(tmp_path / "c")
+        arr = np.arange(10.0)
+        store.put("s", "k", {"note": "x"}, lambda p: _save_arr(arr, p))
+        got = store.get("s", "k", _load_arr)
+        assert np.array_equal(got, arr)
+
+    def test_absent_is_miss(self, tmp_path):
+        store = DiskStore(tmp_path)
+        assert store.get("s", "nope", _load_arr) is MISS
+
+    def test_corrupt_payload_is_miss_and_discarded(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put("s", "k", {}, lambda p: _save_arr(np.arange(4), p))
+        (tmp_path / "s" / "k.npz").write_bytes(b"garbage")
+        assert store.get("s", "k", _load_arr) is MISS
+        assert obs_metrics.snapshot()["counters"]["cache.disk.corrupt"] == 1
+        # the bad entry was deleted, so the next get is a clean miss
+        assert not (tmp_path / "s" / "k.json").exists()
+
+    def test_truncated_sidecar_is_miss(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put("s", "k", {}, lambda p: _save_arr(np.arange(4), p))
+        meta = (tmp_path / "s" / "k.json").read_text()
+        (tmp_path / "s" / "k.json").write_text(meta[: len(meta) // 2])
+        assert store.get("s", "k", _load_arr) is MISS
+
+    def test_loader_exception_degrades_to_miss(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put("s", "k", {}, lambda p: _save_arr(np.arange(4), p))
+
+        def bad_loader(path, meta):
+            raise ValueError("decode failed")
+
+        assert store.get("s", "k", bad_loader) is MISS
+
+    def test_failed_save_is_swallowed(self, tmp_path):
+        store = DiskStore(tmp_path)
+
+        def bad_saver(path):
+            raise OSError("disk full")
+
+        store.put("s", "k", {}, bad_saver)  # must not raise
+        assert store.get("s", "k", _load_arr) is MISS
+        assert list((tmp_path / "s").iterdir()) == []  # no tmp litter
+
+    def test_root_must_be_directory(self, tmp_path):
+        f = tmp_path / "afile"
+        f.write_text("x")
+        with pytest.raises(CacheError):
+            DiskStore(f)
+
+    def test_stats_and_entries(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put("s1", "a", {}, lambda p: _save_arr(np.arange(4), p))
+        store.put("s2", "b", {}, lambda p: _save_arr(np.arange(8), p))
+        st = store.stats()
+        assert st["entries"] == 2
+        assert set(st["stages"]) == {"s1", "s2"}
+        assert st["payload_bytes"] > 0
+        assert len(store.entries("s1")) == 1
+        assert len(store.entries()) == 2
+
+    def test_clear(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put("s1", "a", {}, lambda p: _save_arr(np.arange(4), p))
+        store.put("s2", "b", {}, lambda p: _save_arr(np.arange(4), p))
+        assert store.clear("s1") == 1
+        assert store.clear() == 1
+        assert store.stats()["entries"] == 0
+
+
+class _FakeGraph:
+    """Anything with a fingerprint() works as a memoization subject."""
+
+    def __init__(self, fp: str):
+        self._fp = fp
+
+    def fingerprint(self) -> str:
+        return self._fp
+
+
+class TestMemoize:
+    def test_disabled_cache_always_computes(self):
+        calls = []
+        for _ in range(3):
+            memoize("t.stage", _FakeGraph("f"), None, lambda: calls.append(1))
+        assert len(calls) == 3
+        assert "cache.t.stage.miss" not in obs_metrics.snapshot()["counters"]
+
+    def test_memory_tier_hit(self):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 42
+
+        with enabled():
+            assert memoize("t.stage", _FakeGraph("f"), None, compute) == 42
+            assert memoize("t.stage", _FakeGraph("f"), None, compute) == 42
+        assert len(calls) == 1
+        snap = obs_metrics.snapshot()["counters"]
+        assert snap["cache.t.stage.miss"] == 1
+        assert snap["cache.t.stage.hit"] == 1
+
+    def test_params_partition_the_key(self):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return len(calls)
+
+        with enabled():
+            a = memoize("t.stage", _FakeGraph("f"), {"k": 1}, compute)
+            b = memoize("t.stage", _FakeGraph("f"), {"k": 2}, compute)
+        assert (a, b) == (1, 2)
+
+    def test_disk_tier_survives_process_restart(self, tmp_path):
+        """A fresh config (empty memory tier) against the same directory
+        serves the artifact from disk without recomputing."""
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return np.arange(6.0)
+
+        def run():
+            return memoize_arrays(
+                "t.arr", _FakeGraph("f"), None, compute, **_arrays_codec()
+            )
+
+        with enabled(cache_dir=tmp_path):
+            run()
+        with enabled(cache_dir=tmp_path):  # simulates a new process
+            got = run()
+        assert len(calls) == 1
+        assert np.array_equal(got, np.arange(6.0))
+        snap = obs_metrics.snapshot()["counters"]
+        assert snap["cache.t.arr.store"] == 1
+        assert snap["cache.t.arr.hit"] == 1
+
+    def test_corrupt_disk_entry_recomputed(self, tmp_path):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return np.arange(3.0)
+
+        def run():
+            return memoize_arrays(
+                "t.arr", _FakeGraph("f"), None, compute, **_arrays_codec()
+            )
+
+        with enabled(cache_dir=tmp_path):
+            run()
+        key = artifact_key("f", "t.arr", None)
+        (tmp_path / "t.arr" / f"{key}.npz").write_bytes(b"\x00" * 16)
+        with enabled(cache_dir=tmp_path):
+            got = run()
+        assert len(calls) == 2  # recomputed, not trusted
+        assert np.array_equal(got, np.arange(3.0))
+        assert obs_metrics.snapshot()["counters"]["cache.disk.corrupt"] == 1
+
+    def test_memoize_json_rides_the_sidecar(self, tmp_path):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 17
+
+        def run():
+            return memoize_json(
+                "t.scalar",
+                _FakeGraph("f"),
+                {"p": 1},
+                compute,
+                to_jsonable=int,
+                from_jsonable=int,
+            )
+
+        with enabled(cache_dir=tmp_path):
+            assert run() == 17
+        with enabled(cache_dir=tmp_path):
+            assert run() == 17
+        assert len(calls) == 1
+        key = artifact_key("f", "t.scalar", {"p": 1})
+        meta = json.loads((tmp_path / "t.scalar" / f"{key}.json").read_text())
+        assert meta["value"] == 17
+
+    def test_env_var_auto_enables(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(repro_cache.ENV_VAR, str(tmp_path))
+        repro_cache.disable()
+        # disable() pins the state; a fresh process would check the env
+        repro_cache.memo._env_checked = False
+        repro_cache.memo._active = None
+        cfg = repro_cache.active()
+        assert cfg is not None and cfg.disk is not None
+        assert cfg.disk.root == tmp_path
+
+    def test_configure_same_dir_keeps_warm_memory(self, tmp_path):
+        cfg1 = repro_cache.configure(cache_dir=tmp_path)
+        cfg1.memory.put("k", "v")
+        cfg2 = repro_cache.configure(cache_dir=tmp_path)
+        assert cfg2 is cfg1
+        assert cfg2.memory.peek("k") == "v"
+
+    def test_enabled_restores_previous_state(self):
+        assert repro_cache.active() is None
+        with enabled():
+            assert repro_cache.active() is not None
+        assert repro_cache.active() is None
+
+    def test_lookup_span_outcome(self):
+        from repro.obs import trace as obs_trace
+
+        tracer = obs_trace.install_tracer()
+        try:
+            with enabled():
+                memoize("t.sp", _FakeGraph("f"), None, lambda: 1)
+                memoize("t.sp", _FakeGraph("f"), None, lambda: 1)
+        finally:
+            obs_trace.uninstall_tracer()
+        lookups = [s for s in tracer.spans if s.name == "cache.lookup"]
+        assert [s.attributes["outcome"] for s in lookups] == ["miss", "memory"]
+
+
+class TestCacheCli:
+    def _populate(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put(
+            "t.s",
+            "abc123",
+            {"graph_fingerprint": "deadbeef"},
+            lambda p: _save_arr(np.arange(4), p),
+        )
+
+    def test_stats(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        assert cache_cli(["stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 entries" in out and "t.s" in out
+
+    def test_ls(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        assert cache_cli(["ls", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "abc123" in out and "graph:deadbeef" in out
+
+    def test_clear(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        assert cache_cli(["clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+        assert DiskStore(tmp_path).stats()["entries"] == 0
+
+    def test_env_var_default(self, tmp_path, capsys, monkeypatch):
+        self._populate(tmp_path)
+        monkeypatch.setenv(repro_cache.ENV_VAR, str(tmp_path))
+        assert cache_cli(["stats"]) == 0
+        assert "1 entries" in capsys.readouterr().out
+
+    def test_no_directory_rejected(self, monkeypatch):
+        monkeypatch.delenv(repro_cache.ENV_VAR, raising=False)
+        with pytest.raises(CacheError):
+            cache_cli(["stats"])
+
+    def test_module_dispatch(self, tmp_path, capsys):
+        from repro.__main__ import main as repro_main
+
+        self._populate(tmp_path)
+        assert repro_main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "1 entries" in capsys.readouterr().out

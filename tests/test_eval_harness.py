@@ -93,3 +93,59 @@ class TestPlanReuse:
     def test_extra_space_reported(self, rmat_small, harness):
         res = harness.run(rmat_small, "sssp", "coalescing")
         assert res.extra_space_percent > 0  # holes + replica edges
+
+
+class TestExactCacheKeyHardening:
+    """Regression: the exact-run cache key used to be only
+    ``(fingerprint, algorithm, baseline)`` — mutating the harness's
+    source, BC sources, seed, or device between runs silently returned a
+    stale exact result computed under the old parameters."""
+
+    def test_source_change_misses(self, rmat_small):
+        h = Harness(num_bc_sources=2)
+        r1 = h.exact_run(rmat_small, "sssp", "baseline1")
+        h.source = int(np.argmin(rmat_small.out_degrees()))
+        r2 = h.exact_run(rmat_small, "sssp", "baseline1")
+        assert r1 is not r2
+
+    def test_seed_change_misses(self, rmat_small):
+        h = Harness(num_bc_sources=2, seed=1)
+        r1 = h.exact_run(rmat_small, "bc", "baseline1")
+        h.seed = 2
+        r2 = h.exact_run(rmat_small, "bc", "baseline1")
+        assert r1 is not r2
+
+    def test_bc_sources_change_misses(self, rmat_small):
+        h = Harness(num_bc_sources=2)
+        r1 = h.exact_run(rmat_small, "bc", "baseline1")
+        h.num_bc_sources = 3
+        r2 = h.exact_run(rmat_small, "bc", "baseline1")
+        assert r1 is not r2
+
+    def test_device_change_misses(self, rmat_small):
+        from repro.gpusim.device import DeviceConfig
+
+        h = Harness(num_bc_sources=2)
+        r1 = h.exact_run(rmat_small, "sssp", "baseline1")
+        h.device = DeviceConfig(warp_size=8, line_words=4, shared_mem_words=512)
+        r2 = h.exact_run(rmat_small, "sssp", "baseline1")
+        assert r1 is not r2
+
+    def test_unchanged_params_still_hit(self, rmat_small):
+        h = Harness(num_bc_sources=2)
+        r1 = h.exact_run(rmat_small, "sssp", "baseline1")
+        assert h.exact_run(rmat_small, "sssp", "baseline1") is r1
+
+    def test_key_components(self, rmat_small):
+        h = Harness(num_bc_sources=2)
+        key = h._exact_key(rmat_small, "sssp", "baseline1")
+        assert key[0] == rmat_small.fingerprint()
+        assert key[1:3] == ("sssp", "baseline1")
+        h.seed = h.seed + 1
+        assert h._exact_key(rmat_small, "sssp", "baseline1") != key
+
+    def test_cache_bounded_lru(self, rmat_small, er_small):
+        h = Harness(num_bc_sources=2, exact_cache_size=1)
+        r1 = h.exact_run(rmat_small, "sssp", "baseline1")
+        h.exact_run(er_small, "sssp", "baseline1")  # evicts rmat's entry
+        assert h.exact_run(rmat_small, "sssp", "baseline1") is not r1

@@ -118,8 +118,28 @@ class TestBfsForestLevels:
 
     def test_isolated_nodes_are_roots(self):
         g = CSRGraph.from_edges(4, [0], [1])
-        levels, _ = bfs_forest_levels(g)
+        levels, roots = bfs_forest_levels(g)
         assert levels[2] == 0 and levels[3] == 0
+        # regression: isolated nodes must not just get level 0, they must
+        # be *listed as roots* — renumbering numbers the level-0 block and
+        # assumes roots == level-0 nodes
+        assert {2, 3} <= set(roots.tolist())
+
+    def test_roots_are_exactly_level0(self, all_structures):
+        """The documented invariant renumbering relies on: the roots list
+        and the set of level-0 nodes coincide, with no duplicates."""
+        for name, g in all_structures.items():
+            levels, roots = bfs_forest_levels(g)
+            level0 = set(np.nonzero(levels == 0)[0].tolist())
+            assert len(set(roots.tolist())) == roots.size, name
+            assert set(roots.tolist()) == level0, name
+
+    def test_many_isolated_nodes(self):
+        """A mostly-isolated graph: every isolated node is its own root."""
+        g = CSRGraph.from_edges(10, [0, 1], [1, 2])
+        levels, roots = bfs_forest_levels(g)
+        assert set(roots.tolist()) == {0} | set(range(3, 10))
+        assert set(np.nonzero(levels == 0)[0].tolist()) == set(roots.tolist())
 
 
 class TestDiameterAndStats:

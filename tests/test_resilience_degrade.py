@@ -64,7 +64,7 @@ class TestHarnessDegradation:
         )
         fresh = Harness(num_bc_sources=2)
         fresh._exact_cache[
-            (rmat_small.fingerprint(), "sssp", "baseline1")
+            fresh._exact_key(rmat_small, "sssp", "baseline1")
         ] = exact
         res = fresh.run(rmat_small, "sssp", "divergence", degrade=True)
         assert res.degraded
