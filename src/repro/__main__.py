@@ -6,7 +6,9 @@ Subcommands:
 * ``stats <trace>`` — profile-style breakdown of a ``--trace-out`` trace
   (see :mod:`repro.obs.stats`);
 * ``cache {stats,ls,clear}`` — inspect or clear the on-disk artifact
-  cache (see :mod:`repro.cache.cli` and ``docs/caching.md``).
+  cache (see :mod:`repro.cache.cli` and ``docs/caching.md``);
+* ``perf`` — time the solver kernels and emit/check the tracked perf
+  baseline (see :mod:`repro.perf.bench` and ``docs/performance.md``).
 """
 
 import sys
@@ -22,6 +24,10 @@ def main(argv=None):
         from .cache.cli import main as cache_main
 
         return cache_main(argv[1:])
+    if argv and argv[0] == "perf":
+        from .perf.bench import main as perf_main
+
+        return perf_main(argv[1:])
     from .eval.suite import main as suite_main
 
     return suite_main(argv)

@@ -28,9 +28,18 @@ from ..core.pipeline import ExecutionPlan
 from ..errors import AlgorithmError
 from ..graphs.csr import CSRGraph
 from ..gpusim.device import DeviceConfig, K40C
+from ..graphs.properties import ragged_arange
+from ..perf.gather import LevelBuckets, SweepExpansion, expand_frontier
 from .common import AlgorithmResult, Runner, plan_for
 
-__all__ = ["betweenness_centrality", "pick_sources"]
+__all__ = ["betweenness_centrality", "pick_sources", "BC_ENGINES"]
+
+#: host-side scan strategies (identical values and charges; see
+#: ``docs/performance.md``): ``"gather"`` does O(frontier-edges) CSR
+#: gathers + a per-source level-bucketed edge argsort, ``"reference"``
+#: is the pre-engine full-edge-scan path kept for equivalence tests and
+#: the ``python -m repro perf`` speedup baseline
+BC_ENGINES = ("gather", "reference")
 
 
 def pick_sources(num_nodes: int, num_sources: int, seed: int = 0) -> np.ndarray:
@@ -50,6 +59,7 @@ def betweenness_centrality(
     seed: int = 0,
     topology_driven: bool = False,
     strategy: str = "inner",
+    engine: str = "gather",
     device: DeviceConfig = K40C,
     runner_factory=None,
 ) -> AlgorithmResult:
@@ -70,9 +80,17 @@ def betweenness_centrality(
     frontiers of *all* sources into one charged sweep — fuller warps,
     fewer kernel launches, identical values.  Only the cost accounting
     differs.
+
+    ``engine`` selects the host-side scan strategy (:data:`BC_ENGINES`);
+    values, iterations, and charged metrics are identical — only host
+    wall-clock differs.
     """
     if strategy not in ("inner", "outer"):
         raise AlgorithmError(f"unknown BC strategy {strategy!r}")
+    if engine not in BC_ENGINES:
+        raise AlgorithmError(
+            f"unknown BC engine {engine!r}; choose from {BC_ENGINES}"
+        )
     plan = plan_for(graph_or_plan)
     n_orig = plan.num_original
     if sources is None:
@@ -147,33 +165,62 @@ def betweenness_centrality(
         sync_levels(level)
         merge_positive_mean(sigma)
         frontier = np.nonzero(level == 0)[0].astype(np.int64)
+        fronts = [frontier]  # per-level frontiers, reused by the backward pass
+        pending: list[SweepExpansion] = []
         depth = 0
 
         # ---- forward pass: BFS DAG + path counts -----------------------
         while frontier.size:
+            if engine == "gather":
+                # O(frontier-edges): the frontier is sorted (nonzero
+                # order), so gathered edges fall in global CSR edge
+                # order and the scatter-adds below accumulate exactly
+                # as the reference full-edge scan would; the expansion
+                # doubles as the cost model's, sparing a re-expand
+                exp = expand_frontier(graph.offsets, dst_arr, frontier)
+                e_src, e_dst = exp.e_src, exp.e_dst
+            else:
+                exp = None
+                mask = np.isin(src_arr, frontier)
+                e_src = src_arr[mask]
+                e_dst = dst_arr[mask]
             if strategy == "outer":
                 outer_forward.setdefault(depth, []).append(frontier)
+            elif topology_driven:
+                runner.ctx.charge(None)
+            elif exp is not None:
+                pending.append(exp)  # flushed in one batch after the pass
             else:
-                runner.ctx.charge(None if topology_driven else frontier)
-            mask = np.isin(src_arr, frontier)
-            e_src = src_arr[mask]
-            e_dst = dst_arr[mask]
+                runner.ctx.charge(frontier)
             fresh = level[e_dst] < 0
-            if fresh.any():
-                level[e_dst[fresh]] = depth + 1
+            fresh_dst = e_dst[fresh]
+            if fresh_dst.size:
+                level[fresh_dst] = depth + 1
             onward = level[e_dst] == depth + 1
             if onward.any():
                 np.add.at(sigma, e_dst[onward], sigma[e_src[onward]])
             sync_levels(level)
             merge_positive_mean(sigma)
-            frontier = np.nonzero(level == depth + 1)[0].astype(np.int64)
+            if engine == "gather" and num_groups == 0 and fresh_dst.size * 4 < n:
+                # without replica sync the next frontier is exactly the
+                # freshly levelled dsts — sorting those few beats the
+                # O(V) scan of `level` (but not when the level touched
+                # a node-count's worth of edges, hence the size gate)
+                frontier = np.unique(fresh_dst)
+            else:
+                frontier = np.nonzero(level == depth + 1)[0].astype(np.int64)
+            fronts.append(frontier)
             depth += 1
         total_levels += depth
+        runner.ctx.charge_batch(pending)
 
         # ---- backward pass: dependency accumulation --------------------
         delta = np.zeros(n)
         lvl_src = level[src_arr]
-        lvl_dst = level[dst_arr]
+        lvl_dst = level[dst_arr] if engine != "gather" else None
+        # one stable argsort per source buys O(level-edges) lookups per
+        # level below, replacing a full-edge mask per level
+        buckets = LevelBuckets(lvl_src) if engine == "gather" else None
 
         def merge_delta() -> None:
             # arithmetic-mean confluence over visited copies of each group
@@ -192,23 +239,49 @@ def betweenness_centrality(
             apply = has[g_gids] & visited_m
             delta[g_slots[apply]] = means[g_gids[apply]]
 
+        pending = []
         for d in range(depth - 1, -1, -1):
-            members = np.nonzero(level == d)[0]
+            # gather: the forward pass already recorded each level's
+            # (sorted) members, so skip the O(V) scan of `level`
+            members = fronts[d] if buckets is not None else np.nonzero(level == d)[0]
             if members.size == 0:
                 continue
+            if buckets is not None:
+                # the level-d bucket is exactly members' CSR adjacency
+                # in ascending edge order (every out-edge of a level-d
+                # node has lvl_src == d), so it doubles as the cost
+                # model's expansion of this sweep
+                eids = buckets.at(d)
+                dstb = dst_arr[eids]
+                degs = (
+                    graph.offsets[members + 1] - graph.offsets[members]
+                ).astype(np.int64)
+                exp = SweepExpansion(
+                    members, degs, ragged_arange(degs), eids, None, dstb
+                )
+                keep = (level[dstb] == d + 1) & (sigma[dstb] > 0)
+                e_src = src_arr[eids[keep]]
+                e_dst = dstb[keep]
+            else:
+                exp = None
+                mask = (
+                    (lvl_src == d) & (lvl_dst == d + 1) & (sigma[dst_arr] > 0)
+                )
+                e_src = src_arr[mask]
+                e_dst = dst_arr[mask]
             if strategy == "outer":
                 outer_backward.setdefault(d, []).append(members)
+            elif topology_driven:
+                runner.ctx.charge(None)
+            elif exp is not None:
+                pending.append(exp)
             else:
-                runner.ctx.charge(None if topology_driven else members)
-            mask = (lvl_src == d) & (lvl_dst == d + 1) & (sigma[dst_arr] > 0)
-            if mask.any():
-                contrib = (
-                    sigma[src_arr[mask]]
-                    / sigma[dst_arr[mask]]
-                    * (1.0 + delta[dst_arr[mask]])
-                )
-                np.add.at(delta, src_arr[mask], contrib)
+                runner.ctx.charge(members)
+            if e_src.size:
+                contrib = sigma[e_src] / sigma[e_dst] * (1.0 + delta[e_dst])
+                np.add.at(delta, e_src, contrib)
             merge_delta()
+        runner.ctx.charge_batch(pending)
         delta[s_slot] = 0.0
         visited = level >= 0
         bc[visited] += delta[visited]

@@ -24,6 +24,7 @@ from ..core.pipeline import ExecutionPlan
 from ..errors import AlgorithmError
 from ..graphs.csr import CSRGraph
 from ..gpusim.device import DeviceConfig, K40C
+from ..perf.gather import expand_frontier
 from .common import AlgorithmResult, Runner, plan_for
 
 __all__ = ["bfs"]
@@ -74,14 +75,13 @@ def bfs(
     frontier = np.nonzero(level == 0)[0].astype(np.int64)
 
     while frontier.size:
-        runner.ctx.charge(None if topology_driven else frontier)
-        starts = offsets[frontier].astype(np.int64)
-        degs = (offsets[frontier + 1] - offsets[frontier]).astype(np.int64)
-        total = int(degs.sum())
-        if total:
-            seg = np.concatenate(([0], np.cumsum(degs)[:-1]))
-            pos = np.arange(total, dtype=np.int64) - np.repeat(seg, degs)
-            dst = indices[np.repeat(starts, degs) + pos]
+        exp = expand_frontier(offsets, indices, frontier)
+        if topology_driven:
+            runner.ctx.charge(None)
+        else:
+            runner.ctx.charge(frontier, expansion=exp)
+        dst = exp.e_dst
+        if dst.size:
             fresh = dst[level[dst] < 0]
             if fresh.size:
                 level[fresh] = depth + 1

@@ -30,6 +30,7 @@ from ..graphs.csr import CSRGraph
 from ..gpusim.device import DeviceConfig, K40C
 from ..gpusim.kernel import ExecutionContext
 from ..gpusim.metrics import SimMetrics
+from ..perf.edgeshare import EdgeView, shared_edge_view
 
 __all__ = ["AlgorithmResult", "Runner", "EdgeView", "plan_for", "MAX_ITERATIONS"]
 
@@ -61,17 +62,6 @@ class AlgorithmResult:
         return self.metrics.seconds
 
 
-class EdgeView:
-    """Cached flat edge arrays of a CSR graph for vectorized relaxation."""
-
-    def __init__(self, graph: CSRGraph) -> None:
-        self.graph = graph
-        self.src = graph.edge_sources().astype(np.int64)
-        self.dst = graph.indices.astype(np.int64)
-        self.weights = graph.effective_weights()
-        self.out_deg = graph.out_degrees().astype(np.float64)
-
-
 def plan_for(graph_or_plan: CSRGraph | ExecutionPlan) -> ExecutionPlan:
     """Coerce a raw graph into an exact (identity) execution plan."""
     if isinstance(graph_or_plan, ExecutionPlan):
@@ -93,9 +83,13 @@ class Runner:
             order=plan.order,
             resident_mask=plan.resident_mask,
         )
-        self.edges = EdgeView(plan.graph)
+        # flat edge arrays are shared across Runners on the same graph
+        # (a harness sweep builds one Runner per algorithm × source)
+        self.edges = shared_edge_view(plan.graph)
         self.cluster_edges = (
-            EdgeView(plan.cluster_graph) if plan.cluster_graph is not None else None
+            shared_edge_view(plan.cluster_graph)
+            if plan.cluster_graph is not None
+            else None
         )
         if plan.resident_mask is not None:
             self._resident_nodes = np.nonzero(plan.resident_mask)[0].astype(np.int64)
@@ -187,7 +181,10 @@ class Runner:
 
         For exact plans (no replicas) convergence is bit-exact: stop when
         a sweep changes nothing — monotone relaxations terminate
-        precisely.
+        precisely.  The loop trusts the relax callback's returned changed
+        flag (the :meth:`sweep` contract), so no per-iteration snapshot
+        of the value array is taken; a relax that under-reports change
+        would terminate early.
 
         For plans with replicas, a naive snapshot comparison never
         settles: mean-confluence raises a replica copy each merge, the
@@ -245,8 +242,7 @@ class Runner:
         iterations = 0
         while iterations < max_iterations:
             iterations += 1
-            snapshot = values.copy()
-            self.sweep(values, relax, merge=False)
+            changed = self.sweep(values, relax, merge=False)
             if approximate:
                 assert envelope is not None
                 margin = improvement_atol + improvement_rtol * np.where(
@@ -258,7 +254,10 @@ class Runner:
                 np.minimum(envelope, values, out=envelope)
                 if not improved.any():
                     break
-            elif np.array_equal(values, snapshot):
+            elif not changed:
+                # exact plans trust the relax callback's changed flag —
+                # no full-array snapshot/compare per iteration (monotone
+                # relaxations report change exactly)
                 break
             self.cluster_rounds(values, relax)
         return iterations

@@ -66,8 +66,12 @@ def pagerank(
         iterations += 1
         runner.ctx.charge(None)
         contrib = pr * inv_deg
-        new_pr = np.zeros(n_slots)
-        np.add.at(new_pr, dst, damping * contrib[src])
+        # bincount accumulates per-bin in the same array order np.add.at
+        # did, so the sums are bitwise identical — just ~10× faster
+        # (edgeless bincount yields int64 zeros, hence the astype)
+        new_pr = np.bincount(
+            dst, weights=damping * contrib[src], minlength=n_slots
+        ).astype(np.float64, copy=False)
         dangling_mass = damping * pr[dangling].sum() / n_live
         new_pr[occupied] += teleport + dangling_mass
         runner.confluence(new_pr)

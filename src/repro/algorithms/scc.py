@@ -25,6 +25,7 @@ import numpy as np
 from ..core.pipeline import ExecutionPlan
 from ..graphs.csr import CSRGraph
 from ..gpusim.device import DeviceConfig, K40C
+from ..perf.gather import frontier_edges
 from .common import AlgorithmResult, Runner, plan_for
 
 __all__ = ["scc"]
@@ -44,16 +45,9 @@ def _reach(
     frontier = np.array([start], dtype=np.int64)
     while frontier.size:
         runner.ctx.charge(frontier)
-        starts = offsets[frontier]
-        degs = offsets[frontier + 1] - starts
-        total = int(degs.sum())
-        if total == 0:
+        _, flat, _ = frontier_edges(offsets, indices, frontier)
+        if flat.size == 0:
             break
-        seg = np.concatenate(([0], np.cumsum(degs)[:-1]))
-        flat = indices[
-            np.repeat(starts.astype(np.int64), degs)
-            + (np.arange(total, dtype=np.int64) - np.repeat(seg, degs))
-        ]
         nxt = np.unique(flat)
         nxt = nxt[allowed[nxt] & ~visited[nxt]]
         if nxt.size == 0:

@@ -19,21 +19,34 @@ from ..core.pipeline import ExecutionPlan
 from ..errors import AlgorithmError
 from ..graphs.csr import CSRGraph
 from ..gpusim.device import DeviceConfig, K40C
+from ..perf.workspace import pool, scatter_min_changed
 from .common import MAX_ITERATIONS, AlgorithmResult, EdgeView, Runner, plan_for
 
 __all__ = ["sssp", "sssp_relax"]
 
 
 def sssp_relax(edges: EdgeView, dist: np.ndarray) -> bool:
-    """One Bellman-Ford sweep over ``edges``; mutates ``dist`` in place."""
+    """One Bellman-Ford sweep over ``edges``; mutates ``dist`` in place.
+
+    Change detection never allocates: sparse sweeps snapshot only the
+    touched destinations (the engine's
+    :func:`~repro.perf.workspace.scatter_min_changed`), dense sweeps —
+    once most sources are finite, touched records outnumber nodes — use
+    a pooled full snapshot, which is the cheaper of the two at O(V).
+    """
     src, dst, w = edges.src, edges.dst, edges.weights
     finite = np.isfinite(dist[src])
     if not finite.any():
         return False
+    dst_f = dst[finite]
     cand = dist[src[finite]] + w[finite]
-    before = dist.copy()
-    np.minimum.at(dist, dst[finite], cand)
-    return bool(np.any(dist < before))
+    if dst_f.size >= dist.size:
+        before = pool().borrow("sssp.relax.dense", dist.size, dist.dtype)
+        np.copyto(before, dist)
+        np.minimum.at(dist, dst_f, cand)
+        return bool(np.any(dist < before))
+    changed = scatter_min_changed(dist, dst_f, cand, key="sssp.relax")
+    return bool(changed.any())
 
 
 def sssp(

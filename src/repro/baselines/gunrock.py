@@ -30,6 +30,8 @@ from ..core.pipeline import ExecutionPlan
 from ..errors import AlgorithmError
 from ..graphs.csr import CSRGraph
 from ..gpusim.device import DeviceConfig, K40C
+from ..perf.gather import expand_frontier
+from ..perf.workspace import pool, scatter_min_changed
 
 __all__ = ["run", "sssp_frontier", "pagerank_delta", "SUPPORTED"]
 
@@ -60,27 +62,34 @@ def sssp_frontier(
     frontier = np.nonzero(np.isfinite(dist))[0].astype(np.int64)
     iterations = 0
 
+    if plan.graffix is not None:
+        g_slots, _g_gids, _g_sizes = plan.graffix.replica_groups()
+    else:
+        g_slots = np.empty(0, dtype=np.int64)
+    scratch = pool()
+
     while frontier.size and iterations < max_iterations:
         iterations += 1
-        runner.ctx.charge(frontier)
-        starts = offsets[frontier].astype(np.int64)
-        degs = (offsets[frontier + 1] - offsets[frontier]).astype(np.int64)
-        total = int(degs.sum())
-        if total == 0:
-            changed_mask = np.zeros(n, dtype=bool)
-        else:
-            seg = np.concatenate(([0], np.cumsum(degs)[:-1]))
-            pos = np.arange(total, dtype=np.int64) - np.repeat(seg, degs)
-            epos = np.repeat(starts, degs) + pos
-            e_dst = indices[epos]
-            cand = np.repeat(dist[frontier], degs) + weights[epos]
-            before = dist.copy()
-            np.minimum.at(dist, e_dst, cand)
-            changed_mask = dist < before
+        exp = expand_frontier(offsets, indices, frontier)
+        runner.ctx.charge(frontier, expansion=exp)
+        # touched-destinations change detection (no full dist snapshots:
+        # only gathered edges and, below, only replica slots are compared)
+        changed_mask = scratch.borrow("gunrock.sssp.mask", n, np.bool_)
+        changed_mask[:] = False
+        e_src, e_dst, epos = exp.e_src, exp.e_dst, exp.epos
+        if e_dst.size:
+            cand = dist[e_src] + weights[epos]
+            improved = scatter_min_changed(dist, e_dst, cand, key="gunrock.sssp")
+            changed_mask[e_dst[improved]] = True
         if plan.graffix is not None:
-            before_merge = dist.copy()
+            # confluence only ever writes replica slots, so comparing
+            # those slots is exact — the rest of dist cannot move
+            before_slots = scratch.borrow(
+                "gunrock.sssp.slots", g_slots.size, dist.dtype
+            )
+            np.take(dist, g_slots, out=before_slots)
             runner.confluence(dist)
-            changed_mask |= dist != before_merge
+            changed_mask[g_slots[dist[g_slots] != before_slots]] = True
         frontier = np.nonzero(changed_mask)[0].astype(np.int64)
 
     return AlgorithmResult(
@@ -128,21 +137,25 @@ def pagerank_delta(
         if frontier.size == 0:
             break
         iterations += 1
-        runner.ctx.charge(frontier)
+        # zero-out-degree frontier nodes contribute no edges, so the
+        # frontier's expansion doubles as fo's below
+        exp = expand_frontier(offsets, indices, frontier)
+        runner.ctx.charge(frontier, expansion=exp)
         r = residual[frontier]
         pr[frontier] += r
         residual[frontier] = 0.0
-        degs = (offsets[frontier + 1] - offsets[frontier]).astype(np.int64)
+        degs = exp.degs
         has_out = degs > 0
         fo = frontier[has_out]
         if fo.size:
             do = degs[has_out]
             share = damping * r[has_out] / do
-            seg = np.concatenate(([0], np.cumsum(do)[:-1]))
-            total = int(do.sum())
-            pos = np.arange(total, dtype=np.int64) - np.repeat(seg, do)
-            epos = np.repeat(offsets[fo].astype(np.int64), do) + pos
-            np.add.at(residual, indices[epos], np.repeat(share, do))
+            # per-destination sums via bincount (~10× np.add.at on large
+            # frontiers); adds reassociate per destination, within float
+            # tolerance of the residual-propagation fixed point
+            residual += np.bincount(
+                exp.e_dst, weights=np.repeat(share, do), minlength=n
+            ).astype(np.float64, copy=False)
         # dangling nodes spread their residual uniformly
         dangling = r[~has_out].sum()
         if dangling > 0:

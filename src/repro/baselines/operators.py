@@ -29,6 +29,8 @@ from ..graphs.csr import CSRGraph
 from ..gpusim.costmodel import charge_sweep
 from ..gpusim.device import DeviceConfig, K40C
 from ..gpusim.metrics import SimMetrics
+from ..perf.gather import expand_frontier
+from ..perf.workspace import scatter_min_changed
 
 __all__ = ["Frontier", "OperatorContext", "bfs_operators", "sssp_operators"]
 
@@ -82,20 +84,7 @@ class OperatorContext:
         ids = frontier.nodes
         if ids.size and (ids.min() < 0 or ids.max() >= g.num_nodes):
             raise SimulationError("frontier node id out of range")
-        starts = g.offsets[ids].astype(np.int64)
-        degs = (g.offsets[ids + 1] - g.offsets[ids]).astype(np.int64)
-        total = int(degs.sum())
-        if total == 0:
-            e = np.empty(0, dtype=np.int64)
-            return e, e, np.empty(0, dtype=np.float64)
-        seg = np.concatenate(([0], np.cumsum(degs)[:-1]))
-        pos = np.arange(total, dtype=np.int64) - np.repeat(seg, degs)
-        epos = np.repeat(starts, degs) + pos
-        return (
-            np.repeat(ids, degs),
-            g.indices[epos].astype(np.int64),
-            self._weights[epos],
-        )
+        return expand_frontier(g.offsets, g.indices, ids)
 
     def advance(self, frontier: Frontier, functor: AdvanceFunctor) -> Frontier:
         """Expand the frontier's edges through ``functor``.
@@ -106,10 +95,14 @@ class OperatorContext:
         """
         if not isinstance(frontier, Frontier):
             raise AlgorithmError("advance expects a Frontier")
-        self.metrics.add(charge_sweep(self.graph, self.device, frontier.nodes))
-        e_src, e_dst, e_w = self._expand(frontier)
+        exp = self._expand(frontier)
+        self.metrics.add(
+            charge_sweep(self.graph, self.device, frontier.nodes, expansion=exp)
+        )
+        e_src, e_dst = exp.e_src, exp.e_dst
         if e_src.size == 0:
             return Frontier(np.empty(0, dtype=np.int64))
+        e_w = self._weights[exp.epos]
         mask = np.asarray(functor(e_src, e_dst, e_w), dtype=bool)
         if mask.shape != e_dst.shape:
             raise AlgorithmError(
@@ -203,10 +196,10 @@ def sssp_operators(
         improved = np.zeros(graph.num_nodes, dtype=bool)
 
         def relax(e_src, e_dst, e_w):
+            # the touched-destinations idiom now lives in the shared
+            # engine; the mask is pooled scratch, consumed immediately
             cand = dist[e_src] + e_w
-            before = dist[e_dst].copy()
-            np.minimum.at(dist, e_dst, cand)
-            changed_dst = dist[e_dst] < before
+            changed_dst = scatter_min_changed(dist, e_dst, cand, key="ops.sssp")
             improved[e_dst[changed_dst]] = True
             return changed_dst
 

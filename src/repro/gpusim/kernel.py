@@ -18,9 +18,11 @@ import numpy as np
 
 from ..errors import SimulationError
 from ..graphs.csr import CSRGraph
+from ..graphs.properties import ragged_arange
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
-from .costmodel import SweepCost, charge_sweep
+from ..perf.gather import SweepExpansion
+from .costmodel import SweepCost, charge_sweep, charge_sweeps_batched
 from .device import DeviceConfig, K40C
 from .metrics import SimMetrics
 
@@ -29,6 +31,10 @@ __all__ = ["ExecutionContext"]
 
 class ExecutionContext:
     """A simulated kernel stream bound to one graph and one device."""
+
+    #: edge count above which :meth:`charge_batch` charges a sweep on its
+    #: own instead of folding it into a concatenated batch
+    BATCH_EAGER_EDGES = 4096
 
     def __init__(
         self,
@@ -41,6 +47,7 @@ class ExecutionContext:
         self.graph = graph
         self.device = device
         n = graph.num_nodes
+        self._identity_order = order is None
         if order is None:
             self._order = np.arange(n, dtype=np.int64)
         else:
@@ -61,6 +68,9 @@ class ExecutionContext:
                 raise SimulationError("resident_mask length must equal num_nodes")
         self.resident_mask = resident_mask
         self.metrics = SimMetrics(device=device)
+        # lazily built full-graph expansion: topology-driven sweeps
+        # (``charge(None)``) all expand the same graph-constant adjacency
+        self._full_exp: SweepExpansion | None = None
         # cached instruments: charge() runs once per sweep, so skip the
         # registry lookup on the hot path
         self._sweep_counter = obs_metrics.counter("solve.sweeps")
@@ -87,6 +97,11 @@ class ExecutionContext:
             ids = np.nonzero(active)[0].astype(np.int64)
         else:
             ids = active.astype(np.int64)
+        if self._identity_order:
+            # rank == id, so the stable argsort below reduces to a plain
+            # value sort; frontiers from np.nonzero are already sorted,
+            # making this near-free on the per-sweep hot path
+            return np.sort(ids)
         return ids[np.argsort(self._rank[ids], kind="stable")]
 
     def charge(
@@ -95,22 +110,44 @@ class ExecutionContext:
         *,
         all_shared: bool = False,
         subgraph: CSRGraph | None = None,
+        expansion=None,
     ) -> SweepCost:
         """Account one sweep and add it to the ledger.
 
         ``subgraph`` substitutes a different CSR structure (same node-id
         space) for this sweep — the §3 runner uses it to charge
         cluster-only iterations over the cluster edge set.
+
+        ``expansion`` is an optional precomputed
+        :class:`~repro.perf.gather.SweepExpansion` of ``active`` over
+        ``self.graph``; it spares the cost model re-expanding the same
+        adjacency (identical charges, less host work).  It is used only
+        when the processing order is the identity and no ``subgraph`` is
+        substituted — otherwise the expansion the cost model needs
+        differs from the solver's and it is silently ignored.  A non-
+        matching expansion raises.
         """
         graph = subgraph if subgraph is not None else self.graph
         with obs_trace.span("solve.sweep") as sp:
             active_ids = self.ordered(active)
+            if expansion is not None:
+                if subgraph is not None or not self._identity_order:
+                    expansion = None
+                elif not np.array_equal(active_ids, expansion.frontier):
+                    raise SimulationError(
+                        "expansion does not match the active list"
+                    )
+            elif active is None and subgraph is None and self._identity_order:
+                # a full sweep's expansion is graph-constant: build it
+                # once and reuse it for every topology-driven charge
+                expansion = self._full_expansion()
             cost = charge_sweep(
                 graph,
                 self.device,
                 active_ids,
                 resident_mask=None if all_shared else self.resident_mask,
                 all_shared=all_shared,
+                expansion=expansion,
             )
             if sp is not None:
                 sp.set(
@@ -127,6 +164,86 @@ class ExecutionContext:
         self._sweep_counter.inc()
         self._cycle_counter.inc(cost.cycles)
         return cost
+
+    def _full_expansion(self) -> SweepExpansion:
+        """The (cached) CSR expansion of every node in id order."""
+        if self._full_exp is None:
+            g = self.graph
+            degs = (g.offsets[1:] - g.offsets[:-1]).astype(np.int64)
+            self._full_exp = SweepExpansion(
+                self._order,
+                degs,
+                ragged_arange(degs),
+                np.arange(g.num_edges, dtype=np.int64),
+                None,
+                g.indices.astype(np.int64),
+            )
+        return self._full_exp
+
+    def charge_batch(self, sweeps) -> None:
+        """Charge many sweeps from their precomputed expansions at once.
+
+        ``sweeps`` is a sequence of
+        :class:`~repro.perf.gather.SweepExpansion`, one per sweep, each
+        already in processing order.  The ledger ends up exactly as if
+        :meth:`charge` had been called once per sweep in sequence —
+        same per-sweep costs, same accumulation order — but the cost
+        model's work is vectorized across the whole batch, which is
+        what keeps accounting cheap for level-synchronous solvers.
+
+        With a non-identity processing order the expansions don't match
+        the warp assignment, so this degrades to per-sweep charging.
+
+        Sweeps at or above ``BATCH_EAGER_EDGES`` edges are charged
+        eagerly even inside a batch: concatenating a huge expansion
+        costs more than the per-call overhead the batch saves, which
+        only pays off for runs of small frontiers.  The ledger order —
+        and with it the bit pattern of the accumulated float cycles —
+        is the per-sweep sequence either way.
+        """
+        if not sweeps:
+            return
+        if not self._identity_order:
+            for exp in sweeps:
+                self.charge(exp.frontier, expansion=exp)
+            return
+
+        run: list = []
+
+        def _flush() -> None:
+            if not run:
+                return
+            with obs_trace.span("solve.sweep_batch", sweeps=len(run)):
+                costs = charge_sweeps_batched(
+                    self.graph,
+                    self.device,
+                    run,
+                    resident_mask=self.resident_mask,
+                )
+            for cost in costs:
+                self._ledger(cost)
+            run.clear()
+
+        for exp in sweeps:
+            if exp.epos.size >= self.BATCH_EAGER_EDGES:
+                _flush()
+                self._ledger(
+                    charge_sweep(
+                        self.graph,
+                        self.device,
+                        exp.frontier,
+                        resident_mask=self.resident_mask,
+                        expansion=exp,
+                    )
+                )
+            else:
+                run.append(exp)
+        _flush()
+
+    def _ledger(self, cost: SweepCost) -> None:
+        self.metrics.add(cost)
+        self._sweep_counter.inc()
+        self._cycle_counter.inc(cost.cycles)
 
     def charge_cost(self, cost: SweepCost) -> None:
         """Add an externally computed cost (e.g. a host-side reduction)."""

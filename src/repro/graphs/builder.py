@@ -118,9 +118,15 @@ def to_scipy(graph: CSRGraph) -> sp.csr_matrix:
 
     Unweighted edges get weight 1.0.  Parallel edges are summed by scipy's
     canonical format, so callers comparing edge counts should dedup first.
+
+    The ``data`` array is a copy, never the graph's own ``weights`` buffer:
+    scipy exposes ``data`` mutably (several callers rewrite it in place,
+    e.g. ``mat.data[:] = 1.0`` to drop weights), and aliasing would let
+    that silently corrupt the immutable-by-convention source graph — and
+    invalidate its cached :meth:`~repro.graphs.csr.CSRGraph.fingerprint`.
     """
     return sp.csr_matrix(
-        (graph.effective_weights(), graph.indices, graph.offsets),
+        (graph.effective_weights().copy(), graph.indices, graph.offsets),
         shape=(graph.num_nodes, graph.num_nodes),
     )
 

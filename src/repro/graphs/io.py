@@ -43,6 +43,10 @@ def write_edge_list(graph: CSRGraph, path: str | Path) -> None:
     with path.open("w") as fh:
         fh.write(f"# nodes: {graph.num_nodes}\n")
         fh.write(f"# edges: {graph.num_edges}\n")
+        if w is not None:
+            # weightedness is otherwise inferred from the edge lines,
+            # which a zero-edge weighted graph doesn't have
+            fh.write("# weighted: 1\n")
         if w is None:
             for s, d in zip(srcs.tolist(), graph.indices.tolist()):
                 fh.write(f"{s} {d}\n")
@@ -86,6 +90,13 @@ def read_edge_list(
                     except ValueError as exc:
                         raise GraphFormatError(
                             f"{path}:{lineno}: malformed nodes header"
+                        ) from exc
+                elif body.startswith("weighted:"):
+                    try:
+                        weighted = bool(int(body.split(":", 1)[1]))
+                    except ValueError as exc:
+                        raise GraphFormatError(
+                            f"{path}:{lineno}: malformed weighted header"
                         ) from exc
                 continue
             parts = line.split()

@@ -25,7 +25,7 @@ from .trace import Span
 __all__ = ["load_trace", "span_stats", "category_split", "format_stats", "main"]
 
 #: span-name prefixes rolled up in the category split (order = display order)
-CATEGORIES = ("io", "transform", "solve", "harness", "parallel", "report")
+CATEGORIES = ("io", "transform", "solve", "perf", "harness", "parallel", "report")
 
 
 def load_trace(path: str | Path) -> list[Span]:

@@ -1,0 +1,46 @@
+"""``repro.perf`` — the frontier-gather kernel engine.
+
+The simulator charges kernels as if they did work proportional to the
+active frontier, but several host-side implementations historically did
+asymptotically *more* work than the GPU kernels they model (full-edge
+``np.isin`` scans per BFS level, full-array snapshots per sweep).  This
+package closes that gap with three shared primitives plus a tracked
+wall-clock benchmark:
+
+* :mod:`repro.perf.gather` — O(frontier-edges) CSR gathers
+  (:func:`~repro.perf.gather.frontier_edges`) and the per-source
+  level-bucketed edge index (:class:`~repro.perf.gather.LevelBuckets`)
+  that replaces per-level full-edge masks in BC's backward pass;
+* :mod:`repro.perf.workspace` — a :class:`~repro.perf.workspace.WorkspacePool`
+  of reusable scratch buffers and the touched-destinations change
+  detector :func:`~repro.perf.workspace.scatter_min_changed`, eliminating
+  the per-sweep O(V)/O(E) allocations in the relax hot paths;
+* :mod:`repro.perf.edgeshare` — flat edge arrays
+  (:class:`~repro.perf.edgeshare.EdgeView`) shared across Runners by
+  graph fingerprint, so a harness sweep stops rebuilding them per
+  (algorithm × source);
+* :mod:`repro.perf.bench` — ``python -m repro perf``, the kernel
+  benchmark that emits ``BENCH_PR4.json`` and gates regressions in CI.
+
+:mod:`repro.perf.reference` preserves the pre-engine reference paths so
+the equivalence suite can prove the engine returns byte-identical values
+and identical simulated-cycle charges.
+
+Everything is observable: ``perf.gather.*`` and
+``perf.workspace.{reuse,alloc}`` counters plus ``perf.*`` spans feed
+``python -m repro stats`` (see ``docs/performance.md``).
+"""
+
+from .edgeshare import EdgeView, shared_edge_view
+from .gather import LevelBuckets, frontier_edges
+from .workspace import WorkspacePool, pool, scatter_min_changed
+
+__all__ = [
+    "EdgeView",
+    "LevelBuckets",
+    "WorkspacePool",
+    "frontier_edges",
+    "pool",
+    "scatter_min_changed",
+    "shared_edge_view",
+]

@@ -1,0 +1,62 @@
+"""Flat edge arrays shared across Runners by graph fingerprint.
+
+Every :class:`~repro.algorithms.common.Runner` needs the graph's edges
+in flat COO-ish form (``src``/``dst``/``weights``/``out_deg``) for
+vectorized relaxation.  A harness sweep builds one Runner per
+(algorithm × source) on the *same* graph, and each used to rebuild these
+arrays from scratch — an O(E) ``edge_sources().astype`` plus weight and
+degree copies per run.  :func:`shared_edge_view` memoizes the views in a
+small LRU keyed on the graph's content fingerprint, so rebuilding
+happens once per distinct graph per process.
+
+The arrays are read-only by convention (like :class:`CSRGraph` itself);
+nothing in the solvers writes to an :class:`EdgeView`.  Hits and misses
+are counted on ``perf.edgeview.{hit,miss}``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cache.lru import LRUCache
+from ..graphs.csr import CSRGraph
+
+__all__ = ["EdgeView", "shared_edge_view", "edge_view_cache"]
+
+
+class EdgeView:
+    """Cached flat edge arrays of a CSR graph for vectorized relaxation."""
+
+    def __init__(self, graph: CSRGraph) -> None:
+        self.graph = graph
+        self.src = graph.edge_sources().astype(np.int64)
+        self.dst = graph.indices.astype(np.int64)
+        self.weights = graph.effective_weights()
+        self.out_deg = graph.out_degrees().astype(np.float64)
+
+
+#: distinct graphs whose views stay resident; a table sweep touches a
+#: handful of graphs × techniques, so a small bound is plenty
+EDGE_VIEW_CACHE_SIZE = 32
+
+_views = LRUCache(EDGE_VIEW_CACHE_SIZE, metric_prefix="perf.edgeview")
+
+
+def edge_view_cache() -> LRUCache:
+    """The process-wide EdgeView cache (exposed for tests/inspection)."""
+    return _views
+
+
+def shared_edge_view(graph: CSRGraph) -> EdgeView:
+    """The memoized :class:`EdgeView` of ``graph``.
+
+    Keyed on :meth:`CSRGraph.fingerprint` — content, not identity — so
+    two equal graphs (e.g. a cached plan rebuilt from disk) share one
+    view, and a reused ``id()`` can never alias a different graph.
+    """
+    key = graph.fingerprint()
+    view = _views.get(key)
+    if view is None:
+        view = EdgeView(graph)
+        _views.put(key, view)
+    return view

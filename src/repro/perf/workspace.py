@@ -1,0 +1,112 @@
+"""Reusable scratch buffers for solver hot paths.
+
+Every fixed-point sweep used to allocate (and garbage-collect) fresh
+O(V)/O(E) arrays just to detect change — ``dist.copy()`` per SSSP sweep,
+``labels.copy()`` per WCC sweep, ``values.copy()`` per harness
+iteration.  The :class:`WorkspacePool` keeps one named buffer per call
+site and hands out right-sized views, so steady-state sweeps allocate
+nothing; a buffer only (re)grows when a larger graph comes through.
+
+Lifetime rules (see ``docs/performance.md``):
+
+* a borrowed view is valid until the *same key* is borrowed again —
+  callers must consume it before re-borrowing, and never store it;
+* distinct call sites use distinct keys, so nesting different sites is
+  safe; one site must not borrow its own key reentrantly;
+* buffers are per-thread (``threading.local``) — worker processes and
+  threads never share or corrupt each other's scratch space.
+
+``perf.workspace.reuse`` / ``perf.workspace.alloc`` counters record how
+often the pool served a sweep without touching the allocator.
+
+:func:`scatter_min_changed` is the touched-destinations change-detection
+idiom (first proven in ``baselines/operators.py``) lifted into the
+shared engine: instead of snapshotting the whole value array around a
+scatter-min, it snapshots only the values at the touched indices — O(k)
+for k touched edges — and reports exactly which of them improved.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from ..obs import metrics as obs_metrics
+
+__all__ = ["WorkspacePool", "pool", "reset_pool", "scatter_min_changed"]
+
+
+class WorkspacePool:
+    """Named, growable scratch buffers handing out right-sized views."""
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+
+    def _buffers(self) -> dict:
+        buffers = getattr(self._local, "buffers", None)
+        if buffers is None:
+            buffers = self._local.buffers = {}
+        return buffers
+
+    def borrow(self, key: str, size: int, dtype=np.float64) -> np.ndarray:
+        """A length-``size`` view of the pooled buffer for ``key``.
+
+        Contents are unspecified (whatever the previous borrow left);
+        callers overwrite before reading.  The view is invalidated by the
+        next ``borrow`` of the same key.
+        """
+        dtype = np.dtype(dtype)
+        buffers = self._buffers()
+        buf = buffers.get(key)
+        if buf is None or buf.dtype != dtype or buf.size < size:
+            capacity = max(size, buf.size if buf is not None else 0)
+            buf = buffers[key] = np.empty(capacity, dtype=dtype)
+            obs_metrics.counter("perf.workspace.alloc").inc()
+        else:
+            obs_metrics.counter("perf.workspace.reuse").inc()
+        return buf[:size]
+
+    def clear(self) -> None:
+        """Drop this thread's buffers (tests / memory pressure)."""
+        self._buffers().clear()
+
+
+_pool = WorkspacePool()
+
+
+def pool() -> WorkspacePool:
+    """The process-wide default pool (one buffer set per thread)."""
+    return _pool
+
+
+def reset_pool() -> None:
+    """Drop the calling thread's pooled buffers."""
+    _pool.clear()
+
+
+def scatter_min_changed(
+    values: np.ndarray,
+    idx: np.ndarray,
+    cand: np.ndarray,
+    *,
+    key: str = "engine.scatter_min",
+) -> np.ndarray:
+    """``np.minimum.at(values, idx, cand)`` + touched-only change mask.
+
+    Returns a boolean mask parallel to ``idx`` marking the records whose
+    destination value strictly improved (every record pointing at an
+    improved destination is marked, as the operator-API relax functor
+    contract requires).  Only the touched destinations are snapshotted —
+    never the whole array.  The mask lives in pooled scratch space: treat
+    it as ephemeral (consume before the same ``key`` is borrowed again).
+    """
+    p = pool()
+    before = p.borrow(key + ".before", idx.size, values.dtype)
+    np.take(values, idx, out=before)
+    np.minimum.at(values, idx, cand)
+    after = p.borrow(key + ".after", idx.size, values.dtype)
+    np.take(values, idx, out=after)
+    changed = p.borrow(key + ".changed", idx.size, np.bool_)
+    np.less(after, before, out=changed)
+    return changed

@@ -7,7 +7,13 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.graphs.csr import CSRGraph
-from repro.gpusim.costmodel import SweepCost, charge_sweep, expand_accesses
+from repro.gpusim.costmodel import (
+    SweepCost,
+    charge_sweep,
+    charge_sweeps_batched,
+    expand_accesses,
+)
+from repro.perf.gather import expand_frontier
 from repro.gpusim.device import K40C, DeviceConfig
 
 
@@ -149,3 +155,73 @@ class TestChargeSweep:
         near = charge_sweep(CSRGraph.from_edges(n, src, dst_near), K40C)
         far = charge_sweep(CSRGraph.from_edges(n, src, dst_far), K40C)
         assert near.attr_global_transactions < far.attr_global_transactions
+
+
+class TestBatchedCharging:
+    """charge_sweeps_batched / expansion-fed charge_sweep must reproduce
+    the plain per-sweep costs exactly — they are host-side optimizations,
+    not model changes."""
+
+    def _random_sweeps(self, graph, rng, k):
+        idx = graph.indices.astype(np.int64)
+        sweeps = []
+        for _ in range(k):
+            size = int(rng.integers(1, graph.num_nodes))
+            frontier = np.sort(
+                rng.choice(graph.num_nodes, size=size, replace=False)
+            ).astype(np.int64)
+            sweeps.append(expand_frontier(graph.offsets, idx, frontier))
+        return sweeps
+
+    def test_expansion_fed_charge_identical(self, rmat_small):
+        rng = np.random.default_rng(5)
+        for exp in self._random_sweeps(rmat_small, rng, 8):
+            plain = charge_sweep(rmat_small, K40C, exp.frontier)
+            fed = charge_sweep(rmat_small, K40C, exp.frontier, expansion=exp)
+            assert fed == plain
+
+    def test_batched_matches_per_sweep(self, rmat_small):
+        rng = np.random.default_rng(6)
+        sweeps = self._random_sweeps(rmat_small, rng, 10)
+        batched = charge_sweeps_batched(rmat_small, K40C, sweeps)
+        for exp, got in zip(sweeps, batched):
+            assert got == charge_sweep(rmat_small, K40C, exp.frontier)
+
+    def test_batched_with_resident_mask(self, rmat_small):
+        rng = np.random.default_rng(7)
+        sweeps = self._random_sweeps(rmat_small, rng, 6)
+        mask = rng.random(rmat_small.num_nodes) < 0.4
+        batched = charge_sweeps_batched(
+            rmat_small, K40C, sweeps, resident_mask=mask
+        )
+        for exp, got in zip(sweeps, batched):
+            assert got == charge_sweep(
+                rmat_small, K40C, exp.frontier, resident_mask=mask
+            )
+
+    def test_batched_keeps_empty_sweeps_in_place(self, rmat_small):
+        idx = rmat_small.indices.astype(np.int64)
+        empty = expand_frontier(
+            rmat_small.offsets, idx, np.empty(0, dtype=np.int64)
+        )
+        full = expand_frontier(
+            rmat_small.offsets, idx, np.arange(10, dtype=np.int64)
+        )
+        costs = charge_sweeps_batched(rmat_small, K40C, [empty, full, empty])
+        assert costs[0] == SweepCost() and costs[2] == SweepCost()
+        assert costs[1] == charge_sweep(
+            rmat_small, K40C, np.arange(10, dtype=np.int64)
+        )
+
+    def test_batched_empty_list(self, rmat_small):
+        assert charge_sweeps_batched(rmat_small, K40C, []) == []
+
+    def test_batched_rejects_bad_ids(self, tiny_graph):
+        bogus = expand_frontier(
+            tiny_graph.offsets,
+            tiny_graph.indices.astype(np.int64),
+            np.array([0], dtype=np.int64),
+        )
+        bogus.frontier[0] = 999
+        with pytest.raises(SimulationError):
+            charge_sweeps_batched(tiny_graph, K40C, [bogus])

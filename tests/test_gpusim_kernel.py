@@ -10,6 +10,7 @@ from repro.gpusim.costmodel import SweepCost
 from repro.gpusim.device import K40C, DeviceConfig
 from repro.gpusim.kernel import ExecutionContext
 from repro.gpusim.metrics import SimMetrics
+from repro.perf.gather import expand_frontier
 
 
 class TestExecutionContext:
@@ -118,3 +119,128 @@ class TestChargeCost:
         assert ctx.metrics.cycles == 123.0
         assert ctx.metrics.total.atomic_ops == 4
         assert ctx.metrics.num_sweeps == 1
+
+
+class TestChargeBatch:
+    """charge_batch must leave the ledger exactly as per-sweep charge()
+    calls would, for every routing path (batched, eager-large, and the
+    non-identity-order fallback)."""
+
+    def _sweeps(self, graph, rng, k):
+        idx = graph.indices.astype(np.int64)
+        out = []
+        for _ in range(k):
+            size = int(rng.integers(1, graph.num_nodes))
+            frontier = np.sort(
+                rng.choice(graph.num_nodes, size=size, replace=False)
+            ).astype(np.int64)
+            out.append(expand_frontier(graph.offsets, idx, frontier))
+        return out
+
+    def _assert_same_ledger(self, graph, sweeps, **ctx_kwargs):
+        batch_ctx = ExecutionContext(graph, K40C, **ctx_kwargs)
+        batch_ctx.charge_batch(sweeps)
+        loop_ctx = ExecutionContext(graph, K40C, **ctx_kwargs)
+        for exp in sweeps:
+            loop_ctx.charge(exp.frontier, expansion=exp)
+        assert batch_ctx.metrics.num_sweeps == loop_ctx.metrics.num_sweeps
+        assert batch_ctx.metrics.total == loop_ctx.metrics.total
+
+    def test_matches_per_sweep_charges(self, rmat_small):
+        rng = np.random.default_rng(21)
+        self._assert_same_ledger(rmat_small, self._sweeps(rmat_small, rng, 7))
+
+    def test_large_sweeps_routed_eagerly(self, rmat_small, monkeypatch):
+        # force every sweep over the eager threshold: the segmented path
+        # must still produce the identical ledger
+        monkeypatch.setattr(ExecutionContext, "BATCH_EAGER_EDGES", 1)
+        rng = np.random.default_rng(22)
+        self._assert_same_ledger(rmat_small, self._sweeps(rmat_small, rng, 5))
+
+    def test_resident_mask_respected(self, rmat_small):
+        rng = np.random.default_rng(23)
+        mask = rng.random(rmat_small.num_nodes) < 0.5
+        self._assert_same_ledger(
+            rmat_small, self._sweeps(rmat_small, rng, 5), resident_mask=mask
+        )
+
+    def test_non_identity_order_falls_back(self, rmat_small):
+        rng = np.random.default_rng(24)
+        order = rng.permutation(rmat_small.num_nodes).astype(np.int64)
+        sweeps = self._sweeps(rmat_small, rng, 4)
+        batch_ctx = ExecutionContext(rmat_small, K40C, order=order)
+        batch_ctx.charge_batch(sweeps)
+        loop_ctx = ExecutionContext(rmat_small, K40C, order=order)
+        for exp in sweeps:
+            loop_ctx.charge(exp.frontier)
+        assert batch_ctx.metrics.total == loop_ctx.metrics.total
+
+    def test_empty_batch_is_noop(self, tiny_graph):
+        ctx = ExecutionContext(tiny_graph, K40C)
+        ctx.charge_batch([])
+        assert ctx.metrics.num_sweeps == 0
+
+    def test_mismatched_expansion_raises(self, tiny_graph):
+        exp = expand_frontier(
+            tiny_graph.offsets,
+            tiny_graph.indices.astype(np.int64),
+            np.array([0, 1], dtype=np.int64),
+        )
+        ctx = ExecutionContext(tiny_graph, K40C)
+        with pytest.raises(SimulationError):
+            ctx.charge(np.array([2], dtype=np.int64), expansion=exp)
+
+
+class TestFullSweepExpansionCache:
+    """``charge(None)`` reuses one cached full-graph expansion; the
+    charges must equal an uncached ``charge_sweep`` over all nodes."""
+
+    def test_identical_to_uncached_full_sweep(self, rmat_small):
+        from repro.gpusim.costmodel import charge_sweep
+
+        ctx = ExecutionContext(rmat_small, K40C)
+        first = ctx.charge(None)
+        second = ctx.charge(None)
+        plain = charge_sweep(
+            rmat_small, K40C, np.arange(rmat_small.num_nodes, dtype=np.int64)
+        )
+        assert first == plain
+        assert second == plain
+        assert ctx._full_exp is not None  # built once, reused
+
+    def test_resident_mask_and_all_shared(self, rmat_small):
+        from repro.gpusim.costmodel import charge_sweep
+
+        rng = np.random.default_rng(31)
+        mask = rng.random(rmat_small.num_nodes) < 0.4
+        ctx = ExecutionContext(rmat_small, K40C, resident_mask=mask)
+        everyone = np.arange(rmat_small.num_nodes, dtype=np.int64)
+        assert ctx.charge(None) == charge_sweep(
+            rmat_small, K40C, everyone, resident_mask=mask
+        )
+        assert ctx.charge(None, all_shared=True) == charge_sweep(
+            rmat_small, K40C, everyone, all_shared=True
+        )
+
+    def test_non_identity_order_skips_cache(self, rmat_small):
+        rng = np.random.default_rng(32)
+        order = rng.permutation(rmat_small.num_nodes).astype(np.int64)
+        ctx = ExecutionContext(rmat_small, K40C, order=order)
+        ctx.charge(None)
+        assert ctx._full_exp is None
+
+    def test_subgraph_skips_cache(self, tiny_graph, rmat_small):
+        ctx = ExecutionContext(rmat_small, K40C)
+        sub = tiny_graph
+        if sub.num_nodes == rmat_small.num_nodes:  # pragma: no cover
+            pytest.skip("fixtures must differ for this test")
+        # subgraph sweeps must never be charged from the main graph's
+        # cached expansion (different CSR entirely)
+        from repro.gpusim.costmodel import charge_sweep
+
+        got = ctx.charge(
+            np.arange(sub.num_nodes, dtype=np.int64), subgraph=sub
+        )
+        assert got == charge_sweep(
+            sub, K40C, np.arange(sub.num_nodes, dtype=np.int64)
+        )

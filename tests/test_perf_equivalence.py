@@ -1,0 +1,94 @@
+"""Engine-vs-reference equivalence: the frontier-gather engine's contract.
+
+The ``repro.perf`` engine is a pure host-side optimisation: for every
+solver it must produce **byte-identical values, identical iteration
+counts, and identical SimMetrics charges** to the pre-refactor reference
+paths preserved in :mod:`repro.perf.reference`.  These tests pin that
+contract across every plan technique (exact, coalescing, shmem,
+divergence) and both BC parallelization strategies.
+
+Byte-identical means ``tobytes()`` equality — stricter than
+``np.array_equal`` (distinguishes ``-0.0`` from ``0.0`` and NaN
+payloads), because the engine claims the *same floating-point
+operations in the same order*, not merely the same mathematical result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bc import betweenness_centrality
+from repro.algorithms.sssp import sssp
+from repro.algorithms.wcc import wcc
+from repro.core.pipeline import build_plan
+from repro.perf.reference import bc_reference, sssp_reference, wcc_reference
+
+TECHNIQUES = ("exact", "coalescing", "shmem", "divergence")
+
+
+def _plan_for(graph, technique):
+    if technique == "exact":
+        return graph
+    return build_plan(graph, technique)
+
+
+def assert_identical(engine_res, reference_res):
+    """Byte-identical values + identical iterations and charges."""
+    assert engine_res.values.dtype == reference_res.values.dtype
+    assert engine_res.values.tobytes() == reference_res.values.tobytes()
+    assert engine_res.iterations == reference_res.iterations
+    assert engine_res.metrics.num_sweeps == reference_res.metrics.num_sweeps
+    # SweepCost is a frozen dataclass: == compares every charge field,
+    # including the final cycle count
+    assert engine_res.metrics.total == reference_res.metrics.total
+
+
+@pytest.mark.parametrize("technique", TECHNIQUES)
+class TestSSSPEquivalence:
+    def test_rmat(self, rmat_small, technique):
+        plan = _plan_for(rmat_small, technique)
+        source = int(np.argmax(rmat_small.out_degrees()))
+        assert_identical(sssp(plan, source), sssp_reference(plan, source))
+
+    def test_road(self, road_small, technique):
+        plan = _plan_for(road_small, technique)
+        assert_identical(sssp(plan, 0), sssp_reference(plan, 0))
+
+
+@pytest.mark.parametrize("technique", TECHNIQUES)
+class TestWCCEquivalence:
+    def test_rmat(self, rmat_small, technique):
+        plan = _plan_for(rmat_small, technique)
+        eng, ref = wcc(plan), wcc_reference(plan)
+        assert_identical(eng, ref)
+        assert eng.aux["num_components"] == ref.aux["num_components"]
+
+
+@pytest.mark.parametrize("technique", TECHNIQUES)
+@pytest.mark.parametrize("strategy", ["inner", "outer"])
+class TestBCEquivalence:
+    def test_rmat(self, rmat_small, technique, strategy):
+        plan = _plan_for(rmat_small, technique)
+        eng = betweenness_centrality(
+            plan, num_sources=4, seed=1, strategy=strategy, engine="gather"
+        )
+        ref = bc_reference(plan, num_sources=4, seed=1, strategy=strategy)
+        assert_identical(eng, ref)
+
+
+class TestBCEngineValidation:
+    def test_unknown_engine_rejected(self, tiny_graph):
+        from repro.errors import AlgorithmError
+
+        with pytest.raises(AlgorithmError, match="engine"):
+            betweenness_centrality(tiny_graph, num_sources=1, engine="warp9")
+
+    def test_topology_driven_equivalence(self, rmat_small):
+        eng = betweenness_centrality(
+            rmat_small, num_sources=2, seed=0, topology_driven=True
+        )
+        ref = bc_reference(
+            rmat_small, num_sources=2, seed=0, topology_driven=True
+        )
+        assert_identical(eng, ref)
