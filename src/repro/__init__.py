@@ -11,6 +11,7 @@ Tinge of GPU-Specific Approximations"* (ICPP 2020) in pure Python:
 * :mod:`repro.eval`    — inaccuracy metrics, harness, Tables 1-14, Figs 7-9
 * :mod:`repro.resilience` — checkpoint journal, worker retry, fault injection
 * :mod:`repro.cache`   — content-addressed transform/analytics artifact cache
+* :mod:`repro.verify`  — structural/metamorphic/differential/golden oracles
 
 Quickstart::
 
@@ -24,7 +25,17 @@ Quickstart::
           ev.attribute_inaccuracy(exact.values, approx.values))
 """
 
-from . import algorithms, baselines, cache, core, eval, graphs, gpusim, resilience
+from . import (
+    algorithms,
+    baselines,
+    cache,
+    core,
+    eval,
+    graphs,
+    gpusim,
+    resilience,
+    verify,
+)
 from .errors import (
     AlgorithmError,
     CacheError,
@@ -36,6 +47,7 @@ from .errors import (
     ResilienceError,
     SimulationError,
     TransformError,
+    VerificationError,
     WorkerTimeout,
 )
 
@@ -52,6 +64,7 @@ __all__ = [
     "ResilienceError",
     "SimulationError",
     "TransformError",
+    "VerificationError",
     "WorkerTimeout",
     "algorithms",
     "baselines",
@@ -61,4 +74,5 @@ __all__ = [
     "graphs",
     "gpusim",
     "resilience",
+    "verify",
 ]

@@ -8,7 +8,9 @@ Subcommands:
 * ``cache {stats,ls,clear}`` — inspect or clear the on-disk artifact
   cache (see :mod:`repro.cache.cli` and ``docs/caching.md``);
 * ``perf`` — time the solver kernels and emit/check the tracked perf
-  baseline (see :mod:`repro.perf.bench` and ``docs/performance.md``).
+  baseline (see :mod:`repro.perf.bench` and ``docs/performance.md``);
+* ``verify`` — the structural/metamorphic/differential/golden oracle
+  suite (see :mod:`repro.verify` and ``docs/verification.md``).
 """
 
 import sys
@@ -28,6 +30,10 @@ def main(argv=None):
         from .perf.bench import main as perf_main
 
         return perf_main(argv[1:])
+    if argv and argv[0] == "verify":
+        from .verify.cli import main as verify_main
+
+        return verify_main(argv[1:])
     from .eval.suite import main as suite_main
 
     return suite_main(argv)

@@ -82,6 +82,19 @@ class CacheError(ReproError):
     """
 
 
+class VerificationError(ReproError):
+    """Raised by :mod:`repro.verify` when an oracle finds violations.
+
+    Carries the individual violations (structured, machine-readable) in
+    ``violations`` so callers can report every failed invariant at once
+    instead of stopping at the first.
+    """
+
+    def __init__(self, message: str, violations: list | None = None) -> None:
+        super().__init__(message)
+        self.violations = list(violations or [])
+
+
 class FaultInjected(ResilienceError):
     """Raised by :mod:`repro.resilience.faults` at an armed fault point.
 

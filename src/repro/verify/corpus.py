@@ -1,0 +1,124 @@
+"""Deterministic adversarial graph corpus for the verification oracles.
+
+The PR 3 post-mortem showed that simple random graphs miss whole bug
+classes: the divergence transform silently dropped *parallel* edges, and
+``bfs_forest_levels`` mishandled leftover components — shapes that never
+arise from deduplicated Erdős–Rényi samples.  This corpus pins down the
+adversarial shapes (multigraphs, self loops, disconnected pieces,
+zero-weight edges, stars, chains) as small named graphs, plus a few
+generator samples for realistic degree structure.  Everything is built
+from fixed seeds so one corpus name always means one exact graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ..graphs.generators import (
+    erdos_renyi,
+    heavy_tail_social,
+    rmat,
+    road_network,
+)
+
+__all__ = ["adversarial_corpus", "generated_corpus", "default_corpus"]
+
+
+def _multigraph(seed: int) -> CSRGraph:
+    """Parallel edges with distinct weights — the PR 3 divergence trap."""
+    rng = np.random.default_rng(seed)
+    n = 24
+    src = rng.integers(0, n, size=90)
+    dst = rng.integers(0, n, size=90)
+    # force guaranteed duplicates: repeat a block of edges verbatim
+    src = np.concatenate([src, src[:20]])
+    dst = np.concatenate([dst, dst[:20]])
+    w = rng.uniform(0.5, 10.0, size=src.size)
+    return CSRGraph.from_edges(n, src, dst, w, dedup=False)
+
+
+def _self_loops(seed: int) -> CSRGraph:
+    rng = np.random.default_rng(seed)
+    n = 16
+    src = rng.integers(0, n, size=40)
+    dst = rng.integers(0, n, size=40)
+    loops = np.arange(0, n, 2, dtype=np.int64)
+    src = np.concatenate([src, loops])
+    dst = np.concatenate([dst, loops])
+    return CSRGraph.from_edges(n, src, dst, dedup=False)
+
+
+def _disconnected(seed: int) -> CSRGraph:
+    """Two dense components plus a tail of fully isolated nodes."""
+    rng = np.random.default_rng(seed)
+    block = 10
+    src_a = rng.integers(0, block, size=30)
+    dst_a = rng.integers(0, block, size=30)
+    src_b = rng.integers(block, 2 * block, size=30)
+    dst_b = rng.integers(block, 2 * block, size=30)
+    n = 2 * block + 6  # six isolated nodes at the end
+    return CSRGraph.from_edges(
+        n,
+        np.concatenate([src_a, src_b]),
+        np.concatenate([dst_a, dst_b]),
+        dedup=True,
+    )
+
+
+def _zero_weight(seed: int) -> CSRGraph:
+    """Weighted graph where a fraction of edges carries weight exactly 0."""
+    rng = np.random.default_rng(seed)
+    n = 20
+    m = 70
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    w = rng.uniform(0.5, 8.0, size=m)
+    w[:: 5] = 0.0
+    return CSRGraph.from_edges(n, src, dst, w, dedup=True)
+
+
+def _star(seed: int) -> CSRGraph:
+    """One hub versus many leaves: the maximal degree-variance shape."""
+    n = 33
+    hub = 0
+    leaves = np.arange(1, n, dtype=np.int64)
+    src = np.concatenate([np.full(leaves.size, hub), leaves[: n // 2]])
+    dst = np.concatenate([leaves, np.full(n // 2, hub)])
+    return CSRGraph.from_edges(n, src, dst)
+
+
+def _chain(seed: int) -> CSRGraph:
+    """A directed path: maximal diameter, uniform degree 1."""
+    n = 30
+    src = np.arange(n - 1, dtype=np.int64)
+    return CSRGraph.from_edges(n, src, src + 1, np.full(n - 1, 2.0))
+
+
+def adversarial_corpus(seed: int = 0) -> dict[str, CSRGraph]:
+    """The named hand-built shapes that have historically hidden bugs."""
+    return {
+        "multigraph": _multigraph(seed),
+        "self-loops": _self_loops(seed + 1),
+        "disconnected": _disconnected(seed + 2),
+        "zero-weight": _zero_weight(seed + 3),
+        "star": _star(seed + 4),
+        "chain": _chain(seed + 5),
+    }
+
+
+def generated_corpus(seed: int = 0) -> dict[str, CSRGraph]:
+    """Small samples of the paper-suite generators for realistic structure."""
+    return {
+        "rmat": rmat(6, edge_factor=4, seed=seed + 11),
+        "er": erdos_renyi(64, 256, seed=seed + 12),
+        "road": road_network(7, seed=seed + 13),
+        "social": heavy_tail_social(72, mean_degree=6, seed=seed + 14),
+    }
+
+
+def default_corpus(seed: int = 0) -> dict[str, CSRGraph]:
+    """Adversarial shapes plus generator samples — the ``--quick`` set."""
+    corpus = adversarial_corpus(seed)
+    corpus.update(generated_corpus(seed))
+    return corpus

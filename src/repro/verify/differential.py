@@ -1,0 +1,245 @@
+"""Differential (cross-implementation) checks.
+
+Two independent paths to the same answer must agree *byte for byte* —
+both in solver values and in the simulated cost charges — or one of them
+is wrong:
+
+* :func:`check_bc_engines` — the PR 4 frontier-gather BC engine against
+  the preserved reference path;
+* :func:`check_cache_differential` — an uncached plan build against a
+  cold-store build and a warm disk-tier reload (``--cache-dir``);
+* :func:`check_serial_parallel` — ``TableRunner``'s in-process sweep
+  against the fault-tolerant process pool in :mod:`repro.eval.parallel`.
+
+``preprocess_seconds`` is the one field deliberately excluded from plan
+comparisons: it is wall-clock and legitimately differs between runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algorithms.bc import betweenness_centrality, pick_sources
+from ..algorithms.sssp import sssp
+from ..cache import memo
+from ..core.pipeline import ExecutionPlan, build_plan
+from ..eval.parallel import parallel_technique_rows
+from ..eval.tables import TableRunner
+from ..graphs.csr import CSRGraph
+from ..gpusim.device import DeviceConfig, K40C
+from .invariants import Violation
+
+__all__ = [
+    "check_bc_engines",
+    "check_cache_differential",
+    "check_serial_parallel",
+    "plans_identical",
+]
+
+
+def _arrays_equal(a: np.ndarray | None, b: np.ndarray | None) -> bool:
+    if a is None or b is None:
+        return a is None and b is None
+    return a.dtype == b.dtype and np.array_equal(a, b)
+
+
+def _graphs_identical(a: CSRGraph | None, b: CSRGraph | None) -> bool:
+    if a is None or b is None:
+        return a is None and b is None
+    return (
+        a.num_nodes == b.num_nodes
+        and _arrays_equal(a.offsets, b.offsets)
+        and _arrays_equal(a.indices, b.indices)
+        and _arrays_equal(a.weights, b.weights)
+    )
+
+
+def plans_identical(a: ExecutionPlan, b: ExecutionPlan) -> list[str]:
+    """Field-by-field byte comparison of two plans' *execution* state.
+
+    Transform intermediates (``_shmem``/``_divergence``, the renumbering
+    details inside ``graffix``) are not compared: the disk tier round-trips
+    plans through :mod:`repro.core.serialize`, which keeps everything a
+    runner reads but reconstructs those provenance records degenerately.
+    ``preprocess_seconds`` is wall-clock and excluded by design.
+    """
+    diffs: list[str] = []
+    if a.technique != b.technique:
+        diffs.append("technique")
+    if a.num_original != b.num_original:
+        diffs.append("num_original")
+    if a.edges_added != b.edges_added:
+        diffs.append("edges_added")
+    if a.confluence_operator != b.confluence_operator:
+        diffs.append("confluence_operator")
+    if a.local_iterations != b.local_iterations:
+        diffs.append("local_iterations")
+    if not _graphs_identical(a.graph, b.graph):
+        diffs.append("graph")
+    if not _arrays_equal(a.order, b.order):
+        diffs.append("order")
+    if not _arrays_equal(a.resident_mask, b.resident_mask):
+        diffs.append("resident_mask")
+    if not _graphs_identical(a.cluster_graph, b.cluster_graph):
+        diffs.append("cluster_graph")
+    ga, gb = a.graffix, b.graffix
+    if (ga is None) != (gb is None):
+        diffs.append("graffix")
+    elif ga is not None and gb is not None:
+        if (
+            ga.num_original != gb.num_original
+            or ga.chunk_size != gb.chunk_size
+            or not _arrays_equal(ga.rep_of, gb.rep_of)
+            or not _arrays_equal(ga.primary_slot, gb.primary_slot)
+        ):
+            diffs.append("graffix")
+    return diffs
+
+
+def _results_identical(a, b, what: str) -> list[Violation]:
+    v: list[Violation] = []
+    if not np.array_equal(a.values, b.values):
+        v.append(
+            Violation(f"differential.{what}", "solver values are not byte-equal")
+        )
+    if a.iterations != b.iterations:
+        v.append(
+            Violation(
+                f"differential.{what}",
+                f"iteration counts differ ({a.iterations} vs {b.iterations})",
+            )
+        )
+    sa, sb = a.metrics.summary(), b.metrics.summary()
+    if sa != sb:
+        keys = sorted(k for k in set(sa) | set(sb) if sa.get(k) != sb.get(k))
+        v.append(
+            Violation(
+                f"differential.{what}",
+                f"simulated charges differ on {keys}",
+            )
+        )
+    if a.metrics.num_sweeps != b.metrics.num_sweeps:
+        v.append(
+            Violation(
+                f"differential.{what}",
+                f"sweep counts differ ({a.metrics.num_sweeps} vs"
+                f" {b.metrics.num_sweeps})",
+            )
+        )
+    return v
+
+
+# ---------------------------------------------------------------------------
+def check_bc_engines(
+    graph: CSRGraph,
+    *,
+    technique: str = "exact",
+    seed: int = 0,
+    device: DeviceConfig = K40C,
+) -> list[Violation]:
+    """``engine="gather"`` and ``engine="reference"`` must match exactly."""
+    target: CSRGraph | ExecutionPlan = graph
+    if technique != "exact":
+        target = build_plan(graph, technique, device=device)
+    sources = pick_sources(graph.num_nodes, min(4, graph.num_nodes), seed)
+    gather = betweenness_centrality(
+        target, sources=sources, engine="gather", device=device
+    )
+    reference = betweenness_centrality(
+        target, sources=sources, engine="reference", device=device
+    )
+    return _results_identical(gather, reference, f"bc_engines.{technique}")
+
+
+# ---------------------------------------------------------------------------
+def check_cache_differential(
+    graph: CSRGraph,
+    technique: str,
+    cache_dir: str,
+    *,
+    device: DeviceConfig = K40C,
+) -> list[Violation]:
+    """Uncached, cold-store, and warm-reload plans must be interchangeable.
+
+    Three builds: one with the cache disabled, one that populates
+    ``cache_dir`` (cold), and one in a *fresh* cache config over the same
+    directory — so the memory tier is empty and the plan must round-trip
+    through the disk store.  All three must execute identically.
+    """
+    v: list[Violation] = []
+    with memo.enabled(None):  # force-disable any ambient cache config
+        memo.disable()
+        uncached = build_plan(graph, technique, device=device)
+    with memo.enabled(cache_dir):
+        cold = build_plan(graph, technique, device=device)
+    with memo.enabled(cache_dir):
+        warm = build_plan(graph, technique, device=device)
+
+    for name, other in (("cold", cold), ("warm", warm)):
+        diffs = plans_identical(uncached, other)
+        if diffs:
+            v.append(
+                Violation(
+                    "differential.cache.plan",
+                    f"{name} {technique} plan differs from uncached on"
+                    f" fields {diffs}",
+                )
+            )
+    if v:
+        return v
+
+    source = int(np.argmax(graph.out_degrees()))
+    runs = [sssp(p, source, device=device) for p in (uncached, cold, warm)]
+    for name, run in zip(("cold", "warm"), runs[1:]):
+        v += [
+            Violation(x.oracle.replace("differential.", "differential.cache."), x.message)
+            for x in _results_identical(runs[0], run, f"{name}.{technique}")
+        ]
+    return v
+
+
+# ---------------------------------------------------------------------------
+def check_serial_parallel(
+    *,
+    technique: str = "divergence",
+    scale: str = "tiny",
+    seed: int = 7,
+    baseline: str = "baseline1",
+    algorithms: tuple[str, ...] = ("sssp", "pr"),
+) -> list[Violation]:
+    """The process-pool sweep must reproduce the serial rows byte-for-byte."""
+    runner = TableRunner(scale=scale, seed=seed, parallel=False, degrade=True)
+    serial = runner._technique_rows(technique, baseline, algorithms)
+    parallel = parallel_technique_rows(
+        technique,
+        baseline=baseline,
+        algorithms=algorithms,
+        scale=scale,
+        seed=seed,
+        num_bc_sources=runner.num_bc_sources,
+        degrade=True,
+    )
+    key = lambda r: (r["algorithm"], r["graph"])  # noqa: E731
+    serial = sorted(serial, key=key)
+    parallel = sorted(parallel, key=key)
+    v: list[Violation] = []
+    if [key(r) for r in serial] != [key(r) for r in parallel]:
+        v.append(
+            Violation(
+                "differential.parallel",
+                "serial and parallel sweeps produced different cell sets",
+            )
+        )
+        return v
+    for s, p in zip(serial, parallel):
+        fields = sorted(
+            f for f in set(s) | set(p) if s.get(f) != p.get(f)
+        )
+        if fields:
+            v.append(
+                Violation(
+                    "differential.parallel",
+                    f"cell {key(s)} differs on {fields}",
+                )
+            )
+    return v

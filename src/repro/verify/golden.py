@@ -1,0 +1,165 @@
+"""Golden checks: the reproduction's tables against the paper's claims.
+
+A simulator on different hardware cannot match the paper's absolute
+numbers, so the golden oracle checks *tolerance bands* instead: every
+measured cell must stay inside a sane speedup/inaccuracy envelope, and
+every table must stay directionally and ordinally consistent with the
+transcribed paper data (:mod:`repro.eval.paper_data`), scored by
+:mod:`repro.eval.agreement`.
+
+The default :class:`ToleranceBand` was calibrated against the tiny-scale
+suite at the repo's standard table seed (7): observed per-cell speedups
+span 0.89–2.02, inaccuracies peak at ~48 % (BC on usa-road), direction
+agreement bottoms out at 0.64 and the geomean ratio stays within
+0.96–1.10.  The bands leave real headroom around those values while still
+catching a transform whose approximation quality collapses.
+
+Output is machine-readable: one verdict dict per table cell plus a
+table-level agreement verdict, so CI can diff failures cell by cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..eval.agreement import score_table
+from ..eval.paper_data import TABLE_TECHNIQUE, TECHNIQUE_TABLES
+from ..eval.tables import TableRunner
+from .invariants import Violation
+
+__all__ = [
+    "ToleranceBand",
+    "check_table",
+    "run_golden",
+    "golden_violations",
+    "GOLDEN_TABLES",
+]
+
+#: the technique tables the golden pass replays (vs Baseline-I)
+GOLDEN_TABLES = ("table6", "table7", "table8")
+
+#: tables use the repo's standard suite seed so the bands stay meaningful;
+#: ``--seed`` deliberately does not reach the golden pass
+TABLE_SEED = 7
+
+
+@dataclass(frozen=True)
+class ToleranceBand:
+    """Acceptance envelope for one technique table."""
+
+    min_speedup: float = 0.25
+    max_speedup: float = 8.0
+    max_inaccuracy_percent: float = 60.0
+    min_direction_agreement: float = 0.55
+    min_spearman: float = 0.0
+    geomean_ratio_low: float = 0.5
+    geomean_ratio_high: float = 2.0
+
+
+def _cell_verdict(table: str, row: dict, band: ToleranceBand) -> dict:
+    paper_cells, _gm, _baseline, _algos = TECHNIQUE_TABLES[table]
+    algo, graph = str(row["algorithm"]), str(row["graph"])
+    paper = paper_cells.get(algo, {}).get(graph)
+    reasons: list[str] = []
+    if row.get("degraded"):
+        # a degraded cell is exact-by-construction; the resilience layer
+        # already footnotes it, the golden pass only records the fact
+        reasons.append(f"degraded: {row.get('degraded_reason', '')}")
+    else:
+        spd = float(row["speedup"])
+        inacc = float(row["inaccuracy_percent"])
+        if not band.min_speedup <= spd <= band.max_speedup:
+            reasons.append(
+                f"speedup {spd:.3f} outside"
+                f" [{band.min_speedup}, {band.max_speedup}]"
+            )
+        if inacc > band.max_inaccuracy_percent:
+            reasons.append(
+                f"inaccuracy {inacc:.2f}% above {band.max_inaccuracy_percent}%"
+            )
+    return {
+        "table": table,
+        "algorithm": algo,
+        "graph": graph,
+        "speedup": row["speedup"],
+        "inaccuracy_percent": row["inaccuracy_percent"],
+        "paper_speedup": None if paper is None else paper[0],
+        "paper_inaccuracy_percent": None if paper is None else paper[1],
+        "degraded": bool(row.get("degraded", False)),
+        "passed": not [r for r in reasons if not r.startswith("degraded")],
+        "reasons": reasons,
+    }
+
+
+def check_table(
+    table: str, rows: list[dict], band: ToleranceBand | None = None
+) -> dict:
+    """Score one table's measured rows; returns a machine-readable verdict."""
+    band = band or ToleranceBand()
+    cells = [_cell_verdict(table, row, band) for row in rows]
+    agreement = score_table(table, rows)
+    reasons: list[str] = []
+    if agreement.direction_agreement < band.min_direction_agreement:
+        reasons.append(
+            f"direction agreement {agreement.direction_agreement:.2f} below"
+            f" {band.min_direction_agreement}"
+        )
+    if agreement.spearman_speedup < band.min_spearman:
+        reasons.append(
+            f"speedup rank correlation {agreement.spearman_speedup:.2f} below"
+            f" {band.min_spearman}"
+        )
+    if not (
+        band.geomean_ratio_low
+        <= agreement.geomean_ratio
+        <= band.geomean_ratio_high
+    ):
+        reasons.append(
+            f"geomean ratio {agreement.geomean_ratio:.2f} outside"
+            f" [{band.geomean_ratio_low}, {band.geomean_ratio_high}]"
+        )
+    failed_cells = [c for c in cells if not c["passed"]]
+    return {
+        "table": table,
+        "technique": TABLE_TECHNIQUE[table],
+        "cells": cells,
+        "agreement": agreement.as_row(),
+        "reasons": reasons,
+        "passed": not reasons and not failed_cells,
+    }
+
+
+def run_golden(
+    *,
+    scale: str = "tiny",
+    tables: tuple[str, ...] = GOLDEN_TABLES,
+    band: ToleranceBand | None = None,
+    runner: TableRunner | None = None,
+) -> dict:
+    """Replay the technique tables and check every cell against the band."""
+    runner = runner or TableRunner(scale=scale, seed=TABLE_SEED)
+    verdicts = []
+    for table in tables:
+        technique = TABLE_TECHNIQUE[table]
+        _cells, _gm, baseline, algos = TECHNIQUE_TABLES[table]
+        rows = runner._technique_rows(technique, baseline, algos)
+        verdicts.append(check_table(table, rows, band))
+    return {"tables": verdicts, "passed": all(v["passed"] for v in verdicts)}
+
+
+def golden_violations(report: dict) -> list[Violation]:
+    """Flatten a :func:`run_golden` report into oracle violations."""
+    v: list[Violation] = []
+    for verdict in report["tables"]:
+        for reason in verdict["reasons"]:
+            v.append(Violation(f"golden.{verdict['table']}", reason))
+        for cell in verdict["cells"]:
+            if not cell["passed"]:
+                v.append(
+                    Violation(
+                        f"golden.{verdict['table']}",
+                        f"{cell['algorithm']}/{cell['graph']}:"
+                        f" {'; '.join(cell['reasons'])}",
+                    )
+                )
+    return v

@@ -1,0 +1,701 @@
+"""Composable structural oracles for every Graffix pipeline stage.
+
+Each ``check_*`` function takes the stage's input and output and returns a
+list of :class:`Violation` records — empty means the oracle is green.  The
+checks encode the *contracts* the transforms document rather than their
+implementations, so a future rewrite of a transform is still held to the
+same paper-level guarantees:
+
+* CSR well-formedness (:func:`check_csr`);
+* renumbering is a permutation onto chunk-aligned level blocks with exact
+  hole accounting (:func:`check_renumbering`);
+* replication's replica map is consistent and confluence-mergeable, and
+  the slot graph projects back onto the original edge multiset plus
+  exactly ``edges_added`` extras (:func:`check_coalescing`);
+* shared-memory planning respects the global added-edge budget and the
+  sibling 2-hop rule (:func:`check_shmem`);
+* divergence padding hits at most the 85 %-of-warp-max degree target and
+  never drops pre-existing parallel edges (:func:`check_divergence`);
+* ``out.num_edges == in.num_edges + edges_added`` everywhere
+  (:func:`check_plan`).
+
+:func:`verify_plan` is the raising wrapper the CLI and tests use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.coalesce import GraffixGraph
+from ..core.divergence import DivergencePlan, bucket_order
+from ..core.knobs import CoalescingKnobs, DivergenceKnobs, SharedMemoryKnobs
+from ..core.pipeline import TECHNIQUES, ExecutionPlan
+from ..core.renumber import RenumberResult
+from ..core.shmem import SharedMemoryPlan
+from ..errors import GraphFormatError, VerificationError
+from ..graphs.csr import CSRGraph
+from ..gpusim.device import DeviceConfig, K40C
+
+__all__ = [
+    "Violation",
+    "check_csr",
+    "check_renumbering",
+    "check_coalescing",
+    "check_shmem",
+    "check_divergence",
+    "check_plan",
+    "verify_plan",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant: which oracle, and what it saw."""
+
+    oracle: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.oracle}: {self.message}"
+
+
+def _edge_counts(graph: CSRGraph) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted ``(src, dst)`` multiset as (unique keys, multiplicities)."""
+    src = graph.edge_sources().astype(np.int64)
+    dst = graph.indices.astype(np.int64)
+    return np.unique(src * graph.num_nodes + dst, return_counts=True)
+
+
+def _count_of(keys: np.ndarray, counts: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Multiplicity of each ``query`` key in a sorted unique-key table."""
+    pos = np.searchsorted(keys, query)
+    out = np.zeros(query.size, dtype=np.int64)
+    ok = pos < keys.size
+    hit = ok.copy()
+    hit[ok] = keys[pos[ok]] == query[ok]
+    out[hit] = counts[pos[hit]]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# stage 0: CSR well-formedness
+# ---------------------------------------------------------------------------
+def check_csr(graph: CSRGraph, *, context: str = "graph") -> list[Violation]:
+    """The raw array invariants, plus finite weights."""
+    v: list[Violation] = []
+    try:
+        graph.check()
+    except GraphFormatError as exc:
+        v.append(Violation("csr.structure", f"{context}: {exc}"))
+        return v
+    if graph.weights is not None and not np.all(np.isfinite(graph.weights)):
+        bad = int(np.count_nonzero(~np.isfinite(graph.weights)))
+        v.append(
+            Violation("csr.weights", f"{context}: {bad} non-finite edge weights")
+        )
+    return v
+
+
+# ---------------------------------------------------------------------------
+# stage 1: renumbering (§2, Algorithm 2 step 1)
+# ---------------------------------------------------------------------------
+def check_renumbering(graph: CSRGraph, ren: RenumberResult) -> list[Violation]:
+    """Permutation + chunk-aligned level blocks + exact hole accounting."""
+    v: list[Violation] = []
+    n = graph.num_nodes
+    k = ren.chunk_size
+
+    if ren.new_id.size != n:
+        v.append(
+            Violation(
+                "renumber.permutation",
+                f"new_id has {ren.new_id.size} entries for {n} nodes",
+            )
+        )
+        return v
+    if ren.num_slots < n or ren.num_slots % k != 0:
+        v.append(
+            Violation(
+                "renumber.slots",
+                f"num_slots={ren.num_slots} is not a multiple of k={k} >= n={n}",
+            )
+        )
+    if np.unique(ren.new_id).size != n or ren.new_id.min() < 0 or int(
+        ren.new_id.max()
+    ) >= ren.num_slots:
+        v.append(
+            Violation(
+                "renumber.permutation",
+                "new_id is not an injection into the slot space",
+            )
+        )
+        return v
+
+    # rep_of is the exact inverse: occupied slots are precisely the image
+    if ren.rep_of.size != ren.num_slots:
+        v.append(
+            Violation("renumber.inverse", "rep_of length does not match num_slots")
+        )
+        return v
+    if not np.array_equal(ren.rep_of[ren.new_id], np.arange(n)):
+        v.append(
+            Violation("renumber.inverse", "rep_of[new_id] is not the identity")
+        )
+    occupied = int(np.count_nonzero(ren.rep_of >= 0))
+    if occupied != n:
+        v.append(
+            Violation(
+                "renumber.holes",
+                f"{occupied} occupied slots for {n} nodes (holes double-booked?)",
+            )
+        )
+    if ren.num_holes != ren.num_slots - n:
+        v.append(
+            Violation(
+                "renumber.holes",
+                f"num_holes={ren.num_holes} != num_slots-n={ren.num_slots - n}",
+            )
+        )
+
+    # level blocks: monotone starts, interior starts k-aligned, and every
+    # node's slot inside its level's block
+    starts = ren.level_starts
+    if starts[0] != 0 or starts[-1] != ren.num_slots or np.any(np.diff(starts) < 0):
+        v.append(
+            Violation(
+                "renumber.levels",
+                "level_starts is not a monotone partition of the slot space",
+            )
+        )
+        return v
+    if np.any(starts[1:-1] % k != 0):
+        v.append(
+            Violation(
+                "renumber.alignment",
+                f"interior level starts are not multiples of k={k}",
+            )
+        )
+    lev = ren.levels
+    if lev.size != n or lev.min() < 0 or int(lev.max()) + 2 != starts.size:
+        v.append(
+            Violation("renumber.levels", "levels array inconsistent with starts")
+        )
+        return v
+    in_block = (ren.new_id >= starts[lev]) & (ren.new_id < starts[lev + 1])
+    if not in_block.all():
+        bad = int(np.count_nonzero(~in_block))
+        v.append(
+            Violation(
+                "renumber.levels",
+                f"{bad} nodes numbered outside their BFS level block",
+            )
+        )
+    if np.any(np.bincount(lev, minlength=starts.size - 1) == 0):
+        v.append(Violation("renumber.levels", "empty BFS level in the forest"))
+    return v
+
+
+# ---------------------------------------------------------------------------
+# stage 2: replication / coalescing (§2, Algorithm 2 step 2)
+# ---------------------------------------------------------------------------
+def check_coalescing(
+    original: CSRGraph, gg: GraffixGraph, knobs: CoalescingKnobs | None = None
+) -> list[Violation]:
+    """Replica-map consistency, confluence-mergeability, edge projection."""
+    v: list[Violation] = []
+    n = original.num_nodes
+    out = gg.graph
+
+    if gg.num_original != n:
+        v.append(
+            Violation(
+                "coalesce.slots",
+                f"num_original={gg.num_original} but input has {n} nodes",
+            )
+        )
+        return v
+    # slot accounting: every slot is a primary, a replica, or a hole
+    if n + gg.num_replicas + gg.num_holes != gg.num_slots:
+        v.append(
+            Violation(
+                "coalesce.slots",
+                f"n={n} + replicas={gg.num_replicas} + holes={gg.num_holes}"
+                f" != num_slots={gg.num_slots}",
+            )
+        )
+    if gg.rep_of.size != gg.num_slots or (
+        gg.rep_of.size and int(gg.rep_of.max()) >= n
+    ):
+        v.append(Violation("coalesce.rep_of", "rep_of out of range"))
+        return v
+    if gg.primary_slot.size != n or not np.array_equal(
+        gg.rep_of[gg.primary_slot], np.arange(n)
+    ):
+        v.append(
+            Violation(
+                "coalesce.primary",
+                "primary_slot is not a section of rep_of (some node lost its"
+                " principal copy)",
+            )
+        )
+
+    # replica table consistency + per-node cap
+    reps = gg.replication.replicas
+    if reps.size:
+        slot, orig = reps[:, 0], reps[:, 1]
+        if not np.array_equal(gg.rep_of[slot], orig):
+            v.append(
+                Violation("coalesce.replicas", "replica rows disagree with rep_of")
+            )
+        if np.any(gg.primary_slot[orig] == slot):
+            v.append(
+                Violation(
+                    "coalesce.replicas", "a replica occupies its primary slot"
+                )
+            )
+        per_node = np.bincount(orig, minlength=n)
+        if knobs is not None and int(per_node.max()) > knobs.max_replicas_per_node:
+            v.append(
+                Violation(
+                    "coalesce.replicas",
+                    f"a node has {int(per_node.max())} replicas"
+                    f" (cap {knobs.max_replicas_per_node})",
+                )
+            )
+
+    # holes must stay inert: degree 0 both ways (they only waste lanes)
+    holes = gg.rep_of < 0
+    if np.any(out.out_degrees()[holes] > 0) or np.any(
+        np.bincount(out.indices, minlength=gg.num_slots)[holes] > 0
+    ):
+        v.append(Violation("coalesce.holes", "a hole slot has incident edges"))
+
+    # confluence-mergeable: groups cover exactly the multi-copy originals
+    slots, gids, sizes = gg.replica_groups()
+    copies = np.bincount(gg.rep_of[gg.rep_of >= 0], minlength=n)
+    multi = np.nonzero(copies >= 2)[0]
+    if sizes.size != multi.size or int(sizes.sum()) != slots.size:
+        v.append(
+            Violation(
+                "coalesce.confluence",
+                f"{sizes.size} groups for {multi.size} multi-copy originals",
+            )
+        )
+    elif slots.size:
+        owners = gg.rep_of[slots]
+        if np.any(owners < 0) or np.unique(owners).size != sizes.size:
+            v.append(
+                Violation(
+                    "coalesce.confluence",
+                    "a confluence group mixes copies of different originals",
+                )
+            )
+        group_sizes = np.bincount(gids, minlength=sizes.size)
+        if not np.array_equal(group_sizes, sizes) or not np.array_equal(
+            np.sort(np.unique(owners)), multi
+        ):
+            v.append(
+                Violation(
+                    "coalesce.confluence",
+                    "group sizes or membership disagree with the replica map",
+                )
+            )
+
+    # edge accounting + projection back to original node space
+    if out.num_edges != original.num_edges + gg.edges_added:
+        v.append(
+            Violation(
+                "coalesce.edge_accounting",
+                f"out.num_edges={out.num_edges} != in={original.num_edges}"
+                f" + edges_added={gg.edges_added}",
+            )
+        )
+    e_src = gg.rep_of[out.edge_sources()]
+    e_dst = gg.rep_of[out.indices]
+    if np.any(e_src < 0) or np.any(e_dst < 0):
+        v.append(
+            Violation("coalesce.projection", "an edge is incident to a hole")
+        )
+    else:
+        proj_keys, proj_counts = np.unique(
+            e_src.astype(np.int64) * n + e_dst.astype(np.int64),
+            return_counts=True,
+        )
+        in_keys, in_counts = _edge_counts(original)
+        have = _count_of(proj_keys, proj_counts, in_keys)
+        if np.any(have < in_counts):
+            missing = int(np.sum(np.maximum(in_counts - have, 0)))
+            v.append(
+                Violation(
+                    "coalesce.projection",
+                    f"{missing} original edges missing from the slot graph's"
+                    " projection",
+                )
+            )
+        excess = int(proj_counts.sum()) - int(in_counts.sum())
+        if excess != gg.edges_added:
+            v.append(
+                Violation(
+                    "coalesce.projection",
+                    f"projection has {excess} extra edges but edges_added"
+                    f"={gg.edges_added}",
+                )
+            )
+    return v
+
+
+# ---------------------------------------------------------------------------
+# stage 3: shared-memory planning (§3)
+# ---------------------------------------------------------------------------
+def check_shmem(
+    original: CSRGraph,
+    plan: SharedMemoryPlan,
+    knobs: SharedMemoryKnobs | None = None,
+    device: DeviceConfig = K40C,
+) -> list[Violation]:
+    """Global edge budget, sibling 2-hop rule, cluster/residency consistency."""
+    knobs = knobs or SharedMemoryKnobs()
+    v: list[Violation] = []
+    n = original.num_nodes
+    out = plan.graph
+
+    if out.num_nodes != n:
+        v.append(Violation("shmem.nodes", "node count changed"))
+        return v
+    if out.num_edges != original.num_edges + plan.edges_added:
+        v.append(
+            Violation(
+                "shmem.edge_accounting",
+                f"out.num_edges={out.num_edges} != in={original.num_edges}"
+                f" + edges_added={plan.edges_added}",
+            )
+        )
+    # the global budget; the emit loop checks before adding an arc *pair*,
+    # so it may overshoot by at most one arc
+    budget = int(knobs.edge_budget_fraction * original.num_edges)
+    if plan.edges_added > budget + 1:
+        v.append(
+            Violation(
+                "shmem.budget",
+                f"edges_added={plan.edges_added} exceeds the global budget"
+                f" {budget} (+1 pair slack)",
+            )
+        )
+
+    # dedup may merge parallel edges but must never lose a distinct pair
+    in_keys, _ = _edge_counts(original)
+    out_keys, _ = _edge_counts(out)
+    pos = np.searchsorted(out_keys, in_keys)
+    ok = pos < out_keys.size
+    present = ok.copy()
+    present[ok] = out_keys[pos[ok]] == in_keys[ok]
+    if not present.all():
+        v.append(
+            Violation(
+                "shmem.no_drop",
+                f"{int(np.count_nonzero(~present))} original (src, dst) pairs"
+                " vanished",
+            )
+        )
+
+    # sibling 2-hop rule: every new arc pairs with its reverse, and the two
+    # endpoints share a common neighbour in the thickened graph
+    new_keys = np.setdiff1d(out_keys, in_keys, assume_unique=True)
+    if new_keys.size:
+        a = new_keys // n
+        b = new_keys % n
+        rev = b * n + a
+        rev_present = np.isin(rev, out_keys, assume_unique=False)
+        if not rev_present.all():
+            v.append(
+                Violation(
+                    "shmem.symmetry",
+                    "an added arc has no reverse arc in the output",
+                )
+            )
+        und = out.to_undirected()
+        seen: set[tuple[int, int]] = set()
+        for ai, bi in zip(a.tolist(), b.tolist()):
+            pair = (min(ai, bi), max(ai, bi))
+            if pair in seen or ai == bi:
+                continue
+            seen.add(pair)
+            common = np.intersect1d(und.neighbors(ai), und.neighbors(bi))
+            common = common[(common != ai) & (common != bi)]
+            if common.size == 0:
+                v.append(
+                    Violation(
+                        "shmem.two_hop",
+                        f"added edge ({ai}, {bi}) joins nodes with no common"
+                        " neighbour",
+                    )
+                )
+
+    # residency: clusters tile exactly the resident set, within capacity
+    if plan.resident_mask.size != n:
+        v.append(Violation("shmem.residency", "resident_mask length mismatch"))
+        return v
+    covered = np.zeros(n, dtype=bool)
+    for members in plan.clusters:
+        if members.size > device.shared_mem_words:
+            v.append(
+                Violation(
+                    "shmem.capacity",
+                    f"a cluster of {members.size} nodes exceeds shared memory"
+                    f" capacity {device.shared_mem_words}",
+                )
+            )
+        covered[members] = True
+    if not np.array_equal(covered, plan.resident_mask):
+        v.append(
+            Violation(
+                "shmem.residency",
+                "cluster membership does not tile the resident mask",
+            )
+        )
+
+    # cluster graph == intra-resident edge subset of the output graph
+    mask = out.subgraph_edge_mask(plan.resident_mask)
+    want_src = out.edge_sources()[mask].astype(np.int64)
+    want_dst = out.indices[mask].astype(np.int64)
+    want = np.sort(want_src * n + want_dst)
+    got_src = plan.cluster_graph.edge_sources().astype(np.int64)
+    got = np.sort(got_src * n + plan.cluster_graph.indices.astype(np.int64))
+    if plan.cluster_graph.num_nodes != n or not np.array_equal(want, got):
+        v.append(
+            Violation(
+                "shmem.cluster_graph",
+                "cluster graph is not the intra-resident edge subset",
+            )
+        )
+    if plan.local_iterations < 1:
+        v.append(
+            Violation("shmem.iterations", "local_iterations must be >= 1")
+        )
+    return v
+
+
+# ---------------------------------------------------------------------------
+# stage 4: divergence normalization (§4)
+# ---------------------------------------------------------------------------
+def check_divergence(
+    original: CSRGraph,
+    plan: DivergencePlan,
+    knobs: DivergenceKnobs | None = None,
+    device: DeviceConfig = K40C,
+) -> list[Violation]:
+    """Degree-target bound, strict multiset preservation, padding accounting."""
+    knobs = knobs or DivergenceKnobs()
+    v: list[Violation] = []
+    n = original.num_nodes
+    out = plan.graph
+
+    if out.num_nodes != n:
+        v.append(Violation("divergence.nodes", "node count changed"))
+        return v
+    if plan.order.size != n or not np.array_equal(
+        np.sort(plan.order), np.arange(n)
+    ):
+        v.append(
+            Violation("divergence.order", "order is not a permutation of nodes")
+        )
+        return v
+    if out.num_edges != original.num_edges + plan.edges_added:
+        v.append(
+            Violation(
+                "divergence.edge_accounting",
+                f"out.num_edges={out.num_edges} != in={original.num_edges}"
+                f" + edges_added={plan.edges_added}",
+            )
+        )
+
+    # strict multiset preservation: padding only ever *adds*, and every
+    # added (src, dst) is new, unique, non-self, and sourced at a padded node
+    in_keys, in_counts = _edge_counts(original)
+    out_keys, out_counts = _edge_counts(out)
+    have = _count_of(out_keys, out_counts, in_keys)
+    if np.any(have < in_counts):
+        dropped = int(np.sum(np.maximum(in_counts - have, 0)))
+        v.append(
+            Violation(
+                "divergence.no_drop",
+                f"{dropped} pre-existing (parallel) edges were dropped",
+            )
+        )
+    prior = _count_of(in_keys, in_counts, out_keys)
+    delta = out_counts - prior
+    extra = np.nonzero(delta > 0)[0]
+    padded = set(plan.padded_nodes.tolist())
+    for i in extra.tolist():
+        key = int(out_keys[i])
+        src, dst = key // n, key % n
+        if prior[i] != 0:
+            v.append(
+                Violation(
+                    "divergence.duplicates",
+                    f"padding duplicated the existing edge ({src}, {dst})",
+                )
+            )
+        elif delta[i] != 1:
+            v.append(
+                Violation(
+                    "divergence.duplicates",
+                    f"padding added edge ({src}, {dst}) {int(delta[i])} times",
+                )
+            )
+        if src == dst:
+            v.append(
+                Violation(
+                    "divergence.self_loop", f"padding added self loop at {src}"
+                )
+            )
+        if src not in padded:
+            v.append(
+                Violation(
+                    "divergence.padded_nodes",
+                    f"edge added at node {src}, which is not in padded_nodes",
+                )
+            )
+
+    # degree target: padded nodes end at most at ceil(f * warpMaxDeg) and
+    # strictly above their old degree; everyone else keeps their degree
+    degs_in = original.out_degrees().astype(np.int64)
+    degs_out = out.out_degrees().astype(np.int64)
+    order = plan.order
+    starts = np.arange(0, n, device.warp_size)
+    warp_max = np.maximum.reduceat(degs_in[order].astype(np.float64), starts)
+    per_pos_max = np.repeat(warp_max, np.diff(np.append(starts, n)))
+    pos_of = np.empty(n, dtype=np.int64)
+    pos_of[order] = np.arange(n)
+    for node in plan.padded_nodes.tolist():
+        target = int(np.ceil(knobs.target_fraction * per_pos_max[pos_of[node]]))
+        if degs_out[node] > target:
+            v.append(
+                Violation(
+                    "divergence.degree_target",
+                    f"node {node} padded to degree {int(degs_out[node])} above"
+                    f" the target {target}",
+                )
+            )
+        if degs_out[node] <= degs_in[node]:
+            v.append(
+                Violation(
+                    "divergence.degree_target",
+                    f"node {node} listed as padded but gained no edges",
+                )
+            )
+    untouched = np.ones(n, dtype=bool)
+    if plan.padded_nodes.size:
+        untouched[plan.padded_nodes] = False
+    if not np.array_equal(degs_in[untouched], degs_out[untouched]):
+        v.append(
+            Violation(
+                "divergence.padded_nodes",
+                "an unpadded node's out-degree changed",
+            )
+        )
+    if original.is_weighted != out.is_weighted:
+        v.append(
+            Violation("divergence.weights", "weightedness changed under padding")
+        )
+    return v
+
+
+# ---------------------------------------------------------------------------
+# plan-level dispatcher
+# ---------------------------------------------------------------------------
+def _genuine_renumbering(base: CSRGraph, gg: GraffixGraph) -> bool:
+    """Plans reloaded from the disk cache carry degenerate renumbering
+    placeholders (see :mod:`repro.core.serialize`); a genuine pre-replication
+    ``rep_of`` has exactly one occupied slot per original node."""
+    return (
+        int(np.count_nonzero(gg.renumbering.rep_of >= 0)) == base.num_nodes
+        and gg.renumbering.num_slots == gg.num_slots
+    )
+
+
+def check_plan(
+    original: CSRGraph,
+    plan: ExecutionPlan,
+    *,
+    coalescing: CoalescingKnobs | None = None,
+    shmem: SharedMemoryKnobs | None = None,
+    divergence: DivergenceKnobs | None = None,
+    device: DeviceConfig = K40C,
+) -> list[Violation]:
+    """Run every applicable stage oracle against a built execution plan.
+
+    Stage-level checks need the transform intermediates the pipeline
+    stashes on the plan (``graffix``, ``_shmem``, ``_divergence``); plans
+    reloaded from the artifact cache carry only execution state, so those
+    checks degrade gracefully to the universal plan-level invariants.
+    """
+    v: list[Violation] = []
+    if plan.technique not in TECHNIQUES:
+        return [Violation("plan.technique", f"unknown technique {plan.technique!r}")]
+    v += check_csr(plan.graph, context=f"{plan.technique} plan graph")
+    if plan.num_original != original.num_nodes:
+        v.append(
+            Violation(
+                "plan.num_original",
+                f"plan says {plan.num_original} original nodes, graph has"
+                f" {original.num_nodes}",
+            )
+        )
+    if plan.graph.num_edges != original.num_edges + plan.edges_added:
+        v.append(
+            Violation(
+                "plan.edge_accounting",
+                f"plan.graph.num_edges={plan.graph.num_edges} !="
+                f" in={original.num_edges} + edges_added={plan.edges_added}",
+            )
+        )
+
+    if plan.technique == "exact":
+        if plan.edges_added != 0 or plan.graffix is not None:
+            v.append(
+                Violation("plan.exact", "exact plan carries transform state")
+            )
+        if plan.graph != original:
+            v.append(
+                Violation("plan.exact", "exact plan's graph differs from input")
+            )
+        return v
+
+    if plan.technique == "divergence" and plan._divergence is not None:
+        v += check_divergence(original, plan._divergence, divergence, device)
+    if plan.technique == "shmem" and plan._shmem is not None:
+        v += check_shmem(original, plan._shmem, shmem, device)
+    if plan.technique == "coalescing" and plan.graffix is not None:
+        v += check_coalescing(original, plan.graffix, coalescing)
+        if _genuine_renumbering(original, plan.graffix):
+            v += check_renumbering(original, plan.graffix.renumbering)
+    if plan.technique == "combined":
+        div, shm, gg = plan._divergence, plan._shmem, plan.graffix
+        if div is not None:
+            v += check_divergence(original, div, divergence, device)
+            if shm is not None:
+                v += check_shmem(div.graph, shm, shmem, device)
+                if gg is not None:
+                    v += check_coalescing(shm.graph, gg, coalescing)
+                    if _genuine_renumbering(shm.graph, gg):
+                        v += check_renumbering(shm.graph, gg.renumbering)
+    return v
+
+
+def verify_plan(
+    original: CSRGraph,
+    plan: ExecutionPlan,
+    **kwargs,
+) -> None:
+    """Raise :class:`~repro.errors.VerificationError` on any violation."""
+    violations = check_plan(original, plan, **kwargs)
+    if violations:
+        lines = "\n".join(f"  - {x}" for x in violations)
+        raise VerificationError(
+            f"{len(violations)} invariant violation(s) on"
+            f" technique={plan.technique!r}:\n{lines}",
+            violations,
+        )

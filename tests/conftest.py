@@ -58,6 +58,23 @@ if not _HAVE_PYTEST_TIMEOUT:
             signal.setitimer(signal.ITIMER_REAL, 0)
             signal.signal(signal.SIGALRM, previous)
 
+# ---------------------------------------------------------------------------
+# hypothesis settings profiles, selected via REPRO_HYPOTHESIS_PROFILE:
+#   dev     — few examples, for tight edit-run loops;
+#   ci      — the default; deadline disabled because shared CI runners
+#             stall arbitrarily and per-example deadlines only add flakes;
+#   nightly — high example count for the scheduled deep fuzz run.
+# Explicit @settings decorators on individual tests still win.
+# ---------------------------------------------------------------------------
+from hypothesis import settings as _hyp_settings
+
+_hyp_settings.register_profile("dev", max_examples=10, deadline=None)
+_hyp_settings.register_profile("ci", max_examples=50, deadline=None)
+_hyp_settings.register_profile(
+    "nightly", max_examples=300, deadline=None, print_blob=True
+)
+_hyp_settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "ci"))
+
 from repro.core.pipeline import build_plan
 from repro.graphs.csr import CSRGraph
 from repro.graphs.generators import (

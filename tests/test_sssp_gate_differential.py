@@ -1,0 +1,155 @@
+"""Differential property tests for ``sssp_relax``'s density gate.
+
+The relax kernel picks between two change-detection paths on
+``dst_f.size >= dist.size``: a pooled full-snapshot (dense) and the
+engine's touched-destinations scatter (sparse).  Whatever the gate
+decides, the resulting distances AND the changed flag must be identical —
+these tests force both paths on the same inputs and diff them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.sssp import sssp_relax
+from repro.perf.edgeshare import EdgeView
+from repro.perf.workspace import pool, scatter_min_changed
+
+from strategies import multigraphs, random_graphs
+
+
+def _dense_relax(edges, dist):
+    """The dense path, unconditionally (mirrors sssp_relax's dense arm)."""
+    src, dst, w = edges.src, edges.dst, edges.weights
+    finite = np.isfinite(dist[src])
+    if not finite.any():
+        return False
+    dst_f = dst[finite]
+    cand = dist[src[finite]] + w[finite]
+    before = dist.copy()
+    np.minimum.at(dist, dst_f, cand)
+    return bool(np.any(dist < before))
+
+
+def _sparse_relax(edges, dist):
+    """The sparse path, unconditionally."""
+    src, dst, w = edges.src, edges.dst, edges.weights
+    finite = np.isfinite(dist[src])
+    if not finite.any():
+        return False
+    dst_f = dst[finite]
+    cand = dist[src[finite]] + w[finite]
+    changed = scatter_min_changed(dist, dst_f, cand, key="sssp.relax.test")
+    return bool(changed.any())
+
+
+def _run_to_fixpoint(relax, edges, n, source):
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    sweeps = 0
+    while relax(edges, dist) and sweeps < 4 * n + 50:
+        sweeps += 1
+    return dist, sweeps
+
+
+@settings(max_examples=40)
+@given(graph=random_graphs(max_nodes=24, max_edges=120, weighted=True))
+def test_gate_paths_identical_fuzz(graph):
+    if graph.num_edges == 0:
+        return
+    edges = EdgeView(graph)
+    source = int(np.argmax(graph.out_degrees()))
+    d_dense, s_dense = _run_to_fixpoint(_dense_relax, edges, graph.num_nodes, source)
+    d_sparse, s_sparse = _run_to_fixpoint(
+        _sparse_relax, edges, graph.num_nodes, source
+    )
+    d_actual, s_actual = _run_to_fixpoint(
+        sssp_relax, edges, graph.num_nodes, source
+    )
+    assert np.array_equal(d_dense, d_sparse)
+    assert np.array_equal(d_dense, d_actual)
+    assert s_dense == s_sparse == s_actual
+
+
+@settings(max_examples=20)
+@given(graph=multigraphs(max_nodes=16, max_edges=60, weighted=True))
+def test_gate_paths_identical_on_multigraphs(graph):
+    edges = EdgeView(graph)
+    source = int(np.argmax(graph.out_degrees()))
+    d_dense, _ = _run_to_fixpoint(_dense_relax, edges, graph.num_nodes, source)
+    d_actual, _ = _run_to_fixpoint(sssp_relax, edges, graph.num_nodes, source)
+    assert np.array_equal(d_dense, d_actual)
+
+
+@pytest.mark.parametrize("m_over_n", [0.5, 0.9, 1.0, 1.1, 2.0])
+def test_gate_threshold_crossings(m_over_n):
+    """Graphs engineered so dst_f.size straddles dist.size: once every
+    source is finite, dst_f.size == m, so m/n around 1.0 flips the gate."""
+    rng = np.random.default_rng(int(m_over_n * 10))
+    n = 40
+    m = int(n * m_over_n)
+    # ring so everything becomes finite, plus random extra edges
+    ring_src = np.arange(n, dtype=np.int64)
+    ring_dst = (ring_src + 1) % n
+    extra = max(0, m - n)
+    src = np.concatenate([ring_src, rng.integers(0, n, size=extra)])
+    dst = np.concatenate([ring_dst, rng.integers(0, n, size=extra)])
+    w = rng.uniform(0.5, 5.0, size=src.size)
+    from repro.graphs.csr import CSRGraph
+
+    graph = CSRGraph.from_edges(n, src, dst, w, dedup=False)
+    edges = EdgeView(graph)
+
+    d_dense, s_dense = _run_to_fixpoint(_dense_relax, edges, n, 0)
+    d_sparse, s_sparse = _run_to_fixpoint(_sparse_relax, edges, n, 0)
+    d_actual, s_actual = _run_to_fixpoint(sssp_relax, edges, n, 0)
+    assert np.array_equal(d_dense, d_sparse)
+    assert np.array_equal(d_dense, d_actual)
+    assert s_dense == s_sparse == s_actual
+    assert np.all(np.isfinite(d_actual))
+
+
+def test_changed_flag_consistency_single_sweep():
+    """The changed flag itself must agree between paths on a sweep where
+    only some destinations improve."""
+    from repro.graphs.csr import CSRGraph
+
+    src = np.array([0, 0, 1, 2])
+    dst = np.array([1, 2, 3, 3])
+    w = np.array([1.0, 4.0, 1.0, 1.0])
+    graph = CSRGraph.from_edges(4, src, dst, w)
+    edges = EdgeView(graph)
+
+    for init in (
+        np.array([0.0, np.inf, np.inf, np.inf]),
+        np.array([0.0, 1.0, 4.0, 2.0]),  # already optimal: no change
+    ):
+        d1, d2, d3 = init.copy(), init.copy(), init.copy()
+        c_dense = _dense_relax(edges, d1)
+        c_sparse = _sparse_relax(edges, d2)
+        c_actual = sssp_relax(edges, d3)
+        assert c_dense == c_sparse == c_actual
+        assert np.array_equal(d1, d2)
+        assert np.array_equal(d1, d3)
+
+
+def test_pool_snapshot_not_leaked():
+    """The dense path borrows a pooled snapshot; repeated sweeps must not
+    corrupt results through a stale buffer."""
+    from repro.graphs.csr import CSRGraph
+
+    n = 6
+    src = np.arange(n, dtype=np.int64)
+    dst = (src + 1) % n
+    graph = CSRGraph.from_edges(n, src, dst, np.ones(n))
+    edges = EdgeView(graph)
+    dist = np.full(n, np.inf)
+    dist[0] = 0.0
+    # every source finite after the first wrap, so dst_f.size == dist.size
+    # and the pooled dense path runs on every subsequent sweep
+    while sssp_relax(edges, dist):
+        pass
+    assert np.array_equal(dist, np.arange(n, dtype=np.float64))
+    assert pool() is pool()  # per-thread pool identity is stable

@@ -1,0 +1,97 @@
+"""CLI tests for ``python -m repro verify`` (in-process, no subprocess)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import metrics
+from repro.verify import cli as verify_cli
+from repro.verify.invariants import Violation
+
+
+def test_quick_report_structure(tmp_path, capsys, monkeypatch):
+    # shrink the corpus so the CLI test stays fast: alias every name the
+    # metamorphic/differential checks index to two small graphs
+    small = _aliased_corpus()
+    monkeypatch.setattr(verify_cli, "default_corpus", lambda seed: small)
+
+    report_path = tmp_path / "report.json"
+    metrics.reset()
+    rc = verify_cli.main(["--quick", "--report", str(report_path)])
+    report = json.loads(report_path.read_text())
+    assert report["mode"] == "quick"
+    assert report["num_checks"] == len(report["checks"])
+    assert rc == (0 if report["passed"] else 1)
+
+    out = capsys.readouterr().out
+    assert "checks passed" in out
+
+    snap = metrics.snapshot()
+    counted = snap["counters"].get("verify.checks.pass", 0) + snap[
+        "counters"
+    ].get("verify.checks.fail", 0)
+    assert counted == report["num_checks"]
+
+
+def _aliased_corpus():
+    full = verify_cli.default_corpus(0)
+    names = ("chain", "star", "er", "road", "zero-weight", "social",
+             "multigraph", "rmat")
+    return {n: full["chain" if i % 2 else "star"] for i, n in enumerate(names)}
+
+
+def test_failing_check_sets_exit_code(monkeypatch, capsys):
+    small = _aliased_corpus()
+    monkeypatch.setattr(verify_cli, "default_corpus", lambda seed: small)
+
+    def broken(*args, **kwargs):
+        return [Violation("test.forced", "synthetic failure")]
+
+    monkeypatch.setattr(verify_cli, "check_exact_identity", broken)
+    rc = verify_cli.main(["--quick", "--quiet"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "FAILED" in out
+
+
+def test_crashing_check_is_reported_not_raised(monkeypatch, tmp_path):
+    small = _aliased_corpus()
+    monkeypatch.setattr(verify_cli, "default_corpus", lambda seed: small)
+
+    def exploding(*args, **kwargs):
+        raise RuntimeError("kaboom")
+
+    monkeypatch.setattr(verify_cli, "check_knob_monotonicity", exploding)
+    report_path = tmp_path / "r.json"
+    rc = verify_cli.main(["--quick", "--quiet", "--report", str(report_path)])
+    assert rc == 1
+    report = json.loads(report_path.read_text())
+    crashed = [
+        c
+        for c in report["checks"]
+        if any(v["oracle"] == "verify.crash" for v in c["violations"])
+    ]
+    assert crashed and "kaboom" in crashed[0]["violations"][0]["message"]
+    assert "traceback" in crashed[0]
+
+
+def test_quick_and_deep_are_mutually_exclusive(capsys):
+    with pytest.raises(SystemExit):
+        verify_cli.main(["--quick", "--deep"])
+    capsys.readouterr()
+
+
+def test_main_module_dispatch(monkeypatch):
+    import repro.__main__ as main_mod
+
+    called = {}
+
+    def fake_verify_main(argv):
+        called["argv"] = argv
+        return 0
+
+    monkeypatch.setattr("repro.verify.cli.main", fake_verify_main)
+    assert main_mod.main(["verify", "--quick"]) == 0
+    assert called["argv"] == ["--quick"]

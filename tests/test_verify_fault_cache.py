@@ -1,0 +1,76 @@
+"""Fault injection × cache interaction: a mid-transform fault must never
+persist a corrupt store entry, and recovery must be byte-identical."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import memo
+from repro.cache.store import DiskStore
+from repro.core.pipeline import build_plan
+from repro.errors import TransformError
+from repro.resilience import faults
+from repro.verify.corpus import default_corpus
+from repro.verify.differential import plans_identical
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+@pytest.fixture()
+def graph():
+    return default_corpus(0)["er"]
+
+
+def test_transform_fault_persists_nothing(graph, tmp_path, small_device):
+    faults.install("site=transform,mode=transform-error,match=coalescing,times=1")
+    with memo.enabled(str(tmp_path)):
+        with pytest.raises(TransformError):
+            build_plan(graph, "coalescing", device=small_device)
+    assert DiskStore(tmp_path).entries() == []
+
+
+def test_cold_warm_byte_identity_after_injected_fault(
+    graph, tmp_path, small_device
+):
+    # run 1: the fault fires mid-transform under an enabled cache
+    faults.install("site=transform,mode=transform-error,match=coalescing,times=1")
+    with memo.enabled(str(tmp_path)):
+        with pytest.raises(TransformError):
+            build_plan(graph, "coalescing", device=small_device)
+    faults.reset()
+
+    # run 2 (cold): nothing corrupt was stored, so this computes and stores
+    with memo.enabled(str(tmp_path)):
+        cold = build_plan(graph, "coalescing", device=small_device)
+    entries = DiskStore(tmp_path).entries()
+    assert any(e["stage"] == "transform.build_plan" for e in entries)
+
+    # run 3 (warm): a fresh config over the same dir forces a disk-tier
+    # load; the reloaded plan must be byte-identical to the cold build
+    with memo.enabled(str(tmp_path)):
+        warm = build_plan(graph, "coalescing", device=small_device)
+    assert plans_identical(cold, warm) == []
+
+    # and a no-cache rebuild agrees too
+    uncached = build_plan(graph, "coalescing", device=small_device)
+    assert plans_identical(uncached, cold) == []
+
+
+def test_fault_in_memory_tier_also_clean(graph, small_device):
+    """Same contract for the memory tier: the fault propagates and the next
+    call inside the *same* config recomputes from scratch."""
+    with memo.enabled(None):
+        faults.install(
+            "site=transform,mode=transform-error,match=divergence,times=1"
+        )
+        with pytest.raises(TransformError):
+            build_plan(graph, "divergence", device=small_device)
+        faults.reset()
+        plan = build_plan(graph, "divergence", device=small_device)
+    uncached = build_plan(graph, "divergence", device=small_device)
+    assert plans_identical(uncached, plan) == []

@@ -1,0 +1,81 @@
+"""Golden (paper-claims band) tests on synthetic rows — no suite replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.paper_data import TECHNIQUE_TABLES
+from repro.verify.golden import (
+    ToleranceBand,
+    check_table,
+    golden_violations,
+)
+
+
+def _plausible_rows(table: str) -> list[dict]:
+    """Rows shaped like a healthy tiny-scale replay: speedups tracking the
+    paper's direction with mild attenuation, inaccuracy well inside band."""
+    cells, _gm, _baseline, _algos = TECHNIQUE_TABLES[table]
+    rows = []
+    for algo, per_graph in cells.items():
+        for graph, (paper_speedup, paper_inacc) in per_graph.items():
+            rows.append(
+                {
+                    "algorithm": algo,
+                    "graph": graph,
+                    "speedup": 1.0 + 0.4 * (paper_speedup - 1.0),
+                    "inaccuracy_percent": min(paper_inacc, 5.0),
+                    "exact_cycles": 1000.0,
+                    "approx_cycles": 900.0,
+                }
+            )
+    return rows
+
+
+def test_plausible_rows_pass():
+    verdict = check_table("table6", _plausible_rows("table6"))
+    assert verdict["passed"], verdict["reasons"]
+    assert all(c["passed"] for c in verdict["cells"])
+    # machine-readable: every cell carries the paper's numbers alongside
+    cell = verdict["cells"][0]
+    assert {"table", "algorithm", "graph", "paper_speedup", "reasons"} <= set(cell)
+
+
+def test_out_of_band_cell_fails():
+    rows = _plausible_rows("table7")
+    rows[0]["speedup"] = 50.0  # absurd speedup: simulator accounting bug
+    rows[1]["inaccuracy_percent"] = 99.0  # approximation collapse
+    verdict = check_table("table7", rows)
+    assert not verdict["passed"]
+    failed = [c for c in verdict["cells"] if not c["passed"]]
+    assert len(failed) == 2
+    report = {"tables": [verdict], "passed": False}
+    violations = golden_violations(report)
+    assert len(violations) == 2
+    assert all(v.oracle == "golden.table7" for v in violations)
+
+
+def test_anticorrelated_table_fails():
+    rows = _plausible_rows("table8")
+    for row in rows:  # invert the ordering: big paper wins become losses
+        row["speedup"] = 2.0 - row["speedup"]
+    verdict = check_table("table8", rows)
+    assert not verdict["passed"]
+    assert any("rank correlation" in r or "direction" in r for r in verdict["reasons"])
+
+
+def test_degraded_cells_are_recorded_not_failed():
+    rows = _plausible_rows("table6")
+    rows[0]["degraded"] = True
+    rows[0]["degraded_reason"] = "TransformError: boom"
+    verdict = check_table("table6", rows)
+    cell = verdict["cells"][0]
+    assert cell["degraded"] and cell["passed"]
+    assert any(r.startswith("degraded") for r in cell["reasons"])
+
+
+def test_band_is_tunable():
+    rows = _plausible_rows("table6")
+    strict = ToleranceBand(max_inaccuracy_percent=0.0)
+    verdict = check_table("table6", rows, strict)
+    assert not verdict["passed"]

@@ -1,0 +1,205 @@
+"""Structural oracle tests: green on honest transforms, red on mutants."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+import repro.core.divergence as divergence_mod
+from repro.core.divergence import normalize_degrees
+from repro.core.knobs import CoalescingKnobs, DivergenceKnobs, SharedMemoryKnobs
+from repro.core.pipeline import build_plan
+from repro.core.shmem import plan_shared_memory
+from repro.errors import VerificationError
+from repro.graphs.csr import CSRGraph
+from repro.gpusim.device import DeviceConfig
+from repro.verify.corpus import adversarial_corpus, default_corpus
+from repro.verify.invariants import (
+    check_coalescing,
+    check_csr,
+    check_divergence,
+    check_plan,
+    check_renumbering,
+    check_shmem,
+    verify_plan,
+)
+
+from strategies import adversarial_graphs
+
+KNOBS = {
+    "coalescing": CoalescingKnobs(chunk_size=4, connectedness_threshold=0.3),
+    "shmem": SharedMemoryKnobs(cc_threshold=0.3, edge_budget_fraction=0.1),
+    "divergence": DivergenceKnobs(degree_sim_threshold=0.4),
+}
+
+
+def _plan(graph, technique, device):
+    return build_plan(
+        graph,
+        technique,
+        device=device,
+        coalescing=KNOBS["coalescing"],
+        shmem=KNOBS["shmem"],
+        divergence=KNOBS["divergence"],
+    )
+
+
+def _check(graph, plan, device):
+    return check_plan(
+        graph,
+        plan,
+        coalescing=KNOBS["coalescing"],
+        shmem=KNOBS["shmem"],
+        divergence=KNOBS["divergence"],
+        device=device,
+    )
+
+
+# ---------------------------------------------------------------------------
+# green path: every oracle accepts every honest plan
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("gname", ["multigraph", "self-loops", "star"])
+@pytest.mark.parametrize(
+    "technique", ["exact", "coalescing", "shmem", "divergence", "combined"]
+)
+def test_honest_plans_pass(gname, technique, small_device):
+    graph = adversarial_corpus(0)[gname]
+    plan = _plan(graph, technique, small_device)
+    assert _check(graph, plan, small_device) == []
+
+
+def test_verify_plan_raises_with_structured_violations(small_device):
+    graph = default_corpus(0)["er"]
+    plan = _plan(graph, "divergence", small_device)
+    tampered = dataclasses.replace(plan, edges_added=plan.edges_added + 3)
+    with pytest.raises(VerificationError) as err:
+        verify_plan(
+            graph, tampered, divergence=KNOBS["divergence"], device=small_device
+        )
+    assert err.value.violations
+    assert any(
+        "edge_accounting" in v.oracle for v in err.value.violations
+    )
+    # the clean plan sails through
+    verify_plan(graph, plan, divergence=KNOBS["divergence"], device=small_device)
+
+
+# ---------------------------------------------------------------------------
+# seeded mutation: reintroducing dedup=True in normalize_degrees (the PR 3
+# bug) must be caught by the divergence oracle
+# ---------------------------------------------------------------------------
+def _mutant_multigraph() -> CSRGraph:
+    # warp 0 (identity order, warp_size=8): node 0 at degree 8 sets the
+    # warp max; node 1 at degree 6 has sim exactly 0.25 <= threshold (both
+    # degrees powers of two, so the ratio is float-exact) and gets padded
+    # from node 2's 2-hop fanout.  Nodes 8->9 carry a parallel edge,
+    # which dedup would silently collapse.
+    edges = (
+        [(0, t) for t in range(1, 9)]
+        + [(1, t) for t in range(2, 8)]
+        + [(2, 9), (2, 10), (2, 11)]
+        + [(8, 9), (8, 9)]
+    )
+    src = np.array([e[0] for e in edges], dtype=np.int64)
+    dst = np.array([e[1] for e in edges], dtype=np.int64)
+    return CSRGraph.from_edges(12, src, dst, dedup=False)
+
+
+def test_divergence_dedup_mutant_is_caught(monkeypatch, small_device):
+    graph = _mutant_multigraph()
+    knobs = DivergenceKnobs(degree_sim_threshold=0.3, bucket_count=1)
+
+    honest = normalize_degrees(graph, knobs, small_device)
+    assert honest.edges_added > 0  # padding actually fires on this shape
+    assert check_divergence(graph, honest, knobs, small_device) == []
+
+    class _DedupingCSR(CSRGraph):
+        @classmethod
+        def from_edges(cls, n, src, dst, weights=None, *, dedup=False, **kw):
+            return CSRGraph.from_edges(n, src, dst, weights, dedup=True, **kw)
+
+    monkeypatch.setattr(divergence_mod, "CSRGraph", _DedupingCSR)
+    mutant = normalize_degrees(graph, knobs, small_device)
+    violations = check_divergence(graph, mutant, knobs, small_device)
+    oracles = {v.oracle for v in violations}
+    assert "divergence.no_drop" in oracles
+    assert "divergence.edge_accounting" in oracles
+
+
+# ---------------------------------------------------------------------------
+# mutants for the other stages: each oracle notices its own stage's lies
+# ---------------------------------------------------------------------------
+def test_csr_oracle_rejects_nonfinite_weights():
+    g = CSRGraph.from_edges(
+        3,
+        np.array([0, 1]),
+        np.array([1, 2]),
+        np.array([1.0, np.nan]),
+    )
+    violations = check_csr(g)
+    assert [v.oracle for v in violations] == ["csr.weights"]
+
+
+def test_renumber_oracle_rejects_tampered_permutation(small_device):
+    graph = default_corpus(0)["road"]
+    plan = _plan(graph, "coalescing", small_device)
+    ren = plan.graffix.renumbering
+    assert check_renumbering(graph, ren) == []
+
+    bad = dataclasses.replace(ren, new_id=ren.new_id.copy())
+    bad.new_id[0] = bad.new_id[1]  # no longer injective
+    assert any(
+        v.oracle == "renumber.permutation"
+        for v in check_renumbering(graph, bad)
+    )
+
+
+def test_coalescing_oracle_rejects_corrupt_replica_map(small_device):
+    graph = default_corpus(0)["social"]
+    plan = _plan(graph, "coalescing", small_device)
+    gg = plan.graffix
+    assert check_coalescing(graph, gg, KNOBS["coalescing"]) == []
+
+    bad = dataclasses.replace(gg, rep_of=gg.rep_of.copy())
+    bad.rep_of[gg.primary_slot[0]] = -1  # node 0 loses its principal copy
+    violations = check_coalescing(graph, bad, KNOBS["coalescing"])
+    assert violations
+
+
+def test_shmem_oracle_rejects_budget_overrun(small_device):
+    graph = default_corpus(0)["er"]
+    shm = plan_shared_memory(graph, KNOBS["shmem"], small_device)
+    assert check_shmem(graph, shm, KNOBS["shmem"], small_device) == []
+
+    # claim the same plan was produced under a zero budget
+    tight = SharedMemoryKnobs(
+        cc_threshold=0.3, edge_budget_fraction=0.0
+    )
+    if shm.edges_added > 1:
+        violations = check_shmem(graph, shm, tight, small_device)
+        assert any(v.oracle == "shmem.budget" for v in violations)
+
+
+# ---------------------------------------------------------------------------
+# fuzz: the oracles hold over arbitrary adversarial shapes
+# ---------------------------------------------------------------------------
+_FUZZ_DEVICE = DeviceConfig(warp_size=8, line_words=4, shared_mem_words=512)
+
+
+@settings(max_examples=25)
+@given(graph=adversarial_graphs())
+def test_divergence_oracle_fuzz(graph):
+    knobs = DivergenceKnobs(degree_sim_threshold=0.4)
+    plan = normalize_degrees(graph, knobs, _FUZZ_DEVICE)
+    assert check_divergence(graph, plan, knobs, _FUZZ_DEVICE) == []
+
+
+@settings(max_examples=15)
+@given(graph=adversarial_graphs())
+def test_shmem_oracle_fuzz(graph):
+    knobs = SharedMemoryKnobs(cc_threshold=0.3, edge_budget_fraction=0.1)
+    plan = plan_shared_memory(graph, knobs, _FUZZ_DEVICE)
+    assert check_shmem(graph, plan, knobs, _FUZZ_DEVICE) == []
