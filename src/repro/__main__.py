@@ -10,7 +10,11 @@ Subcommands:
 * ``perf`` — time the solver kernels and emit/check the tracked perf
   baseline (see :mod:`repro.perf.bench` and ``docs/performance.md``);
 * ``verify`` — the structural/metamorphic/differential/golden oracle
-  suite (see :mod:`repro.verify` and ``docs/verification.md``).
+  suite (see :mod:`repro.verify` and ``docs/verification.md``);
+* ``serve`` — the long-lived analytics query server (see
+  :mod:`repro.serve` and ``docs/serving.md``);
+* ``bench serve`` — the YAML load generator + KPI gate against the
+  server (:mod:`repro.serve.loadgen`), emitting ``BENCH_SERVE.json``.
 """
 
 import sys
@@ -22,6 +26,14 @@ def main(argv=None):
         from .obs.stats import main as stats_main
 
         return stats_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from .serve.cli import main as serve_main
+
+        return serve_main(argv[1:])
+    if len(argv) >= 2 and argv[0] == "bench" and argv[1] == "serve":
+        from .serve.loadgen import main as bench_serve_main
+
+        return bench_serve_main(argv[2:])
     if argv and argv[0] == "cache":
         from .cache.cli import main as cache_main
 

@@ -15,6 +15,7 @@ counting by hand.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Iterator
 
@@ -30,10 +31,17 @@ class LRUCache:
 
     ``max_entries`` is clamped to at least 1; a lookup refreshes the
     entry's recency, an insert beyond the bound evicts the stalest entry.
-    Not thread-safe — one instance belongs to one harness/process tier.
+
+    Thread-safe: the serve layer multiplexes one process-wide memory
+    tier across concurrent worker threads, and an unguarded
+    ``move_to_end`` racing a ``popitem`` corrupts the OrderedDict (or
+    raises ``KeyError`` mid-``get``), so every mutating path holds a
+    lock.  The critical sections are dict-op sized — no I/O, no user
+    callbacks — so contention stays negligible next to the sweeps the
+    cache fronts.
     """
 
-    __slots__ = ("max_entries", "metric_prefix", "_data")
+    __slots__ = ("max_entries", "metric_prefix", "_data", "_lock")
 
     def __init__(
         self, max_entries: int = 128, metric_prefix: str | None = None
@@ -41,6 +49,7 @@ class LRUCache:
         self.max_entries = max(1, int(max_entries))
         self.metric_prefix = metric_prefix
         self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def _count(self, event: str) -> None:
@@ -49,41 +58,50 @@ class LRUCache:
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """The cached value (refreshing recency), counting hit or miss."""
-        value = self._data.get(key, _MISSING)
-        if value is _MISSING:
-            self._count("miss")
-            return default
-        self._count("hit")
-        self._data.move_to_end(key)
-        return value
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self._count("miss")
+                return default
+            self._count("hit")
+            self._data.move_to_end(key)
+            return value
 
     def peek(self, key: Hashable, default: Any = None) -> Any:
         """Like :meth:`get` but without counters or recency refresh."""
-        return self._data.get(key, default)
+        with self._lock:
+            return self._data.get(key, default)
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert (or refresh) an entry, evicting beyond the bound."""
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.max_entries:
-            self._data.popitem(last=False)
-            self._count("evict")
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+                self._count("evict")
 
     # dict-ish conveniences -------------------------------------------
     def __setitem__(self, key: Hashable, value: Any) -> None:
         self.put(key, value)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __iter__(self) -> Iterator[Hashable]:
-        return iter(self._data)
+        # snapshot under the lock: live OrderedDict iterators raise if a
+        # concurrent put/evict mutates the dict mid-iteration
+        with self._lock:
+            return iter(list(self._data))
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

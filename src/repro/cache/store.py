@@ -33,6 +33,7 @@ from typing import Any, Callable, Mapping
 from ..errors import CacheError
 from ..obs import metrics as obs_metrics
 from ..obs.log import get_logger
+from ..resilience.faults import fault_point
 
 __all__ = ["DiskStore", "MISS"]
 
@@ -61,10 +62,20 @@ def _atomic_replace(tmp: Path, final: Path) -> None:
 
 
 class DiskStore:
-    """Content-addressed artifact store rooted at one directory."""
+    """Content-addressed artifact store rooted at one directory.
 
-    def __init__(self, root: str | Path) -> None:
+    ``breaker`` is an optional circuit breaker (duck-typed:
+    :class:`repro.serve.breaker.CircuitBreaker`) guarding the disk tier:
+    when it refuses (:meth:`allow` is false) reads answer :data:`MISS`
+    and writes are skipped without touching the filesystem, and every
+    disk operation reports its latency/outcome back so repeated
+    corruption or slow reads trip it.  The long-lived server installs
+    one; batch runs leave it ``None``.
+    """
+
+    def __init__(self, root: str | Path, breaker=None) -> None:
         self.root = Path(root)
+        self.breaker = breaker
         if self.root.exists() and not self.root.is_dir():
             raise CacheError(f"cache dir {self.root} exists and is not a directory")
         self.root.mkdir(parents=True, exist_ok=True)
@@ -91,22 +102,37 @@ class DiskStore:
         loader exception is treated like corruption (count, discard,
         miss) — a cache can make a sweep faster, never make it fail.
         """
-        payload, meta_path = self._paths(stage, key)
-        if not meta_path.exists() or not payload.exists():
+        if self.breaker is not None and not self.breaker.allow():
+            obs_metrics.counter("cache.disk.breaker_skip").inc()
             return MISS
+        payload, meta_path = self._paths(stage, key)
+        t0 = time.perf_counter()
         try:
+            fault_point("cache", f"get:{stage}:{key}")
+            if not meta_path.exists() or not payload.exists():
+                # a clean miss is a *healthy* disk answer: report it as a
+                # success so a half-open probe that lands on an absent
+                # entry still closes the breaker
+                if self.breaker is not None:
+                    self.breaker.record_success(time.perf_counter() - t0)
+                return MISS
             meta = json.loads(meta_path.read_text())
             checksum = meta["checksum"]
             if _sha1_file(payload) != checksum:
                 raise CacheError("payload checksum mismatch")
-            return loader(payload, meta)
+            value = loader(payload, meta)
         except Exception as exc:
+            if self.breaker is not None:
+                self.breaker.record_failure()
             obs_metrics.counter("cache.disk.corrupt").inc()
             logger.warning(
                 "discarding corrupt cache entry %s/%s: %s", stage, key, exc
             )
             self._discard(stage, key)
             return MISS
+        if self.breaker is not None:
+            self.breaker.record_success(time.perf_counter() - t0)
+        return value
 
     def put(
         self,
@@ -121,11 +147,15 @@ class DiskStore:
         A failed store is logged and swallowed — same rationale as
         corrupt reads.
         """
+        if self.breaker is not None and not self.breaker.allow():
+            obs_metrics.counter("cache.disk.breaker_skip").inc()
+            return
         payload, meta_path = self._paths(stage, key)
         payload.parent.mkdir(parents=True, exist_ok=True)
         tmp_payload = payload.with_name(f"{payload.name}.tmp{os.getpid()}")
         tmp_meta = meta_path.with_name(f"{meta_path.name}.tmp{os.getpid()}")
         try:
+            fault_point("cache", f"put:{stage}:{key}")
             saver(tmp_payload)
             full_meta = dict(meta)
             full_meta.update(
@@ -139,7 +169,11 @@ class DiskStore:
             _atomic_replace(tmp_payload, payload)
             _atomic_replace(tmp_meta, meta_path)
             obs_metrics.counter("cache.disk.store").inc()
+            if self.breaker is not None:
+                self.breaker.record_success(0.0)
         except Exception as exc:
+            if self.breaker is not None:
+                self.breaker.record_failure()
             logger.warning("failed to store cache entry %s/%s: %s", stage, key, exc)
             for tmp in (tmp_payload, tmp_meta):
                 try:

@@ -101,3 +101,41 @@ class FaultInjected(ResilienceError):
     Only ever seen when fault injection is explicitly enabled (the
     ``REPRO_FAULTS`` environment variable or :func:`~repro.resilience.faults.install`).
     """
+
+
+class ServeError(ReproError):
+    """Raised by the analytics serving layer (:mod:`repro.serve`).
+
+    Examples: a malformed request line, an unknown query op, or a server
+    started on a port that is already bound.
+    """
+
+
+class ProtocolError(ServeError):
+    """Raised when a request line violates the serve wire protocol.
+
+    Examples: a line that is not a JSON object, a missing ``op`` field,
+    or query parameters of the wrong type.  The server answers these
+    with ``status="error"`` instead of dropping the connection.
+    """
+
+
+class DeadlineExceeded(ServeError):
+    """Raised when a request's latency budget runs out mid-pipeline.
+
+    Checked at admission, between pipeline stages, and inside sweep
+    loops, so an already-late request releases its worker promptly
+    instead of finishing work nobody is waiting for.
+    """
+
+
+class Overloaded(ServeError):
+    """Raised by admission control when the server sheds a request.
+
+    Carries ``retry_after_ms`` — the client-visible hint for how long to
+    back off before retrying (scaled by current queue pressure).
+    """
+
+    def __init__(self, message: str, retry_after_ms: float = 50.0) -> None:
+        super().__init__(message)
+        self.retry_after_ms = float(retry_after_ms)

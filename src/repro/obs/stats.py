@@ -1,16 +1,25 @@
-"""``python -m repro stats <trace>``: a profile-style trace breakdown.
+"""``python -m repro stats <trace-or-metrics>``: profile-style reports.
 
-Reads a trace exported by :mod:`repro.obs.trace` — either the native
-JSONL (one span per line) or the Chrome ``trace_event`` JSON — and
-prints where the wall-clock went:
+Reads either a trace exported by :mod:`repro.obs.trace` — the native
+JSONL (one span per line) or the Chrome ``trace_event`` JSON — or a
+merged metrics snapshot (the ``--metrics-out`` JSON of a run or a
+drained server), auto-detected by shape.
+
+For traces it prints where the wall-clock went:
 
 * **top spans by cumulative time** — per span name: call count, total
   time, *self* time (total minus time spent in child spans, so nested
   categories don't double-count), and share of the traced run;
 * **category split** — self time rolled up by the naming convention's
-  leading category (``io`` / ``transform`` / ``solve`` / ``report`` /
-  ``harness`` / ``parallel`` / other), the "transform vs solve vs io"
-  number the tables' speedup claims should be read against.
+  leading category (``io`` / ``transform`` / ``solve`` / ``serve`` /
+  ``report`` / …), the "transform vs solve vs io" number the tables'
+  speedup claims should be read against.
+
+For metrics snapshots it prints the counter/gauge inventory plus a
+dedicated **serve** section — request outcomes, shed/degraded/timeout
+counts, admission-wait and per-stage latency quantiles (estimated from
+the histogram buckets), queue depth, pressure level, and breaker state
+— the post-mortem view of a drained ``python -m repro serve`` run.
 """
 
 from __future__ import annotations
@@ -18,14 +27,24 @@ from __future__ import annotations
 import argparse
 import json
 from pathlib import Path
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from .trace import Span
 
-__all__ = ["load_trace", "span_stats", "category_split", "format_stats", "main"]
+__all__ = [
+    "load_trace",
+    "span_stats",
+    "category_split",
+    "format_stats",
+    "histogram_quantile",
+    "format_metrics",
+    "main",
+]
 
 #: span-name prefixes rolled up in the category split (order = display order)
-CATEGORIES = ("io", "transform", "solve", "perf", "harness", "parallel", "report")
+CATEGORIES = (
+    "io", "transform", "solve", "perf", "serve", "harness", "parallel", "report",
+)
 
 
 def load_trace(path: str | Path) -> list[Span]:
@@ -146,20 +165,152 @@ def format_stats(spans: Sequence[Span], *, top: int = 20, title: str = "trace st
     return "\n".join(lines)
 
 
+# ---------------------------------------------------------------------------
+# metrics-snapshot reports (the `serve` category's post-mortem view)
+# ---------------------------------------------------------------------------
+def histogram_quantile(
+    buckets: Sequence[float], counts: Sequence[int], q: float
+) -> float:
+    """Estimate the ``q``-quantile of a fixed-bucket histogram.
+
+    Linear interpolation inside the winning bucket (lower bound = the
+    previous bucket's bound, 0 for the first); observations in the
+    overflow bucket answer the last bound (a conservative *lower*
+    estimate — the report marks these with ``>``).
+    """
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    target = q * total
+    cumulative = 0
+    for i, c in enumerate(counts):
+        cumulative += c
+        if cumulative >= target and c > 0:
+            if i >= len(buckets):  # overflow bucket: unbounded above
+                return float(buckets[-1])
+            lo = float(buckets[i - 1]) if i > 0 else 0.0
+            hi = float(buckets[i])
+            frac = (target - (cumulative - c)) / c
+            return lo + frac * (hi - lo)
+    return float(buckets[-1])
+
+
+def _is_metrics_snapshot(obj: object) -> bool:
+    return isinstance(obj, Mapping) and (
+        "counters" in obj or "gauges" in obj or "histograms" in obj
+    )
+
+
+def _fmt_hist_line(name: str, h: Mapping) -> str:
+    q50 = histogram_quantile(h["buckets"], h["counts"], 0.50) * 1000.0
+    q99 = histogram_quantile(h["buckets"], h["counts"], 0.99) * 1000.0
+    overflow = int(h["counts"][-1]) if len(h["counts"]) > len(h["buckets"]) else 0
+    mark = ">" if overflow else "~"
+    mean = (h["total"] / h["count"] * 1000.0) if h["count"] else 0.0
+    return (
+        f"  {name:32s} {int(h['count']):8d}  mean {mean:8.2f}ms"
+        f"  q50 {mark}{q50:8.2f}ms  q99 {mark}{q99:8.2f}ms"
+    )
+
+
+def format_metrics(snap: Mapping, *, title: str = "metrics snapshot") -> str:
+    """Render a merged metrics snapshot, with a serve section if present."""
+    counters = dict(snap.get("counters") or {})
+    gauges = dict(snap.get("gauges") or {})
+    histograms = dict(snap.get("histograms") or {})
+    lines = [title, "-" * len(title)]
+    lines.append(
+        f"{len(counters)} counters, {len(gauges)} gauges, "
+        f"{len(histograms)} histograms"
+    )
+
+    serve_counters = {k: v for k, v in counters.items() if k.startswith("serve.")}
+    if serve_counters or any(k.startswith("serve.") for k in histograms):
+        lines.append("")
+        lines.append("serve: request outcomes")
+        order = (
+            "total", "ok", "error", "timeout", "overloaded",
+            "shutting_down", "degraded",
+        )
+        for key in order:
+            value = counters.get(f"serve.requests.{key}")
+            if value is not None:
+                lines.append(f"  {key:14s} {int(value):8d}")
+        shed = counters.get("serve.admission.shed", 0)
+        admitted = counters.get("serve.admission.admitted", 0)
+        expired = counters.get("serve.admission.expired", 0)
+        lines.append(
+            f"  admission: {int(admitted)} admitted, {int(shed)} shed, "
+            f"{int(expired)} expired waiting"
+        )
+        expiries = {
+            k.rsplit(".", 1)[-1]: int(v)
+            for k, v in counters.items()
+            if k.startswith("serve.deadline.expired.")
+        }
+        if expiries:
+            parts = ", ".join(f"{st}={n}" for st, n in sorted(expiries.items()))
+            lines.append(f"  deadline expiries by stage: {parts}")
+        steps = (
+            int(counters.get("serve.degrade.step_up", 0)),
+            int(counters.get("serve.degrade.step_down", 0)),
+        )
+        if any(steps):
+            lines.append(
+                f"  degradation ladder: {steps[0]} step-up(s), "
+                f"{steps[1]} step-down(s)"
+            )
+        lines.append("")
+        lines.append("serve: latency (histogram estimates)")
+        for name in sorted(histograms):
+            if name.startswith(("serve.admission.wait", "serve.stage.",
+                                "serve.request.time")):
+                lines.append(_fmt_hist_line(name, histograms[name]))
+        serve_gauges = {
+            k: v for k, v in gauges.items() if k.startswith(("serve.", "cache."))
+        }
+        if serve_gauges:
+            lines.append("")
+            lines.append("serve: gauges (last observed)")
+            for name in sorted(serve_gauges):
+                lines.append(f"  {name:32s} {serve_gauges[name]:10.3f}")
+
+    other = {k: v for k, v in counters.items() if not k.startswith("serve.")}
+    if other:
+        lines.append("")
+        lines.append("other counters")
+        for name in sorted(other):
+            lines.append(f"  {name:40s} {other[name]:12.0f}")
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro stats",
-        description="Profile-style breakdown of a trace produced by "
-        "--trace-out (JSONL or Chrome trace_event JSON).",
+        description="Profile-style breakdown of a --trace-out trace (JSONL "
+        "or Chrome trace_event JSON) or a --metrics-out metrics snapshot "
+        "(auto-detected; snapshots get the serve request summary).",
     )
-    parser.add_argument("trace", help="path to trace.jsonl / trace.json")
+    parser.add_argument("trace", help="path to trace.jsonl / trace.json / metrics.json")
     parser.add_argument(
         "--top", type=int, default=20, help="span names to list (default 20)"
     )
     args = parser.parse_args(argv)
-    spans = load_trace(args.trace)
+    text = Path(args.trace).read_text()
+    stripped = text.lstrip()
+    report: str | None = None
+    if stripped.startswith("{"):
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError:
+            obj = None
+        if _is_metrics_snapshot(obj):
+            report = format_metrics(obj, title=f"metrics stats: {args.trace}")
+    if report is None:
+        spans = load_trace(args.trace)
+        report = format_stats(spans, top=args.top, title=f"trace stats: {args.trace}")
     try:
-        print(format_stats(spans, top=args.top, title=f"trace stats: {args.trace}"))
+        print(report)
     except BrokenPipeError:  # e.g. `repro stats trace | head`
         import os
         import sys

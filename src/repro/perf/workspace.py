@@ -14,7 +14,13 @@ Lifetime rules (see ``docs/performance.md``):
 * distinct call sites use distinct keys, so nesting different sites is
   safe; one site must not borrow its own key reentrantly;
 * buffers are per-thread (``threading.local``) — worker processes and
-  threads never share or corrupt each other's scratch space.
+  threads never share or corrupt each other's scratch space.  This is
+  the pool's *concurrency contract*, audited for the multi-threaded
+  serve layer: every borrow goes through :meth:`WorkspacePool._buffers`,
+  which only ever touches the calling thread's ``threading.local`` slot,
+  so N server workers sweeping concurrently get N independent buffer
+  sets with no locking on the hot path (the thread-hammer regression
+  test in ``tests/test_serve_threadsafety.py`` holds this in place).
 
 ``perf.workspace.reuse`` / ``perf.workspace.alloc`` counters record how
 often the pool served a sweep without touching the allocator.

@@ -13,16 +13,26 @@ Spec grammar (``;``-separated rules of ``,``-separated ``key=value`` pairs)::
     REPRO_FAULTS="site=transform,mode=transform-error,match=coalescing,times=1"
     REPRO_FAULTS="site=worker,mode=stall,match=rmat:attempt0,delay=30;site=io,mode=error"
 
+A compact shorthand ``<mode>:<site>[:<ms>[:<match>]]`` covers the common
+chaos clauses — latency faults especially — without the key=value
+ceremony::
+
+    REPRO_FAULTS="delay:cache:50"            # 50 ms on every cache I/O
+    REPRO_FAULTS="delay:serve:20:sssp"       # 20 ms on serve keys matching "sssp"
+    REPRO_FAULTS="error:io"                  # raise on every io call
+
 Rule fields:
 
 ``site``
     required; one of :data:`SITES` (``transform``, ``baseline``, ``io``,
-    ``worker``).
+    ``worker``, ``cache``, ``serve``).
 ``mode``
     ``error`` (raise :class:`~repro.errors.FaultInjected`, the default),
     ``transform-error`` (raise :class:`~repro.errors.TransformError`),
-    ``oom`` (raise :class:`MemoryError`), or ``stall`` (sleep ``delay``
-    seconds, triggering worker deadlines).
+    ``oom`` (raise :class:`MemoryError`), ``stall`` (sleep ``delay``
+    seconds, triggering worker deadlines), or ``delay`` (sleep ``ms``
+    milliseconds and return — the non-fatal latency fault for slow-I/O
+    chaos: the call still succeeds, just late).
 ``match``
     substring the site's key must contain (empty = match every call).
 ``times``
@@ -31,6 +41,8 @@ Rule fields:
     let this many matching calls through before triggering.
 ``delay``
     seconds to sleep for ``mode=stall``.
+``ms``
+    milliseconds to sleep for ``mode=delay``.
 
 Matching is counted per rule per process; because sweep workers embed the
 attempt number in their key (``"<graph>:attempt<N>"``), a rule such as
@@ -59,8 +71,8 @@ __all__ = [
 ]
 
 ENV_VAR = "REPRO_FAULTS"
-SITES = ("transform", "baseline", "io", "worker")
-_MODES = ("error", "transform-error", "oom", "stall")
+SITES = ("transform", "baseline", "io", "worker", "cache", "serve")
+_MODES = ("error", "transform-error", "oom", "stall", "delay")
 
 
 @dataclass
@@ -73,6 +85,7 @@ class FaultRule:
     times: int = -1
     after: int = 0
     delay: float = 1.0
+    ms: float = 10.0
     _seen: int = field(default=0, repr=False)
     _fired: int = field(default=0, repr=False)
 
@@ -97,7 +110,9 @@ class FaultRule:
             return
         self._fired += 1
         detail = f"injected fault at {site}:{key!r} (rule {self.mode})"
-        if self.mode == "stall":
+        if self.mode == "delay":
+            time.sleep(self.ms / 1000.0)
+        elif self.mode == "stall":
             time.sleep(self.delay)
         elif self.mode == "transform-error":
             raise TransformError(detail)
@@ -118,12 +133,41 @@ class FaultInjector:
             rule.check(site, key)
 
 
+def _parse_compact(clause: str) -> FaultRule:
+    """Parse the ``<mode>:<site>[:<ms>[:<match>]]`` shorthand."""
+    parts = clause.split(":", 3)
+    mode = parts[0].strip()
+    if len(parts) < 2 or not parts[1].strip():
+        raise ResilienceError(
+            f"compact fault clause {clause!r} is missing a site "
+            "(expected <mode>:<site>[:<ms>[:<match>]])"
+        )
+    site = parts[1].strip()
+    kwargs: dict[str, object] = {}
+    if len(parts) >= 3 and parts[2].strip():
+        try:
+            amount = float(parts[2])
+        except ValueError as exc:
+            raise ResilienceError(
+                f"malformed fault clause {clause!r}: {exc}"
+            ) from exc
+        # the shorthand's third field is milliseconds for delay faults,
+        # seconds for stalls (matching each mode's long-form field)
+        kwargs["ms" if mode == "delay" else "delay"] = amount
+    if len(parts) >= 4:
+        kwargs["match"] = parts[3].strip()
+    return FaultRule(site=site, mode=mode, **kwargs)  # type: ignore[arg-type]
+
+
 def parse_spec(spec: str) -> list[FaultRule]:
     """Parse the ``REPRO_FAULTS`` grammar into :class:`FaultRule` objects."""
     rules: list[FaultRule] = []
     for clause in spec.split(";"):
         clause = clause.strip()
         if not clause:
+            continue
+        if "=" not in clause and ":" in clause:
+            rules.append(_parse_compact(clause))
             continue
         fields: dict[str, str] = {}
         for pair in clause.split(","):
@@ -144,6 +188,7 @@ def parse_spec(spec: str) -> list[FaultRule]:
                     times=int(fields.get("times", -1)),
                     after=int(fields.get("after", 0)),
                     delay=float(fields.get("delay", 1.0)),
+                    ms=float(fields.get("ms", 10.0)),
                 )
             )
         except ValueError as exc:

@@ -1,0 +1,50 @@
+"""Hardened analytics serving: a long-lived, overload-safe query server.
+
+ROADMAP item 1 made concrete, robustness-first.  ``python -m repro
+serve`` stands up a concurrent TCP server that holds pre-transformed
+Graffix plans hot (via :mod:`repro.cache`) and answers SSSP / PageRank
+top-k / BC analytics queries over a line-delimited JSON protocol
+(:mod:`repro.serve.protocol`), with the failure behavior engineered
+before the throughput:
+
+* :mod:`.admission` — token gate + bounded queue; overload sheds with
+  explicit ``overloaded`` responses and retry-after hints;
+* :mod:`.deadline` — per-request budgets checked at admission, between
+  stages, and inside sweep loops, so late work is cancelled cheaply;
+* :mod:`.breaker` — a circuit breaker guarding the disk cache tier
+  (trip on corruption/slow reads, fall back to recompute);
+* :mod:`.degrade` — a pressure-driven ladder that steps hot queries
+  down to the paper's approximate plans (footnoted, PR-1 style) instead
+  of collapsing;
+* :mod:`.service` / :mod:`.server` — hot plans, startup self-check via
+  the :mod:`repro.verify` oracles, health/readiness probes, graceful
+  SIGTERM drain;
+* :mod:`.loadgen` — the redisbench-style YAML load generator + KPI gate
+  (``python -m repro bench serve``), including a chaos mode that arms
+  ``REPRO_FAULTS`` mid-run and checks correctness and recovery.
+
+See ``docs/serving.md`` for the protocol and semantics.
+"""
+
+from __future__ import annotations
+
+from .admission import AdmissionGate
+from .breaker import CircuitBreaker
+from .deadline import Deadline, DeadlineRunner, deadline_runner_factory
+from .degrade import DegradationLadder
+from .protocol import ServeClient
+from .server import ReproServer
+from .service import GraphService, ServeConfig
+
+__all__ = [
+    "AdmissionGate",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineRunner",
+    "deadline_runner_factory",
+    "DegradationLadder",
+    "GraphService",
+    "ReproServer",
+    "ServeClient",
+    "ServeConfig",
+]

@@ -1,0 +1,138 @@
+"""Admission control: a token gate with a bounded wait queue.
+
+The server sizes its concurrency to the worker pool (one token per
+worker); requests beyond that wait in a *bounded* queue.  Two explicit
+failure modes replace implicit collapse:
+
+* **shed** — when the queue is already ``max_queue_depth`` deep, the
+  request is refused immediately with :class:`~repro.errors.Overloaded`
+  and a ``retry_after_ms`` hint that scales with the backlog, so
+  overload produces fast 503-style answers instead of unbounded queueing
+  (the redisbench KPI gate counts these as shed-rate, not latency);
+* **deadline at admission** — a waiter only waits as long as its
+  remaining budget; if the token does not arrive in time it leaves with
+  :class:`~repro.errors.DeadlineExceeded` having consumed no sweep work.
+
+Telemetry: ``serve.admission.wait`` (histogram, seconds),
+``serve.queue.depth`` (gauge, sampled on every transition),
+``serve.admission.{admitted,shed,expired}`` counters.  The measured
+wait also feeds the degradation ladder's pressure signal (the caller
+passes it to :meth:`repro.serve.degrade.DegradationLadder.observe`).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from time import monotonic
+from typing import Iterator
+
+from ..errors import Overloaded
+from ..obs import metrics as obs_metrics
+from .deadline import Deadline
+
+__all__ = ["AdmissionGate"]
+
+#: admission-wait histogram buckets (seconds): serving latencies are
+#: milliseconds-scale, so the default seconds-scale buckets are too coarse
+WAIT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 5.0,
+)
+
+
+class AdmissionGate:
+    """Bounded-concurrency, bounded-queue admission for request workers."""
+
+    def __init__(
+        self,
+        max_concurrency: int,
+        max_queue_depth: int = 16,
+        *,
+        base_retry_after_ms: float = 25.0,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        if max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be >= 0")
+        self.max_concurrency = int(max_concurrency)
+        self.max_queue_depth = int(max_queue_depth)
+        self.base_retry_after_ms = float(base_retry_after_ms)
+        self._tokens = threading.Semaphore(self.max_concurrency)
+        self._lock = threading.Lock()
+        self._waiting = 0
+        self._active = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for a token."""
+        return self._waiting
+
+    @property
+    def active(self) -> int:
+        """Requests currently holding a token."""
+        return self._active
+
+    def occupancy(self) -> float:
+        """Queue fullness in [0, 1] — a pressure signal for degradation."""
+        if self.max_queue_depth == 0:
+            return 1.0 if self._waiting else 0.0
+        return min(1.0, self._waiting / self.max_queue_depth)
+
+    def retry_after_ms(self) -> float:
+        """Backoff hint for shed responses, scaled by the backlog."""
+        backlog = self._waiting + self._active
+        return self.base_retry_after_ms * max(1.0, float(backlog))
+
+    def _gauge(self) -> None:
+        obs_metrics.gauge("serve.queue.depth").set(float(self._waiting))
+        obs_metrics.gauge("serve.active.workers").set(float(self._active))
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def admit(self, deadline: Deadline) -> Iterator[float]:
+        """Hold one worker token for the duration of the ``with`` block.
+
+        Yields the seconds spent waiting for the token (the queue-wait
+        pressure signal).  Raises :class:`Overloaded` when the queue is
+        full and :class:`DeadlineExceeded` (via ``deadline.check``) when
+        the budget runs out before a token frees up.
+        """
+        deadline.check("admission")
+        with self._lock:
+            if self._waiting >= self.max_queue_depth:
+                obs_metrics.counter("serve.admission.shed").inc()
+                raise Overloaded(
+                    f"queue full ({self._waiting}/{self.max_queue_depth} waiting)",
+                    retry_after_ms=self.retry_after_ms(),
+                )
+            self._waiting += 1
+            self._gauge()
+        t0 = monotonic()
+        try:
+            while True:
+                remaining = deadline.remaining()
+                if remaining <= 0.0:
+                    obs_metrics.counter("serve.admission.expired").inc()
+                    deadline.check("admission")  # raises with the stage detail
+                # bounded acquire so an unbounded deadline still re-checks
+                # periodically (and drain can interrupt via the deadline)
+                if self._tokens.acquire(timeout=min(remaining, 0.05)):
+                    break
+        finally:
+            with self._lock:
+                self._waiting -= 1
+                self._gauge()
+        wait = monotonic() - t0
+        obs_metrics.histogram("serve.admission.wait", WAIT_BUCKETS).observe(wait)
+        obs_metrics.counter("serve.admission.admitted").inc()
+        with self._lock:
+            self._active += 1
+            self._gauge()
+        try:
+            yield wait
+        finally:
+            self._tokens.release()
+            with self._lock:
+                self._active -= 1
+                self._gauge()

@@ -1,0 +1,148 @@
+"""A circuit breaker for flaky dependencies (the disk cache tier).
+
+The classic three-state machine, tuned for the serve hot path:
+
+* **closed** — calls flow; consecutive failures (or successes slower
+  than ``slow_call_seconds``, which count as failures — a disk that
+  answers in 500 ms is as useless to a 100 ms-budget request as one
+  that errors) are counted, and ``failure_threshold`` of them in a row
+  trip the breaker;
+* **open** — calls are refused instantly (:meth:`allow` returns false)
+  for ``cooldown_seconds``; the dependency gets air to recover and the
+  caller takes its fallback path (for the cache tier: recompute);
+* **half-open** — after the cooldown, up to ``half_open_probes`` trial
+  calls pass through; a success closes the breaker, a failure re-opens
+  it with a fresh cooldown.
+
+:class:`~repro.cache.store.DiskStore` accepts one of these as its
+``breaker`` and reports every disk read/write outcome into it, so
+repeated checksum corruption or injected slow-I/O faults
+(``REPRO_FAULTS="delay:cache:<ms>"``) flip the server to
+recompute-from-plan instead of stalling every worker on a dying disk.
+
+Thread-safe; the clock is injectable for deterministic tests.
+State transitions are counted on ``serve.breaker.<name>.{open,close,half_open}``
+and the current state is exported on the ``serve.breaker.<name>.state``
+gauge (0 closed, 1 half-open, 2 open).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Callable
+
+from ..obs import metrics as obs_metrics
+from ..obs.log import get_logger
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+logger = get_logger("serve.breaker")
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+_STATE_GAUGE = {CLOSED: 0.0, HALF_OPEN: 1.0, OPEN: 2.0}
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with slow-call accounting."""
+
+    def __init__(
+        self,
+        name: str = "disk",
+        *,
+        failure_threshold: int = 3,
+        slow_call_seconds: float = math.inf,
+        cooldown_seconds: float = 5.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+        self.name = name
+        self.failure_threshold = int(failure_threshold)
+        self.slow_call_seconds = float(slow_call_seconds)
+        self.cooldown_seconds = float(cooldown_seconds)
+        self.half_open_probes = int(half_open_probes)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+
+    # ------------------------------------------------------------------
+    def _set_state(self, state: str) -> None:
+        if state != self._state:
+            self._state = state
+            metric = state.replace("-", "_")
+            obs_metrics.counter(f"serve.breaker.{self.name}.{metric}").inc()
+            logger.info("breaker %s -> %s", self.name, state)
+        obs_metrics.gauge(f"serve.breaker.{self.name}.state").set(
+            _STATE_GAUGE[state]
+        )
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """Whether the guarded call may proceed right now."""
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self._clock() - self._opened_at < self.cooldown_seconds:
+                    return False
+                self._set_state(HALF_OPEN)
+                self._probes_in_flight = 0
+            # half-open: admit a bounded number of probes
+            if self._probes_in_flight >= self.half_open_probes:
+                return False
+            self._probes_in_flight += 1
+            return True
+
+    def record_success(self, elapsed_seconds: float = 0.0) -> None:
+        """Report a completed call; slow completions count as failures."""
+        if elapsed_seconds > self.slow_call_seconds:
+            obs_metrics.counter(f"serve.breaker.{self.name}.slow_call").inc()
+            self.record_failure()
+            return
+        with self._lock:
+            self._failures = 0
+            if self._state == HALF_OPEN:
+                self._set_state(CLOSED)
+                self._probes_in_flight = 0
+
+    def record_failure(self) -> None:
+        """Report a failed call; enough in a row trip the breaker."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._trip()
+                return
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._trip()
+
+    def _trip(self) -> None:
+        self._set_state(OPEN)
+        self._failures = 0
+        self._probes_in_flight = 0
+        self._opened_at = self._clock()
+
+    def reset(self) -> None:
+        """Force-close (tests, operator action)."""
+        with self._lock:
+            self._failures = 0
+            self._probes_in_flight = 0
+            self._set_state(CLOSED)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CircuitBreaker({self.name!r}, state={self._state})"

@@ -1,0 +1,149 @@
+"""Pressure-driven graceful degradation to approximate plans.
+
+GraphGuess (PAPERS.md) adapts its approximation knobs *during* execution
+in response to runtime signals; the serving analogue is a degradation
+ladder driven by queue pressure.  When admission waits climb, the server
+steps hot queries down to cheaper execution — Graffix's approximate
+transform plans first, then reduced work — instead of shedding more or
+missing deadlines; when pressure drains it steps back up.  Every
+degraded answer is footnoted (``degraded: true`` plus a reason) exactly
+like PR 1's degraded table cells, so a client can always tell an exact
+answer from an approximate one.
+
+Ladder levels:
+
+``0`` — serve the requested technique (the configured default, exact);
+``1`` — switch to the approximate plan (``approx_technique``,
+        default ``coalescing``): same algorithm, transformed graph,
+        bounded inaccuracy per the paper's envelopes;
+``2`` — approximate plan *and* reduced work: BC halves its source
+        sample, PageRank loosens its tolerance 100×, SSSP stays on the
+        approximate plan (its cost is dominated by the plan, not a
+        knob).
+
+The pressure signal is an exponentially-weighted moving average of
+admission wait, blended with queue occupancy.  Transitions use
+hysteresis (exit thresholds at half the entry thresholds) so the ladder
+does not flap at a boundary.  ``serve.pressure.level`` gauges the
+current level; ``serve.degrade.step_{up,down}`` count transitions.
+
+Thread-safe: one ladder is shared by every worker thread.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..obs import metrics as obs_metrics
+from ..obs.log import get_logger
+
+__all__ = ["DegradationLadder"]
+
+logger = get_logger("serve.degrade")
+
+
+class DegradationLadder:
+    """Maps a smoothed pressure signal to a degradation level (0..2)."""
+
+    def __init__(
+        self,
+        *,
+        approx_technique: str = "coalescing",
+        level1_wait_seconds: float = 0.050,
+        level2_wait_seconds: float = 0.200,
+        ewma_alpha: float = 0.3,
+        enabled: bool = True,
+    ) -> None:
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if level2_wait_seconds < level1_wait_seconds:
+            raise ValueError("level2 threshold must be >= level1 threshold")
+        self.approx_technique = approx_technique
+        self.level1_wait_seconds = float(level1_wait_seconds)
+        self.level2_wait_seconds = float(level2_wait_seconds)
+        self.ewma_alpha = float(ewma_alpha)
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._ewma_wait = 0.0
+        self._level = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def level(self) -> int:
+        with self._lock:
+            return self._level
+
+    @property
+    def pressure(self) -> float:
+        """The smoothed admission-wait signal, in seconds."""
+        with self._lock:
+            return self._ewma_wait
+
+    def observe(self, wait_seconds: float, occupancy: float = 0.0) -> int:
+        """Fold one admission observation in; returns the (new) level.
+
+        ``occupancy`` (queue fullness in [0, 1]) lets a rapidly filling
+        queue raise pressure before waits have accumulated: the signal
+        is the max of the measured wait and occupancy scaled onto the
+        level-2 threshold.
+        """
+        if not self.enabled:
+            return 0
+        signal = max(float(wait_seconds), float(occupancy) * self.level2_wait_seconds)
+        with self._lock:
+            self._ewma_wait += self.ewma_alpha * (signal - self._ewma_wait)
+            w = self._ewma_wait
+            level = self._level
+            # hysteresis: step up at the entry threshold, back down only
+            # once the signal falls below half of it
+            if level < 2 and w >= self.level2_wait_seconds:
+                level = 2
+            elif level < 1 and w >= self.level1_wait_seconds:
+                level = 1
+            elif level == 2 and w < self.level2_wait_seconds / 2.0:
+                level = 1 if w >= self.level1_wait_seconds / 2.0 else 0
+            elif level == 1 and w < self.level1_wait_seconds / 2.0:
+                level = 0
+            if level != self._level:
+                counter = "step_up" if level > self._level else "step_down"
+                obs_metrics.counter(f"serve.degrade.{counter}").inc()
+                logger.info(
+                    "degradation level %d -> %d (ewma wait %.1fms)",
+                    self._level, level, w * 1000.0,
+                )
+                self._level = level
+            obs_metrics.gauge("serve.pressure.level").set(float(self._level))
+            obs_metrics.gauge("serve.pressure.ewma_wait").set(w)
+            return self._level
+
+    # ------------------------------------------------------------------
+    def apply(self, op: str, technique: str, params: dict) -> tuple[str, dict, str]:
+        """The (technique, params, reason) to actually serve at this level.
+
+        ``reason`` is the footnote for the response; empty means serve
+        as requested (level 0, or the request already asked for the
+        approximate technique).
+        """
+        with self._lock:
+            level = self._level
+        if level == 0 or not self.enabled:
+            return technique, params, ""
+        out = dict(params)
+        changed: list[str] = []
+        if technique != self.approx_technique:
+            technique = self.approx_technique
+            changed.append(f"plan={self.approx_technique}")
+        if level >= 2:
+            if op == "bc_node":
+                halved = max(1, int(out.get("num_sources", 8)) // 2)
+                if halved != out.get("num_sources", 8):
+                    out["num_sources"] = halved
+                    changed.append(f"num_sources={halved}")
+            elif op == "pr_topk":
+                tol = float(out.get("tol", 1e-8)) * 100.0
+                out["tol"] = tol
+                changed.append(f"tol={tol:g}")
+        if not changed:
+            return technique, out, ""
+        reason = f"pressure:level{level}:" + ",".join(changed)
+        return technique, out, reason

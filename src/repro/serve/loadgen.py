@@ -1,0 +1,492 @@
+"""Declarative load generation + KPI gating for the serve layer.
+
+Modeled on redisbench-admin's benchmark definitions (SNIPPETS.md
+Snippet 2): a YAML spec names the workload — N client threads, a total
+request count, a seeded query mix with per-query ratios — and a
+``kpis:`` block of ``le:``/``ge:`` clauses that turn the run into a
+pass/fail gate.  ``python -m repro bench serve --spec <yml>`` runs it
+and emits ``BENCH_SERVE.json``.
+
+Spec schema::
+
+    name: serve-smoke
+    server:                    # in-process server to spawn (omit when
+      scale: tiny              # targeting a live one via `connect:`)
+      seed: 7
+      workers: 4
+      max_queue_depth: 16
+    connect: {host: ..., port: ...}   # optional: external server
+    clients: 4                 # client threads
+    requests: 400              # total requests across clients
+    seed: 12345                # request-stream RNG seed
+    deadline_ms: 2000          # per-request budget
+    verify: true               # check answers against a reference run
+    queries:
+      - {op: sssp,    graph: rmat,     ratio: 0.5}
+      - {op: pr_topk, graph: rmat,     ratio: 0.3, k: 8}
+      - {op: bc_node, graph: usa-road, ratio: 0.2, num_sources: 4}
+    kpis:
+      - le: {q50_ms: 100}
+      - ge: {qps: 20}
+      - le: {shed_rate: 0.0}
+      - le: {degraded_rate: 0.0}
+    chaos:                     # optional fault window mid-run
+      faults: "delay:serve:30"                  # REPRO_FAULTS spec
+      start_fraction: 0.3      # arm after 30 % of requests issued
+      stop_fraction: 0.6       # disarm after 60 %
+      kpis:                    # evaluated on the recovery phase only
+        - le: {q50_ms: 100}
+
+KPI metric names: ``q50_ms``/``q90_ms``/``q99_ms`` (latency quantiles
+over completed analytics responses), ``qps`` (completed responses per
+second of wall-clock), ``shed_rate``/``timeout_rate``/``error_rate``/
+``degraded_rate``/``ok_rate`` (fractions of issued requests), and
+``wrong`` (verified-mismatch count — with ``verify: true`` the gate
+implicitly requires 0).
+
+With ``verify: true`` the loadgen rebuilds the server's (deterministic)
+graph suite and checks every completed, *non-degraded* ``ok`` answer
+bit-for-bit against an exact-plan reference run; degraded answers are
+only required to carry the footnote.  This is the chaos-mode oracle:
+under injected faults the server may shed, time out, error, or degrade
+— it may never return a wrong answer silently.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..algorithms.bc import betweenness_centrality
+from ..algorithms.pagerank import pagerank
+from ..algorithms.sssp import sssp
+from ..core.pipeline import build_plan
+from ..errors import ProtocolError, ServeError
+from ..graphs.generators import paper_suite
+from ..obs.log import get_logger
+from .protocol import ServeClient
+from .server import ReproServer
+from .service import ServeConfig
+
+__all__ = ["load_spec", "run_spec", "evaluate_kpis", "main"]
+
+logger = get_logger("serve.loadgen")
+
+PHASES = ("before", "fault", "recovery")
+
+
+# ---------------------------------------------------------------------------
+# spec loading
+# ---------------------------------------------------------------------------
+def load_spec(path: str | Path) -> dict:
+    """Parse and sanity-check one YAML load spec."""
+    import yaml
+
+    spec = yaml.safe_load(Path(path).read_text())
+    if not isinstance(spec, dict):
+        raise ServeError(f"load spec {path} must be a YAML mapping")
+    queries = spec.get("queries")
+    if not isinstance(queries, list) or not queries:
+        raise ServeError("load spec needs a non-empty queries: list")
+    total_ratio = sum(float(q.get("ratio", 0.0)) for q in queries)
+    if total_ratio <= 0.0:
+        raise ServeError("query ratios must sum to a positive value")
+    for q in queries:
+        if q.get("op") not in ("sssp", "pr_topk", "bc_node"):
+            raise ServeError(f"unknown query op {q.get('op')!r} in spec")
+        if "graph" not in q:
+            raise ServeError(f"query {q} is missing graph:")
+    spec.setdefault("clients", 4)
+    spec.setdefault("requests", 200)
+    spec.setdefault("seed", 12345)
+    spec.setdefault("deadline_ms", 2000.0)
+    spec.setdefault("verify", True)
+    return spec
+
+
+def _server_config(spec: dict, *, allow_chaos: bool) -> ServeConfig:
+    s = dict(spec.get("server") or {})
+    techniques = tuple(s.pop("techniques", ("exact", "coalescing")))
+    return ServeConfig(
+        techniques=techniques, allow_chaos=allow_chaos, **s
+    )
+
+
+# ---------------------------------------------------------------------------
+# the reference oracle
+# ---------------------------------------------------------------------------
+class _Reference:
+    """Lazily computed exact-plan answers keyed like the server's ops.
+
+    The suite is deterministic in (scale, seed), so rebuilding it client-
+    side yields bit-identical graphs; exact-plan runs of the same
+    algorithm code then yield bit-identical values to the server's
+    non-degraded answers.
+    """
+
+    def __init__(self, scale: str, seed: int):
+        self.graphs = dict(paper_suite(scale, seed=seed))
+        self._plans: dict[str, object] = {}
+        self._memo: dict[tuple, object] = {}
+        self._lock = threading.Lock()
+
+    def _plan(self, graph: str):
+        with self._lock:
+            if graph not in self._plans:
+                self._plans[graph] = build_plan(self.graphs[graph], "exact")
+            return self._plans[graph]
+
+    def _get(self, key: tuple, compute):
+        with self._lock:
+            if key in self._memo:
+                return self._memo[key]
+        value = compute()
+        with self._lock:
+            self._memo[key] = value
+        return value
+
+    def check(self, req: dict, result: dict) -> bool:
+        """True iff ``result`` matches the exact reference for ``req``."""
+        op, graph = req["op"], req["graph"]
+        if op == "sssp":
+            dist = self._get(
+                (op, graph, req["source"]),
+                lambda: sssp(self._plan(graph), req["source"]).values,
+            )
+            if "target" in req:
+                ref = float(dist[req["target"]])
+                if not np.isfinite(ref):
+                    return result.get("distance") is None
+                got = result.get("distance")
+                return got is not None and _close(got, ref)
+            finite = np.isfinite(dist)
+            return result.get("reached") == int(finite.sum()) and _close(
+                result.get("total_distance", np.nan), float(dist[finite].sum())
+            )
+        if op == "pr_topk":
+            tol = float(req.get("tol", 1e-8))
+            ranks = self._get(
+                (op, graph, tol), lambda: pagerank(self._plan(graph), tol=tol).values
+            )
+            for node, rank in result.get("top", []):
+                if not _close(rank, float(ranks[node])):
+                    return False
+            return True
+        if op == "bc_node":
+            num_sources = int(req.get("num_sources", 8))
+            seed = int(req.get("seed", 0))
+            scores = self._get(
+                (op, graph, num_sources, seed),
+                lambda: betweenness_centrality(
+                    self._plan(graph), num_sources=num_sources, seed=seed
+                ).values,
+            )
+            return _close(result.get("score", np.nan), float(scores[req["node"]]))
+        return True  # pragma: no cover - spec validation rejects other ops
+
+
+def _close(a: float, b: float) -> bool:
+    return bool(np.isclose(float(a), float(b), rtol=1e-9, atol=1e-12))
+
+
+# ---------------------------------------------------------------------------
+# the run
+# ---------------------------------------------------------------------------
+def run_spec(
+    spec: dict,
+    *,
+    host: str | None = None,
+    port: int | None = None,
+) -> dict:
+    """Execute one load spec; returns the BENCH_SERVE report dict.
+
+    ``host``/``port`` override the spec's ``connect:`` block; with
+    neither, an in-process server is spawned from the ``server:`` block.
+    """
+    chaos = spec.get("chaos") or None
+    connect = spec.get("connect") or {}
+    if host is None:
+        host = connect.get("host")
+    if port is None:
+        port = connect.get("port")
+
+    server: ReproServer | None = None
+    if host is None or port is None:
+        server = ReproServer(_server_config(spec, allow_chaos=chaos is not None))
+        port = server.start()
+        host = server.config.host
+
+    try:
+        return _drive(spec, host=host, port=int(port), server=server)
+    finally:
+        if server is not None:
+            server.stop()
+
+
+def _drive(spec: dict, *, host: str, port: int, server: ReproServer | None) -> dict:
+    clients = int(spec["clients"])
+    total = int(spec["requests"])
+    deadline_ms = float(spec["deadline_ms"])
+    chaos = spec.get("chaos") or None
+    queries = spec["queries"]
+    ratios = np.array([float(q.get("ratio", 0.0)) for q in queries])
+    ratios = ratios / ratios.sum()
+
+    with ServeClient(host, port) as admin:
+        info = admin.request({"op": "graphs"})
+        if info["status"] != "ok":
+            raise ServeError(f"graphs op failed: {info}")
+        graph_nodes = {name: g["nodes"] for name, g in info["result"].items()}
+    for q in queries:
+        if q["graph"] not in graph_nodes:
+            raise ServeError(
+                f"spec queries graph {q['graph']!r} not loaded on the server"
+            )
+
+    reference = None
+    if spec.get("verify", True):
+        srv_spec = dict(spec.get("server") or {})
+        reference = _Reference(
+            srv_spec.get("scale", "tiny"), int(srv_spec.get("seed", 7))
+        )
+
+    issued = [0]
+    issued_lock = threading.Lock()
+    phase = ["before" if chaos else "recovery"]
+    records: list[dict] = []
+    records_lock = threading.Lock()
+    per_client = [total // clients] * clients
+    for i in range(total % clients):
+        per_client[i] += 1
+
+    def make_request(rng: np.random.Generator) -> dict:
+        q = queries[int(rng.choice(len(queries), p=ratios))]
+        req: dict = {
+            "op": q["op"],
+            "graph": q["graph"],
+            "deadline_ms": deadline_ms,
+        }
+        n = graph_nodes[q["graph"]]
+        if q["op"] == "sssp":
+            req["source"] = int(rng.integers(n))
+            req["target"] = int(rng.integers(n))
+        elif q["op"] == "pr_topk":
+            req["k"] = int(q.get("k", 10))
+        elif q["op"] == "bc_node":
+            req["node"] = int(rng.integers(n))
+            req["num_sources"] = int(q.get("num_sources", 4))
+            req["seed"] = int(q.get("seed", 0))
+        return req
+
+    def client_main(idx: int, count: int) -> None:
+        rng = np.random.default_rng(int(spec["seed"]) + idx)
+        with ServeClient(host, port, timeout=max(30.0, deadline_ms / 250.0)) as c:
+            for _ in range(count):
+                req = make_request(rng)
+                with issued_lock:
+                    issued[0] += 1
+                t0 = time.perf_counter()
+                try:
+                    resp = c.request(req)
+                except ProtocolError:
+                    resp = {"status": "error", "error": "connection lost"}
+                latency_ms = (time.perf_counter() - t0) * 1000.0
+                rec = {
+                    "op": req["op"],
+                    "graph": req["graph"],
+                    "status": resp.get("status", "error"),
+                    "degraded": bool(resp.get("degraded")),
+                    "latency_ms": latency_ms,
+                    "phase": phase[0],
+                }
+                if (
+                    reference is not None
+                    and rec["status"] == "ok"
+                    and not rec["degraded"]
+                ):
+                    rec["correct"] = reference.check(req, resp.get("result", {}))
+                with records_lock:
+                    records.append(rec)
+
+    def chaos_main() -> None:
+        start_at = int(float(chaos.get("start_fraction", 0.3)) * total)
+        stop_at = int(float(chaos.get("stop_fraction", 0.6)) * total)
+        with ServeClient(host, port) as c:
+            while issued[0] < start_at:
+                time.sleep(0.005)
+            phase[0] = "fault"
+            resp = c.request({"op": "chaos", "spec": chaos["faults"]})
+            if resp["status"] != "ok":
+                raise ServeError(f"failed to arm chaos: {resp}")
+            logger.info("chaos window open (%s)", chaos["faults"])
+            while issued[0] < stop_at:
+                time.sleep(0.005)
+            resp = c.request({"op": "chaos", "spec": ""})
+            phase[0] = "recovery"
+            logger.info("chaos window closed")
+
+    threads = [
+        threading.Thread(target=client_main, args=(i, per_client[i]), daemon=True)
+        for i in range(clients)
+    ]
+    controller = (
+        threading.Thread(target=chaos_main, daemon=True) if chaos else None
+    )
+    t_start = time.perf_counter()
+    for t in threads:
+        t.start()
+    if controller is not None:
+        controller.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t_start
+    if controller is not None:
+        controller.join(timeout=5.0)
+
+    report = _report(spec, records, wall)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# metrics + KPI gating
+# ---------------------------------------------------------------------------
+def _phase_metrics(records: list[dict], wall_seconds: float | None) -> dict:
+    n = len(records)
+    by_status: dict[str, int] = {}
+    for r in records:
+        by_status[r["status"]] = by_status.get(r["status"], 0) + 1
+    completed = [r for r in records if r["status"] == "ok"]
+    lat = np.array([r["latency_ms"] for r in completed]) if completed else None
+    degraded = sum(1 for r in completed if r["degraded"])
+    wrong = sum(1 for r in records if r.get("correct") is False)
+    verified = sum(1 for r in records if "correct" in r)
+    out = {
+        "requests": n,
+        "ok": len(completed),
+        "statuses": by_status,
+        "ok_rate": len(completed) / n if n else 0.0,
+        "shed_rate": by_status.get("overloaded", 0) / n if n else 0.0,
+        "timeout_rate": by_status.get("timeout", 0) / n if n else 0.0,
+        "error_rate": by_status.get("error", 0) / n if n else 0.0,
+        "degraded": degraded,
+        "degraded_rate": degraded / len(completed) if completed else 0.0,
+        "verified": verified,
+        "wrong": wrong,
+        "q50_ms": float(np.percentile(lat, 50)) if lat is not None else None,
+        "q90_ms": float(np.percentile(lat, 90)) if lat is not None else None,
+        "q99_ms": float(np.percentile(lat, 99)) if lat is not None else None,
+        "mean_ms": float(lat.mean()) if lat is not None else None,
+    }
+    if wall_seconds is not None:
+        out["wall_seconds"] = round(wall_seconds, 4)
+        out["qps"] = len(completed) / wall_seconds if wall_seconds > 0 else 0.0
+    return out
+
+
+def evaluate_kpis(kpis: list, metrics: dict) -> list[dict]:
+    """Evaluate ``le:``/``ge:`` clauses against a metrics dict."""
+    results = []
+    for clause in kpis or []:
+        if not isinstance(clause, dict) or len(clause) != 1:
+            raise ServeError(f"malformed kpi clause {clause!r}")
+        op, body = next(iter(clause.items()))
+        if op not in ("le", "ge") or not isinstance(body, dict) or len(body) != 1:
+            raise ServeError(f"malformed kpi clause {clause!r}")
+        metric, threshold = next(iter(body.items()))
+        value = metrics.get(metric)
+        if value is None:
+            ok = False
+        elif op == "le":
+            ok = value <= float(threshold)
+        else:
+            ok = value >= float(threshold)
+        results.append(
+            {
+                "metric": metric,
+                "op": op,
+                "threshold": float(threshold),
+                "value": None if value is None else round(float(value), 6),
+                "pass": bool(ok),
+            }
+        )
+    return results
+
+
+def _report(spec: dict, records: list[dict], wall: float) -> dict:
+    chaos = spec.get("chaos") or None
+    overall = _phase_metrics(records, wall)
+    report: dict = {
+        "name": spec.get("name", "serve-load"),
+        "created": time.time(),
+        "clients": int(spec["clients"]),
+        "requests": int(spec["requests"]),
+        "seed": int(spec["seed"]),
+        "deadline_ms": float(spec["deadline_ms"]),
+        "chaos": bool(chaos),
+        "overall": overall,
+    }
+    gates = evaluate_kpis(spec.get("kpis") or [], overall)
+    if chaos:
+        phases = {
+            ph: _phase_metrics([r for r in records if r["phase"] == ph], None)
+            for ph in PHASES
+        }
+        report["phases"] = phases
+        gates += [
+            dict(g, phase="recovery")
+            for g in evaluate_kpis(chaos.get("kpis") or [], phases["recovery"])
+        ]
+    if spec.get("verify", True):
+        gates.append(
+            {
+                "metric": "wrong",
+                "op": "le",
+                "threshold": 0.0,
+                "value": overall["wrong"],
+                "pass": overall["wrong"] == 0,
+            }
+        )
+    report["kpis"] = gates
+    report["ok"] = all(g["pass"] for g in gates)
+    return report
+
+
+# ---------------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench serve",
+        description="Run a YAML load spec against the analytics server and "
+        "gate on its kpis: block (redisbench-admin style).",
+    )
+    parser.add_argument("--spec", required=True, help="path to the YAML load spec")
+    parser.add_argument(
+        "--out", default="BENCH_SERVE.json", help="report path (default BENCH_SERVE.json)"
+    )
+    parser.add_argument("--host", default=None, help="target a live server instead")
+    parser.add_argument("--port", default=None, type=int)
+    args = parser.parse_args(argv)
+
+    spec = load_spec(args.spec)
+    report = run_spec(spec, host=args.host, port=args.port)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    o = report["overall"]
+    print(f"serve bench: {report['name']} — {o['requests']} requests, "
+          f"{o['ok']} ok, qps {o.get('qps', 0.0):.1f}")
+    if o["q50_ms"] is not None:
+        print(f"  latency q50 {o['q50_ms']:.2f}ms  q90 {o['q90_ms']:.2f}ms  "
+              f"q99 {o['q99_ms']:.2f}ms")
+    print(f"  shed {o['shed_rate']:.1%}  timeout {o['timeout_rate']:.1%}  "
+          f"degraded {o['degraded_rate']:.1%}  wrong {o['wrong']}")
+    for g in report["kpis"]:
+        mark = "PASS" if g["pass"] else "FAIL"
+        scope = f" [{g['phase']}]" if "phase" in g else ""
+        print(f"  {mark} {g['metric']} {g['op']} {g['threshold']}"
+              f" (value {g['value']}){scope}")
+    print(f"report written to {args.out}")
+    return 0 if report["ok"] else 1

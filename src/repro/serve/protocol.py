@@ -1,0 +1,158 @@
+"""The serve wire protocol: line-delimited JSON over TCP.
+
+One request is one JSON object on one ``\\n``-terminated UTF-8 line; the
+response is one JSON object on one line.  A connection may pipeline any
+number of requests; responses come back in order.
+
+Request fields:
+
+``op``
+    required — one of :data:`QUERY_OPS` (analytics) or
+    :data:`ADMIN_OPS` (probes/inspection):
+
+    * ``sssp`` — params ``graph``, ``source``, optional ``target``;
+      answers the distance to ``target`` or a reachability summary;
+    * ``pr_topk`` — params ``graph``, optional ``k`` (default 10);
+      answers the top-k ``[node, rank]`` pairs;
+    * ``bc_node`` — params ``graph``, ``node``, optional
+      ``num_sources``/``seed``; answers the node's sampled BC score;
+    * ``ping`` / ``health`` / ``graphs`` / ``stats`` — liveness,
+      readiness + pressure, the loaded graph inventory, and a metrics
+      snapshot; never queued behind analytics work;
+    * ``chaos`` — arm/disarm a ``REPRO_FAULTS`` plan in the server
+      process (only honored when the server was started with
+      ``allow_chaos``; the loadgen's chaos mode uses this).
+
+``id``
+    optional client-chosen correlation id, echoed back verbatim.
+``deadline_ms``
+    optional latency budget; omitted means the server default.
+``technique``
+    optional execution plan to serve from (default ``exact``); the
+    degradation ladder may substitute the approximate plan under
+    pressure — footnoted in the response.
+
+Response fields: ``id``, ``status`` (one of :data:`STATUSES`),
+``result`` (op-specific, on ``ok``), ``error`` (message, otherwise),
+``degraded`` + ``degraded_reason`` (the PR-1 footnote convention),
+``retry_after_ms`` (on ``overloaded``), ``server_ms`` (measured
+service time).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+from ..errors import ProtocolError
+
+__all__ = [
+    "QUERY_OPS",
+    "ADMIN_OPS",
+    "STATUSES",
+    "encode",
+    "decode_line",
+    "parse_request",
+    "response",
+    "error_response",
+    "ServeClient",
+]
+
+QUERY_OPS = ("sssp", "pr_topk", "bc_node")
+ADMIN_OPS = ("ping", "health", "graphs", "stats", "chaos")
+STATUSES = ("ok", "error", "overloaded", "timeout", "shutting_down")
+
+#: refuse absurd lines before json-decoding them (memory robustness)
+MAX_LINE_BYTES = 1 << 20
+
+
+def encode(obj: dict) -> bytes:
+    """One protocol line: compact JSON + newline."""
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one received line into a dict, or raise ProtocolError."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"request line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("request must be a JSON object")
+    return obj
+
+
+def parse_request(obj: dict) -> dict:
+    """Validate the envelope fields of a decoded request."""
+    op = obj.get("op")
+    if not isinstance(op, str) or op not in QUERY_OPS + ADMIN_OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; choose from {QUERY_OPS + ADMIN_OPS}"
+        )
+    deadline_ms = obj.get("deadline_ms")
+    if deadline_ms is not None:
+        if not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0:
+            raise ProtocolError("deadline_ms must be a positive number")
+    technique = obj.get("technique")
+    if technique is not None and not isinstance(technique, str):
+        raise ProtocolError("technique must be a string")
+    return obj
+
+
+def response(
+    req: dict | None,
+    status: str,
+    *,
+    result: Any = None,
+    degraded: bool = False,
+    degraded_reason: str = "",
+    **extra: Any,
+) -> dict:
+    """Build a response envelope for ``req`` (None for unparseable lines)."""
+    out: dict[str, Any] = {"status": status}
+    if req is not None and "id" in req:
+        out["id"] = req["id"]
+    if result is not None:
+        out["result"] = result
+    if degraded:
+        out["degraded"] = True
+        out["degraded_reason"] = degraded_reason
+    out.update(extra)
+    return out
+
+
+def error_response(req: dict | None, status: str, message: str, **extra: Any) -> dict:
+    return response(req, status, error=message, **extra)
+
+
+class ServeClient:
+    """A blocking line-protocol client (tests, loadgen, simple tooling)."""
+
+    def __init__(
+        self, host: str, port: int, *, timeout: float = 10.0
+    ) -> None:
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self.sock.makefile("rb")
+
+    def request(self, obj: dict) -> dict:
+        """Send one request and block for its response."""
+        self.sock.sendall(encode(obj))
+        line = self._file.readline()
+        if not line:
+            raise ProtocolError("server closed the connection")
+        return decode_line(line)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self.sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -141,3 +141,101 @@ class TestCli:
         assert main([str(path), "--top", "5"]) == 0
         out = capsys.readouterr().out
         assert "io.load" in out and "time split" in out
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram(self):
+        from repro.obs.stats import histogram_quantile
+
+        assert histogram_quantile((1.0, 2.0), (0, 0, 0), 0.5) == 0.0
+
+    def test_interpolates_within_bucket(self):
+        from repro.obs.stats import histogram_quantile
+
+        # 10 observations, all in the (1.0, 2.0] bucket: the median
+        # lands mid-bucket
+        q50 = histogram_quantile((1.0, 2.0, 4.0), (0, 10, 0, 0), 0.5)
+        assert 1.0 < q50 <= 2.0
+
+    def test_overflow_bucket_answers_last_bound(self):
+        from repro.obs.stats import histogram_quantile
+
+        q99 = histogram_quantile((1.0, 2.0), (0, 0, 5), 0.99)
+        assert q99 == 2.0
+
+    def test_quantile_ordering(self):
+        from repro.obs.stats import histogram_quantile
+
+        buckets = (0.001, 0.01, 0.1, 1.0)
+        counts = (5, 20, 10, 3, 0)
+        q50 = histogram_quantile(buckets, counts, 0.5)
+        q99 = histogram_quantile(buckets, counts, 0.99)
+        assert 0.0 < q50 <= q99 <= 1.0
+
+
+class TestFormatMetrics:
+    def _snapshot(self):
+        return {
+            "counters": {
+                "serve.requests.total": 10,
+                "serve.requests.ok": 8,
+                "serve.requests.timeout": 2,
+                "serve.admission.admitted": 10,
+                "serve.admission.shed": 1,
+                "serve.deadline.expired.sweep": 2,
+                "transform.plans.exact": 4,
+            },
+            "gauges": {"serve.pressure.level": 1.0,
+                       "serve.breaker.disk.state": 0.0},
+            "histograms": {
+                "serve.request.time": {
+                    "buckets": [0.001, 0.01, 0.1],
+                    "counts": [2, 6, 2, 0],
+                    "total": 0.15,
+                    "count": 10,
+                },
+            },
+        }
+
+    def test_serve_section_rendered(self):
+        from repro.obs.stats import format_metrics
+
+        text = format_metrics(self._snapshot(), title="unit metrics")
+        assert "unit metrics" in text
+        assert "serve: request outcomes" in text
+        assert "timeout" in text
+        assert "1 shed" in text
+        assert "sweep=2" in text
+        assert "serve.request.time" in text
+        assert "serve.pressure.level" in text
+        assert "transform.plans.exact" in text  # non-serve counters listed
+
+    def test_snapshot_without_serve_metrics(self):
+        from repro.obs.stats import format_metrics
+
+        text = format_metrics({"counters": {"io.reads": 3}})
+        assert "serve: request outcomes" not in text
+        assert "io.reads" in text
+
+
+class TestMetricsCliAutodetect:
+    def test_main_detects_metrics_snapshot(self, tmp_path, capsys):
+        from repro.obs import metrics as obs_metrics
+
+        obs_metrics.reset()
+        obs_metrics.counter("serve.requests.total").inc()
+        obs_metrics.counter("serve.requests.ok").inc()
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(obs_metrics.snapshot()))
+        obs_metrics.reset()
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "metrics stats" in out and "serve: request outcomes" in out
+
+    def test_main_still_reads_traces(self, tmp_path, capsys):
+        t = Tracer()
+        with t.span("io.load"):
+            pass
+        path = t.export_jsonl(tmp_path / "t.jsonl")
+        assert main([str(path)]) == 0
+        assert "trace stats" in capsys.readouterr().out

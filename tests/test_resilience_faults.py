@@ -195,3 +195,69 @@ class TestRetryPolicy:
                 policy=RetryPolicy(max_retries=5, backoff_base=0.0),
                 retry_on=(ValueError,),
             )
+
+
+class TestDelayMode:
+    def test_delay_sleeps_and_returns(self):
+        faults.install("site=cache,mode=delay,ms=40,times=1")
+        t0 = time.perf_counter()
+        faults.fault_point("cache", "get:transform:k")  # must NOT raise
+        assert time.perf_counter() - t0 >= 0.04
+        t0 = time.perf_counter()
+        faults.fault_point("cache", "get:transform:k")  # budget spent
+        assert time.perf_counter() - t0 < 0.02
+
+    def test_delay_default_ms(self):
+        (rule,) = faults.parse_spec("site=serve,mode=delay")
+        assert rule.ms == 10.0
+
+    def test_delay_respects_match(self):
+        faults.install("site=serve,mode=delay,ms=50,match=sssp")
+        t0 = time.perf_counter()
+        faults.fault_point("serve", "pr_topk:rmat")  # no match, no sleep
+        assert time.perf_counter() - t0 < 0.02
+
+
+class TestCompactGrammar:
+    def test_delay_shorthand(self):
+        (rule,) = faults.parse_spec("delay:cache:50")
+        assert rule.site == "cache" and rule.mode == "delay"
+        assert rule.ms == 50.0
+
+    def test_delay_shorthand_with_match(self):
+        (rule,) = faults.parse_spec("delay:serve:20:sssp")
+        assert rule.match == "sssp" and rule.ms == 20.0
+
+    def test_error_shorthand(self):
+        (rule,) = faults.parse_spec("error:io")
+        assert rule.site == "io" and rule.mode == "error" and rule.times == -1
+
+    def test_stall_shorthand_third_field_is_seconds(self):
+        (rule,) = faults.parse_spec("stall:worker:0.5")
+        assert rule.mode == "stall" and rule.delay == 0.5
+
+    def test_mixed_compact_and_longform(self):
+        rules = faults.parse_spec(
+            "delay:serve:30;site=serve,mode=error,times=8"
+        )
+        assert [r.mode for r in rules] == ["delay", "error"]
+        assert rules[0].ms == 30.0 and rules[1].times == 8
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "delay:",             # missing site
+            "delay:cache:soon",   # non-numeric amount
+            "explode:cache",      # unknown mode
+            "delay:warp:10",      # unknown site
+        ],
+    )
+    def test_malformed_compact_rejected(self, spec):
+        with pytest.raises(ResilienceError):
+            faults.parse_spec(spec)
+
+    def test_compact_delay_fires(self):
+        faults.install("delay:serve:30")
+        t0 = time.perf_counter()
+        faults.fault_point("serve", "sssp:rmat")
+        assert time.perf_counter() - t0 >= 0.03

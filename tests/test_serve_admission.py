@@ -1,0 +1,152 @@
+"""Admission control: bounded concurrency, bounded queue, explicit shed."""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import ExitStack
+
+import pytest
+
+from repro.errors import DeadlineExceeded, Overloaded
+from repro.obs import metrics as obs_metrics
+from repro.serve.admission import AdmissionGate
+from repro.serve.deadline import Deadline
+
+
+@pytest.fixture(autouse=True)
+def _clean_metrics():
+    obs_metrics.reset()
+    yield
+    obs_metrics.reset()
+
+
+def test_admit_releases_token():
+    gate = AdmissionGate(2, 4)
+    with gate.admit(Deadline.none()) as wait:
+        assert wait >= 0.0
+        assert gate.active == 1
+    assert gate.active == 0
+
+
+def test_concurrent_holders_up_to_limit():
+    gate = AdmissionGate(3, 4)
+    with ExitStack() as stack:
+        for _ in range(3):
+            stack.enter_context(gate.admit(Deadline.none()))
+        assert gate.active == 3
+    assert gate.active == 0
+
+
+def test_sheds_when_queue_full():
+    """With tokens gone and the queue at depth, the next arrival sheds."""
+    gate = AdmissionGate(1, max_queue_depth=1)
+    release = threading.Event()
+    queued = threading.Event()
+
+    def holder():
+        with gate.admit(Deadline.none()):
+            release.wait(timeout=10.0)
+
+    def waiter():
+        queued.set()
+        with gate.admit(Deadline(5.0)):
+            pass
+
+    t_hold = threading.Thread(target=holder, daemon=True)
+    t_hold.start()
+    while gate.active != 1:
+        time.sleep(0.001)
+    t_wait = threading.Thread(target=waiter, daemon=True)
+    t_wait.start()
+    queued.wait(timeout=5.0)
+    while gate.queue_depth != 1:
+        time.sleep(0.001)
+
+    with pytest.raises(Overloaded) as exc_info:
+        with gate.admit(Deadline.none()):
+            pass
+    assert exc_info.value.retry_after_ms > 0.0
+    snap = obs_metrics.snapshot()
+    assert snap["counters"]["serve.admission.shed"] == 1
+
+    release.set()
+    t_hold.join(timeout=5.0)
+    t_wait.join(timeout=5.0)
+    assert gate.active == 0 and gate.queue_depth == 0
+
+
+def test_expired_deadline_rejected_at_admission():
+    gate = AdmissionGate(1, 4)
+    with pytest.raises(DeadlineExceeded):
+        with gate.admit(Deadline(0.0)):
+            pytest.fail("an expired request must never be admitted")
+    # the gate stays usable afterwards
+    with gate.admit(Deadline.none()):
+        pass
+
+
+def test_deadline_expiry_while_queued():
+    """A waiter leaves the queue when its budget runs out, token or not."""
+    gate = AdmissionGate(1, 4)
+    release = threading.Event()
+
+    def holder():
+        with gate.admit(Deadline.none()):
+            release.wait(timeout=10.0)
+
+    t = threading.Thread(target=holder, daemon=True)
+    t.start()
+    while gate.active != 1:
+        time.sleep(0.001)
+
+    t0 = time.perf_counter()
+    with pytest.raises(DeadlineExceeded):
+        with gate.admit(Deadline(0.05)):
+            pytest.fail("token never freed; admission should have timed out")
+    elapsed = time.perf_counter() - t0
+    assert elapsed < 2.0  # left promptly, not after the holder finished
+    assert gate.queue_depth == 0
+    snap = obs_metrics.snapshot()
+    assert snap["counters"]["serve.admission.expired"] >= 1
+
+    release.set()
+    t.join(timeout=5.0)
+
+
+def test_occupancy_and_retry_after_scale_with_backlog():
+    gate = AdmissionGate(1, max_queue_depth=4)
+    assert gate.occupancy() == 0.0
+    base = gate.retry_after_ms()
+    release = threading.Event()
+
+    def holder():
+        with gate.admit(Deadline.none()):
+            release.wait(timeout=10.0)
+
+    threads = [threading.Thread(target=holder, daemon=True) for _ in range(3)]
+    for t in threads:
+        t.start()
+    while gate.queue_depth != 2:
+        time.sleep(0.001)
+    assert gate.occupancy() == pytest.approx(0.5)
+    assert gate.retry_after_ms() > base
+    release.set()
+    for t in threads:
+        t.join(timeout=5.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        AdmissionGate(0)
+    with pytest.raises(ValueError):
+        AdmissionGate(1, max_queue_depth=-1)
+
+
+def test_wait_metric_recorded():
+    gate = AdmissionGate(2, 4)
+    with gate.admit(Deadline.none()):
+        pass
+    snap = obs_metrics.snapshot()
+    assert snap["counters"]["serve.admission.admitted"] == 1
+    assert snap["histograms"]["serve.admission.wait"]["count"] == 1

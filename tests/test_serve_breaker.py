@@ -1,0 +1,227 @@
+"""Circuit breaker state machine + its DiskStore integration.
+
+The clock is injected so open/half-open transitions are deterministic;
+the DiskStore tests drive real disk reads through injected ``cache``
+faults and assert the breaker isolates the disk tier (reads answer MISS
+without touching the filesystem) until the cooldown elapses.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cache.store import DiskStore, MISS
+from repro.obs import metrics as obs_metrics
+from repro.resilience import faults
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+@pytest.fixture(autouse=True)
+def _clean(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.reset()
+    obs_metrics.reset()
+    yield
+    faults.reset()
+    obs_metrics.reset()
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self, clock):
+        b = CircuitBreaker("t", clock=clock)
+        assert b.state == CLOSED
+        assert b.allow()
+
+    def test_trips_after_consecutive_failures(self, clock):
+        b = CircuitBreaker("t", failure_threshold=3, clock=clock)
+        b.record_failure()
+        b.record_failure()
+        assert b.state == CLOSED
+        b.record_failure()
+        assert b.state == OPEN
+        assert not b.allow()
+
+    def test_success_resets_the_failure_streak(self, clock):
+        b = CircuitBreaker("t", failure_threshold=2, clock=clock)
+        b.record_failure()
+        b.record_success()
+        b.record_failure()
+        assert b.state == CLOSED  # streak broken; not consecutive
+
+    def test_half_open_after_cooldown_then_close_on_success(self, clock):
+        b = CircuitBreaker(
+            "t", failure_threshold=1, cooldown_seconds=5.0, clock=clock
+        )
+        b.record_failure()
+        assert not b.allow()
+        clock.advance(5.1)
+        assert b.allow()  # the probe
+        assert b.state == HALF_OPEN
+        b.record_success()
+        assert b.state == CLOSED
+        assert b.allow()
+
+    def test_half_open_failure_reopens(self, clock):
+        b = CircuitBreaker(
+            "t", failure_threshold=1, cooldown_seconds=5.0, clock=clock
+        )
+        b.record_failure()
+        clock.advance(5.1)
+        assert b.allow()
+        b.record_failure()
+        assert b.state == OPEN
+        assert not b.allow()  # fresh cooldown started
+        clock.advance(5.1)
+        assert b.allow()
+
+    def test_half_open_bounds_probe_count(self, clock):
+        b = CircuitBreaker(
+            "t", failure_threshold=1, cooldown_seconds=1.0,
+            half_open_probes=2, clock=clock,
+        )
+        b.record_failure()
+        clock.advance(1.1)
+        assert b.allow()
+        assert b.allow()
+        assert not b.allow()  # third concurrent probe refused
+
+    def test_slow_call_counts_as_failure(self, clock):
+        b = CircuitBreaker(
+            "t", failure_threshold=2, slow_call_seconds=0.1, clock=clock
+        )
+        b.record_success(elapsed_seconds=0.5)
+        b.record_success(elapsed_seconds=0.5)
+        assert b.state == OPEN
+        snap = obs_metrics.snapshot()
+        assert snap["counters"]["serve.breaker.t.slow_call"] == 2
+
+    def test_reset_force_closes(self, clock):
+        b = CircuitBreaker("t", failure_threshold=1, clock=clock)
+        b.record_failure()
+        assert b.state == OPEN
+        b.reset()
+        assert b.state == CLOSED and b.allow()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_probes=0)
+
+    def test_state_gauge_exported(self, clock):
+        b = CircuitBreaker("t", failure_threshold=1, clock=clock)
+        b.record_failure()
+        snap = obs_metrics.snapshot()
+        assert snap["gauges"]["serve.breaker.t.state"] == 2.0  # open
+
+
+class TestDiskStoreIntegration:
+    @staticmethod
+    def _saver(arrays=None):
+        arrays = arrays if arrays is not None else {"x": np.arange(4)}
+
+        def save(path):
+            with open(path, "wb") as fh:
+                np.savez(fh, **arrays)
+
+        return save
+
+    def _store_entry(self, store):
+        store.put("stage", "k", {"params": "p"}, self._saver())
+
+    def _load(self, payload, meta):
+        with np.load(payload) as z:
+            return z["x"].copy()
+
+    def test_breakerless_store_roundtrip(self, tmp_path):
+        store = DiskStore(tmp_path)
+        self._store_entry(store)
+        value = store.get("stage", "k", self._load)
+        assert value is not MISS and (value == np.arange(4)).all()
+
+    def test_injected_corruption_trips_breaker(self, tmp_path, clock):
+        breaker = CircuitBreaker(
+            "disk", failure_threshold=2, cooldown_seconds=10.0, clock=clock
+        )
+        store = DiskStore(tmp_path, breaker=breaker)
+        self._store_entry(store)
+        faults.install("error:cache")
+        assert store.get("stage", "k", self._load) is MISS
+        assert breaker.state == CLOSED
+        assert store.get("stage", "k", self._load) is MISS
+        assert breaker.state == OPEN
+
+    def test_open_breaker_skips_disk_entirely(self, tmp_path, clock):
+        breaker = CircuitBreaker(
+            "disk", failure_threshold=1, cooldown_seconds=10.0, clock=clock
+        )
+        store = DiskStore(tmp_path, breaker=breaker)
+        self._store_entry(store)
+        breaker.record_failure()  # trip it
+        assert store.get("stage", "k", self._load) is MISS
+        snap = obs_metrics.snapshot()
+        assert snap["counters"]["cache.disk.breaker_skip"] == 1
+        # writes are skipped too: no new entry appears
+        store.put("stage", "k2", {}, self._saver({"y": np.zeros(1)}))
+        assert not list(tmp_path.glob("stage/k2*"))
+
+    def test_recovery_after_cooldown(self, tmp_path, clock):
+        """Open -> (cooldown) -> half-open probe reads real disk -> closed."""
+        breaker = CircuitBreaker(
+            "disk", failure_threshold=1, cooldown_seconds=3.0, clock=clock
+        )
+        store = DiskStore(tmp_path, breaker=breaker)
+        self._store_entry(store)
+        # a bounded put fault trips the breaker without corrupting the
+        # stored entry (corrupt reads discard it)
+        faults.install("site=cache,mode=error,times=1,match=put")
+        store.put("stage", "k2", {}, self._saver({"y": np.zeros(1)}))
+        assert breaker.state == OPEN
+        assert store.get("stage", "k", self._load) is MISS  # isolated
+        clock.advance(3.1)
+        value = store.get("stage", "k", self._load)  # the half-open probe
+        assert value is not MISS and (value == np.arange(4)).all()
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_on_clean_miss_closes(self, tmp_path, clock):
+        """A clean miss is a healthy disk answer, not a probe failure."""
+        breaker = CircuitBreaker(
+            "disk", failure_threshold=1, cooldown_seconds=3.0, clock=clock
+        )
+        store = DiskStore(tmp_path, breaker=breaker)
+        breaker.record_failure()
+        clock.advance(3.1)
+        assert store.get("stage", "absent", self._load) is MISS
+        assert breaker.state == CLOSED
+
+    def test_delay_fault_trips_slow_call_breaker(self, tmp_path, clock):
+        """The latency fault satellite: slow disk reads open the breaker."""
+        breaker = CircuitBreaker(
+            "disk", failure_threshold=1, slow_call_seconds=0.005,
+            cooldown_seconds=10.0, clock=clock,
+        )
+        store = DiskStore(tmp_path, breaker=breaker)
+        self._store_entry(store)
+        faults.install("delay:cache:25")  # 25 ms on every cache I/O
+        value = store.get("stage", "k", self._load)
+        assert value is not MISS  # the slow read still succeeds...
+        assert breaker.state == OPEN  # ...but the breaker isolates the tier

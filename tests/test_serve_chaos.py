@@ -1,0 +1,146 @@
+"""The chaos acceptance scenario (ISSUE 6), scaled for the tier-1 suite.
+
+Mid-run, the load generator arms latency + error faults at the serve
+site over the protocol's chaos op; the assertions are the robustness
+contract:
+
+* every completed response is either exactly correct or explicitly
+  footnoted ``degraded`` — zero silent wrong answers;
+* injected failures surface as explicit statuses, never hangs — all
+  client threads finish (the conftest wall-clock ceiling enforces
+  no-deadlock);
+* after the fault window closes, the recovery-phase KPIs return to
+  band.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import faults
+from repro.serve.loadgen import run_spec
+from repro.serve.protocol import ServeClient
+from repro.serve.server import ReproServer
+from repro.serve.service import ServeConfig
+
+CHAOS_SPEC = {
+    "name": "chaos-unit",
+    "server": {
+        "scale": "tiny",
+        "seed": 7,
+        "workers": 2,
+        "max_queue_depth": 8,
+        "default_deadline_ms": 2000,
+        # aggressive thresholds so the ladder engages under the 20 ms
+        # latency fault even at unit-test request volumes
+        "level1_wait_ms": 5,
+        "level2_wait_ms": 40,
+    },
+    "clients": 4,
+    "requests": 120,
+    "seed": 777,
+    "deadline_ms": 2000,
+    "verify": True,
+    "queries": [
+        {"op": "sssp", "graph": "rmat", "ratio": 0.6},
+        {"op": "pr_topk", "graph": "rmat", "ratio": 0.2, "k": 5},
+        {"op": "bc_node", "graph": "rmat", "ratio": 0.2, "num_sources": 2},
+    ],
+    "kpis": [
+        {"ge": {"ok_rate": 0.5}},
+        {"le": {"wrong": 0}},
+    ],
+    "chaos": {
+        "faults": "delay:serve:20;site=serve,mode=error,times=5",
+        "start_fraction": 0.25,
+        "stop_fraction": 0.6,
+        "kpis": [
+            {"le": {"shed_rate": 0.5}},
+        ],
+    },
+}
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def test_chaos_run_no_wrong_answers_and_recovery():
+    report = run_spec({k: (dict(v) if isinstance(v, dict) else v)
+                       for k, v in CHAOS_SPEC.items()})
+    assert report["ok"], report["kpis"]
+    overall = report["overall"]
+    # the contract: no silent wrong answers under injected faults
+    assert overall["wrong"] == 0
+    assert overall["verified"] > 0
+    # all requests were answered (completed, shed, timed out, or errored
+    # explicitly) — none lost
+    assert overall["requests"] == CHAOS_SPEC["requests"]
+    assert sum(overall["statuses"].values()) == CHAOS_SPEC["requests"]
+    # the three phases all saw traffic and are reported separately
+    phases = report["phases"]
+    assert set(phases) == {"before", "fault", "recovery"}
+    assert phases["before"]["requests"] > 0
+    assert phases["recovery"]["requests"] > 0
+    # the bounded error fault surfaced as explicit error responses
+    assert overall["statuses"].get("error", 0) <= 5
+    # recovery KPIs evaluated on the recovery phase passed (part of ok,
+    # but assert explicitly for the acceptance criterion)
+    recovery_gates = [g for g in report["kpis"] if g.get("phase") == "recovery"]
+    assert recovery_gates and all(g["pass"] for g in recovery_gates)
+
+
+def test_chaos_op_arms_and_disarms_server_faults():
+    """The chaos admin op controls the injector inside the server process."""
+    cfg = ServeConfig(
+        scale="tiny", seed=7, workers=2, self_check=False, allow_chaos=True
+    )
+    srv = ReproServer(cfg)
+    port = srv.start()
+    try:
+        with ServeClient("127.0.0.1", port) as c:
+            armed = c.request({"op": "chaos", "spec": "error:serve"})
+            assert armed["status"] == "ok"
+            assert armed["result"]["armed_rules"] == 1
+            resp = c.request({"op": "sssp", "graph": "rmat", "source": 0})
+            assert resp["status"] == "error"
+            assert "injected fault" in resp["error"]
+            disarmed = c.request({"op": "chaos", "spec": ""})
+            assert disarmed["status"] == "ok"
+            assert disarmed["result"]["armed_rules"] == 0
+            resp = c.request({"op": "sssp", "graph": "rmat", "source": 0})
+            assert resp["status"] == "ok"
+    finally:
+        srv.stop(drain=False)
+
+
+def test_degraded_answers_are_footnoted():
+    """Force level-2 pressure and check the footnote convention."""
+    cfg = ServeConfig(
+        scale="tiny", seed=7, workers=2, self_check=False,
+        level1_wait_ms=1, level2_wait_ms=2,
+    )
+    srv = ReproServer(cfg)
+    port = srv.start()
+    try:
+        # drive the ladder to level 2 directly (observe is the same
+        # entry point the admission wait feeds)
+        srv.service.ladder.observe(1.0)
+        assert srv.service.ladder.level == 2
+        with ServeClient("127.0.0.1", port) as c:
+            resp = c.request({"op": "sssp", "graph": "rmat", "source": 0})
+            assert resp["status"] == "ok"
+            assert resp["degraded"] is True
+            assert "pressure:level2" in resp["degraded_reason"]
+            assert resp["result"]["technique"] == "coalescing"
+            resp = c.request(
+                {"op": "bc_node", "graph": "rmat", "node": 0, "num_sources": 8}
+            )
+            assert resp["status"] == "ok"
+            assert resp["result"]["num_sources"] == 4  # halved at level 2
+    finally:
+        srv.stop(drain=False)

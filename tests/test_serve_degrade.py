@@ -1,0 +1,129 @@
+"""The degradation ladder: pressure mapping, hysteresis, plan substitution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.serve.degrade import DegradationLadder
+
+
+@pytest.fixture(autouse=True)
+def _clean_metrics():
+    obs_metrics.reset()
+    yield
+    obs_metrics.reset()
+
+
+def make_ladder(**kw):
+    kw.setdefault("level1_wait_seconds", 0.050)
+    kw.setdefault("level2_wait_seconds", 0.200)
+    kw.setdefault("ewma_alpha", 1.0)  # no smoothing: deterministic levels
+    return DegradationLadder(**kw)
+
+
+class TestPressureLevels:
+    def test_starts_at_level_zero(self):
+        assert make_ladder().level == 0
+
+    def test_steps_up_at_thresholds(self):
+        ladder = make_ladder()
+        assert ladder.observe(0.010) == 0
+        assert ladder.observe(0.060) == 1
+        assert ladder.observe(0.250) == 2
+
+    def test_hysteresis_on_the_way_down(self):
+        ladder = make_ladder()
+        ladder.observe(0.300)
+        assert ladder.level == 2
+        # above half the level-2 threshold: stays at 2
+        assert ladder.observe(0.150) == 2
+        # below half of level-2 but above half of level-1: down to 1
+        assert ladder.observe(0.030) == 1
+        # below half of level-1: back to 0
+        assert ladder.observe(0.010) == 0
+
+    def test_occupancy_raises_pressure_without_waits(self):
+        """A rapidly filling queue degrades before waits accumulate."""
+        ladder = make_ladder()
+        assert ladder.observe(0.0, occupancy=1.0) == 2
+        assert ladder.observe(0.0, occupancy=0.3) == 1  # 0.3*200ms = 60ms
+
+    def test_ewma_smooths_single_spikes(self):
+        ladder = make_ladder(ewma_alpha=0.1)
+        assert ladder.observe(0.300) == 0  # one spike does not flip it
+        for _ in range(30):
+            ladder.observe(0.300)
+        assert ladder.level == 2  # sustained pressure does
+
+    def test_disabled_ladder_never_degrades(self):
+        ladder = make_ladder(enabled=False)
+        assert ladder.observe(10.0) == 0
+        technique, params, reason = ladder.apply("sssp", "exact", {})
+        assert technique == "exact" and reason == ""
+
+    def test_transitions_counted(self):
+        ladder = make_ladder()
+        ladder.observe(0.300)
+        ladder.observe(0.001)
+        snap = obs_metrics.snapshot()
+        assert snap["counters"]["serve.degrade.step_up"] == 1
+        assert snap["counters"]["serve.degrade.step_down"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DegradationLadder(ewma_alpha=0.0)
+        with pytest.raises(ValueError):
+            DegradationLadder(
+                level1_wait_seconds=0.2, level2_wait_seconds=0.1
+            )
+
+
+class TestApply:
+    def test_level0_serves_as_requested(self):
+        ladder = make_ladder()
+        technique, params, reason = ladder.apply("sssp", "exact", {"source": 3})
+        assert (technique, params, reason) == ("exact", {"source": 3}, "")
+
+    def test_level1_switches_to_approx_plan(self):
+        ladder = make_ladder()
+        ladder.observe(0.060)
+        technique, params, reason = ladder.apply("sssp", "exact", {"source": 3})
+        assert technique == "coalescing"
+        assert params == {"source": 3}  # knobs untouched at level 1
+        assert "level1" in reason and "plan=coalescing" in reason
+
+    def test_level1_approx_request_not_footnoted(self):
+        """Asking for the approximate plan at level 1 changes nothing."""
+        ladder = make_ladder()
+        ladder.observe(0.060)
+        technique, _params, reason = ladder.apply("sssp", "coalescing", {})
+        assert technique == "coalescing" and reason == ""
+
+    def test_level2_halves_bc_sources(self):
+        ladder = make_ladder()
+        ladder.observe(0.300)
+        _t, params, reason = ladder.apply("bc_node", "exact", {"num_sources": 8})
+        assert params["num_sources"] == 4
+        assert "num_sources=4" in reason and "level2" in reason
+
+    def test_level2_loosens_pagerank_tolerance(self):
+        ladder = make_ladder()
+        ladder.observe(0.300)
+        _t, params, reason = ladder.apply("pr_topk", "exact", {"tol": 1e-8})
+        assert params["tol"] == pytest.approx(1e-6)
+        assert "tol=" in reason
+
+    def test_level2_sssp_only_switches_plan(self):
+        ladder = make_ladder()
+        ladder.observe(0.300)
+        technique, params, reason = ladder.apply("sssp", "exact", {"source": 0})
+        assert technique == "coalescing"
+        assert params == {"source": 0}
+        assert "plan=coalescing" in reason
+
+    def test_bc_num_sources_never_below_one(self):
+        ladder = make_ladder()
+        ladder.observe(0.300)
+        _t, params, _r = ladder.apply("bc_node", "exact", {"num_sources": 1})
+        assert params["num_sources"] == 1

@@ -1,0 +1,184 @@
+"""The load generator: spec parsing, KPI gating, the reference oracle,
+and a small end-to-end run against an in-process server."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+import yaml
+
+from repro.errors import ServeError
+from repro.serve import loadgen
+from repro.serve.loadgen import _Reference, evaluate_kpis, load_spec, run_spec
+
+
+def write_spec(tmp_path, spec: dict):
+    path = tmp_path / "spec.yml"
+    path.write_text(yaml.safe_dump(spec))
+    return path
+
+
+BASE_SPEC = {
+    "name": "unit",
+    "server": {"scale": "tiny", "seed": 7, "workers": 2},
+    "clients": 2,
+    "requests": 24,
+    "seed": 99,
+    "deadline_ms": 5000,
+    "verify": True,
+    "queries": [
+        {"op": "sssp", "graph": "rmat", "ratio": 0.5},
+        {"op": "pr_topk", "graph": "rmat", "ratio": 0.3, "k": 5},
+        {"op": "bc_node", "graph": "rmat", "ratio": 0.2, "num_sources": 2},
+    ],
+    "kpis": [
+        {"le": {"shed_rate": 0.0}},
+        {"ge": {"ok_rate": 1.0}},
+    ],
+}
+
+
+class TestLoadSpec:
+    def test_roundtrip_with_defaults(self, tmp_path):
+        minimal = {"queries": [{"op": "sssp", "graph": "rmat", "ratio": 1.0}]}
+        spec = load_spec(write_spec(tmp_path, minimal))
+        assert spec["clients"] == 4 and spec["requests"] == 200
+        assert spec["verify"] is True
+
+    def test_rejects_non_mapping(self, tmp_path):
+        path = tmp_path / "bad.yml"
+        path.write_text("- just\n- a\n- list\n")
+        with pytest.raises(ServeError, match="mapping"):
+            load_spec(path)
+
+    def test_rejects_missing_queries(self, tmp_path):
+        with pytest.raises(ServeError, match="queries"):
+            load_spec(write_spec(tmp_path, {"clients": 2}))
+
+    def test_rejects_unknown_op(self, tmp_path):
+        bad = {"queries": [{"op": "mst", "graph": "rmat", "ratio": 1.0}]}
+        with pytest.raises(ServeError, match="unknown query op"):
+            load_spec(write_spec(tmp_path, bad))
+
+    def test_rejects_zero_ratios(self, tmp_path):
+        bad = {"queries": [{"op": "sssp", "graph": "rmat", "ratio": 0.0}]}
+        with pytest.raises(ServeError, match="ratio"):
+            load_spec(write_spec(tmp_path, bad))
+
+    def test_rejects_missing_graph(self, tmp_path):
+        bad = {"queries": [{"op": "sssp", "ratio": 1.0}]}
+        with pytest.raises(ServeError, match="graph"):
+            load_spec(write_spec(tmp_path, bad))
+
+
+class TestKpis:
+    def test_le_and_ge(self):
+        metrics = {"q50_ms": 80.0, "qps": 25.0}
+        gates = evaluate_kpis(
+            [{"le": {"q50_ms": 100}}, {"ge": {"qps": 50}}], metrics
+        )
+        assert gates[0]["pass"] is True
+        assert gates[1]["pass"] is False and gates[1]["value"] == 25.0
+
+    def test_missing_metric_fails_closed(self):
+        gates = evaluate_kpis([{"le": {"q50_ms": 100}}], {"q50_ms": None})
+        assert gates[0]["pass"] is False and gates[0]["value"] is None
+
+    @pytest.mark.parametrize(
+        "clause",
+        [
+            "not a dict",
+            {"le": {"a": 1}, "ge": {"b": 2}},   # two ops in one clause
+            {"eq": {"a": 1}},                   # unknown op
+            {"le": [1, 2]},                     # body not a mapping
+        ],
+    )
+    def test_malformed_clauses_rejected(self, clause):
+        with pytest.raises(ServeError, match="kpi"):
+            evaluate_kpis([clause], {})
+
+
+class TestReference:
+    def test_accepts_correct_sssp_answer(self, suite_tiny):
+        from repro.algorithms.sssp import sssp
+        from repro.core.pipeline import build_plan
+        import numpy as np
+
+        ref = _Reference("tiny", 7)
+        dist = sssp(build_plan(suite_tiny["rmat"], "exact"), 0).values
+        finite = np.isfinite(dist)
+        req = {"op": "sssp", "graph": "rmat", "source": 0}
+        good = {
+            "reached": int(finite.sum()),
+            "total_distance": float(dist[finite].sum()),
+        }
+        assert ref.check(req, good)
+        assert not ref.check(req, dict(good, total_distance=good["total_distance"] + 1))
+
+    def test_rejects_wrong_target_distance(self):
+        ref = _Reference("tiny", 7)
+        req = {"op": "sssp", "graph": "rmat", "source": 0, "target": 0}
+        assert ref.check(req, {"distance": 0.0})
+        assert not ref.check(req, {"distance": 123.456})
+
+    def test_rejects_wrong_pagerank(self):
+        ref = _Reference("tiny", 7)
+        req = {"op": "pr_topk", "graph": "rmat", "k": 3}
+        assert not ref.check(req, {"top": [[0, 0.999]]})
+
+    def test_accepts_correct_bc(self):
+        from repro.algorithms.bc import betweenness_centrality
+        from repro.core.pipeline import build_plan
+
+        ref = _Reference("tiny", 7)
+        plan = build_plan(ref.graphs["rmat"], "exact")
+        scores = betweenness_centrality(plan, num_sources=2, seed=0).values
+        req = {
+            "op": "bc_node", "graph": "rmat", "node": 5,
+            "num_sources": 2, "seed": 0,
+        }
+        assert ref.check(req, {"score": float(scores[5])})
+        assert not ref.check(req, {"score": float(scores[5]) + 0.5})
+
+
+class TestRunSpec:
+    def test_end_to_end_report(self, tmp_path):
+        report = run_spec(dict(BASE_SPEC))
+        assert report["ok"], report["kpis"]
+        o = report["overall"]
+        assert o["requests"] == 24
+        assert o["ok"] == 24
+        assert o["wrong"] == 0
+        assert o["verified"] > 0  # the oracle actually ran
+        assert o["qps"] > 0
+        assert o["q50_ms"] is not None
+        # the implicit verify gate is present
+        assert any(g["metric"] == "wrong" for g in report["kpis"])
+
+    def test_failing_kpi_fails_the_report(self):
+        spec = dict(BASE_SPEC)
+        spec["requests"] = 8
+        spec["kpis"] = [{"ge": {"qps": 10**9}}]
+        report = run_spec(spec)
+        assert report["ok"] is False
+
+    def test_unknown_graph_in_spec_rejected(self):
+        spec = dict(BASE_SPEC)
+        spec["queries"] = [{"op": "sssp", "graph": "nope", "ratio": 1.0}]
+        spec["requests"] = 4
+        with pytest.raises(ServeError, match="not loaded"):
+            run_spec(spec)
+
+    def test_main_writes_report(self, tmp_path, capsys):
+        spec = dict(BASE_SPEC)
+        spec["requests"] = 8
+        spec["kpis"] = []
+        path = write_spec(tmp_path, spec)
+        out = tmp_path / "BENCH_SERVE.json"
+        rc = loadgen.main(["--spec", str(path), "--out", str(out)])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["name"] == "unit"
+        printed = capsys.readouterr().out
+        assert "serve bench" in printed and "PASS" in printed

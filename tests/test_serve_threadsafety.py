@@ -1,0 +1,215 @@
+"""Thread-safety regression hammers for the state the serve layer shares.
+
+The server multiplexes one process-wide memory cache tier and the
+workspace pool across N worker threads; these tests hold the audited
+concurrency contracts in place:
+
+* :class:`repro.cache.lru.LRUCache` — fully lock-guarded: concurrent
+  get/put/iterate/len/clear must never corrupt the OrderedDict or raise,
+  and the bound must hold at every observation;
+* :class:`repro.perf.workspace.WorkspacePool` — per-thread buffers
+  (``threading.local``): concurrent borrowers of the *same key* must get
+  distinct backing storage per thread, so one thread's sweep scratch can
+  never alias another's.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cache.lru import LRUCache
+from repro.perf.workspace import WorkspacePool
+
+N_THREADS = 8
+OPS_PER_THREAD = 2000
+
+
+def run_hammer(n_threads, worker):
+    """Run ``worker(idx)`` on N threads, re-raising the first failure."""
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(n_threads)
+
+    def wrapped(idx):
+        try:
+            barrier.wait(timeout=30.0)
+            worker(idx)
+        except BaseException as exc:  # noqa: BLE001 - reported to pytest
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(i,), daemon=True)
+        for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60.0)
+    assert not any(t.is_alive() for t in threads), "hammer thread hung"
+    if errors:
+        raise errors[0]
+
+
+class TestLRUCacheHammer:
+    def test_concurrent_mixed_operations(self):
+        cache = LRUCache(max_entries=32)
+
+        def worker(idx):
+            rng = np.random.default_rng(idx)
+            for i in range(OPS_PER_THREAD):
+                key = int(rng.integers(64))
+                op = i % 5
+                if op == 0:
+                    cache.put(key, (idx, i))
+                elif op == 1:
+                    value = cache.get(key)
+                    if value is not None:
+                        assert isinstance(value, tuple)
+                elif op == 2:
+                    key in cache  # noqa: B015 - exercising __contains__
+                elif op == 3:
+                    assert len(cache) <= 32  # bound holds at every observation
+                else:
+                    for _k in cache:  # snapshot iteration mustn't raise
+                        pass
+
+        run_hammer(N_THREADS, worker)
+        assert len(cache) <= 32
+
+    def test_concurrent_put_with_clear(self):
+        cache = LRUCache(max_entries=16)
+        stop = threading.Event()
+
+        def clearer(_idx):
+            while not stop.is_set():
+                cache.clear()
+
+        def putter(idx):
+            try:
+                for i in range(OPS_PER_THREAD):
+                    cache.put((idx, i % 40), i)
+                    cache.get((idx, (i * 7) % 40))
+            finally:
+                stop.set()
+
+        def worker(idx):
+            (clearer if idx == 0 else putter)(idx)
+
+        run_hammer(4, worker)
+        assert len(cache) <= 16
+
+    def test_eviction_metrics_consistent_under_contention(self):
+        """Evictions from many threads never push the cache over bound."""
+        cache = LRUCache(max_entries=8, metric_prefix="test.hammer")
+
+        def worker(idx):
+            for i in range(OPS_PER_THREAD):
+                cache.put((idx, i), i)
+
+        run_hammer(N_THREADS, worker)
+        assert len(cache) <= 8
+
+
+class TestWorkspacePoolThreads:
+    def test_same_key_distinct_buffers_per_thread(self):
+        """The contract the sweeps rely on: no cross-thread aliasing."""
+        pool = WorkspacePool()
+        results: dict[int, bool] = {}
+
+        def worker(idx):
+            buf = pool.borrow("hammer", 1024)
+            buf[:] = float(idx)
+            # give every other thread time to write its own view, then
+            # check ours was not clobbered
+            for _ in range(200):
+                buf2 = pool.borrow("hammer", 1024)
+                assert buf2 is not None
+                buf2[:] = float(idx)
+                assert (buf2 == float(idx)).all()
+            results[idx] = bool((pool.borrow("hammer", 1024) == float(idx)).all())
+
+        run_hammer(N_THREADS, worker)
+        assert len(results) == N_THREADS
+        assert all(results.values())
+
+    def test_growth_under_concurrency(self):
+        """Concurrent regrowth of the same key stays per-thread-correct."""
+        pool = WorkspacePool()
+
+        def worker(idx):
+            rng = np.random.default_rng(idx)
+            for _ in range(500):
+                size = int(rng.integers(1, 4096))
+                buf = pool.borrow("grow", size, dtype=np.float64)
+                assert buf.size == size
+                buf[:] = idx
+                assert (buf == idx).all()
+
+        run_hammer(N_THREADS, worker)
+
+    def test_clear_only_affects_calling_thread(self):
+        pool = WorkspacePool()
+        ready = threading.Barrier(2)
+        done = threading.Event()
+        observed = {}
+
+        def holder():
+            buf = pool.borrow("k", 64)
+            buf[:] = 7.0
+            ready.wait(timeout=10.0)
+            done.wait(timeout=10.0)  # other thread clears meanwhile
+            observed["intact"] = bool((pool.borrow("k", 64) == 7.0).all())
+
+        def clearer():
+            pool.borrow("k", 64)
+            ready.wait(timeout=10.0)
+            pool.clear()
+            done.set()
+
+        t1 = threading.Thread(target=holder, daemon=True)
+        t2 = threading.Thread(target=clearer, daemon=True)
+        t1.start(), t2.start()
+        t1.join(timeout=15.0), t2.join(timeout=15.0)
+        assert observed["intact"] is True
+
+
+def test_server_worker_threads_share_safely():
+    """N connections hammering one server: every answer is consistent.
+
+    This is the integration face of the two hammers above — the serve
+    worker threads share the memory cache tier and the workspace pool
+    underneath the solvers.
+    """
+    from repro.serve.protocol import ServeClient
+    from repro.serve.server import ReproServer
+    from repro.serve.service import ServeConfig
+
+    srv = ReproServer(
+        ServeConfig(scale="tiny", seed=7, workers=4, self_check=False)
+    )
+    port = srv.start()
+    answers: list[dict] = []
+    lock = threading.Lock()
+
+    def client_main(idx):
+        with ServeClient("127.0.0.1", port, timeout=30.0) as c:
+            for _ in range(10):
+                resp = c.request({"op": "sssp", "graph": "rmat", "source": 0})
+                assert resp["status"] == "ok"
+                with lock:
+                    answers.append(resp["result"])
+
+    try:
+        run_hammer(6, client_main)
+    finally:
+        srv.stop(drain=False)
+    assert len(answers) == 60
+    # identical query, identical answer, from every thread every time
+    first = answers[0]
+    for a in answers[1:]:
+        assert a["reached"] == first["reached"]
+        assert a["total_distance"] == pytest.approx(
+            first["total_distance"], rel=1e-12
+        )
