@@ -14,7 +14,9 @@ Subcommands:
 * ``serve`` — the long-lived analytics query server (see
   :mod:`repro.serve` and ``docs/serving.md``);
 * ``bench serve`` — the YAML load generator + KPI gate against the
-  server (:mod:`repro.serve.loadgen`), emitting ``BENCH_SERVE.json``.
+  server (:mod:`repro.serve.loadgen`), emitting ``BENCH_SERVE.json``;
+* ``obs diff A B`` — noise-aware comparison of two perf/metrics/trace/
+  verify reports (see :mod:`repro.obs.diff` and ``docs/observability.md``).
 """
 
 import sys
@@ -26,6 +28,10 @@ def main(argv=None):
         from .obs.stats import main as stats_main
 
         return stats_main(argv[1:])
+    if len(argv) >= 2 and argv[0] == "obs" and argv[1] == "diff":
+        from .obs.diff import main as diff_main
+
+        return diff_main(argv[2:])
     if argv and argv[0] == "serve":
         from .serve.cli import main as serve_main
 

@@ -211,11 +211,15 @@ def parallel_technique_rows(
             }
         )
 
+    # worker snapshots are collected here and merged *after* the pool
+    # drains, in sorted key order with the commutative gauge policy —
+    # so the aggregated registry is identical however the completion
+    # order raced (see obs.metrics.merge_snapshot's gauge_merge doc)
+    worker_snapshots: dict[tuple[str, int], dict] = {}
+
     def finish_ok(task: _Task, payload: list[dict], worker_metrics: dict | None) -> None:
         if worker_metrics:
-            # fold the worker's counters into the parent registry so the
-            # end-of-run snapshot covers every process
-            obs_metrics.merge_snapshot(worker_metrics)
+            worker_snapshots[(task.graph, task.attempt)] = worker_metrics
         cache_prov = _cache_provenance(worker_metrics)
         for row in payload:
             if journal is not None:
@@ -355,6 +359,9 @@ def parallel_technique_rows(
             proc.terminate()
             conn.close()
             proc.join(timeout=5)
+
+    for key in sorted(worker_snapshots):
+        obs_metrics.merge_snapshot(worker_snapshots[key], gauge_merge="max")
 
     algo_rank = {a: i for i, a in enumerate(algorithms)}
     graph_rank = {g: i for i, g in enumerate(graph_names)}

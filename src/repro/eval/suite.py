@@ -26,7 +26,10 @@ Telemetry (see ``docs/observability.md``):
   histogram snapshot, including metrics merged back from ``--parallel``
   workers;
 * ``--log-level debug`` (or ``REPRO_LOG=debug``) surfaces status,
-  retry, and degradation chatter on stderr; tables stay on stdout.
+  retry, and degradation chatter on stderr; tables stay on stdout;
+* ``--profile PREFIX`` (or ``REPRO_PROFILE=PREFIX``) samples the run
+  with :mod:`repro.obs.prof`: ``PREFIX.collapsed`` is flamegraph input,
+  ``PREFIX.json`` the per-span self-time report.
 """
 
 from __future__ import annotations
@@ -248,6 +251,13 @@ def main(argv: list[str] | None = None) -> int:
         "(overrides REPRO_LOG; default warning)",
     )
     parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="PREFIX",
+        help="sample the run: writes PREFIX.collapsed (flamegraph input) "
+        "+ PREFIX.json (per-span report); REPRO_PROFILE env works too",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list available targets and exit"
     )
     args = parser.parse_args(argv)
@@ -262,6 +272,9 @@ def main(argv: list[str] | None = None) -> int:
     setup_logging(args.log_level)
     tracer = obs_trace.install_tracer() if args.trace_out else None
 
+    from ..obs import prof as obs_prof
+
+    profiler, profile_prefix = obs_prof.start_from_cli(args.profile)
     failures: list[dict] = []
     try:
         results = run_targets(
@@ -278,6 +291,8 @@ def main(argv: list[str] | None = None) -> int:
             cache_dir=args.cache_dir,
         )
     finally:
+        if profiler is not None:
+            obs_prof.write_outputs(profiler, profile_prefix)
         if tracer is not None:
             obs_trace.uninstall_tracer()
             path = Path(args.trace_out)

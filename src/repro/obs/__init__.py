@@ -19,6 +19,12 @@ instrumented with:
   ``--log-level``) with an optional JSON-lines mode.
 * :mod:`repro.obs.stats` — the ``python -m repro stats <trace>`` report:
   top spans by cumulative time and the transform/solve/io split.
+* :mod:`repro.obs.prof` — the ``--profile`` sampling profiler: collapsed
+  flamegraph stacks plus per-span self-time attribution.
+* :mod:`repro.obs.slo` — declarative SLOs with multi-window burn rates,
+  evaluated from metrics snapshots (the serve admin ``slo`` op).
+* :mod:`repro.obs.diff` — ``python -m repro obs diff A B``: noise-aware
+  improved/regressed/neutral verdicts over perf/metrics/trace reports.
 
 See ``docs/observability.md`` for naming conventions and a worked
 example.
@@ -26,7 +32,7 @@ example.
 
 from __future__ import annotations
 
-from . import log, metrics, stats, trace
+from . import diff, log, metrics, prof, slo, stats, trace
 from .log import get_logger, setup_logging
 from .metrics import (
     MetricsRegistry,
@@ -34,23 +40,34 @@ from .metrics import (
     gauge,
     histogram,
     merge_snapshot,
+    prometheus_text,
     registry,
     snapshot,
 )
+from .prof import SamplingProfiler, profiling
+from .slo import SLO, SLOTracker
 from .trace import Span, Tracer, add_attributes, get_tracer, install_tracer, record_span, span, traced, uninstall_tracer
 
 __all__ = [
+    "diff",
     "log",
     "metrics",
+    "prof",
+    "slo",
     "stats",
     "trace",
     "get_logger",
     "setup_logging",
     "MetricsRegistry",
+    "SamplingProfiler",
+    "SLO",
+    "SLOTracker",
     "counter",
     "gauge",
     "histogram",
     "merge_snapshot",
+    "prometheus_text",
+    "profiling",
     "registry",
     "snapshot",
     "Span",

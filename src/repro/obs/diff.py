@@ -1,0 +1,369 @@
+"""``python -m repro obs diff A B``: noise-aware performance comparison.
+
+Raw-ratio thresholds ("fail if 1.1× slower") are how perf gates rot:
+too tight and they cry wolf on every noisy CI runner, too loose and
+real regressions slide under them.  This comparator is *noise-aware*
+instead — every comparison carries a per-pair threshold derived from
+the **repeated-run spread** of the underlying measurements (the
+``samples`` lists ``repro perf`` records per kernel), falling back to a
+configurable relative noise floor when no samples exist.  The verdict
+per pair is one of ``improved`` / ``regressed`` / ``neutral`` (plus
+``below-floor`` for values too small to compare meaningfully and
+``added``/``removed`` for asymmetric keys), and the run's exit status
+is non-zero iff anything regressed.
+
+Comparable inputs (auto-detected by shape):
+
+* **perf bench reports** (``BENCH_*.json`` from ``python -m repro
+  perf``) — per (kernel, graph) min-of-N seconds with sample spreads;
+* **trajectory files** (``benchmarks/results/TRAJECTORY.json``) — the
+  last recorded entry's report is compared (``--entry`` picks another);
+* **metrics snapshots** (``--metrics-out`` JSON) — histogram means and
+  time-like gauges;
+* **verify reports** (``--report`` of ``python -m repro verify``) — the
+  embedded per-check timing gauges, so verification-time regressions
+  gate like kernel ones;
+* **trace files** (JSONL or Chrome ``trace_event``) — per-span-name
+  self-time seconds;
+* **profiler reports** (``PREFIX.json`` of ``--profile``) — per-span
+  sampled seconds.
+
+The verdict math, for lower-is-better values ``a`` (baseline) and ``b``
+(candidate): ``spread(x) = (max(samples) - min(samples)) / min(samples)``
+per side, ``threshold = max(noise_floor, spread_a, spread_b)``, then
+``b/a > 1 + threshold`` ⇒ regressed, ``b/a < 1/(1 + threshold)`` ⇒
+improved, else neutral.  Min-of-N is the location estimate because for
+wall-clock the minimum is the least-contended observation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+__all__ = [
+    "load_comparable",
+    "extract_series",
+    "compare_series",
+    "diff_files",
+    "format_diff",
+    "main",
+]
+
+SCHEMA_VERSION = 1
+
+#: default relative noise floor when neither side carries samples
+DEFAULT_NOISE = 0.25
+
+#: seconds below which a pair is not compared at all (timer granularity
+#: and interpreter jitter dominate); both sides must clear it
+DEFAULT_MIN_VALUE = 0.0005
+
+#: gauge-name suffixes treated as lower-is-better timings
+_TIME_GAUGE_MARKERS = (".seconds", ".time", "_seconds", ".wait", ".ms")
+
+VERDICTS = ("improved", "regressed", "neutral", "below-floor", "added", "removed")
+
+
+# ---------------------------------------------------------------------------
+# input loading / kind detection
+# ---------------------------------------------------------------------------
+def load_comparable(path: str | Path, *, entry: int = -1) -> tuple[str, Any]:
+    """Load one input file; returns ``(kind, payload)``.
+
+    ``kind`` is one of ``perf`` / ``metrics`` / ``verify`` / ``profile``
+    / ``trace``.  Trajectory files resolve to the ``perf`` report of
+    their ``entry``-th recorded point (default: the last).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no such file: {path}")
+    text = path.read_text()
+    stripped = text.lstrip()
+    if not stripped:
+        raise ValueError(f"{path} is empty")
+    if stripped.startswith("{"):
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError as exc:
+            # multi-line {...} input: a JSONL trace, not broken JSON
+            if "\n" in stripped.strip():
+                return "trace", _trace_spans(path)
+            raise ValueError(f"{path} is not valid JSON: {exc}") from exc
+        if isinstance(obj, Mapping):
+            if "span_id" in obj and "duration" in obj:
+                return "trace", _trace_spans(path)  # one-span JSONL trace
+            if "entries" in obj and isinstance(obj["entries"], list):
+                entries = obj["entries"]
+                if not entries:
+                    raise ValueError(f"trajectory {path} has no entries")
+                try:
+                    picked = entries[entry]
+                except IndexError:
+                    raise ValueError(
+                        f"trajectory {path} has {len(entries)} entries; "
+                        f"--entry {entry} is out of range"
+                    ) from None
+                return "perf", picked["report"]
+            if "kernels" in obj:
+                return "perf", obj
+            if "checks" in obj:
+                return "verify", obj
+            if "spans" in obj and "samples" in obj:
+                return "profile", obj
+            if "counters" in obj or "histograms" in obj or "gauges" in obj:
+                return "metrics", obj
+            if "traceEvents" in obj:
+                return "trace", _trace_spans(path)
+        raise ValueError(f"{path}: unrecognized report shape")
+    # JSONL trace (one span per line)
+    return "trace", _trace_spans(path)
+
+
+def _trace_spans(path: Path):
+    from .stats import load_trace
+
+    return load_trace(path)
+
+
+# ---------------------------------------------------------------------------
+# series extraction: kind-specific -> {key: {"value", "samples"?}}
+# ---------------------------------------------------------------------------
+def extract_series(kind: str, payload: Any) -> dict[str, dict]:
+    """Flatten one loaded input into comparable lower-is-better series."""
+    if kind == "perf":
+        out = {}
+        for row in payload.get("kernels", []):
+            key = f"perf:{row['kernel']}/{row['graph']}:seconds"
+            out[key] = {
+                "value": float(row["seconds"]),
+                "samples": [float(s) for s in row.get("samples", [])] or None,
+            }
+        return out
+    if kind == "verify":
+        gauges = ((payload.get("metrics") or {}).get("gauges")) or {}
+        return {
+            f"verify:{name.removeprefix('verify.check.seconds.')}": {
+                "value": float(v), "samples": None
+            }
+            for name, v in gauges.items()
+            if name.startswith("verify.check.seconds.")
+        }
+    if kind == "profile":
+        return {
+            f"profile:{row['span']}:seconds": {
+                "value": float(row["seconds"]), "samples": None
+            }
+            for row in payload.get("spans", [])
+        }
+    if kind == "trace":
+        from .stats import span_stats
+
+        return {
+            f"trace:{row['name']}:self_seconds": {
+                "value": float(row["self"]), "samples": None
+            }
+            for row in span_stats(payload)
+        }
+    if kind == "metrics":
+        out = {}
+        for name, h in (payload.get("histograms") or {}).items():
+            count = int(h.get("count", 0))
+            if count:
+                out[f"metrics:{name}:mean"] = {
+                    "value": float(h["total"]) / count, "samples": None
+                }
+        for name, v in (payload.get("gauges") or {}).items():
+            if name.endswith(_TIME_GAUGE_MARKERS) or ".seconds." in name:
+                out[f"metrics:{name}"] = {"value": float(v), "samples": None}
+        return out
+    raise ValueError(f"unknown input kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# the noise-aware comparison
+# ---------------------------------------------------------------------------
+def _spread(samples: Sequence[float] | None) -> float:
+    """Relative repeated-run spread: (max - min) / min, 0 without samples."""
+    if not samples or len(samples) < 2:
+        return 0.0
+    lo, hi = min(samples), max(samples)
+    return (hi - lo) / lo if lo > 0 else 0.0
+
+
+def compare_series(
+    a: dict[str, dict],
+    b: dict[str, dict],
+    *,
+    noise: float = DEFAULT_NOISE,
+    min_value: float = DEFAULT_MIN_VALUE,
+) -> list[dict]:
+    """Pair up two series dicts and attach a verdict to every key."""
+    pairs: list[dict] = []
+    for key in sorted(set(a) | set(b)):
+        ra, rb = a.get(key), b.get(key)
+        if ra is None or rb is None:
+            pairs.append(
+                {
+                    "key": key,
+                    "a": None if ra is None else ra["value"],
+                    "b": None if rb is None else rb["value"],
+                    "verdict": "added" if ra is None else "removed",
+                }
+            )
+            continue
+        va = min([ra["value"]] + (ra.get("samples") or []))
+        vb = min([rb["value"]] + (rb.get("samples") or []))
+        pair: dict[str, Any] = {"key": key, "a": va, "b": vb}
+        if va < min_value and vb < min_value:
+            pair["verdict"] = "below-floor"
+            pairs.append(pair)
+            continue
+        threshold = max(
+            float(noise), _spread(ra.get("samples")), _spread(rb.get("samples"))
+        )
+        pair["threshold"] = round(threshold, 6)
+        if va <= 0.0:
+            pair["verdict"] = "regressed" if vb > min_value else "neutral"
+            pair["ratio"] = None
+            pairs.append(pair)
+            continue
+        ratio = vb / va
+        pair["ratio"] = round(ratio, 6)
+        if ratio > 1.0 + threshold:
+            pair["verdict"] = "regressed"
+        elif ratio < 1.0 / (1.0 + threshold):
+            pair["verdict"] = "improved"
+        else:
+            pair["verdict"] = "neutral"
+        pairs.append(pair)
+    return pairs
+
+
+def diff_files(
+    path_a: str | Path,
+    path_b: str | Path,
+    *,
+    noise: float = DEFAULT_NOISE,
+    min_value: float = DEFAULT_MIN_VALUE,
+    entry_a: int = -1,
+    entry_b: int = -1,
+) -> dict:
+    """Compare two report files; returns the machine-readable diff."""
+    kind_a, payload_a = load_comparable(path_a, entry=entry_a)
+    kind_b, payload_b = load_comparable(path_b, entry=entry_b)
+    if kind_a != kind_b:
+        raise ValueError(
+            f"cannot diff a {kind_a} report against a {kind_b} report "
+            f"({path_a} vs {path_b})"
+        )
+    pairs = compare_series(
+        extract_series(kind_a, payload_a),
+        extract_series(kind_b, payload_b),
+        noise=noise,
+        min_value=min_value,
+    )
+    summary = {v: 0 for v in VERDICTS}
+    for p in pairs:
+        summary[p["verdict"]] += 1
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": kind_a,
+        "a": str(path_a),
+        "b": str(path_b),
+        "noise_floor": noise,
+        "min_value": min_value,
+        "pairs": pairs,
+        "summary": summary,
+        "regressed": summary["regressed"] > 0,
+    }
+
+
+def format_diff(report: dict, *, verbose: bool = False) -> str:
+    """Render the diff for the terminal (non-neutral pairs + summary)."""
+    lines = [
+        f"obs diff ({report['kind']}): {report['a']} -> {report['b']} "
+        f"(noise floor {report['noise_floor']:.0%})"
+    ]
+    shown = 0
+    for p in report["pairs"]:
+        if not verbose and p["verdict"] in ("neutral", "below-floor"):
+            continue
+        shown += 1
+        a = "—" if p["a"] is None else f"{p['a']:.6g}"
+        b = "—" if p["b"] is None else f"{p['b']:.6g}"
+        ratio = p.get("ratio")
+        extra = "" if ratio is None else f"  x{ratio:.3f}"
+        thr = p.get("threshold")
+        extra += "" if thr is None else f" (±{thr:.0%})"
+        lines.append(f"  {p['verdict'].upper():10s} {p['key']}: {a} -> {b}{extra}")
+    if not shown:
+        lines.append("  (all pairs neutral)")
+    s = report["summary"]
+    lines.append(
+        f"  {s['improved']} improved, {s['regressed']} regressed, "
+        f"{s['neutral']} neutral, {s['below-floor']} below floor, "
+        f"{s['added']} added, {s['removed']} removed"
+    )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs diff",
+        description="Noise-aware comparison of two perf/metrics/trace/"
+        "verify reports; exits non-zero on regressions "
+        "(see docs/observability.md for the cookbook).",
+    )
+    parser.add_argument("a", help="baseline report (or TRAJECTORY.json)")
+    parser.add_argument("b", help="candidate report (or TRAJECTORY.json)")
+    parser.add_argument(
+        "--noise", type=float, default=DEFAULT_NOISE,
+        help="relative noise floor when no sample spread is available "
+        f"(default {DEFAULT_NOISE})",
+    )
+    parser.add_argument(
+        "--min-value", type=float, default=DEFAULT_MIN_VALUE,
+        help="skip pairs where both sides are below this (timer noise)",
+    )
+    parser.add_argument(
+        "--entry", type=int, default=-1,
+        help="trajectory entry to use when an input is a TRAJECTORY.json "
+        "(default -1: the last recorded point)",
+    )
+    parser.add_argument("--out", default=None, help="write the JSON diff here")
+    parser.add_argument(
+        "--verbose", action="store_true", help="list neutral pairs too"
+    )
+    parser.add_argument(
+        "--no-fail", action="store_true",
+        help="always exit 0 (report-only mode)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        report = diff_files(
+            args.a, args.b,
+            noise=args.noise,
+            min_value=args.min_value,
+            entry_a=args.entry,
+            entry_b=args.entry,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"obs diff: {exc}")
+        return 2
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(format_diff(report, verbose=args.verbose))
+    if args.out:
+        print(f"wrote {args.out}")
+    if report["regressed"] and not args.no_fail:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via -m repro
+    raise SystemExit(main())

@@ -27,6 +27,7 @@ __all__ = [
     "gauge",
     "histogram",
     "merge_snapshot",
+    "prometheus_text",
     "registry",
     "reset",
     "snapshot",
@@ -147,18 +148,42 @@ class MetricsRegistry:
                 },
             }
 
-    def merge_snapshot(self, snap: Mapping[str, Any]) -> None:
+    def merge_snapshot(
+        self, snap: Mapping[str, Any], *, gauge_merge: str = "last"
+    ) -> None:
         """Fold another registry's :meth:`snapshot` into this one.
 
-        Counters and histograms add; gauges take the incoming value (the
-        merged-in snapshot is the fresher observation).  Histograms with
-        mismatched bucket bounds raise — merging them would silently
-        mis-bin.
+        Counters and histograms add — their merge is commutative, so the
+        order snapshots arrive in never matters.  Gauges are *not*
+        commutative under the default policy, so the policy is explicit:
+
+        ``gauge_merge="last"`` (default)
+            the incoming value wins.  Correct when the merged-in
+            snapshot is the strictly fresher observation of the *same*
+            process state — e.g. a drained server's final snapshot, or
+            a journal replayed in recorded order.
+        ``gauge_merge="max"``
+            keep the larger of the two values.  Correct for fan-in from
+            *concurrent* worker processes, where "last" would mean
+            "whichever worker happened to finish last" — an
+            order-dependent answer.  ``max`` is commutative, so the
+            merged result is deterministic regardless of completion
+            order (this is what ``eval/parallel`` uses; see
+            ``docs/observability.md``).
+
+        Histograms with mismatched bucket bounds raise — merging them
+        would silently mis-bin.
         """
+        if gauge_merge not in ("last", "max"):
+            raise ValueError(f"gauge_merge must be 'last' or 'max', got {gauge_merge!r}")
         for name, value in (snap.get("counters") or {}).items():
             self.counter(name).value += float(value)
         for name, value in (snap.get("gauges") or {}).items():
-            self.gauge(name).set(float(value))
+            g = self.gauge(name)
+            if gauge_merge == "max":
+                g.set(max(g.value, float(value)))
+            else:
+                g.set(float(value))
         for name, h in (snap.get("histograms") or {}).items():
             mine = self.histogram(name, h["buckets"])
             if list(mine.buckets) != [float(b) for b in h["buckets"]]:
@@ -199,9 +224,76 @@ def snapshot() -> dict[str, Any]:
     return _registry.snapshot()
 
 
-def merge_snapshot(snap: Mapping[str, Any]) -> None:
-    _registry.merge_snapshot(snap)
+def merge_snapshot(snap: Mapping[str, Any], *, gauge_merge: str = "last") -> None:
+    _registry.merge_snapshot(snap, gauge_merge=gauge_merge)
 
 
 def reset() -> None:
     _registry.reset()
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition (format version 0.0.4)
+# ---------------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    """A valid Prometheus metric name from our dotted convention."""
+    s = "".join(ch if (ch.isalnum() or ch in "_:") else "_" for ch in name)
+    if s and s[0].isdigit():
+        s = "_" + s
+    return s or "_"
+
+
+def _prom_value(v: float) -> str:
+    if v == float("inf"):
+        return "+Inf"
+    if v == float("-inf"):
+        return "-Inf"
+    if v != v:  # NaN
+        return "NaN"
+    if float(v).is_integer() and abs(v) < 1e15:
+        return str(int(v))
+    return repr(float(v))
+
+
+def prometheus_text(snap: Mapping[str, Any] | None = None) -> str:
+    """Render a snapshot as Prometheus text exposition (v0.0.4).
+
+    Counters gain a ``_total`` suffix per the naming convention; our
+    fixed-bucket histograms are converted to the cumulative
+    ``_bucket{le="..."}`` form Prometheus expects, closed by the
+    mandatory ``le="+Inf"`` bucket plus ``_sum``/``_count`` samples.
+    Metric names are sanitized (dots become underscores).  This is what
+    the serve admin ``metrics`` op returns, so a scraper (or a human
+    with ``nc``) can pull the live registry off a running server.
+    """
+    if snap is None:
+        snap = _registry.snapshot()
+    lines: list[str] = []
+    for name in sorted(snap.get("counters") or {}):
+        pname = _prom_name(name)
+        if not pname.endswith("_total"):
+            pname += "_total"
+        lines.append(f"# HELP {pname} repro counter {name}")
+        lines.append(f"# TYPE {pname} counter")
+        lines.append(f"{pname} {_prom_value(float(snap['counters'][name]))}")
+    for name in sorted(snap.get("gauges") or {}):
+        pname = _prom_name(name)
+        lines.append(f"# HELP {pname} repro gauge {name}")
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname} {_prom_value(float(snap['gauges'][name]))}")
+    for name in sorted(snap.get("histograms") or {}):
+        h = snap["histograms"][name]
+        pname = _prom_name(name)
+        lines.append(f"# HELP {pname} repro histogram {name}")
+        lines.append(f"# TYPE {pname} histogram")
+        cumulative = 0
+        for bound, count in zip(h["buckets"], h["counts"]):
+            cumulative += int(count)
+            lines.append(
+                f'{pname}_bucket{{le="{_prom_value(float(bound))}"}} {cumulative}'
+            )
+        total_count = int(h["count"])
+        lines.append(f'{pname}_bucket{{le="+Inf"}} {total_count}')
+        lines.append(f"{pname}_sum {_prom_value(float(h['total']))}")
+        lines.append(f"{pname}_count {total_count}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,302 @@
+"""Declarative service-level objectives over the metrics registry.
+
+An :class:`SLO` names an **indicator** (which events count), a **good
+criterion** (which of those events met the objective), and a **target**
+(the fraction that must).  Two indicator shapes cover the serve layer:
+
+* **latency**: a histogram instrument (e.g. ``serve.request.time``) plus
+  ``threshold_seconds`` — an observation is *good* iff it fell in a
+  bucket whose upper bound is ≤ the threshold.  Pick a threshold that is
+  one of the histogram's bucket bounds (``STAGE_BUCKETS`` for serve);
+  otherwise the evaluation is conservative, counting only buckets that
+  lie entirely under the threshold.
+* **availability**: a good/total counter pair (e.g.
+  ``serve.requests.ok`` / ``serve.requests.total``).
+
+Evaluation is pure — :meth:`SLO.evaluate` reads any metrics
+``snapshot()`` dict, so the same objects gate a live server (admin
+``slo`` op), a drained ``--metrics-out`` file, and a ``bench serve``
+run (``slo:`` blocks in the load spec).
+
+**Burn rate** is the error-budget language of the Google SRE workbook:
+burn 1.0 means "failing at exactly the rate that spends the whole
+budget over the SLO period"; burn N means N× faster.  A single
+snapshot only yields the *lifetime* burn; the multi-window rates that
+make burn actionable need deltas over time, which is what
+:class:`SLOTracker` adds — it snapshots (good, total) at a bounded tick
+rate, keeps a ring of observations covering the longest window, and
+computes ``bad_fraction(window) / (1 - target)`` per window.  The serve
+layer feeds the fast-window burn into the
+:class:`~repro.serve.degrade.DegradationLadder` as a first-class
+pressure signal: a server violating its SLO starts degrading *before*
+the admission queue backs up.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from .stats import histogram_quantile
+
+__all__ = ["SLO", "SLOTracker", "default_serve_slos", "slo_from_spec"]
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One objective: ``target`` fraction of indicator events are good."""
+
+    name: str
+    target: float = 0.99
+    #: latency indicator: histogram instrument + threshold
+    indicator: str | None = None
+    threshold_seconds: float | None = None
+    #: availability indicator: counter pair
+    good_counter: str | None = None
+    total_counter: str | None = None
+    #: burn-rate windows in seconds, shortest first (SLOTracker only)
+    windows: tuple[float, ...] = (10.0, 60.0)
+    #: alerting threshold on the shortest window's burn rate
+    max_burn_rate: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"slo {self.name}: target must be in (0, 1)")
+        histo = self.indicator is not None
+        counters = self.good_counter is not None or self.total_counter is not None
+        if histo == counters:
+            raise ValueError(
+                f"slo {self.name}: give either indicator+threshold_seconds "
+                "or good_counter+total_counter"
+            )
+        if histo and self.threshold_seconds is None:
+            raise ValueError(f"slo {self.name}: latency slo needs threshold_seconds")
+        if counters and (self.good_counter is None or self.total_counter is None):
+            raise ValueError(f"slo {self.name}: counter slo needs both counters")
+        if list(self.windows) != sorted(self.windows) or len(self.windows) < 1:
+            raise ValueError(f"slo {self.name}: windows must ascend")
+
+    # ------------------------------------------------------------------
+    def good_total(self, snap: Mapping[str, Any]) -> tuple[float, float]:
+        """(good events, total events) read from one metrics snapshot."""
+        if self.indicator is not None:
+            h = (snap.get("histograms") or {}).get(self.indicator)
+            if h is None:
+                return 0.0, 0.0
+            bounds = [float(b) for b in h["buckets"]]
+            # observations in buckets whose upper bound is <= threshold
+            # (tiny epsilon so a threshold equal to a bound includes it)
+            k = bisect_right(bounds, float(self.threshold_seconds) * (1 + 1e-12))
+            good = float(sum(int(c) for c in h["counts"][:k]))
+            return good, float(int(h["count"]))
+        counters = snap.get("counters") or {}
+        good = float(counters.get(self.good_counter, 0.0))
+        total = float(counters.get(self.total_counter, 0.0))
+        return min(good, total), total
+
+    def evaluate(self, snap: Mapping[str, Any]) -> dict:
+        """Lifetime objective status from one snapshot (no windows)."""
+        good, total = self.good_total(snap)
+        compliance = good / total if total else 1.0
+        budget = 1.0 - self.target
+        bad_fraction = 1.0 - compliance
+        out = {
+            "name": self.name,
+            "target": self.target,
+            "good": good,
+            "total": total,
+            "compliance": round(compliance, 9),
+            "ok": compliance >= self.target or total == 0,
+            # fraction of the error budget consumed so far (>1 = blown)
+            "budget_consumed": round(bad_fraction / budget, 6) if budget else 0.0,
+            "burn_rate": round(bad_fraction / budget, 6) if budget else 0.0,
+        }
+        if self.indicator is not None:
+            h = (snap.get("histograms") or {}).get(self.indicator)
+            if h is not None and int(h["count"]):
+                out["attained_quantile_seconds"] = round(
+                    histogram_quantile(h["buckets"], h["counts"], self.target), 6
+                )
+            out["threshold_seconds"] = self.threshold_seconds
+        return out
+
+
+class SLOTracker:
+    """Windowed burn rates for a set of SLOs over the live registry.
+
+    :meth:`observe` is safe on the request hot path: it rate-limits
+    itself to one real snapshot per ``tick_seconds`` and otherwise only
+    reads a cached float.  All state is lock-guarded (ticks can race
+    between server worker threads).
+    """
+
+    def __init__(
+        self,
+        slos: Sequence[SLO],
+        *,
+        snapshot_fn: Callable[[], Mapping[str, Any]] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        tick_seconds: float = 0.25,
+    ) -> None:
+        from . import metrics as obs_metrics
+
+        self.slos = tuple(slos)
+        self._snapshot = snapshot_fn if snapshot_fn is not None else obs_metrics.snapshot
+        self._clock = clock
+        self.tick_seconds = float(tick_seconds)
+        self._lock = threading.Lock()
+        self._last_tick = float("-inf")
+        # per slo: list of (t, good, total), pruned beyond the longest window
+        self._points: dict[str, list[tuple[float, float, float]]] = {
+            s.name: [] for s in self.slos
+        }
+        self._burn = 0.0  # cached fast-window max across slos
+
+    # ------------------------------------------------------------------
+    def observe(self) -> float:
+        """Tick if due; returns the max shortest-window burn rate."""
+        now = self._clock()
+        with self._lock:
+            if now - self._last_tick < self.tick_seconds:
+                return self._burn
+            self._last_tick = now
+        snap = self._snapshot()
+        with self._lock:
+            for s in self.slos:
+                good, total = s.good_total(snap)
+                pts = self._points[s.name]
+                pts.append((now, good, total))
+                horizon = now - (s.windows[-1] + self.tick_seconds)
+                while len(pts) > 2 and pts[1][0] <= horizon:
+                    pts.pop(0)
+            self._burn = max(
+                (
+                    self._burn_rate(s, s.windows[0], now)
+                    for s in self.slos
+                ),
+                default=0.0,
+            )
+            return self._burn
+
+    @property
+    def burn_rate(self) -> float:
+        """Last computed max shortest-window burn rate (no tick)."""
+        with self._lock:
+            return self._burn
+
+    def _burn_rate(self, slo: SLO, window: float, now: float) -> float:
+        """bad_fraction over ``window`` divided by the error budget."""
+        pts = self._points[slo.name]
+        if len(pts) < 2:
+            return 0.0
+        _t_end, good_end, total_end = pts[-1]
+        cutoff = now - window
+        # most recent point at or before the window start, so the delta
+        # covers at least the full window once enough history exists
+        start = pts[0]
+        for p in pts:
+            if p[0] <= cutoff:
+                start = p
+            else:
+                break
+        if start is pts[-1]:
+            start = pts[-2]
+        d_total = total_end - start[2]
+        if d_total <= 0:
+            return 0.0
+        d_bad = d_total - (good_end - start[1])
+        bad_fraction = min(max(d_bad / d_total, 0.0), 1.0)
+        budget = 1.0 - slo.target
+        return bad_fraction / budget if budget else 0.0
+
+    # ------------------------------------------------------------------
+    def status(self, snap: Mapping[str, Any] | None = None) -> dict:
+        """Full objective status: lifetime evaluation + windowed burns."""
+        if snap is None:
+            snap = self._snapshot()
+        now = self._clock()
+        slos = []
+        with self._lock:
+            for s in self.slos:
+                st = s.evaluate(snap)
+                st["windows"] = {
+                    f"{int(w)}s": round(self._burn_rate(s, w, now), 6)
+                    for w in s.windows
+                }
+                st["max_burn_rate"] = s.max_burn_rate
+                st["burning"] = st["windows"][f"{int(s.windows[0])}s"] > s.max_burn_rate
+                slos.append(st)
+            burn = self._burn
+        return {
+            "slos": slos,
+            "burn_rate": round(burn, 6),
+            "ok": all(s["ok"] and not s["burning"] for s in slos),
+        }
+
+
+# ---------------------------------------------------------------------------
+# construction helpers
+# ---------------------------------------------------------------------------
+def default_serve_slos() -> tuple[SLO, ...]:
+    """The serve layer's standing objectives (see ``docs/serving.md``).
+
+    Latency: 95 % of requests under 250 ms (a ``STAGE_BUCKETS`` bound).
+    Availability: 99 % of *queries* answered ``ok`` — sheds, timeouts
+    and errors all spend the same budget.  The denominator is
+    ``serve.queries.total``, not ``serve.requests.total``: the latter
+    counts every protocol line, so admin probes (health checks, metric
+    scrapes) would register as availability failures.
+    """
+    return (
+        SLO(
+            name="latency",
+            indicator="serve.request.time",
+            threshold_seconds=0.25,
+            target=0.95,
+            windows=(10.0, 60.0),
+            max_burn_rate=4.0,
+        ),
+        SLO(
+            name="availability",
+            good_counter="serve.requests.ok",
+            total_counter="serve.queries.total",
+            target=0.99,
+            windows=(10.0, 60.0),
+            max_burn_rate=4.0,
+        ),
+    )
+
+
+def slo_from_spec(spec: Mapping[str, Any]) -> SLO:
+    """Build an SLO from a YAML/JSON mapping (the ``slo:`` block shape).
+
+    Keys: ``name`` (required), ``target`` (default 0.99), and either
+    ``indicator`` + ``threshold_ms``/``threshold_seconds`` or
+    ``good_counter`` + ``total_counter``; optional ``windows``
+    (seconds, ascending) and ``max_burn_rate``.
+    """
+    spec = dict(spec)
+    name = spec.get("name")
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"slo spec needs a name: {spec!r}")
+    threshold = spec.get("threshold_seconds")
+    if threshold is None and spec.get("threshold_ms") is not None:
+        threshold = float(spec["threshold_ms"]) / 1000.0
+    kwargs: dict[str, Any] = {
+        "name": name,
+        "target": float(spec.get("target", 0.99)),
+    }
+    if spec.get("indicator") is not None:
+        kwargs["indicator"] = str(spec["indicator"])
+        kwargs["threshold_seconds"] = threshold
+    else:
+        kwargs["good_counter"] = spec.get("good_counter")
+        kwargs["total_counter"] = spec.get("total_counter")
+    if spec.get("windows") is not None:
+        kwargs["windows"] = tuple(float(w) for w in spec["windows"])
+    if spec.get("max_burn_rate") is not None:
+        kwargs["max_burn_rate"] = float(spec["max_burn_rate"])
+    return SLO(**kwargs)

@@ -48,20 +48,49 @@ CATEGORIES = (
 
 
 def load_trace(path: str | Path) -> list[Span]:
-    """Load spans from a JSONL or Chrome ``trace_event`` trace file."""
+    """Load spans from a JSONL or Chrome ``trace_event`` trace file.
+
+    A truncated *final* JSONL line (the usual shape of a crash or a
+    ``kill -9`` mid-write) is dropped with a warning rather than failing
+    the whole report; corruption anywhere else still raises
+    ``ValueError`` with the offending line number — silently skipping
+    interior lines would misreport where the time went.
+    """
     path = Path(path)
     text = path.read_text()
     stripped = text.lstrip()
     if stripped.startswith("{") and '"traceEvents"' in stripped[:200]:
-        return _from_chrome(json.loads(text).get("traceEvents", []))
+        try:
+            return _from_chrome(json.loads(text).get("traceEvents", []))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: corrupt Chrome trace JSON: {exc}") from exc
     if stripped.startswith("["):
-        return _from_chrome(json.loads(text))
+        try:
+            return _from_chrome(json.loads(text))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: corrupt Chrome trace JSON: {exc}") from exc
     spans = []
-    for line in text.splitlines():
+    lines = text.splitlines()
+    last_content = 0
+    for i, line in enumerate(lines, start=1):
+        if line.strip():
+            last_content = i
+    for i, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
             continue
-        spans.append(Span.from_dict(json.loads(line)))
+        try:
+            spans.append(Span.from_dict(json.loads(line)))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            if i == last_content:
+                import warnings
+
+                warnings.warn(
+                    f"{path}: dropping truncated final line {i} ({exc})",
+                    stacklevel=2,
+                )
+                break
+            raise ValueError(f"{path}: corrupt span on line {i}: {exc}") from exc
     return spans
 
 
@@ -296,7 +325,18 @@ def main(argv: list[str] | None = None) -> int:
         "--top", type=int, default=20, help="span names to list (default 20)"
     )
     args = parser.parse_args(argv)
-    text = Path(args.trace).read_text()
+    path = Path(args.trace)
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        print(f"repro stats: no such file: {path}")
+        return 2
+    except IsADirectoryError:
+        print(f"repro stats: {path} is a directory, expected a trace/metrics file")
+        return 2
+    if not text.strip():
+        print(f"repro stats: {path} is empty (run produced no spans/metrics?)")
+        return 2
     stripped = text.lstrip()
     report: str | None = None
     if stripped.startswith("{"):
@@ -307,7 +347,11 @@ def main(argv: list[str] | None = None) -> int:
         if _is_metrics_snapshot(obj):
             report = format_metrics(obj, title=f"metrics stats: {args.trace}")
     if report is None:
-        spans = load_trace(args.trace)
+        try:
+            spans = load_trace(args.trace)
+        except ValueError as exc:
+            print(f"repro stats: {exc}")
+            return 2
         report = format_stats(spans, top=args.top, title=f"trace stats: {args.trace}")
     try:
         print(report)

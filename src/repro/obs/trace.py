@@ -103,6 +103,10 @@ class Tracer:
         self._lock = threading.Lock()
         self._next_id = 0
         self._stacks = threading.local()
+        # thread ident -> that thread's open-span stack (the same list
+        # object _stack() mutates), so a sampling profiler running on a
+        # different thread can see which span each thread is inside
+        self._stacks_by_ident: dict[int, list[Span]] = {}
 
     # ------------------------------------------------------------------
     def _stack(self) -> list[Span]:
@@ -110,11 +114,30 @@ class Tracer:
         if stack is None:
             stack = []
             self._stacks.stack = stack
+            with self._lock:
+                self._stacks_by_ident[threading.get_ident()] = stack
         return stack
 
     def current_span(self) -> Span | None:
         stack = self._stack()
         return stack[-1] if stack else None
+
+    def open_spans(self) -> dict[int, Span]:
+        """Innermost open span per thread ident (cross-thread snapshot).
+
+        Read-only and lock-free on the stacks themselves: a concurrent
+        push/pop can at worst misattribute the single sample being taken
+        — acceptable for statistical profiling (see ``repro.obs.prof``).
+        """
+        with self._lock:
+            stacks = dict(self._stacks_by_ident)
+        out: dict[int, Span] = {}
+        for ident, stack in stacks.items():
+            try:
+                out[ident] = stack[-1]
+            except IndexError:
+                continue  # thread currently has no open span
+        return out
 
     def _new_span(self, name: str, attrs: dict[str, Any]) -> Span:
         parent = self.current_span()

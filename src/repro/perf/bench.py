@@ -17,6 +17,20 @@ Regression gating (the redisbench-style committed-baseline pattern)::
 committed baseline and exits non-zero on any kernel slower than
 ``max-regression`` times its baseline; ``--min-bc-speedup`` additionally
 gates the aggregate BC speedup over the reference path.
+
+Each row also carries its raw per-repeat ``samples`` (so ``python -m
+repro obs diff`` can derive noise-aware thresholds from the actual
+spread instead of a fixed ratio) and per-sweep efficiency metrics from
+the simulator's charged ledger: ``sweeps``, ``sim_seconds`` (charged
+SweepCost converted to device seconds, against the measured wall-clock),
+``sim_cycles_per_second`` (charged throughput), and
+``frontier_occupancy`` (busy lane-steps over total — the paper's warp
+efficiency, 1 − divergence).
+
+``--record-trajectory`` appends the report, with commit and config
+provenance, to ``benchmarks/results/TRAJECTORY.json`` — the committed
+perf history that CI's ``obs diff`` gate compares fresh runs against.
+``--profile PREFIX`` samples the run (see :mod:`repro.obs.prof`).
 """
 
 from __future__ import annotations
@@ -31,7 +45,16 @@ from ..graphs.csr import CSRGraph
 from ..graphs.generators import paper_suite
 from ..obs import trace as obs_trace
 
-__all__ = ["run_bench", "best_speedup", "check_regressions", "main"]
+__all__ = [
+    "run_bench",
+    "best_speedup",
+    "check_regressions",
+    "record_trajectory",
+    "main",
+]
+
+#: the committed perf-trajectory file (see ``--record-trajectory``)
+TRAJECTORY_PATH = Path("benchmarks/results/TRAJECTORY.json")
 
 SCHEMA_VERSION = 1
 
@@ -94,16 +117,19 @@ def _kernels() -> list[dict]:
     ]
 
 
-def _time(fn: Callable[[], object], repeats: int) -> tuple[float, object]:
-    """Best-of-``repeats`` wall-clock; the first run warms pooled buffers."""
-    best = float("inf")
+def _time(fn: Callable[[], object], repeats: int) -> tuple[float, object, list[float]]:
+    """Best-of-``repeats`` wall-clock; the first run warms pooled buffers.
+
+    Also returns every repeat's raw timing — the spread is what makes
+    ``obs diff`` verdicts noise-aware rather than fixed-ratio.
+    """
+    samples: list[float] = []
     result = None
     for _ in range(max(1, repeats)):
         t0 = time.perf_counter()
         result = fn()
-        elapsed = time.perf_counter() - t0
-        best = min(best, elapsed)
-    return best, result
+        samples.append(time.perf_counter() - t0)
+    return min(samples), result, samples
 
 
 def run_bench(
@@ -114,7 +140,8 @@ def run_bench(
     graphs: list[str] | None = None,
 ) -> dict:
     """Time every kernel on every suite graph; returns the report dict."""
-    suite = paper_suite(scale, seed=seed)
+    with obs_trace.span("perf.bench.suite", scale=scale):
+        suite = paper_suite(scale, seed=seed)
     if graphs:
         unknown = sorted(set(graphs) - set(suite))
         if unknown:
@@ -126,20 +153,39 @@ def run_bench(
             with obs_trace.span(
                 "perf.bench.kernel", kernel=spec["kernel"], graph=name
             ):
-                seconds, result = _time(lambda: spec["run"](graph), repeats)
+                seconds, result, samples = _time(lambda: spec["run"](graph), repeats)
             row = {
                 "kernel": spec["kernel"],
                 "graph": name,
                 "seconds": seconds,
+                "samples": [round(s, 6) for s in samples],
                 "iterations": getattr(result, "iterations", None),
                 "sim_cycles": getattr(result, "metrics", None)
                 and result.metrics.cycles,
             }
-            if spec["reference"] is not None:
-                ref_seconds, _ = _time(
-                    lambda: spec["reference"](graph), repeats
+            sim = getattr(result, "metrics", None)
+            if sim is not None and sim.num_sweeps:
+                # charged-cost efficiency: how the simulator's ledger
+                # relates to the host wall-clock that paid for it
+                busy = sim.total.busy_lane_steps
+                idle = sim.total.idle_lane_steps
+                row["sweeps"] = sim.num_sweeps
+                row["sim_seconds"] = round(sim.seconds, 6)
+                row["sim_cycles_per_second"] = (
+                    round(sim.cycles / seconds, 3) if seconds > 0 else None
                 )
+                row["frontier_occupancy"] = (
+                    round(busy / (busy + idle), 6) if busy + idle else None
+                )
+            if spec["reference"] is not None:
+                with obs_trace.span(
+                    "perf.bench.reference", kernel=spec["kernel"], graph=name
+                ):
+                    ref_seconds, _, ref_samples = _time(
+                        lambda: spec["reference"](graph), repeats
+                    )
                 row["reference_seconds"] = ref_seconds
+                row["reference_samples"] = [round(s, 6) for s in ref_samples]
                 row["speedup_vs_reference"] = (
                     ref_seconds / seconds if seconds > 0 else float("inf")
                 )
@@ -218,6 +264,51 @@ def check_regressions(
     return failures
 
 
+def _git_commit() -> str:
+    """Short commit hash of the working tree, or ``unknown`` outside git."""
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() or "unknown" if out.returncode == 0 else "unknown"
+
+
+def record_trajectory(report: dict, path: str | Path = TRAJECTORY_PATH) -> dict:
+    """Append ``report`` (with provenance) to the perf-trajectory file.
+
+    The file is ``{"schema": 1, "entries": [...]}``; each entry carries
+    the commit the run was taken at and the bench config, so a future
+    ``obs diff`` verdict can always be traced to what was measured
+    where.  Returns the appended entry.
+    """
+    path = Path(path)
+    if path.exists():
+        doc = json.loads(path.read_text())
+        if not isinstance(doc, dict) or "entries" not in doc:
+            raise ValueError(f"{path} is not a trajectory file")
+    else:
+        doc = {"schema": 1, "entries": []}
+    entry = {
+        "recorded_unix": report.get("generated_unix", time.time()),
+        "commit": _git_commit(),
+        "config": {
+            "scale": report.get("scale"),
+            "repeats": report.get("repeats"),
+            "seed": report.get("seed"),
+        },
+        "report": report,
+    }
+    doc["entries"].append(entry)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return entry
+
+
 def _format_report(report: dict) -> str:
     lines = [
         f"repro perf — scale={report['scale']} repeats={report['repeats']}",
@@ -265,15 +356,37 @@ def main(argv: list[str] | None = None) -> int:
         "--min-bc-speedup", type=float, default=0.0,
         help="fail unless the best per-graph BC speedup vs reference meets this",
     )
+    parser.add_argument(
+        "--record-trajectory", nargs="?", const=str(TRAJECTORY_PATH),
+        default=None, metavar="PATH",
+        help=f"append this run to the perf trajectory (default {TRAJECTORY_PATH})",
+    )
+    parser.add_argument(
+        "--profile", default=None, metavar="PREFIX",
+        help="sample the run: writes PREFIX.collapsed + PREFIX.json "
+        "(REPRO_PROFILE env works too; see docs/observability.md)",
+    )
     args = parser.parse_args(argv)
 
+    from ..obs import prof as obs_prof
+
+    profiler, profile_prefix = obs_prof.start_from_cli(args.profile)
     graphs = args.graphs.split(",") if args.graphs else None
-    report = run_bench(
-        args.scale, repeats=args.repeats, seed=args.seed, graphs=graphs
-    )
+    with obs_trace.span("perf.bench.run", scale=args.scale):
+        report = run_bench(
+            args.scale, repeats=args.repeats, seed=args.seed, graphs=graphs
+        )
+    if profiler is not None:
+        obs_prof.write_outputs(profiler, profile_prefix)
     Path(args.out).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(_format_report(report))
     print(f"wrote {args.out}")
+    if args.record_trajectory:
+        entry = record_trajectory(report, args.record_trajectory)
+        print(
+            f"recorded trajectory point (commit {entry['commit']}) "
+            f"in {args.record_trajectory}"
+        )
 
     status = 0
     if args.min_bc_speedup > 0:

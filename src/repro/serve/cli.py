@@ -85,11 +85,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--metrics-out", default=None)
     parser.add_argument("--trace-out", default=None)
+    parser.add_argument(
+        "--profile", default=None, metavar="PREFIX",
+        help="sample the server until drain: writes PREFIX.collapsed + "
+        "PREFIX.json (REPRO_PROFILE env works too)",
+    )
     args = parser.parse_args(argv)
 
     if args.trace_out:
         obs_trace.install_tracer()
 
+    from ..obs import prof as obs_prof
+
+    profiler, profile_prefix = obs_prof.start_from_cli(args.profile)
     server = ReproServer(build_config(args))
 
     def _terminate(signum, frame):
@@ -106,4 +114,6 @@ def main(argv: list[str] | None = None) -> int:
         flush=True,
     )
     server.run()
+    if profiler is not None:
+        obs_prof.write_outputs(profiler, profile_prefix)
     return 0

@@ -22,10 +22,17 @@ Ladder levels:
         knob).
 
 The pressure signal is an exponentially-weighted moving average of
-admission wait, blended with queue occupancy.  Transitions use
-hysteresis (exit thresholds at half the entry thresholds) so the ladder
-does not flap at a boundary.  ``serve.pressure.level`` gauges the
-current level; ``serve.degrade.step_{up,down}`` count transitions.
+admission wait, blended with queue occupancy and — since the SLO
+observatory — the fast-window error-budget **burn rate** from
+:class:`~repro.obs.slo.SLOTracker`: a server blowing through its
+latency or availability budget starts degrading even while its queue
+still looks healthy (e.g. requests completing fast but *failing*).
+Burn is scaled onto the wait axis so one set of thresholds governs all
+three signals: burn at ``level2_burn_rate`` exerts the same pressure as
+an EWMA wait at ``level2_wait_seconds``.  Transitions use hysteresis
+(exit thresholds at half the entry thresholds) so the ladder does not
+flap at a boundary.  ``serve.pressure.level`` gauges the current level;
+``serve.degrade.step_{up,down}`` count transitions.
 
 Thread-safe: one ladder is shared by every worker thread.
 """
@@ -51,6 +58,7 @@ class DegradationLadder:
         approx_technique: str = "coalescing",
         level1_wait_seconds: float = 0.050,
         level2_wait_seconds: float = 0.200,
+        level2_burn_rate: float = 8.0,
         ewma_alpha: float = 0.3,
         enabled: bool = True,
     ) -> None:
@@ -58,9 +66,12 @@ class DegradationLadder:
             raise ValueError("ewma_alpha must be in (0, 1]")
         if level2_wait_seconds < level1_wait_seconds:
             raise ValueError("level2 threshold must be >= level1 threshold")
+        if level2_burn_rate <= 0.0:
+            raise ValueError("level2_burn_rate must be positive")
         self.approx_technique = approx_technique
         self.level1_wait_seconds = float(level1_wait_seconds)
         self.level2_wait_seconds = float(level2_wait_seconds)
+        self.level2_burn_rate = float(level2_burn_rate)
         self.ewma_alpha = float(ewma_alpha)
         self.enabled = bool(enabled)
         self._lock = threading.Lock()
@@ -79,17 +90,25 @@ class DegradationLadder:
         with self._lock:
             return self._ewma_wait
 
-    def observe(self, wait_seconds: float, occupancy: float = 0.0) -> int:
+    def observe(
+        self, wait_seconds: float, occupancy: float = 0.0, burn_rate: float = 0.0
+    ) -> int:
         """Fold one admission observation in; returns the (new) level.
 
         ``occupancy`` (queue fullness in [0, 1]) lets a rapidly filling
-        queue raise pressure before waits have accumulated: the signal
-        is the max of the measured wait and occupancy scaled onto the
-        level-2 threshold.
+        queue raise pressure before waits have accumulated;
+        ``burn_rate`` (the SLO tracker's fast-window error-budget burn)
+        lets objective violations raise pressure before the queue does.
+        The signal is the max of the measured wait and each auxiliary
+        signal scaled onto the level-2 threshold.
         """
         if not self.enabled:
             return 0
-        signal = max(float(wait_seconds), float(occupancy) * self.level2_wait_seconds)
+        signal = max(
+            float(wait_seconds),
+            float(occupancy) * self.level2_wait_seconds,
+            (float(burn_rate) / self.level2_burn_rate) * self.level2_wait_seconds,
+        )
         with self._lock:
             self._ewma_wait += self.ewma_alpha * (signal - self._ewma_wait)
             w = self._ewma_wait

@@ -30,6 +30,12 @@ Spec schema::
       - ge: {qps: 20}
       - le: {shed_rate: 0.0}
       - le: {degraded_rate: 0.0}
+    slo:                       # optional: gate on server-side SLOs
+      - name: latency          # evaluated from the drained server's
+        indicator: serve.request.time     # own metrics registry via
+        threshold_ms: 250      # the admin `stats` op (repro.obs.slo)
+        target: 0.95
+        max_burn_rate: 8.0     # optional: also gate lifetime burn
     chaos:                     # optional fault window mid-run
       faults: "delay:serve:30"                  # REPRO_FAULTS spec
       start_fraction: 0.3      # arm after 30 % of requests issued
@@ -43,6 +49,14 @@ second of wall-clock), ``shed_rate``/``timeout_rate``/``error_rate``/
 ``degraded_rate``/``ok_rate`` (fractions of issued requests), and
 ``wrong`` (verified-mismatch count — with ``verify: true`` the gate
 implicitly requires 0).
+
+An ``slo:`` block lists :func:`repro.obs.slo.slo_from_spec` mappings;
+after the drive the loadgen pulls the server's own metrics snapshot
+(admin ``stats`` op) and gates ``compliance >= target`` per objective
+(plus ``burn_rate <= max_burn_rate`` when the spec sets one) — the
+server-side view, so admission waits and shed requests the client never
+timed still count.  Against an external ``connect:`` server the
+snapshot is cumulative since that server started, not just this run.
 
 With ``verify: true`` the loadgen rebuilds the server's (deterministic)
 graph suite and checks every completed, *non-degraded* ``ok`` answer
@@ -348,7 +362,15 @@ def _drive(spec: dict, *, host: str, port: int, server: ReproServer | None) -> d
     if controller is not None:
         controller.join(timeout=5.0)
 
-    report = _report(spec, records, wall)
+    server_snapshot = None
+    if spec.get("slo"):
+        with ServeClient(host, port) as admin:
+            resp = admin.request({"op": "stats"})
+            if resp["status"] != "ok":
+                raise ServeError(f"stats op failed: {resp}")
+            server_snapshot = resp["result"]
+
+    report = _report(spec, records, wall, server_snapshot=server_snapshot)
     return report
 
 
@@ -417,7 +439,45 @@ def evaluate_kpis(kpis: list, metrics: dict) -> list[dict]:
     return results
 
 
-def _report(spec: dict, records: list[dict], wall: float) -> dict:
+def _slo_gates(spec: dict, snapshot: dict | None) -> tuple[list[dict], list[dict]]:
+    """(kpi gates, slo statuses) from the spec's ``slo:`` block."""
+    from ..obs.slo import slo_from_spec
+
+    gates: list[dict] = []
+    statuses: list[dict] = []
+    for raw in spec.get("slo") or []:
+        slo = slo_from_spec(raw)
+        st = slo.evaluate(snapshot or {})
+        statuses.append(st)
+        gates.append(
+            {
+                "metric": f"slo:{slo.name}:compliance",
+                "op": "ge",
+                "threshold": slo.target,
+                "value": round(st["compliance"], 6),
+                "pass": bool(st["ok"]),
+            }
+        )
+        if raw.get("max_burn_rate") is not None:
+            gates.append(
+                {
+                    "metric": f"slo:{slo.name}:burn_rate",
+                    "op": "le",
+                    "threshold": float(raw["max_burn_rate"]),
+                    "value": st["burn_rate"],
+                    "pass": st["burn_rate"] <= float(raw["max_burn_rate"]),
+                }
+            )
+    return gates, statuses
+
+
+def _report(
+    spec: dict,
+    records: list[dict],
+    wall: float,
+    *,
+    server_snapshot: dict | None = None,
+) -> dict:
     chaos = spec.get("chaos") or None
     overall = _phase_metrics(records, wall)
     report: dict = {
@@ -451,6 +511,10 @@ def _report(spec: dict, records: list[dict], wall: float) -> dict:
                 "pass": overall["wrong"] == 0,
             }
         )
+    if spec.get("slo"):
+        slo_gates, slo_statuses = _slo_gates(spec, server_snapshot)
+        gates += slo_gates
+        report["slo"] = slo_statuses
     report["kpis"] = gates
     report["ok"] = all(g["pass"] for g in gates)
     return report

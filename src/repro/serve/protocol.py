@@ -19,6 +19,10 @@ Request fields:
     * ``ping`` / ``health`` / ``graphs`` / ``stats`` — liveness,
       readiness + pressure, the loaded graph inventory, and a metrics
       snapshot; never queued behind analytics work;
+    * ``metrics`` — the live registry as Prometheus text exposition
+      (``result.text``), scrapeable off a running server;
+    * ``slo`` — objective status: per-SLO compliance, error-budget
+      consumption, and multi-window burn rates (``repro.obs.slo``);
     * ``chaos`` — arm/disarm a ``REPRO_FAULTS`` plan in the server
       process (only honored when the server was started with
       ``allow_chaos``; the loadgen's chaos mode uses this).
@@ -60,7 +64,7 @@ __all__ = [
 ]
 
 QUERY_OPS = ("sssp", "pr_topk", "bc_node")
-ADMIN_OPS = ("ping", "health", "graphs", "stats", "chaos")
+ADMIN_OPS = ("ping", "health", "graphs", "stats", "metrics", "slo", "chaos")
 STATUSES = ("ok", "error", "overloaded", "timeout", "shutting_down")
 
 #: refuse absurd lines before json-decoding them (memory robustness)

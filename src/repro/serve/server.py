@@ -6,8 +6,16 @@ configured worker count — so however many connections are open, at most
 ``workers`` queries execute concurrently, at most ``max_queue_depth``
 wait, and everything beyond that is shed with an explicit
 ``overloaded`` response.  Admin ops (``ping``/``health``/``graphs``/
-``stats``/``chaos``) bypass admission entirely: a health probe must
-answer even when the query queue is saturated.
+``stats``/``metrics``/``slo``/``chaos``) bypass admission entirely: a
+health probe must answer even when the query queue is saturated.
+
+The server owns an :class:`~repro.obs.slo.SLOTracker` over the standing
+serve objectives (``default_serve_slos``): every handled request ticks
+it (rate-limited internally), and the resulting fast-window burn rate
+feeds the degradation ladder alongside admission wait and queue
+occupancy — so budget-burning failure modes trigger degradation even
+when the queue looks healthy.  ``metrics`` answers the live registry in
+Prometheus text exposition; ``slo`` answers full objective status.
 
 Failure mapping (one request can never take the connection down):
 
@@ -40,6 +48,7 @@ from ..errors import DeadlineExceeded, Overloaded, ProtocolError, ReproError
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..obs.log import get_logger
+from ..obs.slo import SLOTracker, default_serve_slos
 from ..resilience import faults
 from .admission import AdmissionGate
 from .deadline import Deadline
@@ -72,6 +81,7 @@ class ReproServer:
             self.service = GraphService(self.config)
         cfg = self.config
         self.gate = AdmissionGate(cfg.workers, cfg.max_queue_depth)
+        self.slo_tracker = SLOTracker(default_serve_slos())
         self._listener: socket.socket | None = None
         self._threads: list[threading.Thread] = []
         self._conns: set[socket.socket] = set()
@@ -219,6 +229,10 @@ class ReproServer:
         op = req["op"]
         if op in ADMIN_OPS:
             return self._handle_admin(req)
+        # queries get their own denominator: serve.requests.total counts
+        # every protocol line (admin probes included), which would make
+        # an availability objective treat each health check as a failure
+        obs_metrics.counter("serve.queries.total").inc()
         if self._draining.is_set():
             obs_metrics.counter("serve.requests.shutting_down").inc()
             return error_response(req, "shutting_down", "server is draining")
@@ -230,7 +244,9 @@ class ReproServer:
         try:
             with obs_trace.span("serve.request", op=op) as sp:
                 with self.gate.admit(deadline) as wait:
-                    self.service.ladder.observe(wait, self.gate.occupancy())
+                    self.service.ladder.observe(
+                        wait, self.gate.occupancy(), self.slo_tracker.burn_rate
+                    )
                     resp = self.service.execute(req, deadline)
                 if sp is not None:
                     sp.set(
@@ -256,6 +272,9 @@ class ReproServer:
         elapsed = time.perf_counter() - t0
         obs_metrics.counter(f"serve.requests.{status}").inc()
         obs_metrics.histogram("serve.request.time", STAGE_BUCKETS).observe(elapsed)
+        # tick after the outcome counters land, so the burn the *next*
+        # request hands the ladder already reflects this one
+        self.slo_tracker.observe()
         resp["server_ms"] = round(elapsed * 1000.0, 3)
         return resp
 
@@ -270,6 +289,16 @@ class ReproServer:
             return response(req, "ok", result=self.service.graphs_info())
         if op == "stats":
             return response(req, "ok", result=obs_metrics.snapshot())
+        if op == "metrics":
+            return response(
+                req, "ok",
+                result={
+                    "content_type": "text/plain; version=0.0.4",
+                    "text": obs_metrics.prometheus_text(),
+                },
+            )
+        if op == "slo":
+            return response(req, "ok", result=self.slo_tracker.status())
         if op == "chaos":
             return self._handle_chaos(req)
         raise ProtocolError(f"unhandled admin op {op!r}")  # pragma: no cover
@@ -287,6 +316,7 @@ class ReproServer:
             "pressure_ewma_wait_ms": round(
                 self.service.ladder.pressure * 1000.0, 3
             ),
+            "slo_burn_rate": round(self.slo_tracker.burn_rate, 6),
             "breaker": self.service.breaker.state,
         }
 

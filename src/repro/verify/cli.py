@@ -15,9 +15,13 @@ the metamorphic relations, and the cross-engine/cache differentials.
 ``--deep`` is the nightly gate and adds the expensive end-to-end
 comparisons.  Exit status is 0 iff every check is green.
 
-Each check runs under a ``verify.check`` obs span and bumps the
-``verify.checks.pass`` / ``verify.checks.fail`` counters, so a traced
-run shows exactly where verification time goes.
+Each check runs under a ``verify.check`` obs span, bumps the
+``verify.checks.pass`` / ``verify.checks.fail`` counters, and records
+its wall-clock through ``obs.metrics`` — a ``verify.check.seconds.<name>``
+gauge per check plus the ``verify.check.time`` histogram.  With
+``--report`` the metrics snapshot is embedded in the JSON
+(``report["metrics"]``), so ``python -m repro obs diff old.json new.json``
+catches verification-*time* regressions the pass/fail bits can't.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ import argparse
 import json
 import sys
 import tempfile
+import time
 import traceback
 
 from ..core.knobs import CoalescingKnobs, DivergenceKnobs, SharedMemoryKnobs
@@ -182,6 +187,7 @@ def run_checks(
     failed = 0
     with trace.span("verify.run", deep=deep, seed=seed):
         for name, run in checks:
+            t0 = time.perf_counter()
             with trace.span("verify.check", check=name):
                 try:
                     violations = run()
@@ -191,10 +197,13 @@ def run_checks(
                         Violation("verify.crash", f"{type(exc).__name__}: {exc}")
                     ]
                     error = traceback.format_exc()
+            elapsed = time.perf_counter() - t0
             ok = not violations
             metrics.counter(
                 "verify.checks.pass" if ok else "verify.checks.fail"
             ).inc()
+            metrics.gauge(f"verify.check.seconds.{name}").set(elapsed)
+            metrics.histogram("verify.check.time").observe(elapsed)
             if not ok:
                 failed += 1
             results.append(
@@ -223,6 +232,9 @@ def run_checks(
         "num_checks": len(results),
         "num_failed": failed,
         "passed": failed == 0,
+        # per-check timing gauges + the verify.check.time histogram,
+        # diffable across runs with `python -m repro obs diff`
+        "metrics": metrics.snapshot(),
     }
     if golden_report is not None:
         report["golden"] = golden_report

@@ -1,0 +1,239 @@
+"""Tests for the noise-aware comparator (repro.obs.diff)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import diff as obs_diff
+
+
+def _perf_report(scale=1.0, *, spread=0.02, kernels=("bc", "sssp")) -> dict:
+    rows = []
+    for i, kernel in enumerate(kernels):
+        base = 0.1 * (i + 1) * scale
+        rows.append(
+            {
+                "kernel": kernel,
+                "graph": "rmat",
+                "seconds": base,
+                "samples": [base, base * (1 + spread), base * (1 + spread / 2)],
+            }
+        )
+    return {"schema": 1, "kernels": rows}
+
+
+def _write(tmp_path, name, obj):
+    p = tmp_path / name
+    p.write_text(json.dumps(obj))
+    return p
+
+
+class TestLoadComparable:
+    def test_detects_perf(self, tmp_path):
+        kind, _ = obs_diff.load_comparable(_write(tmp_path, "a.json", _perf_report()))
+        assert kind == "perf"
+
+    def test_detects_metrics(self, tmp_path):
+        kind, _ = obs_diff.load_comparable(
+            _write(tmp_path, "m.json", {"counters": {}, "gauges": {}, "histograms": {}})
+        )
+        assert kind == "metrics"
+
+    def test_detects_verify(self, tmp_path):
+        kind, _ = obs_diff.load_comparable(
+            _write(tmp_path, "v.json", {"checks": [], "metrics": {"gauges": {}}})
+        )
+        assert kind == "verify"
+
+    def test_detects_profile(self, tmp_path):
+        kind, _ = obs_diff.load_comparable(
+            _write(tmp_path, "p.json", {"samples": 10, "spans": []})
+        )
+        assert kind == "profile"
+
+    def test_trajectory_resolves_to_entry_report(self, tmp_path):
+        doc = {
+            "schema": 1,
+            "entries": [
+                {"commit": "aaa", "report": _perf_report(2.0)},
+                {"commit": "bbb", "report": _perf_report(1.0)},
+            ],
+        }
+        kind, payload = obs_diff.load_comparable(_write(tmp_path, "t.json", doc))
+        assert kind == "perf"
+        assert payload["kernels"][0]["seconds"] == pytest.approx(0.1)
+        _, first = obs_diff.load_comparable(tmp_path / "t.json", entry=0)
+        assert first["kernels"][0]["seconds"] == pytest.approx(0.2)
+
+    def test_missing_file(self):
+        with pytest.raises(FileNotFoundError):
+            obs_diff.load_comparable("/nonexistent/x.json")
+
+    def test_empty_and_corrupt(self, tmp_path):
+        empty = tmp_path / "e.json"
+        empty.write_text("")
+        with pytest.raises(ValueError):
+            obs_diff.load_comparable(empty)
+        bad = tmp_path / "b.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValueError):
+            obs_diff.load_comparable(bad)
+
+    def test_empty_trajectory(self, tmp_path):
+        with pytest.raises(ValueError, match="no entries"):
+            obs_diff.load_comparable(
+                _write(tmp_path, "t.json", {"schema": 1, "entries": []})
+            )
+
+
+class TestVerdicts:
+    def test_identical_runs_all_neutral(self, tmp_path):
+        """Acceptance: no false regressions on two identical runs."""
+        a = _write(tmp_path, "a.json", _perf_report())
+        b = _write(tmp_path, "b.json", _perf_report())
+        report = obs_diff.diff_files(a, b)
+        assert report["regressed"] is False
+        assert all(p["verdict"] == "neutral" for p in report["pairs"])
+
+    def test_seeded_2x_slowdown_flagged(self, tmp_path):
+        """Acceptance: a 2x slowdown must regress at default noise."""
+        a = _write(tmp_path, "a.json", _perf_report(1.0))
+        b = _write(tmp_path, "b.json", _perf_report(2.0))
+        report = obs_diff.diff_files(a, b)
+        assert report["regressed"] is True
+        assert all(p["verdict"] == "regressed" for p in report["pairs"])
+
+    def test_2x_speedup_improves(self, tmp_path):
+        a = _write(tmp_path, "a.json", _perf_report(2.0))
+        b = _write(tmp_path, "b.json", _perf_report(1.0))
+        report = obs_diff.diff_files(a, b)
+        assert report["regressed"] is False
+        assert all(p["verdict"] == "improved" for p in report["pairs"])
+
+    def test_spread_widens_threshold(self):
+        # 60 % sample spread: a 1.5x delta must stay neutral even though
+        # it clears the 25 % noise floor
+        a = {"k": {"value": 1.0, "samples": [1.0, 1.6, 1.2]}}
+        b = {"k": {"value": 1.5, "samples": [1.5, 1.7, 1.6]}}
+        (pair,) = obs_diff.compare_series(a, b)
+        assert pair["threshold"] >= 0.6
+        assert pair["verdict"] == "neutral"
+
+    def test_min_of_samples_is_the_location(self):
+        # recorded value 2.0 but a sample of 1.0 exists: min wins, so
+        # against a 1.0 baseline this is neutral, not regressed
+        a = {"k": {"value": 1.0, "samples": None}}
+        b = {"k": {"value": 2.0, "samples": [2.0, 1.0]}}
+        (pair,) = obs_diff.compare_series(a, b, noise=0.25)
+        assert pair["b"] == 1.0
+        assert pair["verdict"] == "neutral"
+
+    def test_added_and_removed(self):
+        a = {"old": {"value": 1.0, "samples": None}}
+        b = {"new": {"value": 1.0, "samples": None}}
+        pairs = {p["key"]: p["verdict"] for p in obs_diff.compare_series(a, b)}
+        assert pairs == {"old": "removed", "new": "added"}
+
+    def test_below_floor_skipped(self):
+        a = {"k": {"value": 1e-5, "samples": None}}
+        b = {"k": {"value": 3e-5, "samples": None}}
+        (pair,) = obs_diff.compare_series(a, b)
+        assert pair["verdict"] == "below-floor"
+
+    def test_zero_baseline_with_real_candidate_regresses(self):
+        a = {"k": {"value": 0.0, "samples": None}}
+        b = {"k": {"value": 1.0, "samples": None}}
+        (pair,) = obs_diff.compare_series(a, b, min_value=1e-4)
+        assert pair["verdict"] == "regressed"
+
+
+class TestExtraction:
+    def test_metrics_series(self):
+        snap = {
+            "histograms": {
+                "serve.request.time": {
+                    "buckets": [0.1], "counts": [5, 0], "total": 0.25, "count": 5
+                }
+            },
+            "gauges": {"verify.check.seconds.x": 0.5, "serve.queue.depth": 3},
+        }
+        series = obs_diff.extract_series("metrics", snap)
+        assert series["metrics:serve.request.time:mean"]["value"] == pytest.approx(
+            0.05
+        )
+        # time-like gauges only: queue depth is not a timing
+        assert "metrics:serve.queue.depth" not in series
+        assert "metrics:verify.check.seconds.x" in series
+
+    def test_verify_series(self):
+        payload = {
+            "checks": [],
+            "metrics": {
+                "gauges": {
+                    "verify.check.seconds.invariants:er:exact": 0.12,
+                    "verify.checks.pass": 3.0,
+                }
+            },
+        }
+        series = obs_diff.extract_series("verify", payload)
+        assert series == {
+            "verify:invariants:er:exact": {"value": 0.12, "samples": None}
+        }
+
+    def test_profile_series(self):
+        payload = {"samples": 10, "spans": [{"span": "solve.sweep", "seconds": 1.5}]}
+        series = obs_diff.extract_series("profile", payload)
+        assert series["profile:solve.sweep:seconds"]["value"] == 1.5
+
+    def test_kind_mismatch_raises(self, tmp_path):
+        a = _write(tmp_path, "a.json", _perf_report())
+        m = _write(tmp_path, "m.json", {"counters": {}})
+        with pytest.raises(ValueError, match="cannot diff"):
+            obs_diff.diff_files(a, m)
+
+
+class TestCli:
+    def test_exit_codes(self, tmp_path, capsys):
+        a = _write(tmp_path, "a.json", _perf_report(1.0))
+        b = _write(tmp_path, "b.json", _perf_report(2.0))
+        assert obs_diff.main([str(a), str(a)]) == 0
+        assert obs_diff.main([str(a), str(b)]) == 1
+        assert obs_diff.main([str(a), str(b), "--no-fail"]) == 0
+        assert obs_diff.main(["/nope.json", str(a)]) == 2
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+
+    def test_out_file(self, tmp_path, capsys):
+        a = _write(tmp_path, "a.json", _perf_report())
+        out = tmp_path / "diff.json"
+        assert obs_diff.main([str(a), str(a), "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["summary"]["neutral"] == 2
+        capsys.readouterr()
+
+    def test_dispatch_via_module_main(self, tmp_path, capsys):
+        from repro.__main__ import main as repro_main
+
+        a = _write(tmp_path, "a.json", _perf_report())
+        assert repro_main(["obs", "diff", str(a), str(a)]) == 0
+        assert "neutral" in capsys.readouterr().out
+
+    def test_trace_inputs(self, tmp_path, capsys):
+        from repro.obs.trace import Tracer
+
+        def make(path, slow):
+            t = Tracer()
+            with t.span("solve.sweep"):
+                pass
+            t.spans[0].duration = 2.0 if slow else 1.0
+            t.export_jsonl(path)
+
+        make(tmp_path / "a.jsonl", False)
+        make(tmp_path / "b.jsonl", True)
+        code = obs_diff.main(
+            [str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")]
+        )
+        assert code == 1
+        assert "trace:solve.sweep" in capsys.readouterr().out

@@ -112,3 +112,65 @@ class TestMerge:
         r.counter("c").inc()
         r.merge_snapshot({})
         assert r.snapshot()["counters"] == {"c": 1}
+
+
+class TestGaugeMergePolicy:
+    """The documented gauge merge semantics: "last" vs "max".
+
+    Counters/histograms add (commutative); gauges need an explicit
+    policy. "last" is for strictly-fresher snapshots of the same
+    process; "max" is the commutative fan-in policy used by
+    eval/parallel so the merged result never depends on worker
+    completion order.
+    """
+
+    def _gauge_snap(self, value):
+        return {"counters": {}, "gauges": {"solve.frontier": value},
+                "histograms": {}}
+
+    def test_last_takes_incoming(self):
+        r = MetricsRegistry()
+        r.gauge("solve.frontier").set(9)
+        r.merge_snapshot(self._gauge_snap(3), gauge_merge="last")
+        assert r.snapshot()["gauges"]["solve.frontier"] == 3
+
+    def test_max_keeps_larger(self):
+        r = MetricsRegistry()
+        r.gauge("solve.frontier").set(9)
+        r.merge_snapshot(self._gauge_snap(3), gauge_merge="max")
+        assert r.snapshot()["gauges"]["solve.frontier"] == 9
+        r.merge_snapshot(self._gauge_snap(12), gauge_merge="max")
+        assert r.snapshot()["gauges"]["solve.frontier"] == 12
+
+    def test_max_is_order_independent(self):
+        # the property "last" lacks: any arrival order, same answer
+        import itertools
+
+        snaps = [self._gauge_snap(v) for v in (5, 1, 8, 3)]
+        results = set()
+        for perm in itertools.permutations(snaps):
+            r = MetricsRegistry()
+            for s in perm:
+                r.merge_snapshot(s, gauge_merge="max")
+            results.add(r.snapshot()["gauges"]["solve.frontier"])
+        assert results == {8}
+
+    def test_last_is_order_dependent(self):
+        # documents *why* max exists: last depends on completion order
+        a, b = self._gauge_snap(5), self._gauge_snap(1)
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        r1.merge_snapshot(a), r1.merge_snapshot(b)
+        r2.merge_snapshot(b), r2.merge_snapshot(a)
+        assert (r1.snapshot()["gauges"]["solve.frontier"]
+                != r2.snapshot()["gauges"]["solve.frontier"])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="gauge_merge"):
+            MetricsRegistry().merge_snapshot(self._gauge_snap(1),
+                                             gauge_merge="sum")
+
+    def test_counters_still_add_under_max(self):
+        r = MetricsRegistry()
+        r.counter("c").inc(2)
+        r.merge_snapshot({"counters": {"c": 3}}, gauge_merge="max")
+        assert r.snapshot()["counters"]["c"] == 5

@@ -1,0 +1,265 @@
+"""Tests for SLOs, burn rates (repro.obs.slo) and Prometheus exposition."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, prometheus_text
+from repro.obs.slo import SLO, SLOTracker, default_serve_slos, slo_from_spec
+
+
+def _snap(good: float, total: float) -> dict:
+    return {
+        "counters": {"serve.requests.ok": good, "serve.requests.total": total},
+        "gauges": {},
+        "histograms": {},
+    }
+
+
+def _latency_snap(counts: list[int], buckets=(0.05, 0.25, 1.0)) -> dict:
+    return {
+        "counters": {},
+        "gauges": {},
+        "histograms": {
+            "serve.request.time": {
+                "buckets": list(buckets),
+                "counts": counts,
+                "total": 1.0,
+                "count": sum(counts),
+            }
+        },
+    }
+
+
+AVAIL = SLO(
+    name="availability",
+    good_counter="serve.requests.ok",
+    total_counter="serve.requests.total",
+    target=0.99,
+)
+LATENCY = SLO(
+    name="latency",
+    indicator="serve.request.time",
+    threshold_seconds=0.25,
+    target=0.95,
+)
+
+
+class TestSLOValidation:
+    def test_needs_exactly_one_indicator_shape(self):
+        with pytest.raises(ValueError):
+            SLO(name="both", indicator="h", threshold_seconds=1.0,
+                good_counter="a", total_counter="b")
+        with pytest.raises(ValueError):
+            SLO(name="neither")
+
+    def test_target_bounds(self):
+        with pytest.raises(ValueError):
+            SLO(name="x", target=1.0, good_counter="a", total_counter="b")
+
+    def test_latency_needs_threshold(self):
+        with pytest.raises(ValueError):
+            SLO(name="x", indicator="h")
+
+    def test_windows_must_ascend(self):
+        with pytest.raises(ValueError):
+            SLO(name="x", good_counter="a", total_counter="b",
+                windows=(60.0, 10.0))
+
+
+class TestEvaluate:
+    def test_counter_compliance(self):
+        st = AVAIL.evaluate(_snap(99, 100))
+        assert st["compliance"] == pytest.approx(0.99)
+        assert st["ok"] is True
+        assert st["budget_consumed"] == pytest.approx(1.0)
+
+    def test_counter_burn_rate_is_bad_over_budget(self):
+        # 10 % failing against a 1 % budget = burning 10x
+        st = AVAIL.evaluate(_snap(90, 100))
+        assert st["burn_rate"] == pytest.approx(10.0)
+        assert st["ok"] is False
+
+    def test_empty_snapshot_is_vacuously_ok(self):
+        st = AVAIL.evaluate(_snap(0, 0))
+        assert st["ok"] is True
+        assert st["compliance"] == 1.0
+
+    def test_latency_histogram_good_buckets(self):
+        # counts: <=0.05, <=0.25, <=1.0, overflow — threshold 0.25 means
+        # the first two buckets are good
+        st = LATENCY.evaluate(_latency_snap([90, 8, 1, 1]))
+        assert st["good"] == 98
+        assert st["total"] == 100
+        assert st["ok"] is True
+        assert st["attained_quantile_seconds"] > 0
+
+    def test_latency_threshold_equal_to_bound_includes_bucket(self):
+        good, total = LATENCY.good_total(_latency_snap([0, 100, 0, 0]))
+        assert good == 100 and total == 100
+
+    def test_missing_histogram_vacuous(self):
+        st = LATENCY.evaluate({"histograms": {}})
+        assert st["ok"] is True
+
+
+class TestSLOTracker:
+    def _tracker(self, slo=AVAIL, tick=0.25):
+        state = {"good": 0.0, "total": 0.0, "now": 0.0}
+        tracker = SLOTracker(
+            [slo],
+            snapshot_fn=lambda: _snap(state["good"], state["total"]),
+            clock=lambda: state["now"],
+            tick_seconds=tick,
+        )
+        return tracker, state
+
+    def test_windowed_burn_from_deltas(self):
+        tracker, state = self._tracker()
+        tracker.observe()  # t=0 baseline
+        # 5 s in: 100 requests, 50 failed -> bad_fraction 0.5, budget 0.01
+        state.update(now=5.0, good=50.0, total=100.0)
+        burn = tracker.observe()
+        assert burn == pytest.approx(50.0)
+        assert tracker.burn_rate == pytest.approx(50.0)
+
+    def test_burn_recovers_when_errors_stop(self):
+        tracker, state = self._tracker()
+        tracker.observe()
+        state.update(now=1.0, good=0.0, total=100.0)  # all failing
+        assert tracker.observe() > 0
+        # 100 s later every new request is good; the 10 s window no
+        # longer covers the bad burst
+        for t in range(2, 100):
+            state.update(
+                now=float(t), good=state["good"] + 50, total=state["total"] + 50
+            )
+            tracker.observe()
+        assert tracker.burn_rate == pytest.approx(0.0, abs=1e-6)
+
+    def test_tick_rate_limited(self):
+        tracker, state = self._tracker(tick=1.0)
+        tracker.observe()
+        state.update(now=0.5, good=0.0, total=100.0)
+        # within the tick window: cached value, no new point
+        assert tracker.observe() == 0.0
+
+    def test_status_shape(self):
+        tracker, state = self._tracker()
+        tracker.observe()
+        state.update(now=5.0, good=50.0, total=100.0)
+        tracker.observe()
+        status = tracker.status(_snap(50, 100))
+        assert status["ok"] is False
+        (slo_st,) = status["slos"]
+        assert slo_st["burning"] is True
+        assert set(slo_st["windows"]) == {"10s", "60s"}
+        assert status["burn_rate"] == pytest.approx(50.0)
+
+    def test_no_traffic_no_burn(self):
+        tracker, state = self._tracker()
+        tracker.observe()
+        state["now"] = 5.0
+        assert tracker.observe() == 0.0
+
+
+class TestConstruction:
+    def test_default_serve_slos(self):
+        slos = default_serve_slos()
+        assert {s.name for s in slos} == {"latency", "availability"}
+        latency = next(s for s in slos if s.name == "latency")
+        assert latency.threshold_seconds == pytest.approx(0.25)
+
+    def test_slo_from_spec_latency_ms(self):
+        slo = slo_from_spec(
+            {"name": "lat", "indicator": "serve.request.time",
+             "threshold_ms": 250, "target": 0.9}
+        )
+        assert slo.threshold_seconds == pytest.approx(0.25)
+        assert slo.target == 0.9
+
+    def test_slo_from_spec_counters_and_windows(self):
+        slo = slo_from_spec(
+            {"name": "avail", "good_counter": "a", "total_counter": "b",
+             "windows": [5, 30], "max_burn_rate": 2.0}
+        )
+        assert slo.windows == (5.0, 30.0)
+        assert slo.max_burn_rate == 2.0
+
+    def test_slo_from_spec_needs_name(self):
+        with pytest.raises(ValueError):
+            slo_from_spec({"good_counter": "a", "total_counter": "b"})
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+def parse_prometheus(text: str) -> dict[str, float]:
+    """A tiny v0.0.4 parser: {name{labels}: value}, validating structure."""
+    samples: dict[str, float] = {}
+    typed: dict[str, str] = {}
+    for line in text.strip().splitlines():
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            assert kind in ("counter", "gauge", "histogram")
+            typed[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        key, _, value = line.rpartition(" ")
+        assert key, f"malformed sample line {line!r}"
+        v = float(value.replace("+Inf", "inf"))
+        assert not math.isnan(v) or value == "NaN"
+        samples[key] = v
+        base = key.split("{", 1)[0]
+        base = base.removesuffix("_bucket").removesuffix("_sum").removesuffix(
+            "_count"
+        )
+        assert base in typed, f"sample {key!r} missing # TYPE"
+    return samples
+
+
+class TestPrometheusText:
+    def _registry(self) -> MetricsRegistry:
+        r = MetricsRegistry()
+        r.counter("serve.requests.total").inc(10)
+        r.gauge("serve.queue.depth").set(3.5)
+        h = r.histogram("serve.request.time", (0.05, 0.25))
+        for v in (0.01, 0.1, 1.0):
+            h.observe(v)
+        return r
+
+    def test_exposition_parses(self):
+        text = prometheus_text(self._registry().snapshot())
+        samples = parse_prometheus(text)
+        assert samples["serve_requests_total"] == 10
+        assert samples["serve_queue_depth"] == 3.5
+
+    def test_counter_total_suffix(self):
+        text = prometheus_text(self._registry().snapshot())
+        assert "serve_requests_total 10" in text
+        assert "serve_requests_total_total" not in text
+
+    def test_histogram_cumulative_buckets(self):
+        samples = parse_prometheus(prometheus_text(self._registry().snapshot()))
+        assert samples['serve_request_time_bucket{le="0.05"}'] == 1
+        assert samples['serve_request_time_bucket{le="0.25"}'] == 2
+        assert samples['serve_request_time_bucket{le="+Inf"}'] == 3
+        assert samples["serve_request_time_count"] == 3
+        assert samples["serve_request_time_sum"] == pytest.approx(1.11)
+
+    def test_name_sanitization(self):
+        r = MetricsRegistry()
+        r.gauge("solve.sweeps-per-level").set(1)
+        text = prometheus_text(r.snapshot())
+        assert "solve_sweeps_per_level 1" in text
+
+    def test_empty_snapshot(self):
+        assert prometheus_text({"counters": {}, "gauges": {},
+                                "histograms": {}}) == "\n"
+
+    def test_module_registry_default(self):
+        # no snapshot argument reads the process registry without raising
+        assert isinstance(prometheus_text(), str)

@@ -239,3 +239,124 @@ class TestMetricsCliAutodetect:
         path = t.export_jsonl(tmp_path / "t.jsonl")
         assert main([str(path)]) == 0
         assert "trace stats" in capsys.readouterr().out
+
+
+class TestRobustInputs:
+    """CLI behavior on missing / empty / damaged inputs.
+
+    A crashed run leaves a truncated final JSONL line; `repro stats`
+    must still report the spans that made it to disk.  Anything else
+    damaged is a hard, *located* error — not a silent skip.
+    """
+
+    def _jsonl(self, tmp_path, n=3):
+        t = Tracer()
+        for i in range(n):
+            with t.span(f"solve.sweep{i}"):
+                pass
+        return t.export_jsonl(tmp_path / "t.jsonl")
+
+    def test_missing_file_clear_message(self, capsys):
+        assert main(["/nonexistent/trace.jsonl"]) == 2
+        assert "no such file" in capsys.readouterr().out
+
+    def test_directory_clear_message(self, tmp_path, capsys):
+        assert main([str(tmp_path)]) == 2
+        assert "directory" in capsys.readouterr().out
+
+    def test_empty_file_clear_message(self, tmp_path, capsys):
+        p = tmp_path / "empty.jsonl"
+        p.write_text("")
+        assert main([str(p)]) == 2
+        assert "empty" in capsys.readouterr().out
+
+    def test_truncated_final_line_warns_and_reports(self, tmp_path, capsys):
+        p = self._jsonl(tmp_path)
+        with p.open("a") as f:
+            f.write('{"name": "solve.halfwri')  # kill -9 mid-flush
+        with pytest.warns(UserWarning, match="truncated final line"):
+            spans = load_trace(p)
+        assert len(spans) == 3
+        with pytest.warns(UserWarning):
+            assert main([str(p)]) == 0
+        assert "solve.sweep0" in capsys.readouterr().out
+
+    def test_interior_corruption_is_located(self, tmp_path, capsys):
+        p = self._jsonl(tmp_path)
+        lines = p.read_text().splitlines()
+        lines[1] = '{"name": "solve.mangl'
+        p.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="line 2"):
+            load_trace(p)
+        assert main([str(p)]) == 2
+        assert "line 2" in capsys.readouterr().out
+
+    def test_corrupt_chrome_json_clear_message(self, tmp_path, capsys):
+        p = tmp_path / "t.json"
+        p.write_text('{"traceEvents": [{"name": "x"')
+        with pytest.raises(ValueError, match="Chrome"):
+            load_trace(p)
+        assert main([str(p)]) == 2
+
+
+class TestChromeRoundTrip:
+    """Chrome trace_event export is viewer-loadable and lossless enough
+    to rebuild the span tree (satellite: nested spans + worker threads,
+    pid/tid/ts sanity)."""
+
+    def _trace(self):
+        import threading
+
+        t = Tracer()
+        with t.span("transform.build_plan"):
+            with t.span("solve.sweep"):
+                with t.span("solve.relax"):
+                    pass
+            with t.span("solve.sweep"):
+                pass
+
+        def worker():
+            with t.span("serve.execute"):
+                with t.span("solve.sweep"):
+                    pass
+
+        th = threading.Thread(target=worker, name="serve-worker")
+        th.start()
+        th.join()
+        return t
+
+    def test_round_trip_preserves_spans_and_nesting(self, tmp_path):
+        t = self._trace()
+        path = t.export_chrome(tmp_path / "t.json")
+        spans = load_trace(path)
+        assert len(spans) == len(t.spans)
+        # nesting is rebuilt from containment: same parent->child name
+        # multiset as the original tree
+        def edges(sps):
+            by_id = {s.span_id: s for s in sps}
+            return sorted(
+                (by_id[s.parent_id].name, s.name)
+                for s in sps
+                if s.parent_id is not None and s.parent_id in by_id
+            )
+
+        assert edges(spans) == edges(t.spans)
+
+    def test_event_fields_are_viewer_sane(self, tmp_path):
+        t = self._trace()
+        doc = json.loads(t.export_chrome(tmp_path / "t.json").read_text())
+        events = doc["traceEvents"]
+        assert all(e["ph"] == "X" for e in events)
+        assert all(e["ts"] >= 0.0 and e["dur"] >= 0.0 for e in events)
+        # one pid, one tid per thread, and ts sorted (we emit in start order)
+        assert {e["pid"] for e in events} == {0}
+        assert len({e["tid"] for e in events}) == 2
+        ts = [e["ts"] for e in events]
+        assert ts == sorted(ts)
+
+    def test_worker_thread_spans_survive(self, tmp_path):
+        t = self._trace()
+        spans = load_trace(t.export_chrome(tmp_path / "t.json"))
+        assert sum(1 for s in spans if s.name == "serve.execute") == 1
+        rows = {r["name"]: r for r in span_stats(spans)}
+        assert rows["solve.sweep"]["count"] == 3

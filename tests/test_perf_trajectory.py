@@ -1,0 +1,100 @@
+"""Perf trajectory recording + per-sweep efficiency telemetry.
+
+Covers the bench-report additions (repeat samples, charged-cost
+efficiency fields) and the committed TRAJECTORY.json append path that
+`obs diff` gates CI against.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import diff as obs_diff
+from repro.perf.bench import TRAJECTORY_PATH, main as perf_main, record_trajectory, run_bench
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_bench("tiny", repeats=2, graphs=["rmat"])
+
+
+class TestEfficiencyFields:
+    def test_rows_carry_repeat_samples(self, report):
+        for row in report["kernels"]:
+            assert len(row["samples"]) == 2
+            # samples are rounded to 1 µs for the report
+            assert min(row["samples"]) == pytest.approx(row["seconds"], abs=1e-6)
+
+    def test_sim_backed_rows_carry_efficiency(self, report):
+        simmed = [r for r in report["kernels"] if "sweeps" in r]
+        assert simmed, "expected at least one sim-backed kernel row"
+        for row in simmed:
+            assert row["sweeps"] >= 1
+            assert row["sim_cycles_per_second"] > 0
+            assert 0.0 <= row["frontier_occupancy"] <= 1.0
+
+    def test_occupancy_complements_divergence(self, report):
+        # occupancy = busy/(busy+idle) = 1 - divergence_ratio; a tiny
+        # rmat is irregular, so some idle lanes must show up
+        occs = [r["frontier_occupancy"] for r in report["kernels"] if "sweeps" in r]
+        assert any(o < 1.0 for o in occs)
+
+
+class TestRecordTrajectory:
+    def test_creates_and_appends(self, report, tmp_path):
+        path = tmp_path / "TRAJECTORY.json"
+        entry = record_trajectory(report, path)
+        assert entry["commit"]
+        assert entry["config"]["scale"] == "tiny"
+        record_trajectory(report, path)
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == 1
+        assert len(doc["entries"]) == 2
+        assert doc["entries"][0]["report"]["kernels"]
+
+    def test_refuses_non_trajectory_file(self, report, tmp_path):
+        path = tmp_path / "not-trajectory.json"
+        path.write_text(json.dumps({"kernels": []}))
+        with pytest.raises(ValueError, match="not a trajectory"):
+            record_trajectory(report, path)
+
+    def test_default_path_is_committed_location(self):
+        assert str(TRAJECTORY_PATH) == "benchmarks/results/TRAJECTORY.json"
+
+    def test_cli_records_point(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        traj = tmp_path / "TRAJECTORY.json"
+        status = perf_main(
+            ["--scale", "tiny", "--repeats", "1", "--graphs", "rmat",
+             "--out", str(out), "--record-trajectory", str(traj)]
+        )
+        assert status == 0
+        assert "recorded trajectory point" in capsys.readouterr().out
+        doc = json.loads(traj.read_text())
+        assert len(doc["entries"]) == 1
+
+
+class TestDiffAgainstTrajectory:
+    """The CI shape: `obs diff TRAJECTORY.json BENCH_PR4.json`."""
+
+    def test_gate_is_quiet_on_identical_runs(self, report, tmp_path):
+        traj = tmp_path / "TRAJECTORY.json"
+        record_trajectory(report, traj)
+        bench = tmp_path / "BENCH.json"
+        bench.write_text(json.dumps(report))
+        verdict = obs_diff.diff_files(traj, bench)
+        assert verdict["regressed"] is False
+
+    def test_gate_flags_seeded_slowdown(self, report, tmp_path):
+        traj = tmp_path / "TRAJECTORY.json"
+        record_trajectory(report, traj)
+        slow = json.loads(json.dumps(report))
+        for row in slow["kernels"]:
+            row["seconds"] *= 2.0
+            row["samples"] = [s * 2.0 for s in row["samples"]]
+        bench = tmp_path / "BENCH.json"
+        bench.write_text(json.dumps(slow))
+        verdict = obs_diff.diff_files(traj, bench)
+        assert verdict["regressed"] is True

@@ -95,3 +95,27 @@ def test_main_module_dispatch(monkeypatch):
     monkeypatch.setattr("repro.verify.cli.main", fake_verify_main)
     assert main_mod.main(["verify", "--quick"]) == 0
     assert called["argv"] == ["--quick"]
+
+
+def test_report_carries_per_check_timings(tmp_path, monkeypatch):
+    # satellite: --report embeds a metrics snapshot with one
+    # verify.check.seconds.<name> gauge per executed check, so
+    # `repro obs diff` can compare verification cost across runs
+    small = _aliased_corpus()
+    monkeypatch.setattr(verify_cli, "default_corpus", lambda seed: small)
+
+    report_path = tmp_path / "report.json"
+    metrics.reset()
+    verify_cli.main(["--quick", "--quiet", "--report", str(report_path)])
+    report = json.loads(report_path.read_text())
+
+    gauges = report["metrics"]["gauges"]
+    timed = {k for k in gauges if k.startswith("verify.check.seconds.")}
+    assert len(timed) == report["num_checks"]
+    assert {k.removeprefix("verify.check.seconds.") for k in timed} == {
+        c["check"] for c in report["checks"]
+    }
+    assert all(gauges[k] >= 0.0 for k in timed)
+
+    hist = report["metrics"]["histograms"]["verify.check.time"]
+    assert hist["count"] == report["num_checks"]
