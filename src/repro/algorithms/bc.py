@@ -29,7 +29,9 @@ from ..errors import AlgorithmError
 from ..graphs.csr import CSRGraph
 from ..gpusim.device import DeviceConfig, K40C
 from ..graphs.properties import ragged_arange
+from ..perf.edgeshare import shared_pull_view
 from ..perf.gather import LevelBuckets, SweepExpansion, expand_frontier
+from ..perf.schedule import schedule_for
 from .common import AlgorithmResult, Runner, plan_for
 
 __all__ = ["betweenness_centrality", "pick_sources", "BC_ENGINES"]
@@ -62,6 +64,7 @@ def betweenness_centrality(
     engine: str = "gather",
     device: DeviceConfig = K40C,
     runner_factory=None,
+    schedule=None,
 ) -> AlgorithmResult:
     """Approximate-by-sampling BC scores per original node.
 
@@ -84,12 +87,31 @@ def betweenness_centrality(
     ``engine`` selects the host-side scan strategy (:data:`BC_ENGINES`);
     values, iterations, and charged metrics are identical — only host
     wall-clock differs.
+
+    ``schedule`` (a :class:`~repro.perf.schedule.Schedule` or spec
+    string) picks per-level traversal direction/partition for both
+    passes.  Pull levels gather over the shared reverse view and
+    re-sort the surviving records by forward edge id, recovering the
+    push path's exact scatter order — so ``sigma``/``delta`` (and with
+    them the scores) stay byte-identical under any schedule.  Only the
+    frontier-driven gather engine with the ``inner`` strategy is
+    schedulable: the reference engine exists to pin the historical
+    path, and outer/topology-driven charging deliberately models
+    fixed-shape kernels.
     """
     if strategy not in ("inner", "outer"):
         raise AlgorithmError(f"unknown BC strategy {strategy!r}")
     if engine not in BC_ENGINES:
         raise AlgorithmError(
             f"unknown BC engine {engine!r}; choose from {BC_ENGINES}"
+        )
+    sched = schedule_for(schedule)
+    if sched is not None and (
+        topology_driven or strategy == "outer" or engine == "reference"
+    ):
+        raise AlgorithmError(
+            "schedules require the gather engine with the inner strategy "
+            "(frontier-driven)"
         )
     plan = plan_for(graph_or_plan)
     n_orig = plan.num_original
@@ -105,8 +127,18 @@ def betweenness_centrality(
     runner = (runner_factory or Runner)(plan, device)
     graph = plan.graph
     n = graph.num_nodes
+    m = graph.num_edges
     src_arr = runner.edges.src
     dst_arr = runner.edges.dst
+    pull_view = None
+    rev_indices = None
+
+    def _pull_arrays():
+        nonlocal pull_view, rev_indices
+        if pull_view is None:
+            pull_view = shared_pull_view(graph)
+            rev_indices = pull_view.rev.indices.astype(np.int64)
+        return pull_view, rev_indices
 
     if plan.graffix is not None:
         primary = plan.graffix.primary_slot
@@ -168,30 +200,74 @@ def betweenness_centrality(
         fronts = [frontier]  # per-level frontiers, reused by the backward pass
         pending: list[SweepExpansion] = []
         depth = 0
+        prev = None  # schedule hysteresis, fresh per source
+        unexplored = m - int(
+            (graph.offsets[frontier + 1] - graph.offsets[frontier]).sum()
+        )
 
         # ---- forward pass: BFS DAG + path counts -----------------------
         while frontier.size:
-            if engine == "gather":
-                # O(frontier-edges): the frontier is sorted (nonzero
-                # order), so gathered edges fall in global CSR edge
-                # order and the scatter-adds below accumulate exactly
-                # as the reference full-edge scan would; the expansion
-                # doubles as the cost model's, sparing a re-expand
-                exp = expand_frontier(graph.offsets, dst_arr, frontier)
-                e_src, e_dst = exp.e_src, exp.e_dst
+            decision = None
+            if sched is not None:
+                decision = sched.decide(
+                    frontier_size=int(frontier.size),
+                    frontier_edges=int(
+                        (graph.offsets[frontier + 1] - graph.offsets[frontier]).sum()
+                    ),
+                    num_nodes=n,
+                    num_edges=m,
+                    unexplored_edges=unexplored,
+                    prev=prev,
+                )
+                prev = decision
+            if decision is not None and decision.direction == "pull":
+                # bottom-up level: unvisited candidates gather over the
+                # reverse view; surviving records (in-neighbor on the
+                # current level) are re-sorted by forward edge id, so
+                # the sigma scatter below runs in the push path's exact
+                # global CSR edge order — bit-identical accumulation
+                pv, rind = _pull_arrays()
+                candidates = np.nonzero(level < 0)[0].astype(np.int64)
+                rexp = expand_frontier(pv.rev.offsets, rind, candidates)
+                runner.ctx.charge(
+                    candidates,
+                    subgraph=pv.rev,
+                    expansion=rexp,
+                    partition=decision.partition,
+                )
+                sel = level[rexp.e_dst] == depth
+                order = np.argsort(pv.fwd_eid[rexp.epos[sel]])
+                e_src = rexp.e_dst[sel][order]  # forward source @ depth
+                e_dst = rexp.e_src[sel][order]  # the unvisited candidate
             else:
-                exp = None
-                mask = np.isin(src_arr, frontier)
-                e_src = src_arr[mask]
-                e_dst = dst_arr[mask]
-            if strategy == "outer":
-                outer_forward.setdefault(depth, []).append(frontier)
-            elif topology_driven:
-                runner.ctx.charge(None)
-            elif exp is not None:
-                pending.append(exp)  # flushed in one batch after the pass
-            else:
-                runner.ctx.charge(frontier)
+                if engine == "gather":
+                    # O(frontier-edges): the frontier is sorted (nonzero
+                    # order), so gathered edges fall in global CSR edge
+                    # order and the scatter-adds below accumulate exactly
+                    # as the reference full-edge scan would; the expansion
+                    # doubles as the cost model's, sparing a re-expand
+                    exp = expand_frontier(graph.offsets, dst_arr, frontier)
+                    e_src, e_dst = exp.e_src, exp.e_dst
+                else:
+                    exp = None
+                    mask = np.isin(src_arr, frontier)
+                    e_src = src_arr[mask]
+                    e_dst = dst_arr[mask]
+                if strategy == "outer":
+                    outer_forward.setdefault(depth, []).append(frontier)
+                elif topology_driven:
+                    runner.ctx.charge(None)
+                elif decision is not None:
+                    # scheduled sweeps charge eagerly: eager equals
+                    # batched bit-for-bit, and edge-partitioned sweeps
+                    # have no batched path anyway
+                    runner.ctx.charge(
+                        frontier, expansion=exp, partition=decision.partition
+                    )
+                elif exp is not None:
+                    pending.append(exp)  # flushed in one batch after the pass
+                else:
+                    runner.ctx.charge(frontier)
             fresh = level[e_dst] < 0
             fresh_dst = e_dst[fresh]
             if fresh_dst.size:
@@ -211,6 +287,9 @@ def betweenness_centrality(
                 frontier = np.nonzero(level == depth + 1)[0].astype(np.int64)
             fronts.append(frontier)
             depth += 1
+            unexplored -= int(
+                (graph.offsets[frontier + 1] - graph.offsets[frontier]).sum()
+            )
         total_levels += depth
         runner.ctx.charge_batch(pending)
 
@@ -246,6 +325,45 @@ def betweenness_centrality(
             members = fronts[d] if buckets is not None else np.nonzero(level == d)[0]
             if members.size == 0:
                 continue
+            decision = None
+            if sched is not None:
+                decision = sched.decide(
+                    frontier_size=int(members.size),
+                    frontier_edges=int(
+                        (graph.offsets[members + 1] - graph.offsets[members]).sum()
+                    ),
+                    num_nodes=n,
+                    num_edges=m,
+                    prev=prev,
+                )
+                prev = decision
+            if decision is not None and decision.direction == "pull":
+                # pull this level from the next one: the level-(d+1)
+                # frontier gathers its in-edges over the reverse view,
+                # keeps those from level-d parents with counted paths,
+                # and re-sorts by forward edge id — the exact kept set
+                # and scatter order of the push path below
+                nexts = fronts[d + 1]
+                if nexts.size:
+                    pv, rind = _pull_arrays()
+                    rexp = expand_frontier(pv.rev.offsets, rind, nexts)
+                    runner.ctx.charge(
+                        nexts,
+                        subgraph=pv.rev,
+                        expansion=rexp,
+                        partition=decision.partition,
+                    )
+                    keep = (level[rexp.e_dst] == d) & (sigma[rexp.e_src] > 0)
+                    order = np.argsort(pv.fwd_eid[rexp.epos[keep]])
+                    e_src = rexp.e_dst[keep][order]  # level-d parent
+                    e_dst = rexp.e_src[keep][order]  # level-(d+1) child
+                else:
+                    e_src = e_dst = np.empty(0, dtype=np.int64)
+                if e_src.size:
+                    contrib = sigma[e_src] / sigma[e_dst] * (1.0 + delta[e_dst])
+                    np.add.at(delta, e_src, contrib)
+                merge_delta()
+                continue
             if buckets is not None:
                 # the level-d bucket is exactly members' CSR adjacency
                 # in ascending edge order (every out-edge of a level-d
@@ -273,6 +391,10 @@ def betweenness_centrality(
                 outer_backward.setdefault(d, []).append(members)
             elif topology_driven:
                 runner.ctx.charge(None)
+            elif decision is not None:
+                runner.ctx.charge(
+                    members, expansion=exp, partition=decision.partition
+                )
             elif exp is not None:
                 pending.append(exp)
             else:

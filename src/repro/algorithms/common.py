@@ -30,7 +30,8 @@ from ..graphs.csr import CSRGraph
 from ..gpusim.device import DeviceConfig, K40C
 from ..gpusim.kernel import ExecutionContext
 from ..gpusim.metrics import SimMetrics
-from ..perf.edgeshare import EdgeView, shared_edge_view
+from ..perf.edgeshare import EdgeView, PullEdgeView, shared_edge_view, shared_pull_view
+from ..perf.schedule import Schedule, SweepDecision, schedule_for
 
 __all__ = ["AlgorithmResult", "Runner", "EdgeView", "plan_for", "MAX_ITERATIONS"]
 
@@ -95,11 +96,67 @@ class Runner:
             self._resident_nodes = np.nonzero(plan.resident_mask)[0].astype(np.int64)
         else:
             self._resident_nodes = np.empty(0, dtype=np.int64)
+        # schedule layer (repro.perf.schedule): installed post-construction
+        # via use_schedule() so Runner subclasses keep their signatures
+        self.schedule: Schedule | None = None
+        self._sched_prev: SweepDecision | None = None
+        self._pull: PullEdgeView | None = None
 
     # ------------------------------------------------------------------
     @property
     def metrics(self) -> SimMetrics:
         return self.ctx.metrics
+
+    def use_schedule(self, schedule) -> "Runner":
+        """Install a sweep schedule (name, :class:`Schedule`, or ``None``).
+
+        ``None`` keeps the historical always-push behaviour.  Installing
+        resets the hysteresis state, so a reused runner starts each
+        solve from the policy's initial direction.  Returns ``self`` for
+        chaining (``Runner(plan).use_schedule("pull")``).
+        """
+        self.schedule = schedule_for(schedule)
+        self._sched_prev = None
+        return self
+
+    def _pull_edges(self) -> PullEdgeView:
+        """The (shared) reverse view for pull-directed sweeps."""
+        if self._pull is None:
+            self._pull = shared_pull_view(self.plan.graph)
+        return self._pull
+
+    def _decide(self, active: np.ndarray | None) -> SweepDecision | None:
+        """Consult the schedule for one sweep; ``None`` when unscheduled.
+
+        Frontier stats come from the plan graph's forward CSR: a sweep
+        over ``active`` touches the frontier's out-edges whichever
+        direction executes it.  The previous decision is threaded
+        through per-runner, so one shared :class:`Schedule` instance can
+        drive concurrent runners (its ``decide`` is pure).
+        """
+        sched = self.schedule
+        if sched is None:
+            return None
+        g = self.plan.graph
+        if active is None:
+            size, fedges = g.num_nodes, g.num_edges
+        else:
+            ids = np.asarray(active)
+            if ids.dtype == bool:
+                ids = np.nonzero(ids)[0]
+            size = int(ids.size)
+            fedges = (
+                int((g.offsets[ids + 1] - g.offsets[ids]).sum()) if size else 0
+            )
+        decision = sched.decide(
+            frontier_size=size,
+            frontier_edges=fedges,
+            num_nodes=g.num_nodes,
+            num_edges=g.num_edges,
+            prev=self._sched_prev,
+        )
+        self._sched_prev = decision
+        return decision
 
     def confluence(self, values: np.ndarray, operator: str | None = None) -> None:
         """Merge replica values (no-op for plans without replicas)."""
@@ -127,9 +184,36 @@ class Runner:
         returns whether anything changed.  ``active`` (mask or id array)
         restricts the charged workload to a frontier; the relax callback
         is responsible for restricting its own work accordingly.
+
+        When a schedule is installed (:meth:`use_schedule`) and it picks
+        ``direction="pull"``, the relax callback receives the
+        :class:`~repro.perf.edgeshare.PullEdgeView` instead — the same
+        edge multiset in destination-major order — and the charge runs
+        over the reverse CSR, so the ledger reflects the gather a
+        bottom-up kernel performs.  Order-insensitive relaxations
+        (scatter-min, per-destination sums) produce byte-identical
+        values either way; that equivalence is what
+        ``tests/test_perf_schedule.py`` pins.
         """
-        self.ctx.charge(active)
-        changed = relax(self.edges, values)
+        decision = self._decide(active)
+        if decision is None or decision.direction == "push":
+            partition = "vertex" if decision is None else decision.partition
+            self.ctx.charge(active, partition=partition)
+            changed = relax(self.edges, values)
+        else:
+            pv = self._pull_edges()
+            if active is None:
+                self.ctx.charge(
+                    None,
+                    subgraph=pv.rev,
+                    expansion=pv.full_expansion(),
+                    partition=decision.partition,
+                )
+            else:
+                self.ctx.charge(
+                    active, subgraph=pv.rev, partition=decision.partition
+                )
+            changed = relax(pv, values)
         if merge:
             self.confluence(values)
         return changed

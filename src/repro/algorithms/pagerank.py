@@ -30,14 +30,22 @@ def pagerank(
     max_iterations: int = 200,
     device: DeviceConfig = K40C,
     runner_factory=None,
+    schedule=None,
 ) -> AlgorithmResult:
-    """PageRank values for every original node (sums to ~1)."""
+    """PageRank values for every original node (sums to ~1).
+
+    ``schedule`` selects push (scatter along out-edges) or pull (gather
+    along in-edges) execution.  Ranks are bitwise schedule-invariant:
+    within any destination's bincount bin the records appear in (source
+    asc, storage pos) order under *both* edge orders, so each rank sum
+    accumulates in the identical float sequence.
+    """
     if not 0.0 < damping < 1.0:
         raise AlgorithmError(f"damping must be in (0, 1), got {damping}")
     if tol <= 0:
         raise AlgorithmError("tol must be positive")
     plan = plan_for(graph_or_plan)
-    runner = (runner_factory or Runner)(plan, device)
+    runner = (runner_factory or Runner)(plan, device).use_schedule(schedule)
     graph = plan.graph
     n_slots = graph.num_nodes
 
@@ -64,13 +72,28 @@ def pagerank(
     delta = np.inf
     while iterations < max_iterations and delta > tol:
         iterations += 1
-        runner.ctx.charge(None)
+        decision = runner._decide(None)
+        if decision is not None and decision.direction == "pull":
+            pv = runner._pull_edges()
+            runner.ctx.charge(
+                None,
+                subgraph=pv.rev,
+                expansion=pv.full_expansion(),
+                partition=decision.partition,
+            )
+            e_src, e_dst = pv.src, pv.dst
+        else:
+            runner.ctx.charge(
+                None,
+                partition="vertex" if decision is None else decision.partition,
+            )
+            e_src, e_dst = src, dst
         contrib = pr * inv_deg
         # bincount accumulates per-bin in the same array order np.add.at
         # did, so the sums are bitwise identical — just ~10× faster
         # (edgeless bincount yields int64 zeros, hence the astype)
         new_pr = np.bincount(
-            dst, weights=damping * contrib[src], minlength=n_slots
+            e_dst, weights=damping * contrib[e_src], minlength=n_slots
         ).astype(np.float64, copy=False)
         dangling_mass = damping * pr[dangling].sum() / n_live
         new_pr[occupied] += teleport + dangling_mass

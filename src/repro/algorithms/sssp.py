@@ -22,17 +22,36 @@ from ..gpusim.device import DeviceConfig, K40C
 from ..perf.workspace import pool, scatter_min_changed
 from .common import MAX_ITERATIONS, AlgorithmResult, EdgeView, Runner, plan_for
 
-__all__ = ["sssp", "sssp_relax"]
+__all__ = ["sssp", "sssp_relax", "DENSE_GATE_DIVISOR"]
+
+#: the relax sweep goes dense (full pooled snapshot) once the touched
+#: records reach ``1/DENSE_GATE_DIVISOR`` of the node count.  Measured,
+#: not derived: the naive op count says dense ≈ 2n streaming words vs
+#: sparse ≈ 3k gathered words (crossover 2n/3), but the sparse branch's
+#: ``np.take`` with duplicate-heavy random indices is cache-hostile
+#: while copyto/compare stream — on multigraphs with heavy parallel
+#: edges (k counts *records*, duplicates included) the dense branch
+#: already wins by k ≈ n/4 and is 3–7× cheaper by k ≈ n, where the old
+#: ``k >= n`` gate still chose sparse.
+DENSE_GATE_DIVISOR = 4
 
 
 def sssp_relax(edges: EdgeView, dist: np.ndarray) -> bool:
     """One Bellman-Ford sweep over ``edges``; mutates ``dist`` in place.
 
-    Change detection never allocates: sparse sweeps snapshot only the
-    touched destinations (the engine's
+    Change detection never allocates in steady state: sparse sweeps
+    snapshot only the touched destinations (the engine's
     :func:`~repro.perf.workspace.scatter_min_changed`), dense sweeps —
-    once most sources are finite, touched records outnumber nodes — use
-    a pooled full snapshot, which is the cheaper of the two at O(V).
+    touched records within ``DENSE_GATE_DIVISOR``× of the node count —
+    lease a pooled full snapshot, the cheaper of the two at O(V)
+    streaming words.  Both branches compute identical distances and an
+    identical changed flag (``tests/test_sssp_gate_differential.py``);
+    the gate only picks the cheaper host path.
+
+    ``edges`` may be a forward :class:`EdgeView` or a
+    :class:`~repro.perf.edgeshare.PullEdgeView` — scatter-min is
+    insensitive to record order, so pull schedules reuse this relax
+    unchanged.
     """
     src, dst, w = edges.src, edges.dst, edges.weights
     finite = np.isfinite(dist[src])
@@ -40,11 +59,11 @@ def sssp_relax(edges: EdgeView, dist: np.ndarray) -> bool:
         return False
     dst_f = dst[finite]
     cand = dist[src[finite]] + w[finite]
-    if dst_f.size >= dist.size:
-        before = pool().borrow("sssp.relax.dense", dist.size, dist.dtype)
-        np.copyto(before, dist)
-        np.minimum.at(dist, dst_f, cand)
-        return bool(np.any(dist < before))
+    if dst_f.size * DENSE_GATE_DIVISOR >= dist.size:
+        with pool().lease("sssp.relax.dense", dist.size, dist.dtype) as before:
+            np.copyto(before, dist)
+            np.minimum.at(dist, dst_f, cand)
+            return bool(np.any(dist < before))
     changed = scatter_min_changed(dist, dst_f, cand, key="sssp.relax")
     return bool(changed.any())
 
@@ -55,18 +74,21 @@ def sssp(
     *,
     device: DeviceConfig = K40C,
     runner_factory=None,
+    schedule=None,
 ) -> AlgorithmResult:
     """Shortest-path distances from ``source`` (original node id).
 
     Unreachable nodes get ``inf``.  The distance attribute is what the
-    paper's SSSP inaccuracy metric compares.
+    paper's SSSP inaccuracy metric compares.  ``schedule`` (a
+    :class:`~repro.perf.schedule.Schedule` or spec string) selects the
+    sweep execution strategy; distances are schedule-invariant.
     """
     plan = plan_for(graph_or_plan)
     if not 0 <= source < plan.num_original:
         raise AlgorithmError(
             f"source {source} out of range for n={plan.num_original}"
         )
-    runner = (runner_factory or Runner)(plan, device)
+    runner = (runner_factory or Runner)(plan, device).use_schedule(schedule)
 
     init = np.full(plan.num_original, np.inf)
     init[source] = 0.0

@@ -44,12 +44,22 @@ def sssp_frontier(
     *,
     device: DeviceConfig = K40C,
     max_iterations: int = 100_000,
+    schedule=None,
 ) -> AlgorithmResult:
-    """Frontier-driven SSSP (advance changed nodes only)."""
+    """Frontier-driven SSSP (advance changed nodes only).
+
+    Under a pull schedule each iteration gathers over the reverse view,
+    keeping exactly the records whose *source* changed last iteration —
+    the same edge multiset the push advance expands, relaxed by
+    order-insensitive scatter-min, so distances, the changed set, and
+    the iteration count are all schedule-invariant.  The charge models
+    what bottom-up actually does: a full reverse-adjacency scan testing
+    frontier membership.
+    """
     plan = plan_for(graph_or_plan)
     if not 0 <= source < plan.num_original:
         raise AlgorithmError(f"source {source} out of range")
-    runner = Runner(plan, device)
+    runner = Runner(plan, device).use_schedule(schedule)
     graph = plan.graph
     n = graph.num_nodes
     offsets = graph.offsets
@@ -67,18 +77,43 @@ def sssp_frontier(
     else:
         g_slots = np.empty(0, dtype=np.int64)
     scratch = pool()
+    in_frontier = None
 
     while frontier.size and iterations < max_iterations:
         iterations += 1
-        exp = expand_frontier(offsets, indices, frontier)
-        runner.ctx.charge(frontier, expansion=exp)
+        decision = runner._decide(frontier)
+        if decision is not None and decision.direction == "pull":
+            pv = runner._pull_edges()
+            runner.ctx.charge(
+                None,
+                subgraph=pv.rev,
+                expansion=pv.full_expansion(),
+                partition=decision.partition,
+            )
+            if in_frontier is None:
+                in_frontier = np.zeros(n, dtype=bool)
+            in_frontier[:] = False
+            in_frontier[frontier] = True
+            rec = in_frontier[pv.src]
+            e_src = pv.src[rec]
+            e_dst = pv.dst[rec]
+            cand_w = pv.weights[rec]
+            epos = None
+        else:
+            exp = expand_frontier(offsets, indices, frontier)
+            runner.ctx.charge(
+                frontier,
+                expansion=exp,
+                partition="vertex" if decision is None else decision.partition,
+            )
+            e_src, e_dst, epos = exp.e_src, exp.e_dst, exp.epos
+            cand_w = None
         # touched-destinations change detection (no full dist snapshots:
         # only gathered edges and, below, only replica slots are compared)
         changed_mask = scratch.borrow("gunrock.sssp.mask", n, np.bool_)
         changed_mask[:] = False
-        e_src, e_dst, epos = exp.e_src, exp.e_dst, exp.epos
         if e_dst.size:
-            cand = dist[e_src] + weights[epos]
+            cand = dist[e_src] + (weights[epos] if cand_w is None else cand_w)
             improved = scatter_min_changed(dist, e_dst, cand, key="gunrock.sssp")
             changed_mask[e_dst[improved]] = True
         if plan.graffix is not None:
@@ -104,16 +139,22 @@ def pagerank_delta(
     eps_fraction: float = 1e-3,
     max_iterations: int = 10_000,
     device: DeviceConfig = K40C,
+    schedule=None,
 ) -> AlgorithmResult:
     """Push-style PageRank-delta with residual filtering (Gunrock PR).
 
     Converges to the same fixed point as power iteration: residuals below
     ``eps = eps_fraction / n`` are dropped, bounding the error.
+
+    Ranks are bitwise schedule-invariant: the per-record share is the
+    node-level ``damping * r / deg`` float either way, and within any
+    destination's bincount bin the frontier records appear in (source
+    asc, storage pos) order under both edge orders.
     """
     if not 0.0 < damping < 1.0:
         raise AlgorithmError(f"damping must be in (0, 1), got {damping}")
     plan = plan_for(graph_or_plan)
-    runner = Runner(plan, device)
+    runner = Runner(plan, device).use_schedule(schedule)
     graph = plan.graph
     n = graph.num_nodes
     offsets = graph.offsets
@@ -132,29 +173,59 @@ def pagerank_delta(
     eps = eps_fraction / n_live
 
     iterations = 0
+    in_frontier = None
     while iterations < max_iterations:
         frontier = np.nonzero(residual > eps)[0].astype(np.int64)
         if frontier.size == 0:
             break
         iterations += 1
-        # zero-out-degree frontier nodes contribute no edges, so the
-        # frontier's expansion doubles as fo's below
-        exp = expand_frontier(offsets, indices, frontier)
-        runner.ctx.charge(frontier, expansion=exp)
+        decision = runner._decide(frontier)
+        pull = decision is not None and decision.direction == "pull"
+        if pull:
+            pv = runner._pull_edges()
+            runner.ctx.charge(
+                None,
+                subgraph=pv.rev,
+                expansion=pv.full_expansion(),
+                partition=decision.partition,
+            )
+            degs = out_deg[frontier]
+        else:
+            # zero-out-degree frontier nodes contribute no edges, so the
+            # frontier's expansion doubles as fo's below
+            exp = expand_frontier(offsets, indices, frontier)
+            runner.ctx.charge(
+                frontier,
+                expansion=exp,
+                partition="vertex" if decision is None else decision.partition,
+            )
+            degs = exp.degs
         r = residual[frontier]
         pr[frontier] += r
         residual[frontier] = 0.0
-        degs = exp.degs
         has_out = degs > 0
         fo = frontier[has_out]
         if fo.size:
             do = degs[has_out]
             share = damping * r[has_out] / do
+            if pull:
+                share_node = np.zeros(n)
+                share_node[fo] = share
+                if in_frontier is None:
+                    in_frontier = np.zeros(n, dtype=bool)
+                in_frontier[:] = False
+                in_frontier[fo] = True
+                rec = in_frontier[pv.src]
+                contrib = share_node[pv.src[rec]]
+                dsts = pv.dst[rec]
+            else:
+                contrib = np.repeat(share, do)
+                dsts = exp.e_dst
             # per-destination sums via bincount (~10× np.add.at on large
             # frontiers); adds reassociate per destination, within float
             # tolerance of the residual-propagation fixed point
             residual += np.bincount(
-                exp.e_dst, weights=np.repeat(share, do), minlength=n
+                dsts, weights=contrib, minlength=n
             ).astype(np.float64, copy=False)
         # dangling nodes spread their residual uniformly
         dangling = r[~has_out].sum()
@@ -178,12 +249,13 @@ def run(
     num_bc_sources: int = 4,
     seed: int = 0,
     device: DeviceConfig = K40C,
+    schedule=None,
 ) -> AlgorithmResult:
     """Execute one algorithm in Gunrock (frontier-driven) style."""
     if algorithm == "sssp":
-        return sssp_frontier(graph_or_plan, source, device=device)
+        return sssp_frontier(graph_or_plan, source, device=device, schedule=schedule)
     if algorithm == "pr":
-        return pagerank_delta(graph_or_plan, device=device)
+        return pagerank_delta(graph_or_plan, device=device, schedule=schedule)
     if algorithm == "bc":
         return betweenness_centrality(
             graph_or_plan,
@@ -191,6 +263,7 @@ def run(
             num_sources=num_bc_sources,
             seed=seed,
             device=device,
+            schedule=schedule,
         )
     raise AlgorithmError(
         f"Gunrock baseline does not implement {algorithm!r}; supported: {SUPPORTED}"

@@ -131,18 +131,35 @@ class _TigrContext(ExecutionContext):
         pos = np.arange(total, dtype=np.int64) - np.repeat(seg, counts)
         return np.repeat(vs[ids], counts) + pos
 
-    def charge(self, active=None, *, all_shared=False, subgraph=None):
+    def charge(
+        self,
+        active=None,
+        *,
+        all_shared=False,
+        subgraph=None,
+        expansion=None,
+        partition="vertex",
+    ):
         if subgraph is not None:
-            # §3 cluster rounds stay in master space: pinned subgraphs in
-            # shared memory are not virtual-split
+            # §3 cluster rounds and pull-schedule gathers stay in master
+            # space: substituted structures are not virtual-split
             ids = (
                 np.asarray(active, dtype=np.int64)
                 if active is not None
                 else np.arange(subgraph.num_nodes, dtype=np.int64)
             )
-            cost = charge_sweep(subgraph, self.device, ids, all_shared=all_shared)
+            cost = charge_sweep(
+                subgraph,
+                self.device,
+                ids,
+                all_shared=all_shared,
+                expansion=expansion,
+                partition=partition,
+            )
             self.metrics.add(cost)
             return cost
+        # a caller-provided expansion describes the master adjacency, not
+        # the virtual split this context charges — never forward it
         cost = charge_sweep(
             self.graph,
             self.device,
@@ -151,6 +168,7 @@ class _TigrContext(ExecutionContext):
             else np.arange(self.graph.num_nodes, dtype=np.int64),
             resident_mask=None if all_shared else self.resident_mask,
             all_shared=all_shared,
+            partition=partition,
         )
         self.metrics.add(cost)
         return cost

@@ -284,6 +284,7 @@ def charge_sweep(
     resident_mask: np.ndarray | None = None,
     all_shared: bool = False,
     expansion=None,
+    partition: str = "vertex",
 ) -> SweepCost:
     """Account the cycles of one vertex-centric sweep.
 
@@ -308,7 +309,21 @@ def charge_sweep(
         built instead of having them recomputed here.  The caller is
         trusted on the match (``ExecutionContext.charge`` verifies it);
         the resulting cost is identical either way.
+    partition:
+        ``"vertex"`` (default) assigns one warp lane per active node —
+        the classic vertex-balanced kernel whose divergence the model
+        was built to expose.  ``"edge"`` assigns one lane per gathered
+        edge record instead: warps of consecutive edge records, one
+        neighbor-loop step each, so divergence vanishes
+        (``idle_lane_steps`` only from the ragged last warp) at the
+        price of a per-record *source*-attribute read replacing the
+        per-node source pass.  Schedules pick this via
+        ``SweepDecision.partition``.
     """
+    if partition not in ("vertex", "edge"):
+        raise SimulationError(
+            f"unknown partition {partition!r}; choose 'vertex' or 'edge'"
+        )
     if active is None:
         active = np.arange(graph.num_nodes, dtype=np.int64)
     else:
@@ -327,6 +342,15 @@ def charge_sweep(
     line = device.line_words
     if line <= 0:
         raise SimulationError("line_words must be positive")
+    if partition == "edge":
+        return _charge_sweep_edge(
+            graph,
+            device,
+            active,
+            resident_mask=resident_mask,
+            all_shared=all_shared,
+            expansion=expansion,
+        )
 
     # This is the per-sweep hot path of the whole simulator: it runs once
     # per frontier per solver iteration, usually on small actives where
@@ -399,6 +423,107 @@ def charge_sweep(
     # (3) one source-attribute pass: lane p reads/writes attribute of its own
     # node; coalesced iff active ids are clustered.
     src_t = _distinct_groups(warp_of_pos, active // line, node_seg_span)
+    src_latency = device.shared_latency if all_shared else device.global_latency
+
+    atomic_ops = busy
+    cycles = (
+        serial * device.issue_cycles
+        + edge_t * edge_latency
+        + attr_global_t * device.global_latency
+        + attr_shared_t * device.shared_latency
+        + src_t * src_latency
+        + atomic_ops * device.atomic_cycles
+    )
+    return SweepCost(
+        serial_steps=serial,
+        busy_lane_steps=busy,
+        idle_lane_steps=idle,
+        edge_transactions=edge_t,
+        attr_global_transactions=attr_global_t,
+        attr_shared_transactions=attr_shared_t,
+        src_transactions=src_t,
+        atomic_ops=atomic_ops,
+        cycles=float(cycles),
+    )
+
+
+def _charge_sweep_edge(
+    graph: CSRGraph,
+    device: DeviceConfig,
+    active: np.ndarray,
+    *,
+    resident_mask: np.ndarray | None,
+    all_shared: bool,
+    expansion,
+) -> SweepCost:
+    """Edge-balanced variant of :func:`charge_sweep`.
+
+    The work items are the gathered edge *records* themselves: warps of
+    ``warp_size`` consecutive records, each lane handling exactly one
+    record in one neighbor-loop step.  Degree skew therefore costs
+    nothing — ``serial_steps = ceil(E / warp_size)`` and the only idle
+    lanes sit in the ragged final warp — which is the whole point of
+    edge-balanced load partitioning (Gunrock's LB advance).  The price
+    the model charges: every lane must read its *own record's source
+    attribute* (lanes no longer share one node per lane), so the
+    source-attribute pass becomes per-record transactions grouped by
+    the edge-warp, typically more traffic than the vertex-balanced
+    per-node pass on clustered frontiers.
+    """
+    line = device.line_words
+    if expansion is None:
+        starts = graph.offsets[active].astype(np.int64)
+        degs = graph.offsets[active + 1].astype(np.int64) - starts
+        total = int(degs.sum())
+        if total:
+            step = ragged_arange(degs)
+            edge_pos = np.repeat(starts, degs) + step
+            dst = graph.indices[edge_pos].astype(np.int64)
+            e_src = np.repeat(active, degs)
+    else:
+        degs = expansion.degs
+        total = int(expansion.epos.size)
+        if total:
+            edge_pos = expansion.epos
+            dst = expansion.e_dst
+            e_src = expansion.e_src
+            if e_src is None:
+                e_src = np.repeat(expansion.frontier, degs)
+    if total == 0:
+        return SweepCost()
+
+    ws = device.warp_size
+    num_warps = -(-total // ws)
+    edge_seg_span = graph.num_edges // line + 1
+    node_seg_span = graph.num_nodes // line + 1
+    if num_warps * max(edge_seg_span, node_seg_span) >= _INT64_MAX:
+        raise SimulationError("access space too large to encode in int64 keys")
+
+    # one record per lane, one step per warp: no degree divergence
+    serial = num_warps
+    busy = total
+    idle = num_warps * ws - total
+    gid = np.arange(total, dtype=np.int64) // ws
+
+    edge_t = _distinct_groups(gid, edge_pos // line, edge_seg_span)
+    dst_seg = dst // line
+    if all_shared:
+        attr_global_t = 0
+        attr_shared_t = _distinct_groups(gid, dst_seg, node_seg_span)
+    elif resident_mask is not None:
+        shared = resident_mask[dst]
+        glob = ~shared
+        attr_global_t = _distinct_groups(gid[glob], dst_seg[glob], node_seg_span)
+        attr_shared_t = _distinct_groups(
+            gid[shared], dst_seg[shared], node_seg_span
+        )
+    else:
+        attr_global_t = _distinct_groups(gid, dst_seg, node_seg_span)
+        attr_shared_t = 0
+    edge_latency = device.shared_latency if all_shared else device.edge_latency
+
+    # per-record source-attribute read, coalesced within each edge-warp
+    src_t = _distinct_groups(gid, e_src // line, node_seg_span)
     src_latency = device.shared_latency if all_shared else device.global_latency
 
     atomic_ops = busy

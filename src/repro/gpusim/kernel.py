@@ -111,27 +111,35 @@ class ExecutionContext:
         all_shared: bool = False,
         subgraph: CSRGraph | None = None,
         expansion=None,
+        partition: str = "vertex",
     ) -> SweepCost:
         """Account one sweep and add it to the ledger.
 
         ``subgraph`` substitutes a different CSR structure (same node-id
         space) for this sweep — the §3 runner uses it to charge
-        cluster-only iterations over the cluster edge set.
+        cluster-only iterations over the cluster edge set, and pull
+        schedules use it to charge gathers over the reverse view
+        (:class:`~repro.perf.edgeshare.PullEdgeView.rev`).
 
         ``expansion`` is an optional precomputed
         :class:`~repro.perf.gather.SweepExpansion` of ``active`` over
-        ``self.graph``; it spares the cost model re-expanding the same
+        the charged structure (``subgraph`` when given, else
+        ``self.graph``); it spares the cost model re-expanding the same
         adjacency (identical charges, less host work).  It is used only
-        when the processing order is the identity and no ``subgraph`` is
-        substituted — otherwise the expansion the cost model needs
-        differs from the solver's and it is silently ignored.  A non-
-        matching expansion raises.
+        when the processing order is the identity — under a permuted
+        order the expansion the cost model needs differs from the
+        solver's and it is silently ignored.  A non-matching expansion
+        raises.
+
+        ``partition`` selects vertex- or edge-balanced warp assignment
+        for the cost model (see
+        :func:`~repro.gpusim.costmodel.charge_sweep`).
         """
         graph = subgraph if subgraph is not None else self.graph
         with obs_trace.span("solve.sweep") as sp:
             active_ids = self.ordered(active)
             if expansion is not None:
-                if subgraph is not None or not self._identity_order:
+                if not self._identity_order:
                     expansion = None
                 elif not np.array_equal(active_ids, expansion.frontier):
                     raise SimulationError(
@@ -148,6 +156,7 @@ class ExecutionContext:
                 resident_mask=None if all_shared else self.resident_mask,
                 all_shared=all_shared,
                 expansion=expansion,
+                partition=partition,
             )
             if sp is not None:
                 sp.set(
@@ -180,7 +189,7 @@ class ExecutionContext:
             )
         return self._full_exp
 
-    def charge_batch(self, sweeps) -> None:
+    def charge_batch(self, sweeps, *, partition: str = "vertex") -> None:
         """Charge many sweeps from their precomputed expansions at once.
 
         ``sweeps`` is a sequence of
@@ -193,6 +202,10 @@ class ExecutionContext:
 
         With a non-identity processing order the expansions don't match
         the warp assignment, so this degrades to per-sweep charging.
+        ``partition="edge"`` likewise charges per sweep — the batched
+        path models vertex-balanced warps only, and edge-balanced
+        schedules are exactly the ones whose huge dense sweeps the
+        batch would flush eagerly anyway.
 
         Sweeps at or above ``BATCH_EAGER_EDGES`` edges are charged
         eagerly even inside a batch: concatenating a huge expansion
@@ -203,9 +216,9 @@ class ExecutionContext:
         """
         if not sweeps:
             return
-        if not self._identity_order:
+        if not self._identity_order or partition != "vertex":
             for exp in sweeps:
-                self.charge(exp.frontier, expansion=exp)
+                self.charge(exp.frontier, expansion=exp, partition=partition)
             return
 
         run: list = []

@@ -16,9 +16,15 @@ wall-clock benchmark:
   detector :func:`~repro.perf.workspace.scatter_min_changed`, eliminating
   the per-sweep O(V)/O(E) allocations in the relax hot paths;
 * :mod:`repro.perf.edgeshare` — flat edge arrays
-  (:class:`~repro.perf.edgeshare.EdgeView`) shared across Runners by
+  (:class:`~repro.perf.edgeshare.EdgeView`) and reverse-CSR pull views
+  (:class:`~repro.perf.edgeshare.PullEdgeView`) shared across Runners by
   graph fingerprint, so a harness sweep stops rebuilding them per
   (algorithm × source);
+* :mod:`repro.perf.schedule` — the sweep-schedule layer
+  (:class:`~repro.perf.schedule.Schedule` policies, notably
+  :class:`~repro.perf.schedule.DirectionOptimizing` with Beamer's α/β
+  hysteresis) that picks push vs. pull, sparse vs. dense frontiers and
+  vertex- vs. edge-balanced partitioning per iteration;
 * :mod:`repro.perf.bench` — ``python -m repro perf``, the kernel
   benchmark that emits ``BENCH_PR4.json`` and gates regressions in CI.
 
@@ -31,16 +37,32 @@ Everything is observable: ``perf.gather.*`` and
 ``python -m repro stats`` (see ``docs/performance.md``).
 """
 
-from .edgeshare import EdgeView, shared_edge_view
+from .edgeshare import EdgeView, PullEdgeView, shared_edge_view, shared_pull_view
 from .gather import LevelBuckets, frontier_edges
+from .schedule import (
+    DirectionOptimizing,
+    Explicit,
+    FixedPush,
+    Schedule,
+    SweepDecision,
+    schedule_for,
+)
 from .workspace import WorkspacePool, pool, scatter_min_changed
 
 __all__ = [
+    "DirectionOptimizing",
     "EdgeView",
+    "Explicit",
+    "FixedPush",
     "LevelBuckets",
+    "PullEdgeView",
+    "Schedule",
+    "SweepDecision",
     "WorkspacePool",
     "frontier_edges",
     "pool",
     "scatter_min_changed",
+    "schedule_for",
     "shared_edge_view",
+    "shared_pull_view",
 ]

@@ -27,6 +27,13 @@ SweepCost converted to device seconds, against the measured wall-clock),
 ``frontier_occupancy`` (busy lane-steps over total — the paper's warp
 efficiency, 1 − divergence).
 
+Every row names its sweep ``schedule`` (``fixed-push`` unless
+``--schedule`` pins another — see :mod:`repro.perf.schedule`), and two
+comparison rows per graph, ``bfs@diropt`` and ``bc@diropt``, run the
+direction-optimizing policy against the fixed-push base rows; their
+``speedup_vs_fixed_push`` is the paper-style win from switching to
+bottom-up sweeps once frontiers densify.
+
 ``--record-trajectory`` appends the report, with commit and config
 provenance, to ``benchmarks/results/TRAJECTORY.json`` — the committed
 perf history that CI's ``obs diff`` gate compares fresh runs against.
@@ -69,7 +76,7 @@ def _bench_source(graph: CSRGraph) -> int:
     return int(np.argmax(graph.out_degrees()))
 
 
-def _kernels() -> list[dict]:
+def _kernels(schedule: str | None = None) -> list[dict]:
     from ..algorithms.bc import betweenness_centrality
     from ..algorithms.bfs import bfs
     from ..algorithms.pagerank import pagerank
@@ -77,44 +84,74 @@ def _kernels() -> list[dict]:
     from ..algorithms.wcc import wcc
     from ..baselines.gunrock import sssp_frontier
     from . import reference as ref
+    from .schedule import schedule_for
 
-    def bc_engine(g, engine):
+    def bc_engine(g, engine, sched=None):
         return betweenness_centrality(
-            g, num_sources=_BC_SOURCES, seed=0, engine=engine
+            g, num_sources=_BC_SOURCES, seed=0, engine=engine, schedule=sched
         )
 
-    return [
+    parsed = schedule_for(schedule)
+    label = parsed.name if parsed is not None else "fixed-push"
+    specs = [
         {
             "kernel": "bc",
-            "run": lambda g: bc_engine(g, "gather"),
+            "schedule": label,
+            "run": lambda g: bc_engine(g, "gather", schedule),
             "reference": lambda g: bc_engine(g, "reference"),
         },
         {
             "kernel": "sssp",
-            "run": lambda g: sssp(g, _bench_source(g)),
+            "schedule": label,
+            "run": lambda g: sssp(g, _bench_source(g), schedule=schedule),
             "reference": lambda g: ref.sssp_reference(g, _bench_source(g)),
         },
         {
+            # WCC's label propagation is symmetric — no pull direction to
+            # schedule, so the row never takes ``--schedule``
             "kernel": "wcc",
+            "schedule": None,
             "run": lambda g: wcc(g),
             "reference": lambda g: ref.wcc_reference(g),
         },
         {
             "kernel": "bfs",
-            "run": lambda g: bfs(g, _bench_source(g)),
+            "schedule": label,
+            "run": lambda g: bfs(g, _bench_source(g), schedule=schedule),
             "reference": None,
         },
         {
             "kernel": "pagerank",
-            "run": lambda g: pagerank(g),
+            "schedule": label,
+            "run": lambda g: pagerank(g, schedule=schedule),
             "reference": None,
         },
         {
             "kernel": "gunrock_sssp",
-            "run": lambda g: sssp_frontier(g, _bench_source(g)),
+            "schedule": label,
+            "run": lambda g: sssp_frontier(g, _bench_source(g), schedule=schedule),
+            "reference": None,
+        },
+        # fixed-push vs direction-optimizing comparison rows (distinct
+        # kernel names so trajectory/obs-diff keys never collide with the
+        # base rows); ``speedup_vs_fixed_push`` is derived post-run from
+        # the matching base row
+        {
+            "kernel": "bfs@diropt",
+            "schedule": "direction-optimizing",
+            "run": lambda g: bfs(
+                g, _bench_source(g), schedule="direction-optimizing"
+            ),
+            "reference": None,
+        },
+        {
+            "kernel": "bc@diropt",
+            "schedule": "direction-optimizing",
+            "run": lambda g: bc_engine(g, "gather", "direction-optimizing"),
             "reference": None,
         },
     ]
+    return specs
 
 
 def _time(fn: Callable[[], object], repeats: int) -> tuple[float, object, list[float]]:
@@ -138,8 +175,13 @@ def run_bench(
     repeats: int = 3,
     seed: int = 7,
     graphs: list[str] | None = None,
+    schedule: str | None = None,
 ) -> dict:
-    """Time every kernel on every suite graph; returns the report dict."""
+    """Time every kernel on every suite graph; returns the report dict.
+
+    ``schedule`` pins a sweep schedule on every schedulable base row
+    (the ``@diropt`` comparison rows always run direction-optimizing).
+    """
     with obs_trace.span("perf.bench.suite", scale=scale):
         suite = paper_suite(scale, seed=seed)
     if graphs:
@@ -149,7 +191,7 @@ def run_bench(
         suite = {name: suite[name] for name in graphs}
     rows: list[dict] = []
     for name, graph in suite.items():
-        for spec in _kernels():
+        for spec in _kernels(schedule):
             with obs_trace.span(
                 "perf.bench.kernel", kernel=spec["kernel"], graph=name
             ):
@@ -157,6 +199,7 @@ def run_bench(
             row = {
                 "kernel": spec["kernel"],
                 "graph": name,
+                "schedule": spec["schedule"],
                 "seconds": seconds,
                 "samples": [round(s, 6) for s in samples],
                 "iterations": getattr(result, "iterations", None),
@@ -190,6 +233,19 @@ def run_bench(
                     ref_seconds / seconds if seconds > 0 else float("inf")
                 )
             rows.append(row)
+    # derive fixed-push vs direction-optimizing ratios for the @diropt rows
+    by_key = {(r["kernel"], r["graph"]): r for r in rows}
+    for row in rows:
+        kernel = row["kernel"]
+        if "@" not in kernel:
+            continue
+        base = by_key.get((kernel.split("@", 1)[0], row["graph"]))
+        if base is None or base["schedule"] != "fixed-push":
+            continue
+        row["fixed_push_seconds"] = base["seconds"]
+        row["speedup_vs_fixed_push"] = (
+            base["seconds"] / row["seconds"] if row["seconds"] > 0 else float("inf")
+        )
     report = {
         "schema": SCHEMA_VERSION,
         "scale": scale,
@@ -312,18 +368,27 @@ def record_trajectory(report: dict, path: str | Path = TRAJECTORY_PATH) -> dict:
 def _format_report(report: dict) -> str:
     lines = [
         f"repro perf — scale={report['scale']} repeats={report['repeats']}",
-        f"{'kernel':<14}{'graph':<14}{'seconds':>10}{'ref s':>10}{'speedup':>9}",
+        f"{'kernel':<14}{'graph':<14}{'schedule':<22}"
+        f"{'seconds':>10}{'ref s':>10}{'speedup':>9}",
     ]
     for r in report["kernels"]:
         ref = r.get("reference_seconds")
         spd = r.get("speedup_vs_reference")
+        sched = r.get("schedule") or "—"
+        head = f"{r['kernel']:<14}{r['graph']:<14}{sched:<22}{r['seconds']:>10.4f}"
         lines.append(
-            f"{r['kernel']:<14}{r['graph']:<14}{r['seconds']:>10.4f}"
-            f"{ref:>10.4f}{spd:>8.2f}x"
+            f"{head}{ref:>10.4f}{spd:>8.2f}x"
             if ref is not None
-            else f"{r['kernel']:<14}{r['graph']:<14}{r['seconds']:>10.4f}"
-            f"{'—':>10}{'—':>9}"
+            else f"{head}{'—':>10}{'—':>9}"
         )
+    do_rows = [r for r in report["kernels"] if "speedup_vs_fixed_push" in r]
+    if do_rows:
+        lines.append("direction-optimizing vs fixed-push:")
+        for r in do_rows:
+            lines.append(
+                f"  {r['kernel']:<14}{r['graph']:<14}"
+                f"{r['speedup_vs_fixed_push']:.2f}x"
+            )
     best = report.get("best_speedup_vs_reference", {})
     for kernel, agg in sorted(
         report.get("aggregate_speedup_vs_reference", {}).items()
@@ -345,6 +410,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
         "--graphs", default=None, help="comma-separated suite graph subset"
+    )
+    parser.add_argument(
+        "--schedule", default=None, metavar="SPEC",
+        help="pin a sweep schedule on every schedulable kernel row "
+        "(push, pull, direction-optimizing, plus :sparse/:dense/:edge "
+        "modifiers — see docs/performance.md)",
     )
     parser.add_argument("--out", default="BENCH_PR4.json", help="report JSON path")
     parser.add_argument(
@@ -374,7 +445,11 @@ def main(argv: list[str] | None = None) -> int:
     graphs = args.graphs.split(",") if args.graphs else None
     with obs_trace.span("perf.bench.run", scale=args.scale):
         report = run_bench(
-            args.scale, repeats=args.repeats, seed=args.seed, graphs=graphs
+            args.scale,
+            repeats=args.repeats,
+            seed=args.seed,
+            graphs=graphs,
+            schedule=args.schedule,
         )
     if profiler is not None:
         obs_prof.write_outputs(profiler, profile_prefix)

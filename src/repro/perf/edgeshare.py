@@ -12,6 +12,13 @@ happens once per distinct graph per process.
 The arrays are read-only by convention (like :class:`CSRGraph` itself);
 nothing in the solvers writes to an :class:`EdgeView`.  Hits and misses
 are counted on ``perf.edgeview.{hit,miss}``.
+
+:class:`PullEdgeView` is the bottom-up companion used by schedules that
+pick ``direction="pull"`` (:mod:`repro.perf.schedule`): the reverse-CSR
+view of the graph plus the flat edge arrays in *pull order* (sorted by
+destination, then source) and the permutation mapping each pull record
+back to its forward edge id.  Building it costs one lexsort, so it is
+memoized the same way (``perf.pullview.{hit,miss}``).
 """
 
 from __future__ import annotations
@@ -20,8 +27,16 @@ import numpy as np
 
 from ..cache.lru import LRUCache
 from ..graphs.csr import CSRGraph
+from .gather import SweepExpansion, expand_frontier
 
-__all__ = ["EdgeView", "shared_edge_view", "edge_view_cache"]
+__all__ = [
+    "EdgeView",
+    "PullEdgeView",
+    "shared_edge_view",
+    "shared_pull_view",
+    "edge_view_cache",
+    "pull_view_cache",
+]
 
 
 class EdgeView:
@@ -35,11 +50,110 @@ class EdgeView:
         self.out_deg = graph.out_degrees().astype(np.float64)
 
 
+class PullEdgeView:
+    """Reverse-CSR view of a graph for bottom-up (pull) sweeps.
+
+    Pull sweeps iterate destinations and gather from their in-neighbors,
+    so the records here are the same edges as the forward
+    :class:`EdgeView`, re-sorted into **pull order**: destination
+    ascending, source ascending within a destination, original storage
+    position breaking remaining ties (``np.lexsort`` is stable).  That
+    is exactly the record order of ``graph.reverse()``, but built
+    manually so the sort permutation survives as :attr:`fwd_eid` — the
+    forward edge id of every pull record.  Kernels whose float scatter
+    order matters (BC) sort gathered records by ``fwd_eid`` to recover
+    the exact global CSR edge order of the push path, which is what
+    makes pull results byte-identical to push on *any* graph, including
+    ones whose adjacency lists are not neighbor-sorted.
+
+    Attributes
+    ----------
+    forward:
+        the shared forward :class:`EdgeView` (same underlying graph).
+    rev:
+        the reverse graph as a :class:`CSRGraph` — node ``v``'s
+        adjacency lists its in-neighbors — handed to
+        ``ExecutionContext.charge(..., subgraph=rev)`` so the cost
+        model charges the gather a pull kernel actually performs.
+    src / dst / weights:
+        flat edge arrays in pull order; ``src`` is the forward source
+        (the gathered-from neighbor), ``dst`` the forward destination
+        (the gathering node, ascending).
+    fwd_eid:
+        ``int64`` array mapping pull record ``i`` to its forward edge
+        position.
+    out_deg:
+        *forward* out-degrees as ``float64`` (PageRank-style kernels
+        divide by the source's out-degree regardless of direction).
+    """
+
+    def __init__(self, graph: CSRGraph) -> None:
+        self.graph = graph
+        self.forward = shared_edge_view(graph)
+        fsrc, fdst = self.forward.src, self.forward.dst
+        # stable lexsort, primary key fdst: identical permutation to the
+        # one CSRGraph.from_edges applies inside graph.reverse()
+        perm = np.lexsort((fsrc, fdst))
+        self.fwd_eid = perm.astype(np.int64, copy=False)
+        self.src = fsrc[perm]
+        self.dst = fdst[perm]
+        self.weights = self.forward.weights[perm]
+        self.out_deg = self.forward.out_deg
+        n = graph.num_nodes
+        counts = np.bincount(self.dst, minlength=n)
+        offsets = np.zeros(n + 1, dtype=graph.offsets.dtype)
+        np.cumsum(counts, out=offsets[1:])
+        # already validated via the forward graph; skip the O(E) check
+        self.rev = CSRGraph(
+            offsets,
+            self.src.astype(graph.indices.dtype),
+            self.weights,
+            validate=False,
+        )
+        self._full: SweepExpansion | None = None
+
+    def full_expansion(self) -> SweepExpansion:
+        """Cached all-nodes expansion of the reverse graph.
+
+        Topology-driven pull sweeps (PageRank power iteration, dense
+        SSSP relaxation) gather every edge every iteration; the
+        expansion is graph-constant, so it is built once per view.
+        """
+        if self._full is None:
+            self._full = expand_frontier(
+                self.rev.offsets,
+                self.rev.indices,
+                np.arange(self.graph.num_nodes, dtype=np.int64),
+            )
+        return self._full
+
+
 #: distinct graphs whose views stay resident; a table sweep touches a
 #: handful of graphs × techniques, so a small bound is plenty
 EDGE_VIEW_CACHE_SIZE = 32
 
 _views = LRUCache(EDGE_VIEW_CACHE_SIZE, metric_prefix="perf.edgeview")
+_pull_views = LRUCache(EDGE_VIEW_CACHE_SIZE, metric_prefix="perf.pullview")
+
+
+def pull_view_cache() -> LRUCache:
+    """The process-wide PullEdgeView cache (exposed for tests)."""
+    return _pull_views
+
+
+def shared_pull_view(graph: CSRGraph) -> PullEdgeView:
+    """The memoized :class:`PullEdgeView` of ``graph``.
+
+    Keyed on :meth:`CSRGraph.fingerprint` like :func:`shared_edge_view`,
+    so every runner pulling on the same graph shares one reverse view
+    and one cached full expansion.
+    """
+    key = graph.fingerprint()
+    view = _pull_views.get(key)
+    if view is None:
+        view = PullEdgeView(graph)
+        _pull_views.put(key, view)
+    return view
 
 
 def edge_view_cache() -> LRUCache:

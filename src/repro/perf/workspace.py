@@ -12,7 +12,11 @@ Lifetime rules (see ``docs/performance.md``):
 * a borrowed view is valid until the *same key* is borrowed again —
   callers must consume it before re-borrowing, and never store it;
 * distinct call sites use distinct keys, so nesting different sites is
-  safe; one site must not borrow its own key reentrantly;
+  safe; a call site that must survive *reentrant* use (nested runners in
+  the serve layer can re-enter a relax while an outer frame still holds
+  its snapshot) wraps the borrow in :meth:`WorkspacePool.lease`, which
+  detects the reentry and hands the inner frame a throwaway allocation
+  instead of aliasing the outer frame's view;
 * buffers are per-thread (``threading.local``) — worker processes and
   threads never share or corrupt each other's scratch space.  This is
   the pool's *concurrency contract*, audited for the multi-threaded
@@ -35,6 +39,7 @@ for k touched edges — and reports exactly which of them improved.
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -55,6 +60,12 @@ class WorkspacePool:
             buffers = self._local.buffers = {}
         return buffers
 
+    def _held(self) -> set:
+        held = getattr(self._local, "held", None)
+        if held is None:
+            held = self._local.held = set()
+        return held
+
     def borrow(self, key: str, size: int, dtype=np.float64) -> np.ndarray:
         """A length-``size`` view of the pooled buffer for ``key``.
 
@@ -73,9 +84,33 @@ class WorkspacePool:
             obs_metrics.counter("perf.workspace.reuse").inc()
         return buf[:size]
 
+    @contextmanager
+    def lease(self, key: str, size: int, dtype=np.float64):
+        """A scoped :meth:`borrow` that survives reentrant use.
+
+        While the ``with`` block runs, ``key`` is marked *held* on this
+        thread; a nested lease of the same key (a relax re-entered
+        through a nested runner, as the serve layer's handlers can do)
+        gets a fresh throwaway allocation instead of a view aliasing the
+        outer frame's buffer — the outer snapshot stays intact, at the
+        cost of one allocation counted on ``perf.workspace.reentrant``.
+        The pooled view itself is only valid inside the block.
+        """
+        held = self._held()
+        if key in held:
+            obs_metrics.counter("perf.workspace.reentrant").inc()
+            yield np.empty(size, dtype=np.dtype(dtype))
+            return
+        held.add(key)
+        try:
+            yield self.borrow(key, size, dtype)
+        finally:
+            held.discard(key)
+
     def clear(self) -> None:
         """Drop this thread's buffers (tests / memory pressure)."""
         self._buffers().clear()
+        self._held().clear()
 
 
 _pool = WorkspacePool()
@@ -104,15 +139,18 @@ def scatter_min_changed(
     destination value strictly improved (every record pointing at an
     improved destination is marked, as the operator-API relax functor
     contract requires).  Only the touched destinations are snapshotted —
-    never the whole array.  The mask lives in pooled scratch space: treat
-    it as ephemeral (consume before the same ``key`` is borrowed again).
+    never the whole array.  The snapshots are leased, so a reentrant
+    sweep with the same ``key`` (nested runners) cannot corrupt an outer
+    frame's change detection.  The returned mask lives in pooled scratch
+    space: treat it as ephemeral (consume before the same ``key`` is
+    borrowed again).
     """
     p = pool()
-    before = p.borrow(key + ".before", idx.size, values.dtype)
-    np.take(values, idx, out=before)
-    np.minimum.at(values, idx, cand)
-    after = p.borrow(key + ".after", idx.size, values.dtype)
-    np.take(values, idx, out=after)
-    changed = p.borrow(key + ".changed", idx.size, np.bool_)
-    np.less(after, before, out=changed)
+    with p.lease(key + ".before", idx.size, values.dtype) as before:
+        np.take(values, idx, out=before)
+        np.minimum.at(values, idx, cand)
+        with p.lease(key + ".after", idx.size, values.dtype) as after:
+            np.take(values, idx, out=after)
+            changed = p.borrow(key + ".changed", idx.size, np.bool_)
+            np.less(after, before, out=changed)
     return changed

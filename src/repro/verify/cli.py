@@ -124,6 +124,32 @@ def _differential_checks(corpus, seed, device):
         )
     )
 
+    yield "differential:schedules:road:exact", lambda: (
+        differential.check_schedules(
+            corpus["road"], technique="exact", seed=seed, device=device
+        )
+    )
+    yield "differential:schedules:multigraph:exact", lambda: (
+        differential.check_schedules(
+            corpus["multigraph"], technique="exact", seed=seed, device=device
+        )
+    )
+    yield "differential:schedules:social:coalescing", lambda: (
+        differential.check_schedules(
+            corpus["social"], technique="coalescing", seed=seed, device=device
+        )
+    )
+    yield "differential:schedules:er:divergence", lambda: (
+        differential.check_schedules(
+            corpus["er"], technique="divergence", seed=seed, device=device
+        )
+    )
+    yield "differential:schedules:zero-weight:shmem", lambda: (
+        differential.check_schedules(
+            corpus["zero-weight"], technique="shmem", seed=seed, device=device
+        )
+    )
+
     def cache_check():
         with tempfile.TemporaryDirectory(prefix="repro-verify-cache-") as tmp:
             return differential.check_cache_differential(

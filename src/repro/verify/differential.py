@@ -9,7 +9,11 @@ is wrong:
 * :func:`check_cache_differential` — an uncached plan build against a
   cold-store build and a warm disk-tier reload (``--cache-dir``);
 * :func:`check_serial_parallel` — ``TableRunner``'s in-process sweep
-  against the fault-tolerant process pool in :mod:`repro.eval.parallel`.
+  against the fault-tolerant process pool in :mod:`repro.eval.parallel`;
+* :func:`check_schedules` — push-pinned, pull-pinned and
+  direction-optimizing sweep schedules against the unscheduled kernels
+  (values and iterations byte-equal everywhere; push-pinned charges
+  additionally bit-identical to no schedule at all).
 
 ``preprocess_seconds`` is the one field deliberately excluded from plan
 comparisons: it is wall-clock and legitimately differs between runs.
@@ -32,6 +36,7 @@ from .invariants import Violation
 __all__ = [
     "check_bc_engines",
     "check_cache_differential",
+    "check_schedules",
     "check_serial_parallel",
     "plans_identical",
 ]
@@ -149,6 +154,67 @@ def check_bc_engines(
         target, sources=sources, engine="reference", device=device
     )
     return _results_identical(gather, reference, f"bc_engines.{technique}")
+
+
+# ---------------------------------------------------------------------------
+def check_schedules(
+    graph: CSRGraph,
+    *,
+    technique: str = "exact",
+    seed: int = 0,
+    device: DeviceConfig = K40C,
+) -> list[Violation]:
+    """Sweep schedules must never change what a kernel computes.
+
+    Runs BFS, SSSP, PageRank and BC under push-pinned, pull-pinned and
+    direction-optimizing schedules and diffs values + iteration counts
+    against the unscheduled run; the push-pinned run must additionally
+    reproduce the unscheduled charges bit-for-bit (it is the same code
+    path by contract).
+    """
+    from ..algorithms.bfs import bfs
+    from ..algorithms.pagerank import pagerank
+
+    target: CSRGraph | ExecutionPlan = graph
+    if technique != "exact":
+        target = build_plan(graph, technique, device=device)
+    source = int(np.argmax(graph.out_degrees()))
+    sources = pick_sources(graph.num_nodes, min(3, graph.num_nodes), seed)
+    kernels = {
+        "bfs": lambda s: bfs(target, source, device=device, schedule=s),
+        "sssp": lambda s: sssp(target, source, device=device, schedule=s),
+        "pagerank": lambda s: pagerank(target, device=device, schedule=s),
+        "bc": lambda s: betweenness_centrality(
+            target, sources=sources, device=device, schedule=s
+        ),
+    }
+    v: list[Violation] = []
+    for kname, run in kernels.items():
+        base = run(None)
+        for spec in ("push", "pull", "direction-optimizing"):
+            res = run(spec)
+            what = f"schedules.{technique}.{kname}.{spec}"
+            if (
+                res.values.dtype != base.values.dtype
+                or res.values.tobytes() != base.values.tobytes()
+            ):
+                v.append(
+                    Violation(
+                        f"differential.{what}",
+                        "scheduled values are not byte-equal to unscheduled",
+                    )
+                )
+            if res.iterations != base.iterations:
+                v.append(
+                    Violation(
+                        f"differential.{what}",
+                        f"iteration counts differ ({res.iterations} vs"
+                        f" {base.iterations})",
+                    )
+                )
+            if spec == "push":
+                v += _results_identical(res, base, what)
+    return v
 
 
 # ---------------------------------------------------------------------------

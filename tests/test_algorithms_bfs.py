@@ -36,6 +36,72 @@ class TestExactness:
             bfs(tiny_graph, 50)
 
 
+class TestUnreachableSentinel:
+    """Regression for the sentinel unification: `values[values < 0] = inf`
+    is the ONLY rewrite (a dead second isfinite-rewrite used to follow
+    it), and it must cover both extraction paths — plain (values = level)
+    and Graffix (values = level[primary])."""
+
+    def test_plain_path_sentinels(self):
+        # two components: 0→1, and 2→3 unreachable from 0
+        g = CSRGraph.from_edges(4, [0, 2], [1, 3])
+        vals = bfs(g, 0).values
+        assert vals.tolist() == [0.0, 1.0, np.inf, np.inf]
+        assert not np.any(vals < 0)  # -1 never escapes the kernel
+        assert not np.any(np.isnan(vals))
+
+    def test_replica_group_path_sentinels(self):
+        from repro.core.knobs import CoalescingKnobs
+
+        # a dense clique (so coalescing forms replica groups) plus an
+        # island the source can't reach
+        rng = np.random.default_rng(0)
+        n_core, n = 30, 40
+        src = np.repeat(np.arange(n_core), 6)
+        dst = rng.integers(0, n_core, size=src.size)
+        extra_src = np.arange(n_core, n - 1)  # island chain, disconnected
+        extra_dst = extra_src + 1
+        g = CSRGraph.from_edges(
+            n,
+            np.concatenate([src, extra_src]),
+            np.concatenate([dst, extra_dst]),
+        )
+        plan = build_plan(
+            g,
+            "coalescing",
+            coalescing=CoalescingKnobs(connectedness_threshold=0.1),
+        )
+        assert plan.graffix is not None  # exercising the primary-slot path
+        vals = bfs(plan, 0).values
+        assert vals.size == n
+        core_reach = np.isfinite(bfs(g, 0).values[:n_core])
+        assert np.isfinite(vals[:n_core][core_reach]).all()
+        # the island is unreachable in the plan too: inf, never -1/NaN
+        assert np.all(np.isinf(vals[n_core:]))
+        assert not np.any(vals < 0)
+        assert not np.any(np.isnan(vals))
+
+    def test_replica_plan_unreachable_source_region(self):
+        """Source inside the island: almost everything is unreachable, so
+        the sentinel rewrite dominates the output."""
+        from repro.core.knobs import DivergenceKnobs
+
+        g = CSRGraph.from_edges(
+            12, [0, 1, 2, 3, 4, 5, 10], [1, 2, 3, 4, 5, 0, 11]
+        )
+        plan = build_plan(
+            g, "divergence", divergence=DivergenceKnobs(degree_sim_threshold=0.0)
+        )
+        vals = bfs(plan, 10).values
+        assert vals[10] == 0.0
+        assert vals[11] == 1.0
+        # 2-hop padding only adds shortcuts inside existing reachability,
+        # so the ring stays unreachable: all inf, never -1/NaN
+        assert np.isinf(vals[:6]).all()
+        assert not np.any(vals < 0)
+        assert not np.any(np.isnan(vals))
+
+
 class TestKernelStyles:
     def test_topology_driven_same_values_more_cycles(self, rmat_small):
         src = int(np.argmax(rmat_small.out_degrees()))

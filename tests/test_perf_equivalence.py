@@ -77,6 +77,52 @@ class TestBCEquivalence:
         assert_identical(eng, ref)
 
 
+@pytest.mark.parametrize("technique", TECHNIQUES)
+@pytest.mark.parametrize("schedule", ["push", "pull", "direction-optimizing"])
+class TestScheduleEquivalence:
+    """Schedules are cost-model-only: under ANY schedule the engine must
+    still match the reference paths byte-for-byte in values and
+    iteration counts — including Graffix plans with replica groups —
+    and a pull sweep's *charges* must be bit-faithful to its own
+    schedule (reproducible), while push-pinned charges coincide with
+    the reference exactly."""
+
+    def test_sssp_values_match_reference(self, rmat_small, technique, schedule):
+        plan = _plan_for(rmat_small, technique)
+        source = int(np.argmax(rmat_small.out_degrees()))
+        eng = sssp(plan, source, schedule=schedule)
+        ref = sssp_reference(plan, source)
+        assert eng.values.dtype == ref.values.dtype
+        assert eng.values.tobytes() == ref.values.tobytes()
+        assert eng.iterations == ref.iterations
+        if schedule == "push":
+            assert_identical(eng, ref)
+        else:
+            # non-push charges differ from the reference by design but
+            # must be deterministic per schedule
+            again = sssp(plan, source, schedule=schedule)
+            assert eng.metrics.total == again.metrics.total
+
+    def test_sssp_road(self, road_small, technique, schedule):
+        plan = _plan_for(road_small, technique)
+        eng = sssp(plan, 0, schedule=schedule)
+        ref = sssp_reference(plan, 0)
+        assert eng.values.tobytes() == ref.values.tobytes()
+        assert eng.iterations == ref.iterations
+
+    def test_bc_values_match_reference(self, rmat_small, technique, schedule):
+        plan = _plan_for(rmat_small, technique)
+        eng = betweenness_centrality(
+            plan, num_sources=4, seed=1, schedule=schedule
+        )
+        ref = bc_reference(plan, num_sources=4, seed=1, strategy="inner")
+        assert eng.values.dtype == ref.values.dtype
+        assert eng.values.tobytes() == ref.values.tobytes()
+        assert eng.iterations == ref.iterations
+        if schedule == "push":
+            assert_identical(eng, ref)
+
+
 class TestBCEngineValidation:
     def test_unknown_engine_rejected(self, tiny_graph):
         from repro.errors import AlgorithmError

@@ -175,6 +175,109 @@ class TestWorkspacePoolThreads:
         assert observed["intact"] is True
 
 
+class TestLeaseReentrancy:
+    """Satellite audit of the borrow/return contract: a relax re-entered
+    through a nested runner (serve handlers can call back into solvers)
+    must not alias the outer frame's leased snapshot."""
+
+    def test_nested_lease_same_key_gets_fresh_buffer(self):
+        from repro.obs import metrics as obs_metrics
+
+        pool = WorkspacePool()
+        before = obs_metrics.counter("perf.workspace.reentrant").value
+        with pool.lease("relax.dense", 64) as outer:
+            outer[:] = 1.0
+            with pool.lease("relax.dense", 64) as inner:
+                assert inner is not outer
+                assert not np.shares_memory(inner, outer)
+                inner[:] = 2.0
+            assert (outer == 1.0).all()  # inner frame never clobbered us
+        assert obs_metrics.counter("perf.workspace.reentrant").value == before + 1
+
+    def test_lease_releases_key_after_block(self):
+        pool = WorkspacePool()
+        with pool.lease("k", 16) as a:
+            a[:] = 3.0
+        # key released: next lease reuses the pooled buffer, not a throwaway
+        with pool.lease("k", 16) as b:
+            assert (b == 3.0).all()
+
+    def test_lease_release_on_exception(self):
+        pool = WorkspacePool()
+        with pytest.raises(RuntimeError):
+            with pool.lease("k", 16):
+                raise RuntimeError("boom")
+        # the held-mark must not leak past the failed frame
+        with pool.lease("k", 16) as buf, pool.lease("k", 16) as nested:
+            assert not np.shares_memory(buf, nested)
+
+    def test_reentrant_sssp_relax_preserves_outer_snapshot(self):
+        """The exact aliasing bug class the lease closes: sssp_relax's
+        dense arm re-entered mid-sweep must not invalidate the outer
+        sweep's change detection."""
+        from repro.algorithms.sssp import sssp_relax
+        from repro.graphs.csr import CSRGraph
+        from repro.perf.edgeshare import EdgeView
+
+        n = 8
+        src = np.arange(n, dtype=np.int64)
+        graph = CSRGraph.from_edges(n, src, (src + 1) % n, np.ones(n))
+        edges = EdgeView(graph)
+
+        class ReentrantEdges:
+            """Duck-typed EdgeView whose first access re-enters a relax."""
+
+            def __init__(self):
+                self.fired = False
+                self.out_deg = edges.out_deg
+
+            @property
+            def src(self):
+                if not self.fired:
+                    self.fired = True
+                    inner = np.full(n, np.inf)
+                    inner[0] = 0.0
+                    while sssp_relax(edges, inner):
+                        pass
+                return edges.src
+
+            dst = property(lambda self: edges.dst)
+            weights = property(lambda self: edges.weights)
+
+        dist = np.full(n, np.inf)
+        dist[0] = 0.0
+        sweeps = 0
+        while sssp_relax(ReentrantEdges(), dist) and sweeps < 4 * n:
+            sweeps += 1
+        assert np.array_equal(dist, np.arange(n, dtype=np.float64))
+
+
+class TestSolverThreadHammer:
+    """Concurrent solver runs share the workspace pool, edge-view and
+    pull-view caches; every thread must get the exact sequential answer."""
+
+    def test_threaded_sssp_and_gunrock_consistent(self):
+        from repro.algorithms.sssp import sssp
+        from repro.baselines.gunrock import pagerank_delta, sssp_frontier
+        from repro.graphs.generators import rmat
+
+        graph = rmat(scale=7, edge_factor=6, seed=11, weighted=True)
+        expected_sssp = sssp(graph, 0).values
+        expected_gr = sssp_frontier(graph, 0).values
+        expected_pr = pagerank_delta(graph).values
+
+        def worker(idx):
+            for spec in (None, "push", "pull", "direction-optimizing"):
+                r = sssp(graph, 0, schedule=spec)
+                assert r.values.tobytes() == expected_sssp.tobytes()
+                r = sssp_frontier(graph, 0, schedule=spec)
+                assert r.values.tobytes() == expected_gr.tobytes()
+                r = pagerank_delta(graph, schedule=spec)
+                assert r.values.tobytes() == expected_pr.tobytes()
+
+        run_hammer(N_THREADS, worker)
+
+
 def test_server_worker_threads_share_safely():
     """N connections hammering one server: every answer is consistent.
 

@@ -1,8 +1,13 @@
 """Differential property tests for ``sssp_relax``'s density gate.
 
 The relax kernel picks between two change-detection paths on
-``dst_f.size >= dist.size``: a pooled full-snapshot (dense) and the
-engine's touched-destinations scatter (sparse).  Whatever the gate
+``dst_f.size * DENSE_GATE_DIVISOR >= dist.size``: a pooled full-snapshot
+(dense) and the engine's touched-destinations scatter (sparse).  Note
+that ``dst_f.size`` counts touched *edge records* — duplicates included —
+so on multigraphs with heavy parallel edges the gate crosses well below
+one distinct destination per node; the measured crossover sits near
+k ≈ n/4 touched records because the sparse path's gathers are
+cache-hostile on duplicate-heavy index arrays.  Whatever the gate
 decides, the resulting distances AND the changed flag must be identical —
 these tests force both paths on the same inputs and diff them.
 """
@@ -13,7 +18,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings
 
-from repro.algorithms.sssp import sssp_relax
+from repro.algorithms.sssp import DENSE_GATE_DIVISOR, sssp_relax
 from repro.perf.edgeshare import EdgeView
 from repro.perf.workspace import pool, scatter_min_changed
 
@@ -85,8 +90,9 @@ def test_gate_paths_identical_on_multigraphs(graph):
 
 @pytest.mark.parametrize("m_over_n", [0.5, 0.9, 1.0, 1.1, 2.0])
 def test_gate_threshold_crossings(m_over_n):
-    """Graphs engineered so dst_f.size straddles dist.size: once every
-    source is finite, dst_f.size == m, so m/n around 1.0 flips the gate."""
+    """Graphs engineered so dst_f.size grows past the gate: once every
+    source is finite, dst_f.size == m ≥ n, landing every sweep in the
+    dense arm regardless of m/n — both paths must still agree."""
     rng = np.random.default_rng(int(m_over_n * 10))
     n = 40
     m = int(n * m_over_n)
@@ -109,6 +115,59 @@ def test_gate_threshold_crossings(m_over_n):
     assert np.array_equal(d_dense, d_actual)
     assert s_dense == s_sparse == s_actual
     assert np.all(np.isfinite(d_actual))
+
+
+@pytest.mark.parametrize("k_over_n", [0.15, 0.24, 0.25, 0.26, 0.35])
+def test_gate_crossover_around_quarter(k_over_n):
+    """Straddle the measured crossover: a k-edge path inside an n-node
+    graph keeps dst_f.size == min(front, k) every sweep, so choosing k
+    around n / DENSE_GATE_DIVISOR pins sweeps to either side of the gate
+    (and right on it).  Distances and sweep counts must not care."""
+    from repro.graphs.csr import CSRGraph
+
+    n = 100
+    k = int(n * k_over_n)
+    src = np.arange(k, dtype=np.int64)
+    dst = src + 1
+    w = np.linspace(0.5, 1.5, k)
+    graph = CSRGraph.from_edges(n, src, dst, w)
+    edges = EdgeView(graph)
+
+    d_dense, s_dense = _run_to_fixpoint(_dense_relax, edges, n, 0)
+    d_sparse, s_sparse = _run_to_fixpoint(_sparse_relax, edges, n, 0)
+    d_actual, s_actual = _run_to_fixpoint(sssp_relax, edges, n, 0)
+    assert np.array_equal(d_dense, d_sparse)
+    assert np.array_equal(d_dense, d_actual)
+    assert s_dense == s_sparse == s_actual
+    # the gate really does see both sides across this parametrization
+    assert (k * DENSE_GATE_DIVISOR >= n) == (k_over_n >= 0.25)
+
+
+@pytest.mark.parametrize("dup", [1, 5, 26, 40])
+def test_gate_counts_records_not_destinations_on_multigraphs(dup):
+    """The gate compares touched *records* (parallel edges included) to
+    node count.  With each of 2 distinct edges duplicated ``dup`` times,
+    dst_f.size = 2·dup touches the gate near dup ≈ n/8 while distinct
+    destinations stay at 2 ≪ n — results must be identical either way."""
+    from repro.graphs.csr import CSRGraph
+
+    n = 200
+    src = np.repeat(np.array([0, 1], dtype=np.int64), dup)
+    dst = np.repeat(np.array([1, 2], dtype=np.int64), dup)
+    rng = np.random.default_rng(dup)
+    w = rng.uniform(0.5, 5.0, size=src.size)
+    graph = CSRGraph.from_edges(n, src, dst, w, dedup=False)
+    edges = EdgeView(graph)
+
+    d_dense, s_dense = _run_to_fixpoint(_dense_relax, edges, n, 0)
+    d_sparse, s_sparse = _run_to_fixpoint(_sparse_relax, edges, n, 0)
+    d_actual, s_actual = _run_to_fixpoint(sssp_relax, edges, n, 0)
+    assert np.array_equal(d_dense, d_sparse)
+    assert np.array_equal(d_dense, d_actual)
+    assert s_dense == s_sparse == s_actual
+    # shortest parallel edge wins on both hops
+    assert d_actual[1] == w[:dup].min()
+    assert d_actual[2] == w[:dup].min() + w[dup:].min()
 
 
 def test_changed_flag_consistency_single_sweep():
