@@ -29,6 +29,12 @@ from ..errors import AlgorithmError
 from ..graphs.csr import CSRGraph
 from ..gpusim.device import DeviceConfig, K40C
 from ..graphs.properties import ragged_arange
+from ..perf.batched import (
+    LaneLedger,
+    charge_lane_level,
+    expand_lanes,
+    lane_sweep_cost,
+)
 from ..perf.edgeshare import shared_pull_view
 from ..perf.gather import LevelBuckets, SweepExpansion, expand_frontier
 from ..perf.schedule import schedule_for
@@ -38,10 +44,13 @@ __all__ = ["betweenness_centrality", "pick_sources", "BC_ENGINES"]
 
 #: host-side scan strategies (identical values and charges; see
 #: ``docs/performance.md``): ``"gather"`` does O(frontier-edges) CSR
-#: gathers + a per-source level-bucketed edge argsort, ``"reference"``
-#: is the pre-engine full-edge-scan path kept for equivalence tests and
-#: the ``python -m repro perf`` speedup baseline
-BC_ENGINES = ("gather", "reference")
+#: gathers + a per-source level-bucketed edge argsort, ``"batched"``
+#: stacks all sampled sources into lane-tagged state and drives one
+#: vectorized expansion per level (:mod:`repro.perf.batched` — per-lane
+#: values and charges stay byte-identical to the looped gather run),
+#: ``"reference"`` is the pre-engine full-edge-scan path kept for
+#: equivalence tests and the ``python -m repro perf`` speedup baseline
+BC_ENGINES = ("gather", "batched", "reference")
 
 
 def pick_sources(num_nodes: int, num_sources: int, seed: int = 0) -> np.ndarray:
@@ -86,7 +95,10 @@ def betweenness_centrality(
 
     ``engine`` selects the host-side scan strategy (:data:`BC_ENGINES`);
     values, iterations, and charged metrics are identical — only host
-    wall-clock differs.
+    wall-clock differs.  ``"batched"`` additionally attributes each
+    source's charges to its lane (``aux["per_source_metrics"]``), every
+    lane bit-identical to the source's own looped run; it requires the
+    ``inner`` strategy and a frontier-driven kernel, like schedules.
 
     ``schedule`` (a :class:`~repro.perf.schedule.Schedule` or spec
     string) picks per-level traversal direction/partition for both
@@ -113,6 +125,11 @@ def betweenness_centrality(
             "schedules require the gather engine with the inner strategy "
             "(frontier-driven)"
         )
+    if engine == "batched" and (topology_driven or strategy == "outer"):
+        raise AlgorithmError(
+            "the batched engine is frontier-driven with the inner strategy; "
+            "topology-driven and outer charging model fixed-shape kernels"
+        )
     plan = plan_for(graph_or_plan)
     n_orig = plan.num_original
     if sources is None:
@@ -125,6 +142,8 @@ def betweenness_centrality(
             raise AlgorithmError("BC source out of range")
 
     runner = (runner_factory or Runner)(plan, device)
+    if engine == "batched":
+        return _batched_bc(plan, runner, sched, sources)
     graph = plan.graph
     n = graph.num_nodes
     m = graph.num_edges
@@ -423,4 +442,384 @@ def betweenness_centrality(
         metrics=runner.metrics,
         iterations=total_levels,
         aux={"sources": sources},
+    )
+
+
+def _batched_bc(plan, runner, sched, sources) -> AlgorithmResult:
+    """All sampled sources in one stacked sweep (``engine="batched"``).
+
+    State is lane-flat: ``level``/``sigma``/``delta`` are ``(S, n)``
+    C-contiguous arrays whose flat view puts lane ``l``'s node ``v`` at
+    ``l * n + v``.  Each forward level runs one concatenated expansion
+    (:func:`~repro.perf.batched.expand_lanes`) and one flat scatter for
+    every push-directed lane; pull-directed lanes replicate the looped
+    pull branch on their row views (the re-sort by forward edge id is
+    per-lane state anyway).  The backward pass walks one global
+    descending level counter — a lane with depth ``k`` joins at
+    ``d = k - 1``, so its per-level decision/charge sequence equals its
+    looped run — and reads each level's edge list straight from the
+    stacked expansion of the recorded frontier, which by construction is
+    the level bucket the looped engine argsorts ``LevelBuckets`` for:
+    every out-edge of a level-``d`` node is a level-``d`` edge, already
+    in ascending edge order.  Dropping those S per-source O(E log E)
+    argsorts (plus the per-source Python/numpy dispatch) is where the
+    batched speedup comes from.
+
+    Per-lane equivalence (values, iteration counts, and per-source
+    charges byte-identical to the looped gather engine) is enforced by
+    ``differential:batched`` and ``TestBatchedEquivalence``; totals are
+    replayed into the runner's ledger source by source, so the summed
+    metrics match a looped run bit for bit too.
+    """
+    from ..obs import metrics as obs_metrics
+    from ..obs import trace as obs_trace
+
+    graph = plan.graph
+    n = graph.num_nodes
+    m = graph.num_edges
+    offsets = graph.offsets
+    indices = graph.indices.astype(np.int64)
+    ctx = runner.ctx
+    num_lanes = int(sources.size)
+    pull_view = None
+    rev_indices = None
+
+    def _pull_arrays():
+        nonlocal pull_view, rev_indices
+        if pull_view is None:
+            pull_view = shared_pull_view(graph)
+            rev_indices = pull_view.rev.indices.astype(np.int64)
+        return pull_view, rev_indices
+
+    if plan.graffix is not None:
+        primary = plan.graffix.primary_slot
+        g_slots, g_gids, g_sizes = plan.graffix.replica_groups()
+    else:
+        primary = np.arange(plan.num_original, dtype=np.int64)
+        g_slots = g_gids = g_sizes = np.empty(0, dtype=np.int64)
+    num_groups = int(g_sizes.size)
+
+    def sync_levels(level: np.ndarray) -> None:
+        if num_groups == 0:
+            return
+        lv = level[g_slots].astype(np.float64)
+        lv[lv < 0] = np.inf
+        gmin = np.full(num_groups, np.inf)
+        np.minimum.at(gmin, g_gids, lv)
+        reached = np.isfinite(gmin)
+        members = reached[g_gids] & (level[g_slots] < 0)
+        level[g_slots[members]] = gmin[g_gids[members]].astype(np.int64)
+
+    def merge_positive_mean(values: np.ndarray, level: np.ndarray) -> None:
+        if num_groups == 0:
+            return
+        vals = values[g_slots]
+        pos = vals > 0
+        if not pos.any():
+            return
+        sums = np.bincount(g_gids[pos], weights=vals[pos], minlength=num_groups)
+        counts = np.bincount(g_gids[pos], minlength=num_groups)
+        has = counts > 0
+        means = np.where(has, sums / np.maximum(counts, 1), 0.0)
+        apply = has[g_gids] & (level[g_slots] >= 0)
+        values[g_slots[apply]] = means[g_gids[apply]]
+
+    def merge_delta(delta: np.ndarray, level: np.ndarray) -> None:
+        if num_groups == 0:
+            return
+        visited_m = level[g_slots] >= 0
+        if not visited_m.any():
+            return
+        sums = np.bincount(
+            g_gids[visited_m], weights=delta[g_slots[visited_m]],
+            minlength=num_groups,
+        )
+        counts = np.bincount(g_gids[visited_m], minlength=num_groups)
+        has = counts > 0
+        means = np.where(has, sums / np.maximum(counts, 1), 0.0)
+        apply = has[g_gids] & visited_m
+        delta[g_slots[apply]] = means[g_gids[apply]]
+
+    level2 = np.full((num_lanes, n), -1, dtype=np.int64)
+    sigma2 = np.zeros((num_lanes, n))
+    level_flat = level2.reshape(-1)
+    sigma_flat = sigma2.reshape(-1)
+    fronts: list[list[np.ndarray]] = [[] for _ in range(num_lanes)]
+    frontiers: list[np.ndarray] = [None] * num_lanes
+    prev = [None] * num_lanes
+    unexplored = np.empty(num_lanes, dtype=np.int64)
+    ledger = LaneLedger(num_lanes)
+    for i, s in enumerate(sources):
+        s_slot = int(primary[s])
+        lv = level2[i]
+        sg = sigma2[i]
+        lv[s_slot] = 0
+        sg[s_slot] = 1.0
+        sync_levels(lv)
+        merge_positive_mean(sg, lv)
+        f = np.nonzero(lv == 0)[0].astype(np.int64)
+        frontiers[i] = f
+        fronts[i].append(f)
+        if sched is not None:  # only decide() reads unexplored_edges
+            unexplored[i] = m - int((offsets[f + 1] - offsets[f]).sum())
+    lane_depth = np.zeros(num_lanes, dtype=np.int64)
+    active = list(range(num_lanes))
+    depth = 0
+    # forward per-level expansions kept for backward reuse (sched=None)
+    level_exps: dict[int, tuple] = {}
+    obs_metrics.counter("perf.batched.runs").inc()
+    obs_metrics.counter("perf.batched.lanes").inc(num_lanes)
+
+    # ---- forward pass: all lanes' BFS DAGs + path counts ---------------
+    with obs_trace.span(
+        "perf.batched.bc", lanes=num_lanes, technique=plan.technique
+    ):
+        while active:
+            decisions = {}
+            for i in active:
+                decision = None
+                if sched is not None:
+                    f = frontiers[i]
+                    decision = sched.decide(
+                        frontier_size=int(f.size),
+                        frontier_edges=int((offsets[f + 1] - offsets[f]).sum()),
+                        num_nodes=n,
+                        num_edges=m,
+                        unexplored_edges=int(unexplored[i]),
+                        prev=prev[i],
+                    )
+                    prev[i] = decision
+                decisions[i] = decision
+            pull_lanes = [
+                i
+                for i in active
+                if decisions[i] is not None and decisions[i].direction == "pull"
+            ]
+            push_lanes = [i for i in active if i not in pull_lanes]
+            fresh_lane: dict[int, np.ndarray] = {}
+            for i in pull_lanes:
+                pv, rind = _pull_arrays()
+                lv = level2[i]
+                sg = sigma2[i]
+                candidates = np.nonzero(lv < 0)[0].astype(np.int64)
+                rexp = expand_frontier(pv.rev.offsets, rind, candidates)
+                ledger.add(
+                    i,
+                    lane_sweep_cost(
+                        ctx,
+                        candidates,
+                        subgraph=pv.rev,
+                        expansion=rexp,
+                        partition=decisions[i].partition,
+                    ),
+                )
+                sel = lv[rexp.e_dst] == depth
+                order = np.argsort(pv.fwd_eid[rexp.epos[sel]])
+                e_src = rexp.e_dst[sel][order]
+                e_dst = rexp.e_src[sel][order]
+                fresh = lv[e_dst] < 0
+                fresh_dst = e_dst[fresh]
+                if fresh_dst.size:
+                    lv[fresh_dst] = depth + 1
+                onward = lv[e_dst] == depth + 1
+                if onward.any():
+                    np.add.at(sg, e_dst[onward], sg[e_src[onward]])
+                fresh_lane[i] = fresh_dst
+            if push_lanes:
+                lx = expand_lanes(
+                    offsets, indices, [frontiers[i] for i in push_lanes]
+                )
+                row_off = np.repeat(
+                    np.asarray(push_lanes, dtype=np.int64) * n,
+                    np.diff(lx.rec_bounds),
+                )
+                flat_src = lx.e_src + row_off
+                flat_dst = lx.e_dst + row_off
+                if sched is None:
+                    # the backward pass walks these exact frontiers with
+                    # the same lane sets (no schedule: every lane pushes
+                    # both ways), so the expansion and its flat indices
+                    # are reusable verbatim — see the level_exps lookup
+                    level_exps[depth] = (push_lanes, lx, flat_src, flat_dst)
+                fresh = level_flat[flat_dst] < 0
+                fdst = flat_dst[fresh]
+                if fdst.size:
+                    level_flat[fdst] = depth + 1
+                onward = level_flat[flat_dst] == depth + 1
+                if onward.any():
+                    np.add.at(
+                        sigma_flat, flat_dst[onward], sigma_flat[flat_src[onward]]
+                    )
+                charge_lane_level(
+                    ctx,
+                    ledger,
+                    push_lanes,
+                    lx.sweeps,
+                    [decisions[i] for i in push_lanes],
+                )
+                # per-lane fresh record counts (gate input), and one flat
+                # dedup shared by every gate-passing lane: fdst is
+                # lane-tagged, so one sort covers what the looped engine
+                # dedups once per source
+                fc = np.concatenate(([0], np.cumsum(fresh, dtype=np.int64)))
+                fresh_cnt = fc[lx.rec_bounds[1:]] - fc[lx.rec_bounds[:-1]]
+                push_pos = {i: pos for pos, i in enumerate(push_lanes)}
+                uf = uf_lo = uf_hi = None
+                if num_groups == 0 and bool((fresh_cnt * 4 < n).any()):
+                    uf = np.unique(fdst)
+                    lanes_arr = np.asarray(push_lanes, dtype=np.int64)
+                    uf_lo = np.searchsorted(uf, lanes_arr * n)
+                    uf_hi = np.searchsorted(uf, (lanes_arr + 1) * n)
+            still = []
+            for i in active:
+                lv = level2[i]
+                sync_levels(lv)
+                merge_positive_mean(sigma2[i], lv)
+                if i in fresh_lane:  # pull lane: per-lane fresh dsts
+                    fd = fresh_lane[i]
+                    if num_groups == 0 and fd.size * 4 < n:
+                        f = np.unique(fd)
+                    else:
+                        f = np.nonzero(lv == depth + 1)[0].astype(np.int64)
+                else:
+                    pos = push_pos[i]
+                    if uf is not None and int(fresh_cnt[pos]) * 4 < n:
+                        f = uf[uf_lo[pos] : uf_hi[pos]] - i * n
+                    else:
+                        f = np.nonzero(lv == depth + 1)[0].astype(np.int64)
+                fronts[i].append(f)
+                frontiers[i] = f
+                if sched is not None:
+                    unexplored[i] -= int((offsets[f + 1] - offsets[f]).sum())
+                lane_depth[i] = depth + 1
+                if f.size:
+                    still.append(i)
+            active = still
+            depth += 1
+        ledger.flush(ctx)
+
+        # ---- backward pass: dependency accumulation --------------------
+        # one global descending level counter; a lane of depth k joins at
+        # d = k - 1, so its per-level decide/charge/scatter sequence is
+        # exactly its looped run's
+        delta2 = np.zeros((num_lanes, n))
+        delta_flat = delta2.reshape(-1)
+        max_depth = int(lane_depth.max()) if num_lanes else 0
+        for d in range(max_depth - 1, -1, -1):
+            lanes_here = [
+                i
+                for i in range(num_lanes)
+                if d < lane_depth[i] and fronts[i][d].size
+            ]
+            decisions = {}
+            for i in lanes_here:
+                decision = None
+                if sched is not None:
+                    members = fronts[i][d]
+                    decision = sched.decide(
+                        frontier_size=int(members.size),
+                        frontier_edges=int(
+                            (offsets[members + 1] - offsets[members]).sum()
+                        ),
+                        num_nodes=n,
+                        num_edges=m,
+                        prev=prev[i],
+                    )
+                    prev[i] = decision
+                decisions[i] = decision
+            pull_lanes = [
+                i
+                for i in lanes_here
+                if decisions[i] is not None and decisions[i].direction == "pull"
+            ]
+            push_lanes = [i for i in lanes_here if i not in pull_lanes]
+            for i in pull_lanes:
+                lv = level2[i]
+                sg = sigma2[i]
+                dl = delta2[i]
+                nexts = fronts[i][d + 1]
+                if nexts.size:
+                    pv, rind = _pull_arrays()
+                    rexp = expand_frontier(pv.rev.offsets, rind, nexts)
+                    ledger.add(
+                        i,
+                        lane_sweep_cost(
+                            ctx,
+                            nexts,
+                            subgraph=pv.rev,
+                            expansion=rexp,
+                            partition=decisions[i].partition,
+                        ),
+                    )
+                    keep = (lv[rexp.e_dst] == d) & (sg[rexp.e_src] > 0)
+                    order = np.argsort(pv.fwd_eid[rexp.epos[keep]])
+                    e_src = rexp.e_dst[keep][order]
+                    e_dst = rexp.e_src[keep][order]
+                else:
+                    e_src = e_dst = np.empty(0, dtype=np.int64)
+                if e_src.size:
+                    contrib = sg[e_src] / sg[e_dst] * (1.0 + dl[e_dst])
+                    np.add.at(dl, e_src, contrib)
+                merge_delta(dl, lv)
+            if push_lanes:
+                # the stacked expansion of each lane's recorded level-d
+                # frontier *is* its LevelBuckets bucket: every out-edge of
+                # a level-d node is a level-d edge, in ascending edge order
+                cached = level_exps.pop(d, None)
+                if cached is not None and cached[0] == push_lanes:
+                    _, bx, flat_src, flat_dst = cached
+                else:
+                    bx = expand_lanes(
+                        offsets, indices, [fronts[i][d] for i in push_lanes]
+                    )
+                    row_off = np.repeat(
+                        np.asarray(push_lanes, dtype=np.int64) * n,
+                        np.diff(bx.rec_bounds),
+                    )
+                    flat_src = bx.e_src + row_off
+                    flat_dst = bx.e_dst + row_off
+                charge_lane_level(
+                    ctx,
+                    ledger,
+                    push_lanes,
+                    bx.sweeps,
+                    [decisions[i] for i in push_lanes],
+                )
+                keep = (level_flat[flat_dst] == d + 1) & (
+                    sigma_flat[flat_dst] > 0
+                )
+                ks = flat_src[keep]
+                kd = flat_dst[keep]
+                if ks.size:
+                    contrib = (
+                        sigma_flat[ks] / sigma_flat[kd]
+                        * (1.0 + delta_flat[kd])
+                    )
+                    np.add.at(delta_flat, ks, contrib)
+                for i in push_lanes:
+                    merge_delta(delta2[i], level2[i])
+
+    # per-lane charge attribution, then the total ledger replayed source
+    # by source — accumulated metrics and solve.* counters match the
+    # looped engine bit for bit
+    ledger.flush(ctx)
+    lane_metrics = ledger.lane_metrics(runner.device)
+    bc = np.zeros(n)
+    for i, s in enumerate(sources):
+        delta2[i][int(primary[s])] = 0.0
+        visited = level2[i] >= 0
+        bc[visited] += delta2[i][visited]
+    ledger.replay(ctx)
+    values = plan.lower(bc)
+    return AlgorithmResult(
+        values=values,
+        metrics=runner.metrics,
+        iterations=int(lane_depth.sum()),
+        aux={
+            "sources": sources,
+            "engine": "batched",
+            "per_source_metrics": lane_metrics,
+            "per_source_iterations": [int(k) for k in lane_depth],
+            "per_source_sweeps": [len(c) for c in ledger.costs],
+        },
     )

@@ -141,6 +141,17 @@ def extract_series(kind: str, payload: Any) -> dict[str, dict]:
                 "value": float(row["seconds"]),
                 "samples": [float(s) for s in row.get("samples", [])] or None,
             }
+            if "speedup_vs_looped" in row:
+                # @batched rows also gate their batching win as a
+                # lower-is-better series (inverse speedup): losing the
+                # stacked-sweep advantage trips the diff even when raw
+                # seconds stay inside the noise band
+                spd = float(row["speedup_vs_looped"])
+                if spd > 0:
+                    out[f"perf:{row['kernel']}/{row['graph']}:inv_speedup_vs_looped"] = {
+                        "value": 1.0 / spd,
+                        "samples": None,
+                    }
         return out
     if kind == "verify":
         gauges = ((payload.get("metrics") or {}).get("gauges")) or {}

@@ -17,9 +17,11 @@ For traces it prints where the wall-clock went:
 
 For metrics snapshots it prints the counter/gauge inventory plus a
 dedicated **serve** section — request outcomes, shed/degraded/timeout
-counts, admission-wait and per-stage latency quantiles (estimated from
+counts, query-batching outcomes (shared sweeps, lanes per sweep, window
+waits), admission-wait and per-stage latency quantiles (estimated from
 the histogram buckets), queue depth, pressure level, and breaker state
-— the post-mortem view of a drained ``python -m repro serve`` run.
+— the post-mortem view of a drained ``python -m repro serve`` run, plus
+a **perf** section for the engine counters (``perf.batched.*`` etc.).
 """
 
 from __future__ import annotations
@@ -289,11 +291,33 @@ def format_metrics(snap: Mapping, *, title: str = "metrics snapshot") -> str:
                 f"  degradation ladder: {steps[0]} step-up(s), "
                 f"{steps[1]} step-down(s)"
             )
+        groups = counters.get("serve.batch.groups")
+        lanes_hist = histograms.get("serve.batch.lanes")
+        if groups is not None or lanes_hist is not None or any(
+            k.startswith("serve.batch.") for k in counters
+        ):
+            lines.append("")
+            lines.append("serve: query batching")
+            lines.append(
+                f"  shared sweeps: {int(counters.get('serve.batch.groups', 0))} "
+                f"group(s) answered "
+                f"{int(counters.get('serve.batch.requests', 0))} request(s); "
+                f"{int(counters.get('serve.batch.solo', 0))} solo window(s), "
+                f"{int(counters.get('serve.batch.fallback', 0))} fallback(s)"
+            )
+            if lanes_hist is not None and lanes_hist["count"]:
+                mean_lanes = lanes_hist["total"] / lanes_hist["count"]
+                q50 = histogram_quantile(
+                    lanes_hist["buckets"], lanes_hist["counts"], 0.50
+                )
+                lines.append(
+                    f"  lanes per sweep: mean {mean_lanes:.1f}, q50 ~{q50:.1f}"
+                )
         lines.append("")
         lines.append("serve: latency (histogram estimates)")
         for name in sorted(histograms):
             if name.startswith(("serve.admission.wait", "serve.stage.",
-                                "serve.request.time")):
+                                "serve.request.time", "serve.batch.window")):
                 lines.append(_fmt_hist_line(name, histograms[name]))
         serve_gauges = {
             k: v for k, v in gauges.items() if k.startswith(("serve.", "cache."))
@@ -304,7 +328,18 @@ def format_metrics(snap: Mapping, *, title: str = "metrics snapshot") -> str:
             for name in sorted(serve_gauges):
                 lines.append(f"  {name:32s} {serve_gauges[name]:10.3f}")
 
-    other = {k: v for k, v in counters.items() if not k.startswith("serve.")}
+    perf_counters = {k: v for k, v in counters.items() if k.startswith("perf.")}
+    if perf_counters:
+        lines.append("")
+        lines.append("perf: engine counters")
+        for name in sorted(perf_counters):
+            lines.append(f"  {name:40s} {perf_counters[name]:12.0f}")
+
+    other = {
+        k: v
+        for k, v in counters.items()
+        if not k.startswith(("serve.", "perf."))
+    }
     if other:
         lines.append("")
         lines.append("other counters")

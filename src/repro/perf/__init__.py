@@ -25,6 +25,14 @@ wall-clock benchmark:
   :class:`~repro.perf.schedule.DirectionOptimizing` with Beamer's α/β
   hysteresis) that picks push vs. pull, sparse vs. dense frontiers and
   vertex- vs. edge-balanced partitioning per iteration;
+* :mod:`repro.perf.batched` — the multi-source sweep engine: S sources
+  stacked into lane-tagged ``(S, n)`` state with one concatenated
+  expansion per level (:func:`~repro.perf.batched.expand_lanes`),
+  per-lane charge attribution bit-identical to looped runs
+  (:class:`~repro.perf.batched.LaneLedger`), and the
+  :func:`~repro.perf.batched.bfs_levels_batched` /
+  :func:`~repro.perf.batched.sssp_batched` entry points behind BC's
+  ``engine="batched"`` and the serve layer's batching window;
 * :mod:`repro.perf.bench` — ``python -m repro perf``, the kernel
   benchmark that emits ``BENCH_PR4.json`` and gates regressions in CI.
 
@@ -37,6 +45,15 @@ Everything is observable: ``perf.gather.*`` and
 ``python -m repro stats`` (see ``docs/performance.md``).
 """
 
+from .batched import (
+    BatchedResult,
+    LaneExpansion,
+    LaneLedger,
+    bfs_levels_batched,
+    expand_lanes,
+    lane_sources,
+    sssp_batched,
+)
 from .edgeshare import EdgeView, PullEdgeView, shared_edge_view, shared_pull_view
 from .gather import LevelBuckets, frontier_edges
 from .schedule import (
@@ -50,19 +67,26 @@ from .schedule import (
 from .workspace import WorkspacePool, pool, scatter_min_changed
 
 __all__ = [
+    "BatchedResult",
     "DirectionOptimizing",
     "EdgeView",
     "Explicit",
     "FixedPush",
+    "LaneExpansion",
+    "LaneLedger",
     "LevelBuckets",
     "PullEdgeView",
     "Schedule",
     "SweepDecision",
     "WorkspacePool",
+    "bfs_levels_batched",
+    "expand_lanes",
     "frontier_edges",
+    "lane_sources",
     "pool",
     "scatter_min_changed",
     "schedule_for",
     "shared_edge_view",
     "shared_pull_view",
+    "sssp_batched",
 ]

@@ -32,7 +32,12 @@ Every row names its sweep ``schedule`` (``fixed-push`` unless
 comparison rows per graph, ``bfs@diropt`` and ``bc@diropt``, run the
 direction-optimizing policy against the fixed-push base rows; their
 ``speedup_vs_fixed_push`` is the paper-style win from switching to
-bottom-up sweeps once frontiers densify.
+bottom-up sweeps once frontiers densify.  Two more comparison rows,
+``bc@batched`` and ``sssp@batched``, stack ``--batch-sources`` sources
+into one multi-source sweep (:mod:`repro.perf.batched`) and time the
+same sources through the per-source loop; ``speedup_vs_looped`` is the
+batching win, with answers and charges proven bit-identical by
+``differential:batched``.
 
 ``--record-trajectory`` appends the report, with commit and config
 provenance, to ``benchmarks/results/TRAJECTORY.json`` — the committed
@@ -76,20 +81,32 @@ def _bench_source(graph: CSRGraph) -> int:
     return int(np.argmax(graph.out_degrees()))
 
 
-def _kernels(schedule: str | None = None) -> list[dict]:
-    from ..algorithms.bc import betweenness_centrality
+def _kernels(
+    schedule: str | None = None, batch_sources: int = 8
+) -> list[dict]:
+    from ..algorithms.bc import betweenness_centrality, pick_sources
     from ..algorithms.bfs import bfs
     from ..algorithms.pagerank import pagerank
     from ..algorithms.sssp import sssp
     from ..algorithms.wcc import wcc
     from ..baselines.gunrock import sssp_frontier
-    from . import reference as ref
+    from .batched import sssp_batched
     from .schedule import schedule_for
+    from . import reference as ref
 
-    def bc_engine(g, engine, sched=None):
+    def bc_engine(g, engine, sched=None, num_sources=_BC_SOURCES):
         return betweenness_centrality(
-            g, num_sources=_BC_SOURCES, seed=0, engine=engine, schedule=sched
+            g, num_sources=num_sources, seed=0, engine=engine, schedule=sched
         )
+
+    def batch_srcs(g):
+        return pick_sources(g.num_nodes, min(batch_sources, g.num_nodes), 0)
+
+    def sssp_looped(g):
+        last = None
+        for s in batch_srcs(g):
+            last = sssp(g, int(s))
+        return last
 
     parsed = schedule_for(schedule)
     label = parsed.name if parsed is not None else "fixed-push"
@@ -150,6 +167,28 @@ def _kernels(schedule: str | None = None) -> list[dict]:
             "run": lambda g: bc_engine(g, "gather", "direction-optimizing"),
             "reference": None,
         },
+        # batched multi-source rows: one stacked sweep over
+        # ``batch_sources`` lanes vs the same sources run back to back
+        # through the looped engine; ``speedup_vs_looped`` is the paper's
+        # batching win (bit-identical answers — differential:batched)
+        {
+            "kernel": "bc@batched",
+            "schedule": None,
+            "run": lambda g: bc_engine(
+                g, "batched", num_sources=batch_sources
+            ),
+            "reference": None,
+            "looped": lambda g: bc_engine(
+                g, "gather", num_sources=batch_sources
+            ),
+        },
+        {
+            "kernel": "sssp@batched",
+            "schedule": None,
+            "run": lambda g: sssp_batched(g, batch_srcs(g)),
+            "reference": None,
+            "looped": sssp_looped,
+        },
     ]
     return specs
 
@@ -176,11 +215,13 @@ def run_bench(
     seed: int = 7,
     graphs: list[str] | None = None,
     schedule: str | None = None,
+    batch_sources: int = 8,
 ) -> dict:
     """Time every kernel on every suite graph; returns the report dict.
 
     ``schedule`` pins a sweep schedule on every schedulable base row
-    (the ``@diropt`` comparison rows always run direction-optimizing).
+    (the ``@diropt`` comparison rows always run direction-optimizing);
+    ``batch_sources`` sets how many lanes the ``@batched`` rows stack.
     """
     with obs_trace.span("perf.bench.suite", scale=scale):
         suite = paper_suite(scale, seed=seed)
@@ -191,7 +232,7 @@ def run_bench(
         suite = {name: suite[name] for name in graphs}
     rows: list[dict] = []
     for name, graph in suite.items():
-        for spec in _kernels(schedule):
+        for spec in _kernels(schedule, batch_sources):
             with obs_trace.span(
                 "perf.bench.kernel", kernel=spec["kernel"], graph=name
             ):
@@ -232,12 +273,27 @@ def run_bench(
                 row["speedup_vs_reference"] = (
                     ref_seconds / seconds if seconds > 0 else float("inf")
                 )
+            if spec.get("looped") is not None:
+                row["batch_sources"] = batch_sources
+                with obs_trace.span(
+                    "perf.bench.looped", kernel=spec["kernel"], graph=name
+                ):
+                    looped_seconds, _, looped_samples = _time(
+                        lambda: spec["looped"](graph), repeats
+                    )
+                row["looped_seconds"] = looped_seconds
+                row["looped_samples"] = [round(s, 6) for s in looped_samples]
+                row["speedup_vs_looped"] = (
+                    looped_seconds / seconds if seconds > 0 else float("inf")
+                )
             rows.append(row)
     # derive fixed-push vs direction-optimizing ratios for the @diropt rows
     by_key = {(r["kernel"], r["graph"]): r for r in rows}
     for row in rows:
         kernel = row["kernel"]
-        if "@" not in kernel:
+        if "@" not in kernel or kernel.endswith("@batched"):
+            # @batched rows compare against their own looped runs (often
+            # a different source count than the base row), not fixed-push
             continue
         base = by_key.get((kernel.split("@", 1)[0], row["graph"]))
         if base is None or base["schedule"] != "fixed-push":
@@ -389,6 +445,18 @@ def _format_report(report: dict) -> str:
                 f"  {r['kernel']:<14}{r['graph']:<14}"
                 f"{r['speedup_vs_fixed_push']:.2f}x"
             )
+    batched_rows = [r for r in report["kernels"] if "speedup_vs_looped" in r]
+    if batched_rows:
+        lines.append(
+            f"batched stacked sweep vs per-source loop "
+            f"({batched_rows[0].get('batch_sources', '?')} sources):"
+        )
+        for r in batched_rows:
+            lines.append(
+                f"  {r['kernel']:<14}{r['graph']:<14}"
+                f"{r['speedup_vs_looped']:.2f}x "
+                f"({r['looped_seconds']:.4f}s -> {r['seconds']:.4f}s)"
+            )
     best = report.get("best_speedup_vs_reference", {})
     for kernel, agg in sorted(
         report.get("aggregate_speedup_vs_reference", {}).items()
@@ -416,6 +484,11 @@ def main(argv: list[str] | None = None) -> int:
         help="pin a sweep schedule on every schedulable kernel row "
         "(push, pull, direction-optimizing, plus :sparse/:dense/:edge "
         "modifiers — see docs/performance.md)",
+    )
+    parser.add_argument(
+        "--batch-sources", type=int, default=8, metavar="S",
+        help="lanes the @batched rows stack into one multi-source sweep "
+        "(default 8; the looped comparison runs the same S sources)",
     )
     parser.add_argument("--out", default="BENCH_PR4.json", help="report JSON path")
     parser.add_argument(
@@ -450,6 +523,7 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             graphs=graphs,
             schedule=args.schedule,
+            batch_sources=args.batch_sources,
         )
     if profiler is not None:
         obs_prof.write_outputs(profiler, profile_prefix)

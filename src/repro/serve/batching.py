@@ -1,0 +1,199 @@
+"""The serve-side batching window: same-shape queries share one sweep.
+
+:class:`BatchWindow` is the admission-side collector behind
+``ServeConfig.batch_window_ms``: the first request for a *batch key*
+(same graph, same algorithm, same plan-determining params) becomes the
+group's **leader** and holds the window open; requests with the same key
+arriving within the window become **followers**.  When the window closes
+— the configured wait elapses, the group fills ``batch_max_lanes``, or
+holding it longer would endanger the tightest member deadline — the
+leader runs one batched sweep (:mod:`repro.perf.batched`) over every
+member's lane and fans the per-lane results back out, so a burst of S
+same-graph queries pays one stacked solve instead of S looped ones.
+Responses answered from a shared sweep are footnoted ``batched: true``
+with the group's ``batch_lanes``.
+
+Deadline semantics: the shared sweep runs under the group's
+**earliest-deadline lane** (the member with the least remaining budget),
+so batching never spends budget a member doesn't have; the leader also
+never waits longer than half the tightest member's remaining budget.
+If the shared sweep still exceeds that earliest deadline — or fails for
+any other reason — the group *falls back*: every member re-runs solo
+under its own deadline, so one tight-budget lane cannot time out the
+whole group.  A single-member window just runs the solo path directly.
+
+The degrade ladder composes upstream: technique substitution happens
+before the batch key is formed, and the key includes the technique — a
+degraded request therefore lands in a different group than an exact one
+and lanes of mixed fidelity never share a sweep.
+
+Observability: ``serve.batch.groups`` / ``serve.batch.requests`` /
+``serve.batch.solo`` / ``serve.batch.fallback`` counters plus the
+``serve.batch.window`` (leader wait, seconds) and ``serve.batch.lanes``
+(members per shared sweep) histograms, all surfaced by
+``python -m repro stats``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Hashable, Sequence
+
+from ..errors import DeadlineExceeded
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from .deadline import Deadline
+
+__all__ = ["BatchWindow"]
+
+WINDOW_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1)
+LANE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+
+class _Group:
+    __slots__ = (
+        "key",
+        "payloads",
+        "deadlines",
+        "batch_fn",
+        "sealed",
+        "full",
+        "done",
+        "results",
+        "error",
+    )
+
+    def __init__(self, key: Hashable, batch_fn) -> None:
+        self.key = key
+        self.payloads: list[Any] = []
+        self.deadlines: list[Deadline] = []
+        self.batch_fn = batch_fn  # the leader's; identical per key
+        self.sealed = False
+        self.full = threading.Event()  # set when the group hits max lanes
+        self.done = threading.Event()  # set when results (or error) land
+        self.results: list[Any] | None = None
+        self.error: BaseException | None = None
+
+    def earliest(self) -> Deadline:
+        """The member deadline with the least remaining budget."""
+        return min(self.deadlines, key=lambda d: d.start + d.budget)
+
+
+class BatchWindow:
+    """Groups same-key requests arriving within a window into one solve.
+
+    ``run`` is the only entry point; it is safe to call from any number
+    of threads.  ``batch_fn(payloads, deadline)`` must return one result
+    per payload (in order) and is invoked on exactly one member's thread
+    per group; ``solo_fn(payload, deadline)`` is the per-request
+    fallback and also serves single-member windows.
+    """
+
+    def __init__(self, window_seconds: float, max_lanes: int) -> None:
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if max_lanes < 1:
+            raise ValueError("max_lanes must be >= 1")
+        self.window_seconds = float(window_seconds)
+        self.max_lanes = int(max_lanes)
+        self._lock = threading.Lock()
+        self._open: dict[Hashable, _Group] = {}
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        key: Hashable,
+        payload: Any,
+        deadline: Deadline,
+        batch_fn: Callable[[Sequence[Any], Deadline], Sequence[Any]],
+        solo_fn: Callable[[Any, Deadline], Any],
+    ) -> tuple[Any, int]:
+        """Join the window for ``key``; returns ``(result, lanes)``.
+
+        ``lanes`` is the number of members the answering sweep covered —
+        ``1`` means the request was answered solo (empty window, or the
+        group fell back).
+        """
+        with self._lock:
+            group = self._open.get(key)
+            if group is None or group.sealed or len(group.payloads) >= self.max_lanes:
+                group = _Group(key, batch_fn)
+                self._open[key] = group
+                leader = True
+            else:
+                leader = False
+            idx = len(group.payloads)
+            group.payloads.append(payload)
+            group.deadlines.append(deadline)
+            if len(group.payloads) >= self.max_lanes:
+                group.full.set()
+
+        if leader:
+            self._lead(group)
+        else:
+            self._follow(group, deadline)
+
+        if group.error is not None:
+            # shared sweep failed (typically the earliest-deadline lane
+            # expired mid-batch): answer solo under *this* member's own
+            # budget instead of failing the whole group
+            obs_metrics.counter("serve.batch.fallback").inc()
+            return solo_fn(payload, deadline), 1
+
+        if group.results is None:  # single-member window: no shared sweep
+            obs_metrics.counter("serve.batch.solo").inc()
+            return solo_fn(payload, deadline), 1
+
+        return group.results[idx], len(group.payloads)
+
+    # ------------------------------------------------------------------
+    def _lead(self, group: _Group) -> None:
+        # hold the window open, but never past half the tightest member
+        # budget — the earliest-deadline lane still has to run the sweep
+        wait = min(
+            self.window_seconds, 0.5 * max(group.earliest().remaining(), 0.0)
+        )
+        t0 = time.perf_counter()
+        if wait > 0:
+            group.full.wait(wait)
+        obs_metrics.histogram("serve.batch.window", WINDOW_BUCKETS).observe(
+            time.perf_counter() - t0
+        )
+        with self._lock:
+            group.sealed = True
+            if self._open.get(group.key) is group:
+                del self._open[group.key]
+        try:
+            if len(group.payloads) > 1:
+                earliest = group.earliest()
+                with obs_trace.span(
+                    "serve.batch.sweep", lanes=len(group.payloads)
+                ):
+                    results = list(group.batch_fn(group.payloads, earliest))
+                if len(results) != len(group.payloads):
+                    raise RuntimeError(
+                        "batch_fn returned wrong result count"
+                    )
+                group.results = results
+                obs_metrics.counter("serve.batch.groups").inc()
+                obs_metrics.counter("serve.batch.requests").inc(
+                    len(group.payloads)
+                )
+                obs_metrics.histogram(
+                    "serve.batch.lanes", LANE_BUCKETS
+                ).observe(float(len(group.payloads)))
+        except BaseException as exc:  # noqa: BLE001 - fanned out per member
+            group.error = exc
+        finally:
+            group.done.set()
+
+    def _follow(self, group: _Group, deadline: Deadline) -> None:
+        # the leader seals and answers within its own bounded wait; the
+        # margin covers the sweep itself, capped by this member's budget
+        timeout = deadline.remaining()
+        if timeout <= 0 or not group.done.wait(timeout + 0.05):
+            raise DeadlineExceeded(
+                "deadline exceeded at batch: shared sweep did not finish "
+                "within this request's budget"
+            )

@@ -36,6 +36,8 @@ def build_config(args: argparse.Namespace) -> ServeConfig:
         self_check=not args.no_self_check,
         allow_chaos=args.allow_chaos,
         degradation=not args.no_degradation,
+        batch_window_ms=args.batch_window_ms,
+        batch_max_lanes=args.batch_max_lanes,
         metrics_out=args.metrics_out,
         trace_out=args.trace_out,
     )
@@ -78,6 +80,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-degradation", action="store_true",
         help="disable the pressure-driven approximate-plan ladder",
+    )
+    parser.add_argument(
+        "--batch-window-ms", type=float, default=0.0,
+        help="group same-key queries into one stacked multi-source sweep "
+        "for up to this long (0 disables the batching window)",
+    )
+    parser.add_argument(
+        "--batch-max-lanes", type=int, default=8,
+        help="seal and run a batch group once it reaches this many lanes",
     )
     parser.add_argument(
         "--allow-chaos", action="store_true",

@@ -23,6 +23,7 @@ Spec schema::
     verify: true               # check answers against a reference run
     queries:
       - {op: sssp,    graph: rmat,     ratio: 0.5}
+      - {op: sssp,    graph: rmat,     ratio: 0.0, source: 0}  # pinned
       - {op: pr_topk, graph: rmat,     ratio: 0.3, k: 8}
       - {op: bc_node, graph: usa-road, ratio: 0.2, num_sources: 4}
     kpis:
@@ -30,6 +31,9 @@ Spec schema::
       - ge: {qps: 20}
       - le: {shed_rate: 0.0}
       - le: {degraded_rate: 0.0}
+    server_kpis:               # optional: gate on the server's own
+      - ge: {serve.batch.groups: 1}     # counters after the drive (the
+      - le: {serve.batch.fallback: 0}   # batching-window burst specs)
     slo:                       # optional: gate on server-side SLOs
       - name: latency          # evaluated from the drained server's
         indicator: serve.request.time     # own metrics registry via
@@ -46,9 +50,19 @@ Spec schema::
 KPI metric names: ``q50_ms``/``q90_ms``/``q99_ms`` (latency quantiles
 over completed analytics responses), ``qps`` (completed responses per
 second of wall-clock), ``shed_rate``/``timeout_rate``/``error_rate``/
-``degraded_rate``/``ok_rate`` (fractions of issued requests), and
-``wrong`` (verified-mismatch count — with ``verify: true`` the gate
-implicitly requires 0).
+``degraded_rate``/``ok_rate`` (fractions of issued requests),
+``batched``/``batched_rate`` (responses footnoted ``batched: true`` —
+answered from a shared batching-window sweep), and ``wrong``
+(verified-mismatch count — with ``verify: true`` the gate implicitly
+requires 0).  A ``server_kpis:`` block applies the same ``le:``/``ge:``
+clauses to the server's own counter snapshot (pulled via the admin
+``stats`` op), e.g. ``serve.batch.groups`` to assert shared sweeps
+actually ran server-side.
+
+Queries may pin ``source:`` (sssp) or ``node:`` (bc_node) instead of
+drawing them per-request — a pinned burst lands every client on the
+same batch key, which is how the burst specs exercise the batching
+window deterministically.
 
 An ``slo:`` block lists :func:`repro.obs.slo.slo_from_spec` mappings;
 after the drive the loadgen pulls the server's own metrics snapshot
@@ -287,12 +301,19 @@ def _drive(spec: dict, *, host: str, port: int, server: ReproServer | None) -> d
         }
         n = graph_nodes[q["graph"]]
         if q["op"] == "sssp":
-            req["source"] = int(rng.integers(n))
+            # a pinned source: makes every client hit the same batch key
+            # (the batching-window burst specs); targets stay random —
+            # they are answered from the shared distance row
+            req["source"] = (
+                int(q["source"]) if "source" in q else int(rng.integers(n))
+            )
             req["target"] = int(rng.integers(n))
         elif q["op"] == "pr_topk":
             req["k"] = int(q.get("k", 10))
         elif q["op"] == "bc_node":
-            req["node"] = int(rng.integers(n))
+            req["node"] = (
+                int(q["node"]) if "node" in q else int(rng.integers(n))
+            )
             req["num_sources"] = int(q.get("num_sources", 4))
             req["seed"] = int(q.get("seed", 0))
         return req
@@ -315,6 +336,9 @@ def _drive(spec: dict, *, host: str, port: int, server: ReproServer | None) -> d
                     "graph": req["graph"],
                     "status": resp.get("status", "error"),
                     "degraded": bool(resp.get("degraded")),
+                    "batched": bool(
+                        (resp.get("result") or {}).get("batched")
+                    ),
                     "latency_ms": latency_ms,
                     "phase": phase[0],
                 }
@@ -363,7 +387,7 @@ def _drive(spec: dict, *, host: str, port: int, server: ReproServer | None) -> d
         controller.join(timeout=5.0)
 
     server_snapshot = None
-    if spec.get("slo"):
+    if spec.get("slo") or spec.get("server_kpis"):
         with ServeClient(host, port) as admin:
             resp = admin.request({"op": "stats"})
             if resp["status"] != "ok":
@@ -385,6 +409,7 @@ def _phase_metrics(records: list[dict], wall_seconds: float | None) -> dict:
     completed = [r for r in records if r["status"] == "ok"]
     lat = np.array([r["latency_ms"] for r in completed]) if completed else None
     degraded = sum(1 for r in completed if r["degraded"])
+    batched = sum(1 for r in completed if r.get("batched"))
     wrong = sum(1 for r in records if r.get("correct") is False)
     verified = sum(1 for r in records if "correct" in r)
     out = {
@@ -397,6 +422,8 @@ def _phase_metrics(records: list[dict], wall_seconds: float | None) -> dict:
         "error_rate": by_status.get("error", 0) / n if n else 0.0,
         "degraded": degraded,
         "degraded_rate": degraded / len(completed) if completed else 0.0,
+        "batched": batched,
+        "batched_rate": batched / len(completed) if completed else 0.0,
         "verified": verified,
         "wrong": wrong,
         "q50_ms": float(np.percentile(lat, 50)) if lat is not None else None,
@@ -515,6 +542,20 @@ def _report(
         slo_gates, slo_statuses = _slo_gates(spec, server_snapshot)
         gates += slo_gates
         report["slo"] = slo_statuses
+    if spec.get("server_kpis"):
+        # gate directly on the drained server's own counters (the
+        # batching-window burst specs assert serve.batch.* this way); a
+        # counter the server never bumped reads as 0, not as missing
+        server_counters = dict((server_snapshot or {}).get("counters") or {})
+        for clause in spec["server_kpis"]:
+            if isinstance(clause, dict) and len(clause) == 1:
+                body = next(iter(clause.values()))
+                if isinstance(body, dict) and len(body) == 1:
+                    server_counters.setdefault(next(iter(body)), 0.0)
+        gates += [
+            dict(g, scope="server")
+            for g in evaluate_kpis(spec["server_kpis"], server_counters)
+        ]
     report["kpis"] = gates
     report["ok"] = all(g["pass"] for g in gates)
     return report

@@ -46,6 +46,7 @@ service time).
 from __future__ import annotations
 
 import json
+import math
 import socket
 from typing import Any
 
@@ -98,8 +99,15 @@ def parse_request(obj: dict) -> dict:
         )
     deadline_ms = obj.get("deadline_ms")
     if deadline_ms is not None:
-        if not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0:
-            raise ProtocolError("deadline_ms must be a positive number")
+        # bool is an int subclass and NaN compares False against <= 0,
+        # so both need explicit rejection
+        if (
+            isinstance(deadline_ms, bool)
+            or not isinstance(deadline_ms, (int, float))
+            or not math.isfinite(deadline_ms)
+            or deadline_ms <= 0
+        ):
+            raise ProtocolError("deadline_ms must be a positive finite number")
     technique = obj.get("technique")
     if technique is not None and not isinstance(technique, str):
         raise ProtocolError("technique must be a string")

@@ -42,8 +42,10 @@ from ..gpusim.device import DeviceConfig, K40C
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..obs.log import get_logger
+from ..perf.batched import sssp_batched
 from ..resilience.faults import fault_point
 from ..verify.invariants import verify_plan
+from .batching import BatchWindow
 from .breaker import CircuitBreaker
 from .deadline import Deadline, deadline_runner_factory
 from .degrade import DegradationLadder
@@ -85,6 +87,10 @@ class ServeConfig:
     approx_technique: str = "coalescing"
     level1_wait_ms: float = 50.0
     level2_wait_ms: float = 200.0
+    # query batching window (0 = disabled): same-graph/same-algorithm
+    # queries arriving within the window share one batched sweep
+    batch_window_ms: float = 0.0
+    batch_max_lanes: int = 8
     # observability sinks flushed on drain
     metrics_out: str | None = None
     trace_out: str | None = None
@@ -102,6 +108,10 @@ class ServeConfig:
             raise ServeError("approx_technique must be in techniques")
         if self.workers < 1:
             raise ServeError("workers must be >= 1")
+        if self.batch_window_ms < 0:
+            raise ServeError("batch_window_ms must be >= 0")
+        if self.batch_max_lanes < 1:
+            raise ServeError("batch_max_lanes must be >= 1")
 
 
 class GraphService:
@@ -138,6 +148,11 @@ class GraphService:
                     self._plans[(name, technique)] = build_plan(
                         self.graphs[name], technique, device=config.device
                     )
+        self.batcher = (
+            BatchWindow(config.batch_window_ms / 1000.0, config.batch_max_lanes)
+            if config.batch_window_ms > 0
+            else None
+        )
         if config.self_check:
             self.self_check()
         logger.info(
@@ -224,12 +239,13 @@ class GraphService:
 
             deadline.check("solve")
             t0 = _now()
+            batch_key = (graph_name, technique)
             if op == "sssp":
-                result = self._sssp(plan, params, deadline)
+                result = self._sssp(plan, params, deadline, batch_key=batch_key)
             elif op == "pr_topk":
                 result = self._pr_topk(plan, params, deadline)
             elif op == "bc_node":
-                result = self._bc_node(plan, params, deadline)
+                result = self._bc_node(plan, params, deadline, batch_key=batch_key)
             else:  # pragma: no cover - parse_request rejects these
                 raise ProtocolError(f"op {op!r} is not a query op")
             _stage_time("solve", t0)
@@ -241,23 +257,57 @@ class GraphService:
         )
 
     # ------------------------------------------------------------------
-    def _sssp(self, plan: ExecutionPlan, params: dict, deadline: Deadline) -> dict:
+    def _sssp(
+        self,
+        plan: ExecutionPlan,
+        params: dict,
+        deadline: Deadline,
+        *,
+        batch_key: tuple | None = None,
+    ) -> dict:
         source = _int_param(params, "source", required=True)
         n = plan.num_original
         if not 0 <= source < n:
             raise ProtocolError(f"source {source} out of range for n={n}")
-        res = sssp(
-            plan,
-            source,
-            device=self.config.device,
-            runner_factory=deadline_runner_factory(deadline),
-        )
-        dist = res.values
-        out: dict[str, Any] = {"source": source, "iterations": int(res.iterations)}
         target = _int_param(params, "target", required=False)
+        if target is not None and not 0 <= target < n:
+            raise ProtocolError(f"target {target} out of range for n={n}")
+
+        def solo(src: int, dl: Deadline) -> tuple[np.ndarray, int]:
+            res = sssp(
+                plan,
+                src,
+                device=self.config.device,
+                runner_factory=deadline_runner_factory(dl),
+            )
+            return res.values, int(res.iterations)
+
+        if self.batcher is not None and batch_key is not None:
+
+            def batch(sources: list[int], dl: Deadline) -> list:
+                res = sssp_batched(
+                    plan,
+                    sources,
+                    device=self.config.device,
+                    runner_factory=deadline_runner_factory(dl),
+                    deadline=dl,
+                )
+                return [
+                    (res.values[i], int(res.iterations[i]))
+                    for i in range(len(sources))
+                ]
+
+            (dist, iters), lanes = self.batcher.run(
+                ("sssp",) + batch_key, source, deadline, batch, solo
+            )
+        else:
+            (dist, iters), lanes = solo(source, deadline), 1
+
+        out: dict[str, Any] = {"source": source, "iterations": iters}
+        if lanes > 1:
+            out["batched"] = True
+            out["batch_lanes"] = lanes
         if target is not None:
-            if not 0 <= target < n:
-                raise ProtocolError(f"target {target} out of range for n={n}")
             d = float(dist[target])
             out["target"] = target
             out["reachable"] = bool(np.isfinite(d))
@@ -273,7 +323,9 @@ class GraphService:
         k = 10 if k is None else k
         if k < 1:
             raise ProtocolError("k must be >= 1")
-        tol = float(params.get("tol", 1e-8))
+        tol = _float_param(params, "tol", default=1e-8)
+        if tol <= 0:
+            raise ProtocolError("tol must be > 0")
         res = pagerank(
             plan,
             tol=tol,
@@ -290,7 +342,14 @@ class GraphService:
             "top": [[int(i), float(ranks[i])] for i in order],
         }
 
-    def _bc_node(self, plan: ExecutionPlan, params: dict, deadline: Deadline) -> dict:
+    def _bc_node(
+        self,
+        plan: ExecutionPlan,
+        params: dict,
+        deadline: Deadline,
+        *,
+        batch_key: tuple | None = None,
+    ) -> dict:
         node = _int_param(params, "node", required=True)
         n = plan.num_original
         if not 0 <= node < n:
@@ -299,20 +358,50 @@ class GraphService:
         num_sources = 8 if num_sources is None else num_sources
         if num_sources < 1:
             raise ProtocolError("num_sources must be >= 1")
-        seed = _int_param(params, "seed", required=False) or 0
-        res = betweenness_centrality(
-            plan,
-            num_sources=num_sources,
-            seed=seed,
-            device=self.config.device,
-            runner_factory=deadline_runner_factory(deadline),
-        )
-        return {
+        seed = _int_param(params, "seed", required=False)
+        seed = 0 if seed is None else seed
+        if seed < 0:
+            raise ProtocolError("seed must be >= 0")
+
+        def solo(nd: int, dl: Deadline) -> float:
+            res = betweenness_centrality(
+                plan,
+                num_sources=num_sources,
+                seed=seed,
+                device=self.config.device,
+                runner_factory=deadline_runner_factory(dl),
+            )
+            return float(res.values[nd])
+
+        if self.batcher is not None and batch_key is not None:
+            # one BC run answers every node in the group, and the batched
+            # engine stacks its sampled sources into one sweep besides
+            def batch(nodes: list[int], dl: Deadline) -> list[float]:
+                res = betweenness_centrality(
+                    plan,
+                    num_sources=num_sources,
+                    seed=seed,
+                    engine="batched",
+                    device=self.config.device,
+                    runner_factory=deadline_runner_factory(dl),
+                )
+                return [float(res.values[nd]) for nd in nodes]
+
+            key = ("bc_node",) + batch_key + (num_sources, seed)
+            score, lanes = self.batcher.run(key, node, deadline, batch, solo)
+        else:
+            score, lanes = solo(node, deadline), 1
+
+        out: dict[str, Any] = {
             "node": node,
             "num_sources": int(num_sources),
             "seed": int(seed),
-            "score": float(res.values[node]),
+            "score": score,
         }
+        if lanes > 1:
+            out["batched"] = True
+            out["batch_lanes"] = lanes
+        return out
 
 
 def _now() -> float:
@@ -338,3 +427,18 @@ def _int_param(params: dict, name: str, *, required: bool) -> int | None:
     if isinstance(value, float) and not value.is_integer():
         raise ProtocolError(f"param {name!r} must be an integer")
     return int(value)
+
+
+def _float_param(params: dict, name: str, *, default: float) -> float:
+    value = params.get(name)
+    if value is None:
+        return default
+    # bool is an int subclass; NaN/inf survive float() and poison solves
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(f"param {name!r} must be a finite number")
+    value = float(value)
+    import math
+
+    if not math.isfinite(value):
+        raise ProtocolError(f"param {name!r} must be a finite number")
+    return value

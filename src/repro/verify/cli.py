@@ -150,6 +150,27 @@ def _differential_checks(corpus, seed, device):
         )
     )
 
+    yield "differential:batched:road:exact", lambda: (
+        differential.check_batched(
+            corpus["road"], technique="exact", seed=seed, device=device
+        )
+    )
+    yield "differential:batched:multigraph:exact", lambda: (
+        differential.check_batched(
+            corpus["multigraph"], technique="exact", seed=seed, device=device
+        )
+    )
+    yield "differential:batched:social:coalescing", lambda: (
+        differential.check_batched(
+            corpus["social"], technique="coalescing", seed=seed, device=device
+        )
+    )
+    yield "differential:batched:er:divergence", lambda: (
+        differential.check_batched(
+            corpus["er"], technique="divergence", seed=seed, device=device
+        )
+    )
+
     def cache_check():
         with tempfile.TemporaryDirectory(prefix="repro-verify-cache-") as tmp:
             return differential.check_cache_differential(

@@ -13,7 +13,12 @@ is wrong:
 * :func:`check_schedules` — push-pinned, pull-pinned and
   direction-optimizing sweep schedules against the unscheduled kernels
   (values and iterations byte-equal everywhere; push-pinned charges
-  additionally bit-identical to no schedule at all).
+  additionally bit-identical to no schedule at all);
+* :func:`check_batched` — the multi-source batched sweep engine
+  (:mod:`repro.perf.batched`) against per-source loops: every lane's
+  values, iteration count, and cost-model charges must be byte-equal to
+  the corresponding solo run, over adversarial source sets (single
+  source, pairs, duplicates, more than half the graph).
 
 ``preprocess_seconds`` is the one field deliberately excluded from plan
 comparisons: it is wall-clock and legitimately differs between runs.
@@ -34,6 +39,7 @@ from ..gpusim.device import DeviceConfig, K40C
 from .invariants import Violation
 
 __all__ = [
+    "check_batched",
     "check_bc_engines",
     "check_cache_differential",
     "check_schedules",
@@ -214,6 +220,132 @@ def check_schedules(
                 )
             if spec == "push":
                 v += _results_identical(res, base, what)
+    return v
+
+
+# ---------------------------------------------------------------------------
+def _lane_violations(
+    batched, k: int, solo, what: str
+) -> list[Violation]:
+    """Diff batched lane ``k`` against its solo run, byte for byte."""
+    v: list[Violation] = []
+    lane_vals = batched.values[k]
+    if (
+        lane_vals.dtype != solo.values.dtype
+        or lane_vals.tobytes() != solo.values.tobytes()
+    ):
+        v.append(
+            Violation(
+                f"differential.{what}",
+                f"lane {k} values are not byte-equal to the looped run",
+            )
+        )
+    if batched.iterations[k] != solo.iterations:
+        v.append(
+            Violation(
+                f"differential.{what}",
+                f"lane {k} iteration count differs "
+                f"({batched.iterations[k]} vs {solo.iterations})",
+            )
+        )
+    sa = batched.lane_metrics[k].summary()
+    sb = solo.metrics.summary()
+    if sa != sb:
+        keys = sorted(x for x in set(sa) | set(sb) if sa.get(x) != sb.get(x))
+        v.append(
+            Violation(
+                f"differential.{what}",
+                f"lane {k} per-source charges differ on {keys}",
+            )
+        )
+    return v
+
+
+def check_batched(
+    graph: CSRGraph,
+    *,
+    technique: str = "exact",
+    seed: int = 0,
+    device: DeviceConfig = K40C,
+) -> list[Violation]:
+    """Batched multi-source sweeps must decompose into their looped runs.
+
+    For BFS levels and SSSP, every lane of
+    :func:`~repro.perf.batched.bfs_levels_batched` /
+    :func:`~repro.perf.batched.sssp_batched` must match the corresponding
+    single-source run byte-for-byte — values, iteration count, *and* the
+    per-lane cost-model charges (the batched charging theorem, checked
+    rather than assumed).  For BC, ``engine="batched"`` must reproduce
+    ``engine="gather"`` exactly, including the per-source metrics in
+    ``aux``.  Source sets are chosen adversarially: a single source, a
+    pair, a set with duplicate sources, and one covering more than half
+    the graph.
+    """
+    from ..algorithms.bfs import bfs
+    from ..perf.batched import bfs_levels_batched, sssp_batched
+
+    target: CSRGraph | ExecutionPlan = graph
+    if technique != "exact":
+        target = build_plan(graph, technique, device=device)
+    n = graph.num_nodes
+    rng = np.random.default_rng(seed)
+    hub = int(np.argmax(graph.out_degrees()))
+    source_sets = [
+        ("single", [hub]),
+        ("pair", sorted({hub, int(rng.integers(n))})),
+        ("dup", [hub, hub]),
+        ("wide", rng.choice(n, size=min(n, n // 2 + 1), replace=False).tolist()),
+    ]
+
+    v: list[Violation] = []
+    for schedule in (None, "direction-optimizing"):
+        sched_tag = schedule or "none"
+        for set_name, srcs in source_sets:
+            tag = f"batched.{technique}.{sched_tag}.{set_name}"
+            bb = bfs_levels_batched(
+                target, srcs, device=device, schedule=schedule
+            )
+            sb = sssp_batched(target, srcs, device=device, schedule=schedule)
+            for k, s in enumerate(srcs):
+                solo_bfs = bfs(target, int(s), device=device, schedule=schedule)
+                solo_sssp = sssp(target, int(s), device=device, schedule=schedule)
+                v += _lane_violations(bb, k, solo_bfs, f"{tag}.bfs")
+                v += _lane_violations(sb, k, solo_sssp, f"{tag}.sssp")
+
+        srcs = source_sets[-1][1]
+        ref = betweenness_centrality(
+            target, sources=srcs, engine="gather", device=device,
+            schedule=schedule,
+        )
+        bat = betweenness_centrality(
+            target, sources=srcs, engine="batched", device=device,
+            schedule=schedule,
+        )
+        v += _results_identical(bat, ref, f"batched.{technique}.{sched_tag}.bc")
+        for k, s in enumerate(srcs):
+            solo = betweenness_centrality(
+                target, sources=[int(s)], engine="gather", device=device,
+                schedule=schedule,
+            )
+            sa = bat.aux["per_source_metrics"][k].summary()
+            ss = solo.metrics.summary()
+            if sa != ss:
+                keys = sorted(
+                    x for x in set(sa) | set(ss) if sa.get(x) != ss.get(x)
+                )
+                v.append(
+                    Violation(
+                        f"differential.batched.{technique}.{sched_tag}.bc",
+                        f"lane {k} per-source charges differ on {keys}",
+                    )
+                )
+            if bat.aux["per_source_iterations"][k] != solo.iterations:
+                v.append(
+                    Violation(
+                        f"differential.batched.{technique}.{sched_tag}.bc",
+                        f"lane {k} iteration count differs",
+                    )
+                )
     return v
 
 

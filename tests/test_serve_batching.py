@@ -1,0 +1,370 @@
+"""The serve-side batching window (``repro.serve.batching``).
+
+Unit tests drive :class:`BatchWindow` directly with synthetic batch/solo
+functions; the end-to-end tests run a real server with the window
+enabled and fire same-key bursts at it, asserting shared sweeps engage
+(``batch_lanes > 1``) with answers byte-equal to an unbatched server.
+The validation regressions at the bottom pin the parameter-checking
+fixes that rode along (bool/NaN deadlines, bool/fractional ints,
+non-finite ``tol``, negative ``seed``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ProtocolError, ServeError
+from repro.obs import metrics as obs_metrics
+from repro.serve.batching import BatchWindow
+from repro.serve.deadline import Deadline
+from repro.serve.protocol import ServeClient, parse_request
+from repro.serve.server import ReproServer
+from repro.serve.service import GraphService, ServeConfig, _int_param
+
+
+def _run_burst(window, keys_payloads, deadline_ms, batch_fn, solo_fn):
+    """Fire one thread per (key, payload); returns {payload: (result, lanes)}."""
+    out = {}
+    errors = []
+
+    def worker(key, payload):
+        try:
+            out[payload] = window.run(
+                key, payload, Deadline.from_ms(deadline_ms), batch_fn, solo_fn
+            )
+        except Exception as exc:  # noqa: BLE001 - surfaced by the test
+            errors.append((payload, exc))
+
+    threads = [
+        threading.Thread(target=worker, args=kp) for kp in keys_payloads
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return out, errors
+
+
+class TestBatchWindow:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            BatchWindow(0.0, 4)
+        with pytest.raises(ValueError):
+            BatchWindow(0.01, 0)
+
+    def test_same_key_burst_shares_one_batch(self):
+        window = BatchWindow(0.2, 8)
+        calls = []
+
+        def batch_fn(payloads, deadline):
+            calls.append(sorted(payloads))
+            return [p * 10 for p in payloads]
+
+        def solo_fn(payload, deadline):
+            return payload * 10
+
+        out, errors = _run_burst(
+            window, [("k", i) for i in range(4)], 2000, batch_fn, solo_fn
+        )
+        assert not errors
+        assert len(calls) == 1 and calls[0] == [0, 1, 2, 3]
+        for p, (result, lanes) in out.items():
+            assert result == p * 10
+            assert lanes == 4
+
+    def test_different_keys_never_mix(self):
+        window = BatchWindow(0.05, 8)
+        calls = []
+
+        def batch_fn(payloads, deadline):
+            calls.append(sorted(payloads))
+            return list(payloads)
+
+        out, errors = _run_burst(
+            window,
+            [("a", 1), ("a", 2), ("b", 3)],
+            2000,
+            batch_fn,
+            lambda p, d: p,
+        )
+        assert not errors
+        # key "b" had a single member: answered solo, no batch call
+        assert out[3] == (3, 1)
+        assert [1, 2] in calls and all(3 not in c for c in calls)
+
+    def test_single_member_window_runs_solo(self):
+        window = BatchWindow(0.01, 8)
+        result, lanes = window.run(
+            "k",
+            7,
+            Deadline.from_ms(1000),
+            lambda ps, d: pytest.fail("batch_fn must not run for one member"),
+            lambda p, d: p + 1,
+        )
+        assert (result, lanes) == (8, 1)
+
+    def test_full_group_seals_early(self):
+        # max_lanes reached => the leader does not sleep the whole window
+        window = BatchWindow(5.0, 2)
+        t0 = time.perf_counter()
+        out, errors = _run_burst(
+            window,
+            [("k", 1), ("k", 2)],
+            20000,
+            lambda ps, d: list(ps),
+            lambda p, d: p,
+        )
+        assert not errors
+        assert time.perf_counter() - t0 < 2.0
+        assert all(lanes == 2 for _, lanes in out.values())
+
+    def test_batch_failure_falls_back_solo(self):
+        window = BatchWindow(0.2, 8)
+
+        def batch_fn(payloads, deadline):
+            raise RuntimeError("sweep exploded")
+
+        out, errors = _run_burst(
+            window, [("k", 1), ("k", 2)], 2000, batch_fn, lambda p, d: p * 3
+        )
+        assert not errors
+        assert out == {1: (3, 1), 2: (6, 1)}
+
+    def test_wrong_result_count_falls_back(self):
+        window = BatchWindow(0.2, 8)
+        out, errors = _run_burst(
+            window, [("k", 1), ("k", 2)], 2000, lambda ps, d: [0], lambda p, d: p
+        )
+        assert not errors
+        assert out == {1: (1, 1), 2: (2, 1)}
+
+    def test_leader_wait_capped_by_tight_deadline(self):
+        # a 10 s window must not hold a 100 ms-budget request hostage
+        window = BatchWindow(10.0, 8)
+        t0 = time.perf_counter()
+        result, lanes = window.run(
+            "k", 1, Deadline.from_ms(100), lambda ps, d: list(ps), lambda p, d: p
+        )
+        assert (result, lanes) == (1, 1)
+        assert time.perf_counter() - t0 < 1.0
+
+
+class TestServiceBatching:
+    @pytest.fixture(scope="class")
+    def batched_service(self):
+        return GraphService(
+            ServeConfig(
+                scale="tiny",
+                seed=7,
+                batch_window_ms=50.0,
+                batch_max_lanes=8,
+                self_check=False,
+            )
+        )
+
+    @pytest.fixture(scope="class")
+    def solo_service(self):
+        return GraphService(
+            ServeConfig(scale="tiny", seed=7, self_check=False)
+        )
+
+    def test_sssp_burst_batches_with_identical_answers(
+        self, batched_service, solo_service
+    ):
+        g = sorted(batched_service.graphs)[0]
+        sources = list(range(5))
+        expect = {
+            s: solo_service.execute(
+                {"op": "sssp", "graph": g, "source": s}, Deadline.from_ms(10000)
+            )["result"]
+            for s in sources
+        }
+        got = {}
+        errors = []
+
+        def worker(s):
+            try:
+                got[s] = batched_service.execute(
+                    {"op": "sssp", "graph": g, "source": s},
+                    Deadline.from_ms(10000),
+                )["result"]
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in sources]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        batched_lanes = 0
+        for s in sources:
+            for key in ("source", "iterations", "reached", "total_distance"):
+                assert got[s][key] == expect[s][key], f"source {s}, {key}"
+            if got[s].get("batched"):
+                assert got[s]["batch_lanes"] > 1
+                batched_lanes += 1
+        assert batched_lanes > 0, "burst never engaged the batching window"
+
+    def test_bc_node_burst_batches(self, batched_service, solo_service):
+        g = sorted(batched_service.graphs)[0]
+        nodes = [0, 1, 2, 3]
+        req = lambda nd: {  # noqa: E731
+            "op": "bc_node", "graph": g, "node": nd,
+            "num_sources": 4, "seed": 1,
+        }
+        expect = {
+            nd: solo_service.execute(req(nd), Deadline.from_ms(10000))["result"]
+            for nd in nodes
+        }
+        got = {}
+
+        def worker(nd):
+            got[nd] = batched_service.execute(
+                req(nd), Deadline.from_ms(10000)
+            )["result"]
+
+        threads = [threading.Thread(target=worker, args=(nd,)) for nd in nodes]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert any(got[nd].get("batched") for nd in nodes)
+        for nd in nodes:
+            assert got[nd]["score"] == expect[nd]["score"], f"node {nd}"
+
+    def test_window_disabled_by_default(self, solo_service):
+        assert solo_service.batcher is None
+
+    def test_config_validation(self):
+        with pytest.raises(ServeError):
+            ServeConfig(scale="tiny", batch_window_ms=-1.0)
+        with pytest.raises(ServeError):
+            ServeConfig(scale="tiny", batch_max_lanes=0)
+
+    def test_batch_counters_surface(self, batched_service):
+        snap = obs_metrics.snapshot()
+        assert snap["counters"].get("serve.batch.groups", 0) >= 1
+        assert "serve.batch.lanes" in snap["histograms"]
+
+
+class TestServerBurst:
+    """Socket-level burst through a window-enabled server."""
+
+    @pytest.fixture(scope="class")
+    def server(self):
+        srv = ReproServer(
+            ServeConfig(
+                scale="tiny",
+                seed=7,
+                workers=8,
+                max_queue_depth=32,
+                batch_window_ms=50.0,
+                self_check=False,
+            )
+        )
+        srv.start()
+        yield srv
+        srv.stop(drain=False)
+
+    def test_concurrent_same_source_burst(self, server):
+        g = "livejournal"
+        responses = {}
+
+        def worker(i):
+            with ServeClient("127.0.0.1", server.port) as c:
+                responses[i] = c.request(
+                    {"op": "sssp", "graph": g, "source": 0, "id": i,
+                     "deadline_ms": 20000}
+                )
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        base = None
+        batched = 0
+        for i, resp in responses.items():
+            assert resp["status"] == "ok", resp
+            res = resp["result"]
+            if base is None:
+                base = (res["reached"], res["total_distance"], res["iterations"])
+            assert (
+                res["reached"], res["total_distance"], res["iterations"]
+            ) == base, f"request {i} got a different answer"
+            if res.get("batched"):
+                batched += 1
+                assert res["batch_lanes"] > 1
+        assert batched > 0, "server burst never shared a sweep"
+
+
+class TestValidationRegressions:
+    """Parameter validation must reject bools, non-integral floats, NaN."""
+
+    def test_deadline_ms_rejects_bool_and_nan(self):
+        for bad in (True, False, float("nan"), float("inf"), -1, 0, "soon"):
+            with pytest.raises(ProtocolError, match="deadline_ms"):
+                parse_request({"op": "sssp", "deadline_ms": bad})
+        assert parse_request({"op": "sssp", "deadline_ms": 250})
+
+    def test_int_param_rejects_bool(self):
+        with pytest.raises(ProtocolError, match="integer"):
+            _int_param({"source": True}, "source", required=True)
+        with pytest.raises(ProtocolError, match="integer"):
+            _int_param({"k": False}, "k", required=False)
+
+    def test_int_param_rejects_fractional_float(self):
+        with pytest.raises(ProtocolError, match="integer"):
+            _int_param({"node": 1.5}, "node", required=True)
+        assert _int_param({"node": 3.0}, "node", required=True) == 3
+
+    def test_int_param_rejects_strings_and_missing(self):
+        with pytest.raises(ProtocolError, match="integer"):
+            _int_param({"source": "0"}, "source", required=True)
+        with pytest.raises(ProtocolError, match="missing"):
+            _int_param({}, "source", required=True)
+        assert _int_param({}, "k", required=False) is None
+
+    @pytest.fixture(scope="class")
+    def service(self):
+        return GraphService(
+            ServeConfig(scale="tiny", seed=7, self_check=False)
+        )
+
+    def _execute(self, service, req):
+        return service.execute(req, Deadline.from_ms(10000))
+
+    def test_pr_topk_rejects_bad_tol(self, service):
+        g = sorted(service.graphs)[0]
+        for bad in (True, float("nan"), float("inf"), "tight", 0.0, -1e-9):
+            with pytest.raises(ProtocolError):
+                self._execute(
+                    service, {"op": "pr_topk", "graph": g, "tol": bad}
+                )
+        ok = self._execute(service, {"op": "pr_topk", "graph": g, "k": 3})
+        assert ok["status"] == "ok"
+
+    def test_bc_node_rejects_negative_seed(self, service):
+        g = sorted(service.graphs)[0]
+        with pytest.raises(ProtocolError, match="seed"):
+            self._execute(
+                service,
+                {"op": "bc_node", "graph": g, "node": 0, "seed": -1},
+            )
+
+    def test_sssp_rejects_bool_source(self, service):
+        g = sorted(service.graphs)[0]
+        with pytest.raises(ProtocolError, match="integer"):
+            self._execute(service, {"op": "sssp", "graph": g, "source": True})
+
+    def test_sssp_validates_target_before_solving(self, service):
+        g = sorted(service.graphs)[0]
+        n = service.graphs[g].num_nodes
+        with pytest.raises(ProtocolError, match="target"):
+            self._execute(
+                service, {"op": "sssp", "graph": g, "source": 0, "target": n}
+            )
