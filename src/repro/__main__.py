@@ -16,7 +16,9 @@ Subcommands:
 * ``bench serve`` — the YAML load generator + KPI gate against the
   server (:mod:`repro.serve.loadgen`), emitting ``BENCH_SERVE.json``;
 * ``obs diff A B`` — noise-aware comparison of two perf/metrics/trace/
-  verify reports (see :mod:`repro.obs.diff` and ``docs/observability.md``).
+  verify reports (see :mod:`repro.obs.diff` and ``docs/observability.md``);
+* ``tune`` — the offline knob auto-tuner emitting ``BENCH_TUNE.json``
+  (see :mod:`repro.tune` and ``docs/tuning.md``).
 """
 
 import sys
@@ -48,6 +50,10 @@ def main(argv=None):
         from .perf.bench import main as perf_main
 
         return perf_main(argv[1:])
+    if argv and argv[0] == "tune":
+        from .tune.cli import main as tune_main
+
+        return tune_main(argv[1:])
     if argv and argv[0] == "verify":
         from .verify.cli import main as verify_main
 

@@ -158,6 +158,16 @@ class Runner:
         self._sched_prev = decision
         return decision
 
+    def keep_iterating(self, delta: float, tol: float) -> bool:
+        """Whether a residual-driven loop (PageRank-style) should continue.
+
+        The seam the adaptive controller (:mod:`repro.tune`) overrides
+        to loosen the effective tolerance under its error budget; the
+        base runner preserves the historical ``delta > tol`` check
+        bit-for-bit.
+        """
+        return bool(delta > tol)
+
     def confluence(self, values: np.ndarray, operator: str | None = None) -> None:
         """Merge replica values (no-op for plans without replicas)."""
         if self.plan.graffix is not None:

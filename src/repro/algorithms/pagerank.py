@@ -70,7 +70,9 @@ def pagerank(
 
     iterations = 0
     delta = np.inf
-    while iterations < max_iterations and delta > tol:
+    # convergence is delegated to the runner (the repro.tune seam): the
+    # base Runner preserves the historical `delta > tol` check exactly
+    while iterations < max_iterations and runner.keep_iterating(delta, tol):
         iterations += 1
         decision = runner._decide(None)
         if decision is not None and decision.direction == "pull":

@@ -73,9 +73,11 @@ VERDICTS = ("improved", "regressed", "neutral", "below-floor", "added", "removed
 def load_comparable(path: str | Path, *, entry: int = -1) -> tuple[str, Any]:
     """Load one input file; returns ``(kind, payload)``.
 
-    ``kind`` is one of ``perf`` / ``metrics`` / ``verify`` / ``profile``
-    / ``trace``.  Trajectory files resolve to the ``perf`` report of
-    their ``entry``-th recorded point (default: the last).
+    ``kind`` is one of ``perf`` / ``tune`` / ``metrics`` / ``verify`` /
+    ``profile`` / ``trace``.  Trajectory files resolve to the report of
+    their ``entry``-th recorded point (default: the last), re-detecting
+    the embedded report's kind — perf and tune trajectories share the
+    same envelope.
     """
     path = Path(path)
     if not path.exists():
@@ -106,18 +108,30 @@ def load_comparable(path: str | Path, *, entry: int = -1) -> tuple[str, Any]:
                         f"trajectory {path} has {len(entries)} entries; "
                         f"--entry {entry} is out of range"
                     ) from None
-                return "perf", picked["report"]
-            if "kernels" in obj:
-                return "perf", obj
-            if "checks" in obj:
-                return "verify", obj
-            if "spans" in obj and "samples" in obj:
-                return "profile", obj
-            if "counters" in obj or "histograms" in obj or "gauges" in obj:
-                return "metrics", obj
+                inner = picked["report"]
+                kind = _mapping_kind(inner) if isinstance(inner, Mapping) else None
+                return kind or "perf", inner
+            kind = _mapping_kind(obj)
+            if kind is not None:
+                return kind, obj
             if "traceEvents" in obj:
                 return "trace", _trace_spans(path)
         raise ValueError(f"{path}: unrecognized report shape")
+
+
+def _mapping_kind(obj: Mapping) -> str | None:
+    """Shape-detect a mapping report's kind (``None`` if unrecognized)."""
+    if "kernels" in obj:
+        return "perf"
+    if "families" in obj:
+        return "tune"
+    if "checks" in obj:
+        return "verify"
+    if "spans" in obj and "samples" in obj:
+        return "profile"
+    if "counters" in obj or "histograms" in obj or "gauges" in obj:
+        return "metrics"
+    return None
     # JSONL trace (one span per line)
     return "trace", _trace_spans(path)
 
@@ -152,6 +166,33 @@ def extract_series(kind: str, payload: Any) -> dict[str, dict]:
                         "value": 1.0 / spd,
                         "samples": None,
                     }
+            if "speedup_vs_static" in row:
+                # @tuned rows likewise gate the adaptive controller's
+                # win over the static-knob run
+                spd = float(row["speedup_vs_static"])
+                if spd > 0:
+                    out[f"perf:{row['kernel']}/{row['graph']}:inv_speedup_vs_static"] = {
+                        "value": 1.0 / spd,
+                        "samples": None,
+                    }
+        return out
+    if kind == "tune":
+        # all series lower-is-better: charged cycles are deterministic,
+        # so losing the tuned win or gaining inaccuracy trips the diff
+        out = {}
+        for family, rec in (payload.get("families") or {}).items():
+            out[f"tune:{family}:tuned_cycles"] = {
+                "value": float(rec["tuned"]["cycles"]), "samples": None
+            }
+            spd = float(rec.get("speedup_vs_static") or 0.0)
+            if spd > 0:
+                out[f"tune:{family}:inv_speedup_vs_static"] = {
+                    "value": 1.0 / spd, "samples": None
+                }
+            out[f"tune:{family}:inaccuracy_percent"] = {
+                "value": float(rec["tuned"]["inaccuracy_percent"]),
+                "samples": None,
+            }
         return out
     if kind == "verify":
         gauges = ((payload.get("metrics") or {}).get("gauges")) or {}

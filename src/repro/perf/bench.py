@@ -39,6 +39,13 @@ same sources through the per-source loop; ``speedup_vs_looped`` is the
 batching win, with answers and charges proven bit-identical by
 ``differential:batched``.
 
+Two more comparison rows, ``sssp@tuned`` and ``pagerank@tuned``, run
+the same workload under the adaptive controller
+(:mod:`repro.tune`, budget ``--tune-budget`` percent); their
+``speedup_vs_static`` is the controller's win over the static-knob base
+row on the same schedule — the runtime counterpart of the offline
+``python -m repro tune`` search.
+
 ``--record-trajectory`` appends the report, with commit and config
 provenance, to ``benchmarks/results/TRAJECTORY.json`` — the committed
 perf history that CI's ``obs diff`` gate compares fresh runs against.
@@ -82,7 +89,9 @@ def _bench_source(graph: CSRGraph) -> int:
 
 
 def _kernels(
-    schedule: str | None = None, batch_sources: int = 8
+    schedule: str | None = None,
+    batch_sources: int = 8,
+    tune_budget: float = 20.0,
 ) -> list[dict]:
     from ..algorithms.bc import betweenness_centrality, pick_sources
     from ..algorithms.bfs import bfs
@@ -90,9 +99,14 @@ def _kernels(
     from ..algorithms.sssp import sssp
     from ..algorithms.wcc import wcc
     from ..baselines.gunrock import sssp_frontier
+    from ..tune import ErrorBudget, adaptive_runner_factory
     from .batched import sssp_batched
     from .schedule import schedule_for
     from . import reference as ref
+
+    tune_factory = lambda g: adaptive_runner_factory(  # noqa: E731
+        ErrorBudget(target_percent=tune_budget), exact_graph=g
+    )
 
     def bc_engine(g, engine, sched=None, num_sources=_BC_SOURCES):
         return betweenness_centrality(
@@ -189,6 +203,27 @@ def _kernels(
             "reference": None,
             "looped": sssp_looped,
         },
+        # adaptive-controller rows: identical workload + schedule to the
+        # base rows, but run through repro.tune's runner factory under a
+        # finite error budget; ``speedup_vs_static`` is derived post-run
+        # from the matching base row
+        {
+            "kernel": "sssp@tuned",
+            "schedule": label,
+            "run": lambda g: sssp(
+                g, _bench_source(g), schedule=schedule,
+                runner_factory=tune_factory(g),
+            ),
+            "reference": None,
+        },
+        {
+            "kernel": "pagerank@tuned",
+            "schedule": label,
+            "run": lambda g: pagerank(
+                g, schedule=schedule, runner_factory=tune_factory(g)
+            ),
+            "reference": None,
+        },
     ]
     return specs
 
@@ -216,12 +251,14 @@ def run_bench(
     graphs: list[str] | None = None,
     schedule: str | None = None,
     batch_sources: int = 8,
+    tune_budget: float = 20.0,
 ) -> dict:
     """Time every kernel on every suite graph; returns the report dict.
 
     ``schedule`` pins a sweep schedule on every schedulable base row
     (the ``@diropt`` comparison rows always run direction-optimizing);
-    ``batch_sources`` sets how many lanes the ``@batched`` rows stack.
+    ``batch_sources`` sets how many lanes the ``@batched`` rows stack;
+    ``tune_budget`` is the ``@tuned`` rows' inaccuracy budget (percent).
     """
     with obs_trace.span("perf.bench.suite", scale=scale):
         suite = paper_suite(scale, seed=seed)
@@ -232,7 +269,7 @@ def run_bench(
         suite = {name: suite[name] for name in graphs}
     rows: list[dict] = []
     for name, graph in suite.items():
-        for spec in _kernels(schedule, batch_sources):
+        for spec in _kernels(schedule, batch_sources, tune_budget):
             with obs_trace.span(
                 "perf.bench.kernel", kernel=spec["kernel"], graph=name
             ):
@@ -294,6 +331,19 @@ def run_bench(
         if "@" not in kernel or kernel.endswith("@batched"):
             # @batched rows compare against their own looped runs (often
             # a different source count than the base row), not fixed-push
+            continue
+        if kernel.endswith("@tuned"):
+            # @tuned rows compare against the base row on the *same*
+            # schedule: the pair differs only by the adaptive controller
+            base = by_key.get((kernel.split("@", 1)[0], row["graph"]))
+            if base is not None and base["schedule"] == row["schedule"]:
+                row["static_seconds"] = base["seconds"]
+                row["tune_budget_percent"] = tune_budget
+                row["speedup_vs_static"] = (
+                    base["seconds"] / row["seconds"]
+                    if row["seconds"] > 0
+                    else float("inf")
+                )
             continue
         base = by_key.get((kernel.split("@", 1)[0], row["graph"]))
         if base is None or base["schedule"] != "fixed-push":
@@ -457,6 +507,18 @@ def _format_report(report: dict) -> str:
                 f"{r['speedup_vs_looped']:.2f}x "
                 f"({r['looped_seconds']:.4f}s -> {r['seconds']:.4f}s)"
             )
+    tuned_rows = [r for r in report["kernels"] if "speedup_vs_static" in r]
+    if tuned_rows:
+        lines.append(
+            f"adaptive controller vs static knobs "
+            f"(budget {tuned_rows[0].get('tune_budget_percent', '?')}%):"
+        )
+        for r in tuned_rows:
+            lines.append(
+                f"  {r['kernel']:<16}{r['graph']:<14}"
+                f"{r['speedup_vs_static']:.2f}x "
+                f"({r['static_seconds']:.4f}s -> {r['seconds']:.4f}s)"
+            )
     best = report.get("best_speedup_vs_reference", {})
     for kernel, agg in sorted(
         report.get("aggregate_speedup_vs_reference", {}).items()
@@ -489,6 +551,11 @@ def main(argv: list[str] | None = None) -> int:
         "--batch-sources", type=int, default=8, metavar="S",
         help="lanes the @batched rows stack into one multi-source sweep "
         "(default 8; the looped comparison runs the same S sources)",
+    )
+    parser.add_argument(
+        "--tune-budget", type=float, default=20.0, metavar="PCT",
+        help="inaccuracy budget (percent) for the @tuned adaptive rows "
+        "(default 20; see docs/tuning.md)",
     )
     parser.add_argument("--out", default="BENCH_PR4.json", help="report JSON path")
     parser.add_argument(
@@ -524,6 +591,7 @@ def main(argv: list[str] | None = None) -> int:
             graphs=graphs,
             schedule=args.schedule,
             batch_sources=args.batch_sources,
+            tune_budget=args.tune_budget,
         )
     if profiler is not None:
         obs_prof.write_outputs(profiler, profile_prefix)

@@ -36,6 +36,7 @@ def build_config(args: argparse.Namespace) -> ServeConfig:
         self_check=not args.no_self_check,
         allow_chaos=args.allow_chaos,
         degradation=not args.no_degradation,
+        tune_config=args.tune_config,
         batch_window_ms=args.batch_window_ms,
         batch_max_lanes=args.batch_max_lanes,
         metrics_out=args.metrics_out,
@@ -80,6 +81,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-degradation", action="store_true",
         help="disable the pressure-driven approximate-plan ladder",
+    )
+    parser.add_argument(
+        "--tune-config", default=None, metavar="BENCH_TUNE.json",
+        help="auto-tuner report whose serve block drives the level-2 "
+        "reduced-work knobs (default: historical halving fallbacks)",
     )
     parser.add_argument(
         "--batch-window-ms", type=float, default=0.0,

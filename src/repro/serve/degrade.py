@@ -16,10 +16,15 @@ Ladder levels:
 ``1`` — switch to the approximate plan (``approx_technique``,
         default ``coalescing``): same algorithm, transformed graph,
         bounded inaccuracy per the paper's envelopes;
-``2`` — approximate plan *and* reduced work: BC halves its source
-        sample, PageRank loosens its tolerance 100×, SSSP stays on the
-        approximate plan (its cost is dominated by the plan, not a
-        knob).
+``2`` — approximate plan *and* reduced work.  With **tuned overrides**
+        (the ``serve`` block of ``BENCH_TUNE.json`` from ``python -m
+        repro tune``, wired via ``--tune-config``) BC serves the
+        auto-tuner's probed source-sample size and PageRank the
+        budget-derived tolerance; without them the historical fallbacks
+        apply (BC halves its source sample, PageRank loosens its
+        tolerance 100×).  SSSP stays on the approximate plan either way
+        (its cost is dominated by the plan, not a knob).  Tuned
+        substitutions carry ``(tuned)`` in the footnote reason.
 
 The pressure signal is an exponentially-weighted moving average of
 admission wait, blended with queue occupancy and — since the SLO
@@ -44,9 +49,54 @@ import threading
 from ..obs import metrics as obs_metrics
 from ..obs.log import get_logger
 
-__all__ = ["DegradationLadder"]
+__all__ = ["DegradationLadder", "tuned_overrides_from_report"]
 
 logger = get_logger("serve.degrade")
+
+
+def _validated_overrides(overrides: dict | None) -> dict | None:
+    """Shape-check tuned level-2 overrides (``None`` passes through)."""
+    if overrides is None:
+        return None
+    if not isinstance(overrides, dict):
+        raise ValueError("tuned_overrides must be a dict")
+    out: dict = {}
+    if "bc_node" in overrides:
+        try:
+            num_sources = int(overrides["bc_node"]["num_sources"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                "tuned_overrides['bc_node'] needs an integer num_sources"
+            ) from exc
+        if num_sources < 1:
+            raise ValueError("tuned num_sources must be >= 1")
+        out["bc_node"] = {"num_sources": num_sources}
+    if "pr_topk" in overrides:
+        try:
+            tol = float(overrides["pr_topk"]["tol"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                "tuned_overrides['pr_topk'] needs a float tol"
+            ) from exc
+        if not tol > 0:
+            raise ValueError("tuned tol must be positive")
+        out["pr_topk"] = {"tol": tol}
+    unknown = set(overrides) - {"bc_node", "pr_topk"}
+    if unknown:
+        raise ValueError(f"unknown tuned_overrides keys: {sorted(unknown)}")
+    return out or None
+
+
+def tuned_overrides_from_report(report: dict) -> dict | None:
+    """Extract the ladder's tuned overrides from a ``BENCH_TUNE.json``.
+
+    Accepts either the full tune report (its ``serve`` block) or a bare
+    overrides dict; validates the shape either way.
+    """
+    if not isinstance(report, dict):
+        raise ValueError("tune report must be a dict")
+    block = report.get("serve", report)
+    return _validated_overrides(block if block else None)
 
 
 class DegradationLadder:
@@ -61,6 +111,7 @@ class DegradationLadder:
         level2_burn_rate: float = 8.0,
         ewma_alpha: float = 0.3,
         enabled: bool = True,
+        tuned_overrides: dict | None = None,
     ) -> None:
         if not 0.0 < ewma_alpha <= 1.0:
             raise ValueError("ewma_alpha must be in (0, 1]")
@@ -68,6 +119,7 @@ class DegradationLadder:
             raise ValueError("level2 threshold must be >= level1 threshold")
         if level2_burn_rate <= 0.0:
             raise ValueError("level2_burn_rate must be positive")
+        self.tuned_overrides = _validated_overrides(tuned_overrides)
         self.approx_technique = approx_technique
         self.level1_wait_seconds = float(level1_wait_seconds)
         self.level2_wait_seconds = float(level2_wait_seconds)
@@ -152,16 +204,33 @@ class DegradationLadder:
         if technique != self.approx_technique:
             technique = self.approx_technique
             changed.append(f"plan={self.approx_technique}")
+        tuned = self.tuned_overrides or {}
         if level >= 2:
             if op == "bc_node":
-                halved = max(1, int(out.get("num_sources", 8)) // 2)
-                if halved != out.get("num_sources", 8):
-                    out["num_sources"] = halved
-                    changed.append(f"num_sources={halved}")
+                requested = int(out.get("num_sources", 8))
+                if "bc_node" in tuned:
+                    # the auto-tuner probed the smallest source sample
+                    # within budget — never *raise* the requested count
+                    reduced = min(requested, tuned["bc_node"]["num_sources"])
+                    marker = "(tuned)"
+                else:
+                    reduced = max(1, requested // 2)
+                    marker = ""
+                if reduced != requested:
+                    out["num_sources"] = reduced
+                    changed.append(f"num_sources={reduced}{marker}")
             elif op == "pr_topk":
-                tol = float(out.get("tol", 1e-8)) * 100.0
-                out["tol"] = tol
-                changed.append(f"tol={tol:g}")
+                requested_tol = float(out.get("tol", 1e-8))
+                if "pr_topk" in tuned:
+                    # never tighten below what the client asked for
+                    tol = max(requested_tol, tuned["pr_topk"]["tol"])
+                    marker = "(tuned)"
+                else:
+                    tol = requested_tol * 100.0
+                    marker = ""
+                if tol != requested_tol:
+                    out["tol"] = tol
+                    changed.append(f"tol={tol:g}{marker}")
         if not changed:
             return technique, out, ""
         reason = f"pressure:level{level}:" + ",".join(changed)

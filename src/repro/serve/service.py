@@ -48,7 +48,7 @@ from ..verify.invariants import verify_plan
 from .batching import BatchWindow
 from .breaker import CircuitBreaker
 from .deadline import Deadline, deadline_runner_factory
-from .degrade import DegradationLadder
+from .degrade import DegradationLadder, tuned_overrides_from_report
 
 __all__ = ["ServeConfig", "GraphService"]
 
@@ -87,6 +87,9 @@ class ServeConfig:
     approx_technique: str = "coalescing"
     level1_wait_ms: float = 50.0
     level2_wait_ms: float = 200.0
+    # BENCH_TUNE.json (or its serve block) driving level-2 reduced-work
+    # knobs; None keeps the historical halving fallbacks
+    tune_config: str | None = None
     # query batching window (0 = disabled): same-graph/same-algorithm
     # queries arriving within the window share one batched sweep
     batch_window_ms: float = 0.0
@@ -125,11 +128,29 @@ class GraphService:
             slow_call_seconds=config.breaker_slow_call_seconds,
             cooldown_seconds=config.breaker_cooldown_seconds,
         )
+        tuned_overrides = None
+        if config.tune_config:
+            import json
+            from pathlib import Path
+
+            try:
+                tuned_overrides = tuned_overrides_from_report(
+                    json.loads(Path(config.tune_config).read_text())
+                )
+            except (OSError, ValueError) as exc:
+                raise ServeError(
+                    f"bad tune config {config.tune_config!r}: {exc}"
+                ) from exc
+            logger.info(
+                "tuned level-2 overrides from %s: %s",
+                config.tune_config, tuned_overrides,
+            )
         self.ladder = DegradationLadder(
             approx_technique=config.approx_technique,
             level1_wait_seconds=config.level1_wait_ms / 1000.0,
             level2_wait_seconds=config.level2_wait_ms / 1000.0,
             enabled=config.degradation,
+            tuned_overrides=tuned_overrides,
         )
         if config.cache_dir is not None:
             cfg = repro_cache.configure(cache_dir=config.cache_dir)

@@ -1,0 +1,376 @@
+"""The offline auto-tuner behind ``python -m repro tune``.
+
+Per graph family (the :func:`~repro.graphs.generators.paper_suite`
+graphs), the tuner searches the knob × schedule space the way
+:mod:`repro.core.autotune` pioneered — guideline-seeded thresholds per
+technique, scored by simulator probes — then layers the adaptive
+controller (:mod:`repro.tune.controller`) over the winning static
+config and searches its gains.  The probe workload is SSSP from the
+max-out-degree hub, plus PageRank outside ``--quick``; all scoring uses
+**charged cycles**, which are deterministic across machines, so the
+emitted ``BENCH_TUNE.json`` diffs exactly under ``repro obs diff``.
+
+Winning configs are cached through :mod:`repro.cache`
+(``memoize_json``, stage ``tune.search``): a second pass over the same
+graphs with the same budget serves every family from the cache —
+the warm-reuse contract the ``tune-smoke`` CI job asserts.
+
+``speedup_vs_static`` is the controller's win over the *best static
+knobs on the same workload*: the static run already uses the winning
+plan and schedule; the tuned run differs only in the runtime levers
+(early stop, margin loosening, extra local rounds, rectification).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from ..cache import memo
+from ..core.autotune import _candidates, _plan_with_threshold
+from ..eval.accuracy import attribute_inaccuracy
+from ..graphs.csr import CSRGraph
+from ..graphs.generators import paper_suite
+from ..gpusim.device import DeviceConfig, K40C
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from .controller import ErrorBudget, adaptive_runner_factory
+
+__all__ = [
+    "DEFAULT_BUDGET_PERCENT",
+    "run_tune",
+    "serve_overrides",
+    "tune_family",
+]
+
+SCHEMA_VERSION = 1
+
+#: bump to invalidate cached search results when the scoring changes
+SEARCH_VERSION = 1
+
+#: the default target inaccuracy budget (percent, the paper's metric)
+DEFAULT_BUDGET_PERCENT = 20.0
+
+#: techniques whose knob space the static search covers
+TECHNIQUES_SEARCHED = ("coalescing", "shmem", "divergence")
+
+#: sweep schedules the static search pins (PR 8's layer)
+SCHEDULES_SEARCHED = (None, "direction-optimizing")
+
+#: controller-gain candidates layered on the winning static config; the
+#: first is pure early-stop/margin loosening (never charges extra work,
+#: so tuned cycles <= static cycles by construction)
+_CONTROLLER_GRID = (
+    {
+        "sample_every": 0, "stop_fraction": 0.25,
+        "max_margin_scale": 4.0, "extra_local_rounds": 0,
+    },
+    {
+        "sample_every": 6, "stop_fraction": 0.25,
+        "max_margin_scale": 4.0, "extra_local_rounds": 1,
+    },
+    {
+        "sample_every": 0, "stop_fraction": 0.5,
+        "max_margin_scale": 8.0, "extra_local_rounds": 1,
+    },
+)
+_CONTROLLER_GRID_QUICK = _CONTROLLER_GRID[:2]
+
+#: BC source-sample candidates probed for the serve ladder's level-2 knob
+_BC_SOURCE_CANDIDATES = (6, 4, 2)
+_BC_REFERENCE_SOURCES = 8
+
+
+def _hub(graph: CSRGraph) -> int:
+    return int(np.argmax(graph.out_degrees()))
+
+
+def _probe(
+    target,
+    graph: CSRGraph,
+    device: DeviceConfig,
+    schedule: str | None,
+    exact: dict,
+    *,
+    quick: bool,
+    runner_factory=None,
+) -> tuple[float, float]:
+    """Run the probe workload; returns (charged cycles, worst inaccuracy %)."""
+    from ..algorithms.pagerank import pagerank
+    from ..algorithms.sssp import sssp
+
+    res = sssp(
+        target, _hub(graph), device=device,
+        runner_factory=runner_factory, schedule=schedule,
+    )
+    cycles = float(res.cycles)
+    inacc = attribute_inaccuracy(exact["sssp"].values, res.values)
+    if not quick:
+        pr = pagerank(
+            target, device=device,
+            runner_factory=runner_factory, schedule=schedule,
+        )
+        cycles += float(pr.cycles)
+        inacc = max(inacc, attribute_inaccuracy(exact["pr"].values, pr.values))
+    return cycles, inacc
+
+
+def _exact_reference(graph: CSRGraph, device: DeviceConfig, quick: bool) -> dict:
+    from ..algorithms.pagerank import pagerank
+    from ..algorithms.sssp import sssp
+
+    exact = {"sssp": sssp(graph, _hub(graph), device=device)}
+    cycles = float(exact["sssp"].cycles)
+    if not quick:
+        exact["pr"] = pagerank(graph, device=device)
+        cycles += float(exact["pr"].cycles)
+    exact["cycles"] = cycles
+    return exact
+
+
+def _pick(trials: list[dict], budget_percent: float) -> dict:
+    """Feasible (within budget) with min cycles, else min inaccuracy."""
+    feasible = [t for t in trials if t["inaccuracy_percent"] <= budget_percent]
+    if feasible:
+        return min(feasible, key=lambda t: t["cycles"])
+    return min(trials, key=lambda t: t["inaccuracy_percent"])
+
+
+def tune_family(
+    name: str,
+    graph: CSRGraph,
+    *,
+    budget_percent: float = DEFAULT_BUDGET_PERCENT,
+    device: DeviceConfig = K40C,
+    quick: bool = False,
+    schedules: tuple = SCHEDULES_SEARCHED,
+) -> dict:
+    """Search knobs × schedules for one graph family; returns the record.
+
+    The result is cached through ``repro.cache`` (stage ``tune.search``)
+    keyed on the graph fingerprint + search parameters, so re-tuning an
+    unchanged family is a cache hit.
+    """
+    params = {
+        "budget_percent": float(budget_percent),
+        "quick": bool(quick),
+        "schedules": [s or "fixed-push" for s in schedules],
+        "version": SEARCH_VERSION,
+        "device": dataclasses.asdict(device),
+    }
+
+    def compute() -> dict:
+        with obs_trace.span("tune.family", family=name):
+            return _search_family(
+                name, graph,
+                budget_percent=budget_percent,
+                device=device,
+                quick=quick,
+                schedules=schedules,
+            )
+
+    return memo.memoize_json(
+        "tune.search", graph, params, compute,
+        to_jsonable=lambda v: v, from_jsonable=lambda v: v,
+    )
+
+
+def _search_family(
+    name: str,
+    graph: CSRGraph,
+    *,
+    budget_percent: float,
+    device: DeviceConfig,
+    quick: bool,
+    schedules: tuple,
+) -> dict:
+    exact = _exact_reference(graph, device, quick)
+
+    static_trials: list[dict] = []
+    plans: dict[tuple, object] = {}
+    for technique in TECHNIQUES_SEARCHED:
+        for thr in _candidates(graph, technique):
+            plan = _plan_with_threshold(graph, technique, thr, device)
+            for schedule in schedules:
+                cycles, inacc = _probe(
+                    plan, graph, device, schedule, exact, quick=quick
+                )
+                trial = {
+                    "technique": technique,
+                    "threshold": float(thr),
+                    "schedule": schedule,
+                    "cycles": cycles,
+                    "inaccuracy_percent": inacc,
+                    "speedup_vs_exact": exact["cycles"] / max(cycles, 1e-12),
+                }
+                static_trials.append(trial)
+                plans[(technique, float(thr))] = plan
+
+    best_static = _pick(static_trials, budget_percent)
+    plan = plans[(best_static["technique"], best_static["threshold"])]
+    schedule = best_static["schedule"]
+
+    grid = _CONTROLLER_GRID_QUICK if quick else _CONTROLLER_GRID
+    tuned_trials: list[dict] = []
+    for gains in grid:
+        budget = ErrorBudget(target_percent=budget_percent, **gains)
+        factory = adaptive_runner_factory(budget, exact_graph=graph)
+        cycles, inacc = _probe(
+            plan, graph, device, schedule, exact,
+            quick=quick, runner_factory=factory,
+        )
+        tuned_trials.append(
+            {
+                "controller": dict(gains),
+                "cycles": cycles,
+                "inaccuracy_percent": inacc,
+                "speedup_vs_exact": exact["cycles"] / max(cycles, 1e-12),
+            }
+        )
+    best_tuned = _pick(tuned_trials, budget_percent)
+
+    speedup_vs_static = best_static["cycles"] / max(best_tuned["cycles"], 1e-12)
+    return {
+        "family": name,
+        "nodes": int(graph.num_nodes),
+        "edges": int(graph.num_edges),
+        "budget_percent": float(budget_percent),
+        "technique": best_static["technique"],
+        "threshold": best_static["threshold"],
+        "schedule": schedule,
+        "controller": best_tuned["controller"],
+        "exact_cycles": exact["cycles"],
+        "static": {
+            "cycles": best_static["cycles"],
+            "inaccuracy_percent": best_static["inaccuracy_percent"],
+            "speedup_vs_exact": best_static["speedup_vs_exact"],
+        },
+        "tuned": {
+            "cycles": best_tuned["cycles"],
+            "inaccuracy_percent": best_tuned["inaccuracy_percent"],
+            "speedup_vs_exact": best_tuned["speedup_vs_exact"],
+        },
+        "speedup_vs_static": speedup_vs_static,
+        "within_budget": best_tuned["inaccuracy_percent"] <= budget_percent,
+        "static_trials": len(static_trials),
+        "tuned_trials": len(tuned_trials),
+    }
+
+
+def serve_overrides(
+    graph: CSRGraph,
+    *,
+    budget_percent: float = DEFAULT_BUDGET_PERCENT,
+    device: DeviceConfig = K40C,
+    quick: bool = False,
+) -> dict:
+    """Tuned level-2 degradation knobs for the serve ladder.
+
+    Replaces the ladder's hardcoded halving: BC's source sample is the
+    *smallest* candidate whose scores stay within the budget of the
+    8-source reference on the probe graph, and PageRank's tolerance is
+    the controller's effective budget tolerance.  See
+    :meth:`repro.serve.degrade.DegradationLadder.apply`.
+    """
+    from ..algorithms.bc import betweenness_centrality
+
+    candidates = _BC_SOURCE_CANDIDATES[1:] if quick else _BC_SOURCE_CANDIDATES
+    ref = betweenness_centrality(
+        graph,
+        num_sources=min(_BC_REFERENCE_SOURCES, graph.num_nodes),
+        seed=0,
+        device=device,
+    )
+    num_sources = max(1, _BC_REFERENCE_SOURCES // 2)  # the old halving
+    for cand in sorted(candidates):
+        probe = betweenness_centrality(
+            graph, num_sources=min(cand, graph.num_nodes), seed=0, device=device
+        )
+        if attribute_inaccuracy(ref.values, probe.values) <= budget_percent:
+            num_sources = cand
+            break
+    pr_tol = ErrorBudget(
+        target_percent=budget_percent
+    ).stop_fraction * budget_percent / 100.0
+    return {
+        "bc_node": {"num_sources": int(num_sources)},
+        "pr_topk": {"tol": float(pr_tol)},
+    }
+
+
+def _geomean(values: list[float]) -> float | None:
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return None
+    return float(math.exp(sum(math.log(v) for v in positive) / len(positive)))
+
+
+def _cache_counters() -> tuple[int, int]:
+    counters = obs_metrics.snapshot().get("counters", {})
+    return (
+        int(counters.get("cache.tune.search.hit", 0)),
+        int(counters.get("cache.tune.search.miss", 0)),
+    )
+
+
+def run_tune(
+    *,
+    scale: str = "tiny",
+    seed: int = 7,
+    budget_percent: float = DEFAULT_BUDGET_PERCENT,
+    families: list[str] | None = None,
+    device: DeviceConfig = K40C,
+    quick: bool = False,
+) -> dict:
+    """Tune every requested family; returns the ``BENCH_TUNE.json`` dict."""
+    if budget_percent <= 0 or not math.isfinite(budget_percent):
+        raise ValueError("budget_percent must be positive and finite")
+    with obs_trace.span("tune.suite", scale=scale):
+        suite = paper_suite(scale, seed=seed)
+    if families:
+        unknown = sorted(set(families) - set(suite))
+        if unknown:
+            raise ValueError(
+                f"unknown families {unknown}; suite has {sorted(suite)}"
+            )
+        suite = {name: suite[name] for name in families}
+
+    hits0, misses0 = _cache_counters()
+    records: dict[str, dict] = {}
+    with obs_trace.span("tune.run", families=len(suite), quick=quick):
+        for name, graph in suite.items():
+            records[name] = tune_family(
+                name, graph,
+                budget_percent=budget_percent,
+                device=device,
+                quick=quick,
+            )
+        smallest = min(suite, key=lambda n: suite[n].num_edges)
+        serve = serve_overrides(
+            suite[smallest],
+            budget_percent=budget_percent,
+            device=device,
+            quick=quick,
+        )
+    hits1, misses1 = _cache_counters()
+
+    speedups = {n: r["speedup_vs_static"] for n, r in records.items()}
+    best_family = max(speedups, key=speedups.get) if speedups else None
+    return {
+        "schema": SCHEMA_VERSION,
+        "scale": scale,
+        "seed": seed,
+        "quick": quick,
+        "budget_percent": float(budget_percent),
+        "families": records,
+        "aggregate_speedup_vs_static": _geomean(list(speedups.values())),
+        "best_family": best_family,
+        "best_speedup_vs_static": (
+            speedups[best_family] if best_family else None
+        ),
+        "serve": serve,
+        "serve_probe_family": smallest,
+        "cache": {"hits": hits1 - hits0, "misses": misses1 - misses0},
+    }

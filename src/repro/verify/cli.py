@@ -37,7 +37,7 @@ from ..core.knobs import CoalescingKnobs, DivergenceKnobs, SharedMemoryKnobs
 from ..core.pipeline import build_plan
 from ..gpusim.device import DeviceConfig
 from ..obs import metrics, trace
-from . import differential, golden, metamorphic
+from . import differential, golden, metamorphic, tuned
 from .corpus import default_corpus
 from .invariants import Violation, check_plan
 from .metamorphic import (
@@ -180,6 +180,36 @@ def _differential_checks(corpus, seed, device):
     yield "differential:cache:er:divergence", cache_check
 
 
+def _tuned_checks(corpus, device):
+    for gname, technique in (
+        ("rmat", "coalescing"),
+        ("road", "shmem"),
+        ("social", "divergence"),
+        ("multigraph", "exact"),
+    ):
+        yield (
+            f"differential:tuned:identity:{gname}:{technique}",
+            lambda g=gname, t=technique: tuned.check_tuned_identity(
+                corpus[g], t, knobs=VERIFY_KNOBS, device=device
+            ),
+        )
+    yield "differential:tuned:monotone:road", lambda: (
+        tuned.check_budget_monotonicity(
+            corpus["road"], knobs=VERIFY_KNOBS, device=device
+        )
+    )
+
+    def tuned_golden_check():
+        report = tuned.run_adaptive_golden(
+            corpus, knobs=VERIFY_KNOBS, device=device
+        )
+        tuned_golden_check.report = report
+        return tuned.adaptive_violations(report)
+
+    tuned_golden_check.report = None
+    yield "golden:tuned", tuned_golden_check
+
+
 def _deep_checks(corpus, device):
     for gname, graph in corpus.items():
         def run(graph=graph):
@@ -226,7 +256,9 @@ def run_checks(
     checks += list(_invariant_checks(corpus, QUICK_TECHNIQUES, device))
     checks += list(_metamorphic_checks(corpus, seed, device))
     checks += list(_differential_checks(corpus, seed, device))
+    checks += list(_tuned_checks(corpus, device))
     golden_report = None
+    tuned_golden_report = None
     if deep:
         checks += list(_deep_checks(corpus, device))
 
@@ -271,6 +303,8 @@ def run_checks(
                     print(f"        - {x}")
             if name == "golden:tables" and getattr(run, "report", None):
                 golden_report = run.report
+            if name == "golden:tuned" and getattr(run, "report", None):
+                tuned_golden_report = run.report
 
     report = {
         "mode": "deep" if deep else "quick",
@@ -285,6 +319,8 @@ def run_checks(
     }
     if golden_report is not None:
         report["golden"] = golden_report
+    if tuned_golden_report is not None:
+        report["tuned_golden"] = tuned_golden_report
     return report
 
 

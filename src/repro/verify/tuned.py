@@ -1,0 +1,231 @@
+"""Oracles for the adaptive controller (:mod:`repro.tune`).
+
+Three families of checks:
+
+* **identity** — an :class:`~repro.tune.controller.AdaptiveController`
+  with the default *infinite* budget must be byte-identical to the
+  static runner: same values, same iteration count, same charged
+  cycles.  This is the controller's safety anchor: disabled means
+  *gone*, not "mostly the same".
+* **budget monotonicity** — on plans without replica renumbering
+  (divergence / exact), SSSP values start at ``inf`` and only descend
+  through real-path relaxations, so error is monotone in work;
+  tightening the budget (more work before stopping) must never
+  increase the golden-band inaccuracy.  The hypothesis fuzz in
+  ``tests/test_tune_controller.py`` explores the same property over
+  generated graphs; this check pins it on the corpus.
+* **adaptive golden** — every adaptive run on the seed corpus must
+  stay inside the PR-5 paper bands for *accuracy*
+  (:class:`~repro.verify.golden.ToleranceBand` inaccuracy ceiling);
+  the speedup ceiling is raised because budget-certified early
+  termination is a legitimate speedup source beyond the plan
+  transforms the static band was calibrated on.  Verdicts are
+  machine-readable per cell (``report["tuned_golden"]`` under
+  ``verify --report``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.pipeline import ExecutionPlan, build_plan
+from ..eval.accuracy import attribute_inaccuracy
+from ..graphs.csr import CSRGraph
+from ..gpusim.device import DeviceConfig
+from ..tune import ErrorBudget, adaptive_runner_factory
+from .differential import _results_identical
+from .golden import ToleranceBand
+from .invariants import Violation
+
+__all__ = [
+    "TUNED_BAND",
+    "check_tuned_identity",
+    "check_budget_monotonicity",
+    "run_adaptive_golden",
+    "adaptive_violations",
+]
+
+#: default budget the adaptive golden pass runs at (the tuner's default)
+TUNED_BUDGET_PERCENT = 20.0
+
+#: accuracy bands identical to the static golden pass; the speedup
+#: ceiling is raised because early termination legitimately exceeds the
+#: plan-transform-only envelope (PageRank under a loosened tolerance)
+TUNED_BAND = ToleranceBand(max_speedup=64.0)
+
+#: techniques the adaptive golden pass sweeps per corpus graph
+TUNED_TECHNIQUES = ("coalescing", "shmem", "divergence")
+
+
+def _plan(
+    graph: CSRGraph, technique: str, knobs: dict, device: DeviceConfig
+) -> ExecutionPlan:
+    return build_plan(
+        graph,
+        technique,
+        device=device,
+        coalescing=knobs["coalescing"],
+        shmem=knobs["shmem"],
+        divergence=knobs["divergence"],
+    )
+
+
+def _hub(graph: CSRGraph) -> int:
+    return int(np.argmax(graph.out_degrees()))
+
+
+def check_tuned_identity(
+    graph: CSRGraph,
+    technique: str,
+    *,
+    knobs: dict,
+    device: DeviceConfig,
+) -> list[Violation]:
+    """Infinite-budget adaptive runs must be bit-identical to static."""
+    from ..algorithms.pagerank import pagerank
+    from ..algorithms.sssp import sssp
+
+    plan = _plan(graph, technique, knobs, device)
+    src = _hub(graph)
+    factory = adaptive_runner_factory()  # default budget: infinite
+    v: list[Violation] = []
+    static = sssp(plan, src, device=device)
+    adaptive = sssp(plan, src, device=device, runner_factory=factory)
+    v += _results_identical(
+        adaptive, static, f"tuned.identity.sssp.{technique}"
+    )
+    static = pagerank(plan, device=device)
+    adaptive = pagerank(plan, device=device, runner_factory=factory)
+    v += _results_identical(
+        adaptive, static, f"tuned.identity.pagerank.{technique}"
+    )
+    return v
+
+
+def check_budget_monotonicity(
+    graph: CSRGraph,
+    *,
+    knobs: dict,
+    device: DeviceConfig,
+    tight_percent: float = 5.0,
+    loose_percent: float = 40.0,
+) -> list[Violation]:
+    """Tightening the budget must not increase SSSP inaccuracy.
+
+    Restricted to the divergence plan: without replica groups the solve
+    is monotone (values only descend toward the exact distances), so
+    more work — which is all a tighter budget can demand — can only
+    keep or reduce error.  Mean-confluence plans trade error
+    non-monotonically and are exercised by the golden bands instead.
+    """
+    from ..algorithms.sssp import sssp
+
+    plan = _plan(graph, "divergence", knobs, device)
+    src = _hub(graph)
+    exact = sssp(graph, src, device=device)
+
+    def inaccuracy(percent: float) -> float:
+        factory = adaptive_runner_factory(
+            ErrorBudget(target_percent=percent), exact_graph=graph
+        )
+        res = sssp(plan, src, device=device, runner_factory=factory)
+        return attribute_inaccuracy(exact.values, res.values)
+
+    tight = inaccuracy(tight_percent)
+    loose = inaccuracy(loose_percent)
+    if tight > loose + 1e-9:
+        return [
+            Violation(
+                "tuned.monotone",
+                f"tighter budget increased inaccuracy: "
+                f"{tight:.4f}% @ {tight_percent}% budget vs "
+                f"{loose:.4f}% @ {loose_percent}% budget",
+            )
+        ]
+    return []
+
+
+def run_adaptive_golden(
+    corpus: dict[str, CSRGraph],
+    *,
+    knobs: dict,
+    device: DeviceConfig,
+    budget_percent: float = TUNED_BUDGET_PERCENT,
+    band: ToleranceBand | None = None,
+) -> dict:
+    """Adaptive SSSP + PageRank on every corpus graph × technique.
+
+    Returns machine-readable per-cell verdicts in the golden style:
+    each cell's speedup is charged-cycles of the exact run over the
+    adaptive run, its inaccuracy the paper metric against the exact
+    answer.
+    """
+    from ..algorithms.pagerank import pagerank
+    from ..algorithms.sssp import sssp
+
+    band = band or TUNED_BAND
+    cells: list[dict] = []
+    for gname, graph in corpus.items():
+        src = _hub(graph)
+        exact = {
+            "sssp": sssp(graph, src, device=device),
+            "pagerank": pagerank(graph, device=device),
+        }
+        for technique in TUNED_TECHNIQUES:
+            plan = _plan(graph, technique, knobs, device)
+            factory = adaptive_runner_factory(
+                ErrorBudget(target_percent=budget_percent), exact_graph=graph
+            )
+            runs = {
+                "sssp": sssp(plan, src, device=device, runner_factory=factory),
+                "pagerank": pagerank(
+                    plan, device=device, runner_factory=factory
+                ),
+            }
+            for algo, res in runs.items():
+                ref = exact[algo]
+                speedup = ref.metrics.cycles / max(res.metrics.cycles, 1)
+                inacc = attribute_inaccuracy(ref.values, res.values)
+                reasons: list[str] = []
+                if not band.min_speedup <= speedup <= band.max_speedup:
+                    reasons.append(
+                        f"speedup {speedup:.3f} outside"
+                        f" [{band.min_speedup}, {band.max_speedup}]"
+                    )
+                if inacc > band.max_inaccuracy_percent:
+                    reasons.append(
+                        f"inaccuracy {inacc:.2f}% above"
+                        f" {band.max_inaccuracy_percent}%"
+                    )
+                cells.append(
+                    {
+                        "graph": gname,
+                        "technique": technique,
+                        "algorithm": algo,
+                        "speedup": speedup,
+                        "inaccuracy_percent": inacc,
+                        "iterations": res.iterations,
+                        "passed": not reasons,
+                        "reasons": reasons,
+                    }
+                )
+    return {
+        "budget_percent": budget_percent,
+        "cells": cells,
+        "passed": all(c["passed"] for c in cells),
+    }
+
+
+def adaptive_violations(report: dict) -> list[Violation]:
+    """Flatten a :func:`run_adaptive_golden` report into violations."""
+    v: list[Violation] = []
+    for cell in report["cells"]:
+        for reason in cell["reasons"]:
+            v.append(
+                Violation(
+                    "tuned.golden",
+                    f"{cell['algorithm']}/{cell['graph']}"
+                    f"/{cell['technique']}: {reason}",
+                )
+            )
+    return v

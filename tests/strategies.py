@@ -24,6 +24,7 @@ __all__ = [
     "star_graphs",
     "chain_graphs",
     "adversarial_graphs",
+    "budget_ladders",
 ]
 
 
@@ -179,3 +180,19 @@ def adversarial_graphs():
         star_graphs(),
         chain_graphs(),
     )
+
+
+@st.composite
+def budget_ladders(draw, min_percent=1.0, max_percent=80.0):
+    """A ``(tight, loose)`` error-budget pair with ``tight <= loose``.
+
+    Drives the ``repro.tune`` monotonicity property: tightening the
+    inaccuracy budget must never increase the delivered error.
+    """
+    tight = draw(
+        st.floats(min_percent, max_percent, allow_nan=False, allow_infinity=False)
+    )
+    factor = draw(
+        st.floats(1.0, 8.0, allow_nan=False, allow_infinity=False)
+    )
+    return tight, tight * factor

@@ -368,3 +368,98 @@ class TestValidationRegressions:
             self._execute(
                 service, {"op": "sssp", "graph": g, "source": 0, "target": n}
             )
+
+
+class TestTunedDegradation:
+    """Tuned level-2 answers stay footnoted and never share a batch lane
+    with exact answers: the ladder rewrites technique/params *before*
+    the batch key is built, so the key itself separates the groups."""
+
+    TUNED = {"bc_node": {"num_sources": 3}, "pr_topk": {"tol": 0.05}}
+
+    @pytest.fixture()
+    def tuned_service(self, tmp_path):
+        import json
+
+        cfg = tmp_path / "BENCH_TUNE.json"
+        cfg.write_text(json.dumps({"serve": self.TUNED}))
+        return GraphService(
+            ServeConfig(
+                scale="tiny",
+                seed=7,
+                batch_window_ms=50.0,
+                batch_max_lanes=8,
+                self_check=False,
+                tune_config=str(cfg),
+            )
+        )
+
+    def _spy_keys(self, service, monkeypatch):
+        keys = []
+        real = service.batcher.run
+
+        def spy(key, payload, deadline, batch_fn, solo_fn):
+            keys.append(key)
+            return real(key, payload, deadline, batch_fn, solo_fn)
+
+        monkeypatch.setattr(service.batcher, "run", spy)
+        return keys
+
+    def test_config_loads_overrides(self, tuned_service):
+        assert tuned_service.ladder.tuned_overrides == self.TUNED
+
+    def test_bad_tune_config_rejected(self, tmp_path):
+        cfg = tmp_path / "bad.json"
+        cfg.write_text('{"serve": {"bc_node": {"num_sources": 0}}}')
+        with pytest.raises(ServeError, match="bad tune config"):
+            GraphService(
+                ServeConfig(scale="tiny", seed=7, tune_config=str(cfg))
+            )
+
+    def test_tuned_bc_footnoted_and_lane_isolated(
+        self, tuned_service, monkeypatch
+    ):
+        keys = self._spy_keys(tuned_service, monkeypatch)
+        g = sorted(tuned_service.graphs)[0]
+        req = {
+            "op": "bc_node", "graph": g, "node": 0,
+            "num_sources": 8, "seed": 1,
+        }
+        exact = tuned_service.execute(dict(req), Deadline.from_ms(10000))
+        assert "degraded" not in exact
+        tuned_service.ladder._level = 2  # force sustained pressure
+        degraded = tuned_service.execute(dict(req), Deadline.from_ms(10000))
+        assert degraded["degraded"] is True
+        assert "num_sources=3(tuned)" in degraded["degraded_reason"]
+        assert degraded["result"]["num_sources"] == 3
+        # the tuned lane's key differs in technique AND num_sources, so a
+        # degraded request can never join an exact batch group
+        assert keys == [
+            ("bc_node", g, "exact", 8, 1),
+            ("bc_node", g, "coalescing", 3, 1),
+        ]
+
+    def test_tuned_sssp_lane_isolated_from_exact(
+        self, tuned_service, monkeypatch
+    ):
+        keys = self._spy_keys(tuned_service, monkeypatch)
+        g = sorted(tuned_service.graphs)[0]
+        req = {"op": "sssp", "graph": g, "source": 0}
+        tuned_service.execute(dict(req), Deadline.from_ms(10000))
+        tuned_service.ladder._level = 2
+        out = tuned_service.execute(dict(req), Deadline.from_ms(10000))
+        assert out["degraded"] is True
+        assert keys == [
+            ("sssp", g, "exact"),
+            ("sssp", g, "coalescing"),
+        ]
+
+    def test_tuned_pr_tolerance_footnoted(self, tuned_service):
+        g = sorted(tuned_service.graphs)[0]
+        tuned_service.ladder._level = 2
+        out = tuned_service.execute(
+            {"op": "pr_topk", "graph": g, "k": 3, "tol": 1e-8},
+            Deadline.from_ms(10000),
+        )
+        assert out["degraded"] is True
+        assert "tol=0.05(tuned)" in out["degraded_reason"]

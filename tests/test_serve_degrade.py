@@ -127,3 +127,82 @@ class TestApply:
         ladder.observe(0.300)
         _t, params, _r = ladder.apply("bc_node", "exact", {"num_sources": 1})
         assert params["num_sources"] == 1
+
+
+class TestTunedOverrides:
+    """Level-2 knob substitution from the auto-tuner (``repro tune``)."""
+
+    TUNED = {"bc_node": {"num_sources": 3}, "pr_topk": {"tol": 0.05}}
+
+    def _level2(self, **kw):
+        ladder = make_ladder(tuned_overrides=self.TUNED, **kw)
+        ladder.observe(0.300)
+        assert ladder.level == 2
+        return ladder
+
+    def test_bc_uses_tuned_sources_not_halving(self):
+        # 3 != 8 // 2: the tuned sample size wins over the fallback
+        ladder = self._level2()
+        _t, params, reason = ladder.apply("bc_node", "exact", {"num_sources": 8})
+        assert params["num_sources"] == 3
+        assert "num_sources=3(tuned)" in reason
+
+    def test_bc_never_raises_requested_sources(self):
+        ladder = self._level2()
+        _t, params, reason = ladder.apply("bc_node", "exact", {"num_sources": 2})
+        assert params["num_sources"] == 2
+        assert "num_sources" not in reason  # nothing changed, no footnote
+
+    def test_pr_uses_tuned_tolerance(self):
+        ladder = self._level2()
+        _t, params, reason = ladder.apply("pr_topk", "exact", {"tol": 1e-8})
+        assert params["tol"] == pytest.approx(0.05)
+        assert "(tuned)" in reason
+
+    def test_pr_never_tightens_requested_tolerance(self):
+        ladder = self._level2()
+        _t, params, reason = ladder.apply("pr_topk", "exact", {"tol": 0.1})
+        assert params["tol"] == pytest.approx(0.1)
+        assert "tol" not in reason
+
+    def test_fallback_halving_without_overrides(self):
+        ladder = make_ladder()
+        ladder.observe(0.300)
+        _t, params, reason = ladder.apply("bc_node", "exact", {"num_sources": 8})
+        assert params["num_sources"] == 4
+        assert "(tuned)" not in reason
+
+    def test_level_one_ignores_tuned_overrides(self):
+        ladder = make_ladder(tuned_overrides=self.TUNED)
+        ladder.observe(0.060)
+        assert ladder.level == 1
+        _t, params, _r = ladder.apply("bc_node", "exact", {"num_sources": 8})
+        assert params["num_sources"] == 8
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "not-a-dict",
+            {"bc_node": {"num_sources": 0}},
+            {"bc_node": {"num_sources": "three"}},
+            {"bc_node": {}},
+            {"pr_topk": {"tol": 0.0}},
+            {"pr_topk": {"tol": -1.0}},
+            {"pr_topk": {}},
+            {"mystery_op": {"knob": 1}},
+        ],
+    )
+    def test_invalid_overrides_rejected(self, bad):
+        with pytest.raises(ValueError):
+            make_ladder(tuned_overrides=bad)
+
+    def test_from_report_accepts_full_and_bare_forms(self):
+        from repro.serve.degrade import tuned_overrides_from_report
+
+        full = tuned_overrides_from_report({"serve": self.TUNED})
+        bare = tuned_overrides_from_report(self.TUNED)
+        assert full == bare == {
+            "bc_node": {"num_sources": 3},
+            "pr_topk": {"tol": 0.05},
+        }
+        assert tuned_overrides_from_report({}) is None

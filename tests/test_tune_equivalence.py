@@ -1,0 +1,137 @@
+"""Metamorphic anchor for the adaptive controller (``repro.tune``).
+
+An :class:`AdaptiveController` with the default *infinite* error budget
+must be indistinguishable from the static runner — byte-identical
+values, the same iteration count, and the same charged cycles — across
+every algorithm, technique and corpus graph.  Disabled means *gone*:
+the controller may not perturb a solve it was told not to steer.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bc import betweenness_centrality
+from repro.algorithms.bfs import bfs
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.sssp import sssp
+from repro.core.pipeline import build_plan
+from repro.tune import AdaptiveController, ErrorBudget, adaptive_runner_factory
+from repro.verify.cli import VERIFY_DEVICE, VERIFY_KNOBS
+from repro.verify.corpus import default_corpus
+
+GRAPHS = ("road", "social", "rmat", "multigraph", "star", "zero-weight")
+TECHNIQUES = ("exact", "coalescing", "shmem", "divergence")
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return default_corpus()
+
+
+def _plan(graph, technique):
+    return build_plan(
+        graph,
+        technique,
+        device=VERIFY_DEVICE,
+        coalescing=VERIFY_KNOBS["coalescing"],
+        shmem=VERIFY_KNOBS["shmem"],
+        divergence=VERIFY_KNOBS["divergence"],
+    )
+
+
+def _hub(graph):
+    return int(np.argmax(graph.out_degrees()))
+
+
+def _assert_identical(static, adaptive):
+    assert static.values.tobytes() == adaptive.values.tobytes()
+    assert static.iterations == adaptive.iterations
+    assert static.metrics.summary() == adaptive.metrics.summary()
+    assert static.metrics.num_sweeps == adaptive.metrics.num_sweeps
+
+
+@pytest.mark.parametrize("technique", TECHNIQUES)
+@pytest.mark.parametrize("gname", GRAPHS)
+class TestInfiniteBudgetIdentity:
+    """Infinite budget == static run, bit for bit and cycle for cycle."""
+
+    def test_sssp(self, corpus, gname, technique):
+        plan = _plan(corpus[gname], technique)
+        src = _hub(corpus[gname])
+        static = sssp(plan, src, device=VERIFY_DEVICE)
+        adaptive = sssp(
+            plan, src, device=VERIFY_DEVICE,
+            runner_factory=adaptive_runner_factory(),
+        )
+        _assert_identical(static, adaptive)
+
+    def test_pagerank(self, corpus, gname, technique):
+        plan = _plan(corpus[gname], technique)
+        static = pagerank(plan, device=VERIFY_DEVICE)
+        adaptive = pagerank(
+            plan, device=VERIFY_DEVICE,
+            runner_factory=adaptive_runner_factory(),
+        )
+        _assert_identical(static, adaptive)
+
+    def test_bfs(self, corpus, gname, technique):
+        plan = _plan(corpus[gname], technique)
+        src = _hub(corpus[gname])
+        static = bfs(plan, src, device=VERIFY_DEVICE)
+        adaptive = bfs(
+            plan, src, device=VERIFY_DEVICE,
+            runner_factory=adaptive_runner_factory(),
+        )
+        _assert_identical(static, adaptive)
+
+    def test_bc(self, corpus, gname, technique):
+        plan = _plan(corpus[gname], technique)
+        static = betweenness_centrality(
+            plan, num_sources=4, seed=0, device=VERIFY_DEVICE
+        )
+        adaptive = betweenness_centrality(
+            plan, num_sources=4, seed=0, device=VERIFY_DEVICE,
+            runner_factory=adaptive_runner_factory(),
+        )
+        _assert_identical(static, adaptive)
+
+
+class TestIdentityDetails:
+    """The disabled controller touches nothing — not even its own state."""
+
+    def test_default_budget_is_infinite_and_disabled(self):
+        budget = ErrorBudget()
+        assert math.isinf(budget.target_percent)
+        assert not budget.enabled
+
+    def test_no_interventions_recorded(self, corpus):
+        plan = _plan(corpus["road"], "shmem")
+        runner = AdaptiveController(plan, VERIFY_DEVICE)
+        sssp(plan, _hub(corpus["road"]), device=VERIFY_DEVICE,
+             runner_factory=lambda p, d: runner)
+        assert all(v == 0 for v in runner.interventions.values())
+
+    def test_explicit_infinite_budget_also_disabled(self, corpus):
+        plan = _plan(corpus["rmat"], "coalescing")
+        src = _hub(corpus["rmat"])
+        static = sssp(plan, src, device=VERIFY_DEVICE)
+        factory = adaptive_runner_factory(
+            ErrorBudget(target_percent=math.inf),
+            exact_graph=corpus["rmat"],
+        )
+        adaptive = sssp(plan, src, device=VERIFY_DEVICE, runner_factory=factory)
+        _assert_identical(static, adaptive)
+
+    def test_finite_budget_actually_differs_somewhere(self, corpus):
+        # the identity tests would pass vacuously if the controller
+        # never did anything; pin that a finite budget can intervene
+        factory = adaptive_runner_factory(ErrorBudget(target_percent=20.0))
+        static = pagerank(corpus["road"], device=VERIFY_DEVICE)
+        tuned = pagerank(
+            corpus["road"], device=VERIFY_DEVICE, runner_factory=factory
+        )
+        assert tuned.iterations < static.iterations

@@ -1,0 +1,111 @@
+"""Golden-band coverage for adaptive runs on the seed corpus.
+
+Every adaptive run (budget = the tuner's default 20 %) must stay inside
+the PR-5 paper bands for accuracy; the per-cell verdicts are also
+exposed machine-readably through ``repro verify --report``
+(``report["tuned_golden"]``) — pinned here end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.sssp import sssp
+from repro.core.pipeline import build_plan
+from repro.eval.accuracy import attribute_inaccuracy
+from repro.tune import ErrorBudget, adaptive_runner_factory
+from repro.verify.cli import VERIFY_DEVICE, VERIFY_KNOBS, run_checks
+from repro.verify.corpus import default_corpus
+from repro.verify.tuned import (
+    TUNED_BAND,
+    TUNED_BUDGET_PERCENT,
+    adaptive_violations,
+    run_adaptive_golden,
+)
+
+TECHNIQUES = ("coalescing", "shmem", "divergence")
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return default_corpus()
+
+
+def _adaptive(graph, technique, algo):
+    plan = build_plan(
+        graph,
+        technique,
+        device=VERIFY_DEVICE,
+        coalescing=VERIFY_KNOBS["coalescing"],
+        shmem=VERIFY_KNOBS["shmem"],
+        divergence=VERIFY_KNOBS["divergence"],
+    )
+    factory = adaptive_runner_factory(
+        ErrorBudget(target_percent=TUNED_BUDGET_PERCENT), exact_graph=graph
+    )
+    src = int(np.argmax(graph.out_degrees()))
+    if algo == "sssp":
+        exact = sssp(graph, src, device=VERIFY_DEVICE)
+        approx = sssp(plan, src, device=VERIFY_DEVICE, runner_factory=factory)
+    else:
+        exact = pagerank(graph, device=VERIFY_DEVICE)
+        approx = pagerank(plan, device=VERIFY_DEVICE, runner_factory=factory)
+    return exact, approx
+
+
+@pytest.mark.parametrize("technique", TECHNIQUES)
+@pytest.mark.parametrize("algo", ("sssp", "pagerank"))
+@pytest.mark.parametrize(
+    "gname",
+    sorted(default_corpus()),
+)
+class TestAdaptiveWithinPaperBands:
+    def test_cell_within_band(self, corpus, gname, algo, technique):
+        exact, approx = _adaptive(corpus[gname], technique, algo)
+        inacc = attribute_inaccuracy(exact.values, approx.values)
+        assert inacc <= TUNED_BAND.max_inaccuracy_percent
+        speedup = exact.metrics.cycles / max(approx.metrics.cycles, 1)
+        assert TUNED_BAND.min_speedup <= speedup <= TUNED_BAND.max_speedup
+
+
+class TestAdaptiveGoldenReport:
+    def test_every_cell_passes_and_is_machine_readable(self, corpus):
+        report = run_adaptive_golden(
+            corpus, knobs=VERIFY_KNOBS, device=VERIFY_DEVICE
+        )
+        assert report["passed"]
+        assert adaptive_violations(report) == []
+        expected = len(corpus) * len(TECHNIQUES) * 2  # sssp + pagerank
+        assert len(report["cells"]) == expected
+        for cell in report["cells"]:
+            assert set(cell) >= {
+                "graph", "technique", "algorithm",
+                "speedup", "inaccuracy_percent", "passed", "reasons",
+            }
+
+    def test_failing_cell_reported(self, corpus):
+        from repro.verify.golden import ToleranceBand
+
+        impossible = ToleranceBand(max_inaccuracy_percent=0.0)
+        report = run_adaptive_golden(
+            {"social": corpus["social"]},
+            knobs=VERIFY_KNOBS,
+            device=VERIFY_DEVICE,
+            band=impossible,
+        )
+        assert not report["passed"]
+        v = adaptive_violations(report)
+        assert v and all(x.oracle == "tuned.golden" for x in v)
+
+
+class TestVerifyReportWiring:
+    def test_quick_report_carries_tuned_golden(self):
+        report = run_checks(quiet=True)
+        assert "tuned_golden" in report
+        assert report["tuned_golden"]["passed"]
+        names = [c["check"] for c in report["checks"]]
+        assert "golden:tuned" in names
+        assert any(n.startswith("differential:tuned:identity") for n in names)
+        assert "differential:tuned:monotone:road" in names

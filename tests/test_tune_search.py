@@ -1,0 +1,224 @@
+"""The offline auto-tuner: search, caching, CLI and obs-diff wiring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cache import memo
+from repro.graphs.generators import paper_suite
+from repro.gpusim.device import DeviceConfig
+from repro.obs.diff import diff_files, extract_series, load_comparable
+from repro.tune import run_tune, serve_overrides, tune_family
+from repro.tune.cli import main as tune_main
+
+#: small device so the transforms do real work on the tiny suite
+DEVICE = DeviceConfig(warp_size=8, line_words=4, shared_mem_words=512)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return paper_suite("tiny", seed=7)
+
+
+@pytest.fixture(autouse=True)
+def _memory_cache():
+    # isolate every test from ambient disk caches
+    memo.configure(cache_dir=None)
+    yield
+    memo.configure(cache_dir=None)
+
+
+class TestTuneFamily:
+    def test_record_structure(self, suite):
+        rec = tune_family(
+            "rmat", suite["rmat"], budget_percent=20.0,
+            device=DEVICE, quick=True,
+        )
+        assert rec["family"] == "rmat"
+        assert rec["technique"] in ("coalescing", "shmem", "divergence")
+        assert rec["static"]["cycles"] > 0
+        assert rec["tuned"]["cycles"] > 0
+        assert rec["speedup_vs_static"] == pytest.approx(
+            rec["static"]["cycles"] / rec["tuned"]["cycles"]
+        )
+        assert rec["within_budget"] == (
+            rec["tuned"]["inaccuracy_percent"] <= 20.0
+        )
+        assert rec["static_trials"] > rec["tuned_trials"] >= 1
+
+    def test_static_choice_is_budget_feasible(self, suite):
+        rec = tune_family(
+            "usa-road", suite["usa-road"], budget_percent=20.0,
+            device=DEVICE, quick=True,
+        )
+        assert rec["static"]["inaccuracy_percent"] <= 20.0
+
+    def test_cached_second_call_identical(self, suite, tmp_path):
+        memo.configure(cache_dir=tmp_path)
+        first = tune_family(
+            "rmat", suite["rmat"], budget_percent=20.0,
+            device=DEVICE, quick=True,
+        )
+        second = tune_family(
+            "rmat", suite["rmat"], budget_percent=20.0,
+            device=DEVICE, quick=True,
+        )
+        assert first == second
+
+    def test_budget_changes_cache_key(self, suite, tmp_path):
+        memo.configure(cache_dir=tmp_path)
+        a = tune_family(
+            "rmat", suite["rmat"], budget_percent=20.0,
+            device=DEVICE, quick=True,
+        )
+        b = tune_family(
+            "rmat", suite["rmat"], budget_percent=5.0,
+            device=DEVICE, quick=True,
+        )
+        assert b["budget_percent"] == 5.0
+        assert a["budget_percent"] == 20.0
+
+
+class TestRunTune:
+    def test_report_shape_and_aggregate(self):
+        report = run_tune(
+            scale="tiny", families=["rmat", "usa-road"],
+            device=DEVICE, quick=True,
+        )
+        assert set(report["families"]) == {"rmat", "usa-road"}
+        assert report["best_family"] in report["families"]
+        assert report["aggregate_speedup_vs_static"] > 0
+        assert report["best_speedup_vs_static"] >= (
+            report["aggregate_speedup_vs_static"]
+        )
+        assert report["serve"]["bc_node"]["num_sources"] >= 1
+        assert report["serve"]["pr_topk"]["tol"] > 0
+        assert report["cache"]["misses"] == 2
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown families"):
+            run_tune(scale="tiny", families=["nope"], quick=True)
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget_percent"):
+            run_tune(scale="tiny", budget_percent=0.0, quick=True)
+
+    def test_warm_second_run_hits_cache(self, tmp_path):
+        memo.configure(cache_dir=tmp_path)
+        cold = run_tune(
+            scale="tiny", families=["rmat"], device=DEVICE, quick=True
+        )
+        warm = run_tune(
+            scale="tiny", families=["rmat"], device=DEVICE, quick=True
+        )
+        assert cold["cache"]["misses"] == 1
+        assert warm["cache"]["hits"] >= 1
+        assert warm["cache"]["misses"] == 0
+        assert warm["families"] == cold["families"]
+
+
+class TestServeOverrides:
+    def test_shape_and_bounds(self, suite):
+        overrides = serve_overrides(
+            suite["usa-road"], budget_percent=20.0, device=DEVICE, quick=True
+        )
+        assert 1 <= overrides["bc_node"]["num_sources"] <= 8
+        assert overrides["pr_topk"]["tol"] == pytest.approx(0.05)
+
+    def test_tighter_budget_never_fewer_sources(self, suite):
+        loose = serve_overrides(
+            suite["usa-road"], budget_percent=40.0, device=DEVICE, quick=True
+        )
+        tight = serve_overrides(
+            suite["usa-road"], budget_percent=1e-9, device=DEVICE, quick=True
+        )
+        assert (
+            tight["bc_node"]["num_sources"]
+            >= loose["bc_node"]["num_sources"]
+        )
+
+
+class TestTuneCli:
+    def test_quick_smoke_and_warm_reuse(self, tmp_path):
+        out1 = tmp_path / "a.json"
+        out2 = tmp_path / "b.json"
+        cache = tmp_path / "cache"
+        argv = [
+            "--quick", "--scale", "tiny", "--families", "rmat",
+            "--cache-dir", str(cache),
+        ]
+        assert tune_main(argv + ["--out", str(out1)]) == 0
+        assert tune_main(argv + ["--out", str(out2)]) == 0
+        cold = json.loads(out1.read_text())
+        warm = json.loads(out2.read_text())
+        assert cold["cache"]["misses"] >= 1
+        assert warm["cache"]["hits"] >= 1
+        assert warm["families"] == cold["families"]
+
+    def test_min_speedup_gate_fails(self, tmp_path):
+        rc = tune_main(
+            [
+                "--quick", "--scale", "tiny", "--families", "rmat",
+                "--out", str(tmp_path / "r.json"),
+                "--min-speedup", "1000.0",
+            ]
+        )
+        assert rc == 1
+
+    def test_record_trajectory(self, tmp_path):
+        out = tmp_path / "r.json"
+        traj = tmp_path / "traj.json"
+        rc = tune_main(
+            [
+                "--quick", "--scale", "tiny", "--families", "rmat",
+                "--out", str(out), "--record-trajectory", str(traj),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(traj.read_text())
+        assert len(doc["entries"]) == 1
+        assert doc["entries"][0]["report"]["families"]
+
+
+class TestObsDiffTuneKind:
+    def _report(self, tmp_path, name="r.json"):
+        out = tmp_path / name
+        assert tune_main(
+            [
+                "--quick", "--scale", "tiny", "--families", "rmat",
+                "--out", str(out),
+            ]
+        ) == 0
+        return out
+
+    def test_kind_detected(self, tmp_path):
+        out = self._report(tmp_path)
+        kind, payload = load_comparable(out)
+        assert kind == "tune"
+        series = extract_series(kind, payload)
+        assert any(k.endswith(":tuned_cycles") for k in series)
+        assert any(k.endswith(":inv_speedup_vs_static") for k in series)
+        assert any(k.endswith(":inaccuracy_percent") for k in series)
+
+    def test_self_diff_neutral(self, tmp_path):
+        out = self._report(tmp_path)
+        diff = diff_files(out, out)
+        assert diff["kind"] == "tune"
+        assert not diff["regressed"]
+
+    def test_trajectory_kind_redetected(self, tmp_path):
+        out = tmp_path / "r.json"
+        traj = tmp_path / "traj.json"
+        tune_main(
+            [
+                "--quick", "--scale", "tiny", "--families", "rmat",
+                "--out", str(out), "--record-trajectory", str(traj),
+            ]
+        )
+        kind, payload = load_comparable(traj)
+        assert kind == "tune"
+        diff = diff_files(traj, out)
+        assert diff["kind"] == "tune"
+        assert not diff["regressed"]
